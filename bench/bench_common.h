@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared setup for the paper-reproduction bench harnesses: search and
+ * measurement options sized so the full suite finishes in minutes, a
+ * fast mode for smoke runs (HERCULES_BENCH_FAST=1), and the cached
+ * efficiency-table path that lets the cluster benches reuse the Fig 15
+ * profiling results.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sched/gradient_search.h"
+
+namespace hercules::bench {
+
+/** @return true when HERCULES_BENCH_FAST=1 (reduced sweep sizes). */
+inline bool
+fastMode()
+{
+    const char* env = std::getenv("HERCULES_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Search/measure options used by all benches. */
+inline sched::SearchOptions
+benchSearchOptions()
+{
+    sched::SearchOptions opt;
+    opt.measure.sim.num_queries = fastMode() ? 250 : 400;
+    opt.measure.sim.warmup_queries = fastMode() ? 50 : 80;
+    opt.measure.bisect_iters = fastMode() ? 4 : 5;
+    opt.measure.sim.seed = 42;
+    return opt;
+}
+
+/** Path of the efficiency-table cache written by bench_fig15. */
+inline std::string
+efficiencyCachePath()
+{
+    return "hercules_efficiency_prod.csv";
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char* experiment, const char* what)
+{
+    std::printf("==============================================================\n");
+    std::printf("Hercules reproduction — %s\n", experiment);
+    std::printf("%s\n", what);
+    std::printf("==============================================================\n\n");
+}
+
+}  // namespace hercules::bench
+
+#include "cluster/evolution.h"
+#include "core/efficiency_table.h"
+
+namespace hercules::bench {
+
+/**
+ * Scale each evolution service's peak load to a fraction of the
+ * CPU-only (T1+T2) fleet capacity for its legacy model. The paper's
+ * absolute 50K-QPS peaks are calibrated to its measured tuples; against
+ * our simulated tuples the same fractions-of-fleet reproduce the
+ * Fig 16 capacity-growth story without saturating the cluster on day
+ * one. The default gives the three services together ~36% of the fleet
+ * at the Day-D1 peak, leaving the headroom the paper's Day-D2 snapshot
+ * consumes.
+ */
+inline void
+scaleEvolutionServices(std::vector<cluster::EvolutionService>& services,
+                       const core::EfficiencyTable& table,
+                       double fleet_fraction = 0.12)
+{
+    for (auto& svc : services) {
+        double capacity = 0.0;
+        for (hw::ServerType st : {hw::ServerType::T1, hw::ServerType::T2}) {
+            const core::EfficiencyEntry* e = table.get(st, svc.legacy);
+            if (e && e->feasible)
+                capacity += e->qps * hw::serverSpec(st).availability;
+        }
+        if (capacity > 0.0)
+            svc.load.peak_qps = fleet_fraction * capacity;
+    }
+}
+
+}  // namespace hercules::bench

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 1 (left) — compute vs memory footprint per query across the six
+ * models. Reproduction target (shape): DLRM-RMC1/RMC2 land in the
+ * memory-dominated region (low arithmetic intensity), DLRM-RMC3 /
+ * MT-WnD / DIN / DIEN in the compute-dominated region; the spread spans
+ * one to two orders of magnitude on both axes.
+ */
+#include "bench/bench_common.h"
+#include "model/footprint.h"
+#include "util/table.h"
+#include "workload/querygen.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 1 (left)",
+                  "Avg compute FLOPs vs memory bytes per query");
+
+    // Mean query size of the Fig 2(b) distribution.
+    workload::QueryGenerator gen(1000.0, 42);
+    double mean_size = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mean_size += gen.next().size;
+    mean_size /= n;
+    std::printf("mean query size: %.1f items\n\n", mean_size);
+
+    TablePrinter t({"Model", "MFLOPs/query", "MB/query", "KB PCIe/item",
+                    "FLOP per DRAM byte", "Region"});
+    for (model::ModelId id : model::allModels()) {
+        model::Model m = model::buildModel(id);
+        model::ModelFootprint f = model::analyzeModel(m);
+        double mflops = f.flops_per_item * mean_size / 1e6;
+        double mbytes = f.dram_bytes_per_item * mean_size / 1e6;
+        const char* region =
+            f.intensity() < 10.0 ? "memory-dominated" : "compute-dominated";
+        t.addRow({model::modelName(id), fmtDouble(mflops, 1),
+                  fmtDouble(mbytes, 2),
+                  fmtDouble(f.input_bytes_per_item / 1e3, 2),
+                  fmtDouble(f.intensity(), 1), region});
+    }
+    t.print();
+
+    std::printf("\nShape check vs paper: RMC1/RMC2 memory-dominated, "
+                "others compute-dominated;\nRMC2 has the highest memory "
+                "traffic, MT-WnD the highest compute.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig 2(b)(c)(d) — workload characterization: heavy-tailed query sizes,
+ * pooling-factor distribution across embedding tables, and the
+ * synchronized diurnal load of two services across four datacenters.
+ */
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "model/model_zoo.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/diurnal.h"
+#include "workload/querygen.h"
+
+using namespace hercules;
+
+namespace {
+
+void
+querySizeHistogram()
+{
+    std::printf("-- Fig 2(b): query size distribution --\n");
+    workload::QueryGenerator gen(1000.0, 42);
+    Histogram h(0.0, 1000.0, 20);
+    PercentileTracker p;
+    for (int i = 0; i < 50000; ++i) {
+        int s = gen.next().size;
+        h.add(s);
+        p.add(s);
+    }
+    TablePrinter t({"Size bin", "Fraction", "Bar"});
+    for (size_t b = 0; b < h.bins(); ++b) {
+        int stars = static_cast<int>(h.fraction(b) * 120);
+        t.addRow({fmtDouble(h.binLo(b), 0) + "-" +
+                      fmtDouble(h.binHi(b), 0),
+                  fmtPercent(h.fraction(b), 1),
+                  std::string(static_cast<size_t>(stars), '#')});
+    }
+    t.print();
+    std::printf("p50=%.0f  p75=%.0f  p95=%.0f  p99=%.0f "
+                "(heavy tail within [10, 1000])\n\n",
+                p.p50(), p.p75(), p.p95(), p.p99());
+}
+
+void
+poolingFactors()
+{
+    std::printf("-- Fig 2(c): pooling factors across embedding tables "
+                "(DLRM-RMC1, 500 queries) --\n");
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    workload::QueryGenerator gen(1000.0, 7);
+    TablePrinter t({"EmbID", "Mean pooling", "p5", "p95"});
+    int emb_id = 0;
+    for (const auto& n : m.graph.nodes()) {
+        if (n.kind() != model::OpKind::EmbeddingLookup)
+            continue;
+        const auto& p = std::get<model::EmbeddingParams>(n.params);
+        PercentileTracker samples;
+        workload::QueryGenerator qgen(1000.0,
+                                      100 + static_cast<uint64_t>(emb_id));
+        for (int q = 0; q < 500; ++q)
+            samples.add(p.avgPooling() * qgen.next().pooling_scale);
+        t.addRow({std::to_string(emb_id), fmtDouble(samples.mean(), 1),
+                  fmtDouble(samples.percentile(5), 1),
+                  fmtDouble(samples.percentile(95), 1)});
+        ++emb_id;
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+diurnalLoads()
+{
+    std::printf("-- Fig 2(d): diurnal load of two services across four "
+                "datacenters (one week) --\n");
+    TablePrinter t({"Hour", "S1/DC1", "S1/DC2", "S1/DC3", "S1/DC4",
+                    "S2/DC1", "S2/DC2"});
+    std::vector<workload::DiurnalLoad> curves;
+    for (int svc = 0; svc < 2; ++svc) {
+        for (int dc = 0; dc < 4; ++dc) {
+            workload::DiurnalConfig cfg;
+            cfg.peak_qps = svc == 0 ? 50'000 : 35'000;
+            cfg.peak_hour = 20.0 + 0.3 * dc;
+            cfg.seed = static_cast<uint64_t>(svc * 10 + dc);
+            curves.emplace_back(cfg);
+        }
+    }
+    for (int hour = 0; hour < 24 * 7; hour += 6) {
+        t.addRow({std::to_string(hour),
+                  fmtEng(curves[0].loadAt(hour), 1),
+                  fmtEng(curves[1].loadAt(hour), 1),
+                  fmtEng(curves[2].loadAt(hour), 1),
+                  fmtEng(curves[3].loadAt(hour), 1),
+                  fmtEng(curves[4].loadAt(hour), 1),
+                  fmtEng(curves[5].loadAt(hour), 1)});
+    }
+    t.print();
+
+    double lo = 1e18, hi = 0.0;
+    for (double h = 0.0; h < 24.0; h += 0.1) {
+        double total = 0.0;
+        for (const auto& c : curves)
+            total += c.loadAt(h);
+        lo = std::min(lo, total);
+        hi = std::max(hi, total);
+    }
+    std::printf("\naggregated peak-to-trough fluctuation: %.1f%% "
+                "(paper: >50%%)\n",
+                (hi - lo) / hi * 100.0);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Figure 2", "Workload characterization");
+    querySizeHistogram();
+    poolingFactors();
+    diurnalLoads();
+    return 0;
+}

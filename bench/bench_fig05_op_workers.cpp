@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig 5 — operator-dependency idling: per-thread schedules of
+ * DLRM-RMC1 with 1 vs 2 op-workers, and the idle-cycle fraction of all
+ * six models with 1-4 parallel operator workers (batch 256).
+ * Reproduction target: idle cycles grow with worker count, spanning
+ * roughly 25-74% at 2-4 workers.
+ */
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "hw/cost_model.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+void
+scheduleDetail(const hw::CostModel& cost, const model::Model& m,
+               int workers)
+{
+    std::printf("-- DLRM-RMC1 schedule with %d op worker(s) --\n",
+                workers);
+    hw::CpuExecContext cx;
+    cx.workers = workers;
+    cx.mem_bw_gbps = 5.0;
+    hw::GraphTiming t = cost.cpuGraphTiming(m.graph, 256, cx);
+    TablePrinter tab({"Op", "Kind", "Worker", "Start (us)", "End (us)"});
+    auto ops = t.ops;
+    std::sort(ops.begin(), ops.end(),
+              [](const auto& a, const auto& b) {
+                  return a.start_us < b.start_us;
+              });
+    for (const auto& rec : ops) {
+        const model::Node& n = m.graph.node(rec.node);
+        tab.addRow({n.name, model::opKindName(n.kind()),
+                    std::to_string(rec.worker),
+                    fmtDouble(rec.start_us, 0),
+                    fmtDouble(rec.end_us, 0)});
+    }
+    tab.print();
+    std::printf("makespan %.0f us, idle fraction %.1f%%\n\n",
+                t.latency_us, t.idle_frac * 100.0);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5",
+                  "Op-worker schedules and idle cycles (batch 256)");
+
+    const hw::ServerSpec& server = hw::serverSpec(hw::ServerType::T2);
+    hw::CostModel cost(server);
+
+    model::Model rmc1 = model::buildModel(model::ModelId::DlrmRmc1);
+    scheduleDetail(cost, rmc1, 1);
+    scheduleDetail(cost, rmc1, 2);
+
+    std::printf("-- Idle fraction per model vs op-workers --\n");
+    TablePrinter t({"Model", "1 worker", "2 workers", "3 workers",
+                    "4 workers", "Sparse ops", "Dense chain"});
+    for (model::ModelId id : model::allModels()) {
+        model::Model m = model::buildModel(id);
+        std::vector<std::string> row = {model::modelName(id)};
+        hw::CpuExecContext cx;
+        cx.mem_bw_gbps = 5.0;
+        for (int w = 1; w <= 4; ++w) {
+            cx.workers = w;
+            hw::GraphTiming gt = cost.cpuGraphTiming(m.graph, 256, cx);
+            row.push_back(fmtPercent(gt.idle_frac, 1));
+        }
+        auto sparse = m.graph.stageNodes(model::Stage::Sparse);
+        auto dense = m.graph.stageNodes(model::Stage::Dense);
+        row.push_back(std::to_string(sparse.size()));
+        row.push_back(std::to_string(m.graph.criticalPathLength(dense)));
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\npaper: idle cycles range 25%%-74%% with 2-4 parallel "
+                "op workers, growing\nnearly linearly — the DenseNet "
+                "dependency chain cannot use extra workers.\n");
+    return 0;
+}

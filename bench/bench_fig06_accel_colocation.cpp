@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 6 — accelerator-side scheduling policies on the small model
+ * variants (the paper's V100 characterization): (1) DeepRecSys — one
+ * model, no fusion; (2) Baymax — model co-location only; (3) model
+ * co-location + query fusion.
+ *
+ * Reproduction targets: Baymax >= DeepRecSys (up to 1.66x / 1.03x /
+ * 1.36x for RMC3 / MT-WnD / DIN), co-location + fusion far ahead of
+ * Baymax (2.95x / 7.87x / 6.0x QPS; 2.29x / 3.14x / 3.36x QPS/W).
+ */
+#include "bench/bench_common.h"
+#include "sched/baselines.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Accelerator policies: DeepRecSys vs Baymax vs "
+                  "co-location + fusion (V100, small variants)");
+
+    const hw::ServerSpec& server = hw::serverSpec(hw::ServerType::T7);
+    sched::SearchOptions opt = bench::benchSearchOptions();
+
+    const std::vector<model::ModelId> models = {
+        model::ModelId::DlrmRmc3, model::ModelId::MtWnd,
+        model::ModelId::Din};
+
+    TablePrinter t({"Model", "SLA (ms)", "DRS QPS", "Baymax QPS",
+                    "Fusion QPS", "Bay/DRS", "Fus/Bay", "DRS QPS/W",
+                    "Bay QPS/W", "Fus QPS/W", "winning config"});
+
+    for (model::ModelId id : models) {
+        model::Model m = model::buildModel(id, model::Variant::Small);
+        double bay_best = 0.0, fus_best = 0.0;
+        for (double sla : {25.0, 50.0, 100.0}) {
+            sched::SearchResult drs =
+                sched::deepRecSysGpuSearch(server, m, sla, opt);
+            sched::SearchResult bay =
+                sched::baymaxSearch(server, m, sla, opt);
+            sched::SearchResult fus = sched::gradientSearchMapping(
+                server, m, sched::Mapping::GpuModelBased, sla, opt);
+            double d = drs.best ? drs.best_qps : 0.0;
+            double b = bay.best ? bay.best_qps : 0.0;
+            double f = fus.best ? fus.best_qps : 0.0;
+            if (d > 0.0) {
+                bay_best = std::max(bay_best, b / d);
+            }
+            if (b > 0.0)
+                fus_best = std::max(fus_best, f / b);
+            t.addRow({
+                model::modelName(id), fmtDouble(sla, 0), fmtDouble(d, 0),
+                fmtDouble(b, 0), fmtDouble(f, 0),
+                d > 0 ? fmtSpeedup(b / d) : "-",
+                b > 0 ? fmtSpeedup(f / b) : "-",
+                drs.best ? fmtDouble(drs.best_point.result.qps_per_watt, 1)
+                         : "-",
+                bay.best ? fmtDouble(bay.best_point.result.qps_per_watt, 1)
+                         : "-",
+                fus.best ? fmtDouble(fus.best_point.result.qps_per_watt, 1)
+                         : "-",
+                fus.best ? fus.best->str() : "-",
+            });
+        }
+        std::printf("%s: max Baymax/DRS = %.2fx (paper RMC3 1.66x, "
+                    "MT-WnD 1.03x, DIN 1.36x); max Fusion/Baymax = %.2fx "
+                    "(paper 2.95x / 7.87x / 6.0x)\n",
+                    model::modelName(id), bay_best, fus_best);
+    }
+    std::printf("\n");
+    t.print();
+    return 0;
+}

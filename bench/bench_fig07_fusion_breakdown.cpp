@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig 7 — latency breakdown (queuing / data loading / model inference)
+ * and GPU utilization vs the query-fusion limit, for DLRM-RMC3, MT-WnD
+ * and DIN (small variants, one inference thread on the V100).
+ *
+ * Reproduction targets: DLRM-RMC3 is data-loading-dominated (65-83% of
+ * latency) with low GPU utilization (~25%); MT-WnD and DIN keep the
+ * device busier (one-hot lookups / compute-heavy attention).
+ */
+#include "bench/bench_common.h"
+#include "sim/measure.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "Latency breakdown vs fusion limit (1 GPU thread)");
+
+    const hw::ServerSpec& server = hw::serverSpec(hw::ServerType::T7);
+    sim::MeasureOptions mo = bench::benchSearchOptions().measure;
+
+    for (model::ModelId id : {model::ModelId::DlrmRmc3,
+                              model::ModelId::MtWnd, model::ModelId::Din}) {
+        model::Model m = model::buildModel(id, model::Variant::Small);
+        std::printf("-- %s --\n", model::modelName(id));
+        TablePrinter t({"Fusion limit", "QPS @92% cap", "Queuing %",
+                        "Loading %", "Inference %", "Load/(L+I)",
+                        "GPU util"});
+        double rmc3_loading = 0.0;
+        for (int fusion : {0, 500, 1000, 2000, 4000, 6000}) {
+            sched::SchedulingConfig cfg;
+            cfg.mapping = sched::Mapping::GpuModelBased;
+            cfg.gpu_threads = 1;
+            cfg.fusion_limit = fusion;
+            cfg.cpu_threads = 2;
+            sim::PreparedWorkload w = sim::prepare(server, m, cfg);
+            double cap = sim::saturationQps(w, mo.sim);
+            sim::SimOptions probe = mo.sim;
+            probe.offered_qps = 0.92 * cap;
+            sim::ServerSimResult r = sim::simulateServer(w, probe);
+            double total = r.mean_queue_ms + r.mean_host_ms +
+                           r.mean_load_ms + r.mean_exec_ms;
+            double queue_frac =
+                total > 0 ? (r.mean_queue_ms + r.mean_host_ms) / total
+                          : 0.0;
+            double load_frac = total > 0 ? r.mean_load_ms / total : 0.0;
+            double exec_frac = total > 0 ? r.mean_exec_ms / total : 0.0;
+            double li = r.mean_load_ms + r.mean_exec_ms;
+            double load_of_li = li > 0 ? r.mean_load_ms / li : 0.0;
+            if (id == model::ModelId::DlrmRmc3)
+                rmc3_loading = std::max(rmc3_loading, load_of_li);
+            t.addRow({fusion == 0 ? "no fusion" : std::to_string(fusion),
+                      fmtDouble(r.achieved_qps, 0),
+                      fmtPercent(queue_frac, 1), fmtPercent(load_frac, 1),
+                      fmtPercent(exec_frac, 1),
+                      fmtPercent(load_of_li, 1),
+                      fmtPercent(r.gpu_util, 1)});
+        }
+        t.print();
+        if (id == model::ModelId::DlrmRmc3)
+            std::printf("RMC3 max loading fraction: %.1f%% "
+                        "(paper: 65-83%% of end-to-end latency)\n",
+                        rmc3_loading * 100.0);
+        std::printf("\n");
+    }
+    return 0;
+}

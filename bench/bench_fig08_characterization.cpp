@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fig 8 — heterogeneity-aware cluster characterization:
+ *  (a) latency-bounded energy efficiency of DLRM-RMC1 (20 ms SLA) and
+ *      DLRM-RMC2 (50 ms) on CPU / CPU+NMP / CPU+GPU servers;
+ *  (b) the two diurnal loads;
+ *  (c) provisioned power of the NH, greedy and priority-aware
+ *      schedulers over one day (availability 70 / 15 / 5).
+ *
+ * Reproduction targets: CPU+NMP ranks first for both models with a
+ * larger efficiency margin on RMC2 (paper annotates 1.75x/2.04x over
+ * CPU); greedy saves up to ~41.6% provisioned power over NH at peak;
+ * priority-aware adds up to ~11.4% at peak over greedy.
+ */
+#include "bench/bench_common.h"
+#include "cluster/cluster_manager.h"
+#include "core/profiler.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "Cluster characterization: NH vs greedy vs "
+                  "priority-aware");
+
+    const std::vector<hw::ServerType> servers = {
+        hw::ServerType::T2, hw::ServerType::T3, hw::ServerType::T7};
+    const std::vector<model::ModelId> models = {
+        model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2};
+
+    // ---- (a) efficiency of the three server classes ------------------
+    core::ProfilerOptions popt;
+    popt.search = bench::benchSearchOptions();
+    popt.servers = servers;
+    popt.models = models;
+    core::EfficiencyTable table = core::offlineProfile(popt);
+
+    std::printf("-- Fig 8(a): latency-bounded energy efficiency --\n");
+    TablePrinter ta({"Model", "Server", "QPS", "Power (W)", "QPS/W",
+                     "vs CPU"});
+    for (model::ModelId mid : models) {
+        const core::EfficiencyEntry* cpu =
+            table.get(hw::ServerType::T2, mid);
+        for (hw::ServerType st : servers) {
+            const core::EfficiencyEntry* e = table.get(st, mid);
+            if (!e || !e->feasible)
+                continue;
+            double ratio = cpu && cpu->qps_per_watt > 0
+                               ? e->qps_per_watt / cpu->qps_per_watt
+                               : 0.0;
+            ta.addRow({model::modelName(mid),
+                       hw::serverSpec(st).name, fmtDouble(e->qps, 0),
+                       fmtDouble(e->power_w, 0),
+                       fmtDouble(e->qps_per_watt, 2),
+                       fmtSpeedup(ratio)});
+        }
+    }
+    ta.print();
+    std::printf("paper: CPU+NMP > CPU+GPU > CPU for both; RMC2 gains "
+                "more from NMP (2.04x) than RMC1 (1.75x)\n\n");
+
+    // ---- (b) + (c) one-day provisioning ------------------------------
+    cluster::ProvisionProblem problem =
+        cluster::ProvisionProblem::fromTable(table, servers, models,
+                                             {70, 15, 5});
+    std::vector<cluster::ClusterWorkload> workloads(2);
+    workloads[0].model = models[0];
+    workloads[0].load.peak_qps = 50'000;
+    workloads[0].load.seed = 1;
+    workloads[1].model = models[1];
+    workloads[1].load.peak_qps = 15'000;
+    workloads[1].load.seed = 2;
+
+    cluster::ClusterManagerOptions copt;
+    cluster::NhProvisioner nh(3);
+    cluster::GreedyProvisioner greedy;
+    cluster::PriorityAwareProvisioner priority;
+    cluster::HerculesProvisioner hercules;
+    auto rn = cluster::runCluster(problem, workloads, nh, copt);
+    auto rg = cluster::runCluster(problem, workloads, greedy, copt);
+    auto rp = cluster::runCluster(problem, workloads, priority, copt);
+    auto rh = cluster::runCluster(problem, workloads, hercules, copt);
+
+    std::printf("-- Fig 8(b)(c): loads and provisioned power over one "
+                "day --\n");
+    TablePrinter tc({"Hour", "RMC1 load", "RMC2 load", "NH (kW)",
+                     "Greedy (kW)", "Priority (kW)", "Hercules (kW)"});
+    for (size_t i = 0; i < rn.intervals.size(); i += 4) {
+        tc.addRow({fmtDouble(rn.intervals[i].t_hours, 1),
+                   fmtEng(rn.intervals[i].loads[0], 1),
+                   fmtEng(rn.intervals[i].loads[1], 1),
+                   fmtDouble(rn.intervals[i].provisioned_power_w / 1e3, 1),
+                   fmtDouble(rg.intervals[i].provisioned_power_w / 1e3, 1),
+                   fmtDouble(rp.intervals[i].provisioned_power_w / 1e3, 1),
+                   fmtDouble(rh.intervals[i].provisioned_power_w / 1e3,
+                             1)});
+    }
+    tc.print();
+
+    std::printf("\ngreedy vs NH:      peak %.1f%%, avg %.1f%% "
+                "(paper: up to 41.6%% / 21.5%%)\n",
+                (1.0 - rg.peak_power_w / rn.peak_power_w) * 100.0,
+                (1.0 - rg.avg_power_w / rn.avg_power_w) * 100.0);
+    std::printf("priority vs greedy: peak %.1f%%, avg %.1f%% "
+                "(paper: up to 11.4%% / 4.2%%)\n",
+                (1.0 - rp.peak_power_w / rg.peak_power_w) * 100.0,
+                (1.0 - rp.avg_power_w / rg.avg_power_w) * 100.0);
+    std::printf("Hercules vs greedy: peak %.1f%%, avg %.1f%%\n",
+                (1.0 - rh.peak_power_w / rg.peak_power_w) * 100.0,
+                (1.0 - rh.avg_power_w / rg.avg_power_w) * 100.0);
+    std::printf("\nnote: the priority heuristic pays off only when the "
+                "marginal gains line up\nwith the paper's measured "
+                "tuples (our simulated tuples reverse them for the\n"
+                "contested type); the LP-based Hercules scheduler wins "
+                "in either case —\nexactly the paper's argument for a "
+                "global optimization objective.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fig 11 — the model-based scheduling space of DLRM-RMC1 on (a-c) the
+ * CPU and (d-f) the accelerator: latency-bounded throughput,
+ * tail-latency and peak power over the (model-parallelism x
+ * data-parallelism) grid, plus the gradient-search path.
+ *
+ * Reproduction target (shape): throughput over Psp(M + D) is convex —
+ * it rises with threads/batch, then falls (interference, SLA
+ * violations); the gradient search path walks monotonically to the
+ * peak and terminates there.
+ */
+#include "bench/bench_common.h"
+#include "sched/gradient_search.h"
+#include "sim/measure.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+void
+cpuGrid(const hw::ServerSpec& server, const model::Model& m,
+        double sla_ms)
+{
+    sim::MeasureOptions mo = bench::benchSearchOptions().measure;
+    const std::vector<int> threads = {1, 2, 4, 6, 8, 10, 14, 20};
+    const std::vector<int> batches = {16, 64, 256, 1024};
+
+    for (int o : {1, 2}) {
+        std::printf("-- CPU Psp(M+D), %d core(s) per thread "
+                    "(SLA %.0f ms): QPS [tail ms] --\n",
+                    o, sla_ms);
+        std::vector<std::string> header = {"threads \\ batch"};
+        for (int b : batches)
+            header.push_back(std::to_string(b));
+        TablePrinter t(header);
+        for (int th : threads) {
+            if (th * o > server.cpu.cores)
+                continue;
+            std::vector<std::string> row = {std::to_string(th)};
+            for (int b : batches) {
+                sched::SchedulingConfig cfg;
+                cfg.mapping = sched::Mapping::CpuModelBased;
+                cfg.cpu_threads = th;
+                cfg.cores_per_thread = o;
+                cfg.batch = b;
+                auto point = sim::measureLatencyBoundedQps(server, m, cfg,
+                                                           sla_ms, mo);
+                row.push_back(point
+                                  ? fmtDouble(point->qps, 0) + " [" +
+                                        fmtDouble(point->result.tail_ms,
+                                                  1) +
+                                        "]"
+                                  : "viol.");
+            }
+            t.addRow(row);
+        }
+        t.print();
+        std::printf("\n");
+    }
+}
+
+void
+gpuGrid(const hw::ServerSpec& server, const model::Model& m,
+        double sla_ms)
+{
+    sim::MeasureOptions mo = bench::benchSearchOptions().measure;
+    std::printf("-- GPU Psp(M+D) (SLA %.0f ms): QPS [peak W] --\n",
+                sla_ms);
+    const std::vector<int> fusions = {0, 500, 1000, 2000, 4000, 6000};
+    std::vector<std::string> header = {"coloc \\ fusion"};
+    for (int f : fusions)
+        header.push_back(f == 0 ? "none" : std::to_string(f));
+    TablePrinter t(header);
+    for (int g : {1, 2, 3, 4}) {
+        std::vector<std::string> row = {std::to_string(g)};
+        for (int f : fusions) {
+            sched::SchedulingConfig cfg;
+            cfg.mapping = sched::Mapping::GpuModelBased;
+            cfg.gpu_threads = g;
+            cfg.fusion_limit = f;
+            cfg.cpu_threads = 2;
+            if (sim::validateConfig(server, m, cfg)) {
+                row.push_back("invalid");
+                continue;
+            }
+            auto point = sim::measureLatencyBoundedQps(server, m, cfg,
+                                                       sla_ms, mo);
+            row.push_back(
+                point ? fmtDouble(point->qps, 0) + " [" +
+                            fmtDouble(point->result.peak_power_w, 0) + "]"
+                      : "viol.");
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+searchPath(const hw::ServerSpec& server, const model::Model& m,
+           sched::Mapping mapping, double sla_ms)
+{
+    sched::SearchOptions opt = bench::benchSearchOptions();
+    sched::SearchResult r =
+        sched::gradientSearchMapping(server, m, mapping, sla_ms, opt);
+    std::printf("-- gradient-search trace (%s, %d evals) --\n",
+                sched::mappingName(mapping), r.evals);
+    TablePrinter t({"Step", "Config", "QPS", "Tail (ms)", "Accepted"});
+    int step = 0;
+    for (const auto& s : r.trace) {
+        t.addRow({std::to_string(step++), s.cfg.str(),
+                  s.qps >= 0 ? fmtDouble(s.qps, 0) : "infeasible",
+                  s.qps >= 0 ? fmtDouble(s.tail_ms, 1) : "-",
+                  s.accepted ? "<= move" : ""});
+    }
+    t.print();
+    if (r.best)
+        std::printf("optimum: %s at %.0f QPS\n\n", r.best->str().c_str(),
+                    r.best_qps);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "Model-based scheduling space + gradient search "
+                  "(DLRM-RMC1)");
+
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(hw::ServerType::T2);
+    const hw::ServerSpec& t7 = hw::serverSpec(hw::ServerType::T7);
+
+    cpuGrid(t2, m, 20.0);
+    searchPath(t2, m, sched::Mapping::CpuModelBased, 20.0);
+
+    model::Model small =
+        model::buildModel(model::ModelId::DlrmRmc1, model::Variant::Small);
+    gpuGrid(t7, small, 20.0);
+    searchPath(t7, small, sched::Mapping::GpuModelBased, 20.0);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig 12 — balancing the sparse-dense pipeline:
+ *  (a) CPU: throughput vs the SparseNet/DenseNet thread split — rises
+ *      while parallelism grows, falls once the pipeline unbalances;
+ *  (b) CPU+GPU: host-side SparseNet search with the accelerator-side
+ *      (co-location x fusion) search after each host move.
+ */
+#include "bench/bench_common.h"
+#include "sched/gradient_search.h"
+#include "sim/measure.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 12", "S-D pipeline balancing (DLRM-RMC1)");
+
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(hw::ServerType::T2);
+    sim::MeasureOptions mo = bench::benchSearchOptions().measure;
+
+    // ---- (a) CPU: sweep the sparse/dense split ------------------------
+    std::printf("-- Fig 12(a): CPU S-D split (batch 128, SLA 20 ms) --\n");
+    TablePrinter ta({"Config (SxO::D)", "QPS", "Tail (ms)"});
+    for (int o : {1, 2}) {
+        for (int s = 1; s * o + 1 <= t2.cpu.cores; ++s) {
+            int d = sched::balancedDenseThreads(t2, m, s, o, 128);
+            if (d < 1)
+                continue;
+            sched::SchedulingConfig cfg;
+            cfg.mapping = sched::Mapping::CpuSdPipeline;
+            cfg.cpu_threads = s;
+            cfg.cores_per_thread = o;
+            cfg.dense_threads = d;
+            cfg.batch = 128;
+            auto point =
+                sim::measureLatencyBoundedQps(t2, m, cfg, 20.0, mo);
+            ta.addRow({std::to_string(s) + "x" + std::to_string(o) +
+                           "::" + std::to_string(d),
+                       point ? fmtDouble(point->qps, 0) : "viol.",
+                       point ? fmtDouble(point->result.tail_ms, 1) : "-"});
+        }
+    }
+    ta.print();
+    std::printf("shape: throughput climbs with more parallel tasks, then "
+                "falls when the\npipeline unbalances or the cores run "
+                "out (paper Fig 12(a)).\n\n");
+
+    // ---- (b) CPU-GPU: host sweep with nested accelerator search -------
+    const hw::ServerSpec& t7 = hw::serverSpec(hw::ServerType::T7);
+    std::printf("-- Fig 12(b): CPU-side SparseNet -> GPU DenseNet "
+                "(SLA 20 ms) --\n");
+    TablePrinter tb({"Host threads x cores", "Best GPU side", "QPS"});
+    sched::SearchOptions opt = bench::benchSearchOptions();
+    for (int s : {2, 4, 6, 8, 10, 14, 18}) {
+        double best_qps = -1.0;
+        std::string best_gpu = "-";
+        for (int g : {1, 2, 4}) {
+            for (int f : {0, 1000, 4000}) {
+                sched::SchedulingConfig cfg;
+                cfg.mapping = sched::Mapping::GpuSdPipeline;
+                cfg.cpu_threads = s;
+                cfg.cores_per_thread = 1;
+                cfg.batch = 128;
+                cfg.gpu_threads = g;
+                cfg.fusion_limit = f;
+                if (sim::validateConfig(t7, m, cfg))
+                    continue;
+                auto point = sim::measureLatencyBoundedQps(t7, m, cfg,
+                                                           20.0, mo);
+                if (point && point->qps > best_qps) {
+                    best_qps = point->qps;
+                    best_gpu = "g" + std::to_string(g) + " f" +
+                               std::to_string(f);
+                }
+            }
+        }
+        tb.addRow({std::to_string(s) + "x1", best_gpu,
+                   best_qps >= 0 ? fmtDouble(best_qps, 0) : "viol."});
+    }
+    tb.print();
+
+    // The full nested gradient search for reference.
+    sched::SearchResult r = sched::gradientSearchMapping(
+        t7, m, sched::Mapping::GpuSdPipeline, 20.0, opt);
+    if (r.best)
+        std::printf("\ngradient search optimum: %s at %.0f QPS "
+                    "(%d evals)\n",
+                    r.best->str().c_str(), r.best_qps, r.evals);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig 15 — server-architecture exploration: normalized latency-bounded
+ * throughput and energy efficiency of all six production models across
+ * the ten server types (SLA targets 20/50/50/50/100/100 ms).
+ *
+ * Reproduction targets: NMP servers dominate the pooled DLRMs (RMC1 /
+ * RMC2) in both metrics and scale with rank parallelism; GPU servers
+ * dominate the compute-heavy models (RMC3 / MT-WnD / DIN / DIEN); NMP
+ * brings no throughput gain — and an efficiency *loss* — for one-hot
+ * models (extra idle power).
+ *
+ * Side effect: writes the efficiency table to
+ * hercules_efficiency_prod.csv, reused by the Fig 16/17 cluster benches.
+ */
+#include "bench/bench_common.h"
+#include "core/profiler.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Figure 15",
+                  "6 models x 10 server architectures (offline "
+                  "profiling)");
+
+    core::ProfilerOptions popt;
+    popt.search = bench::benchSearchOptions();
+    core::EfficiencyTable table = core::offlineProfile(popt);
+    table.writeCsv(bench::efficiencyCachePath());
+
+    for (bool energy : {false, true}) {
+        std::printf("-- normalized %s (T1 = 1.0) --\n",
+                    energy ? "energy efficiency (QPS/W)"
+                           : "throughput (QPS)");
+        std::vector<std::string> header = {"Server"};
+        for (model::ModelId mid : model::allModels())
+            header.push_back(model::modelName(mid));
+        TablePrinter t(header);
+        for (hw::ServerType st : hw::allServerTypes()) {
+            std::vector<std::string> row = {
+                hw::serverSpec(st).name};
+            for (model::ModelId mid : model::allModels()) {
+                const core::EfficiencyEntry* e = table.get(st, mid);
+                const core::EfficiencyEntry* base =
+                    table.get(hw::ServerType::T1, mid);
+                if (!e || !e->feasible || !base || !base->feasible) {
+                    row.push_back("-");
+                    continue;
+                }
+                double v = energy ? e->qps_per_watt / base->qps_per_watt
+                                  : e->qps / base->qps;
+                row.push_back(fmtDouble(v, 2));
+            }
+            t.addRow(row);
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // The per-model architecture winners.
+    TablePrinter w({"Model", "Best QPS server", "Best QPS/W server"});
+    for (model::ModelId mid : model::allModels()) {
+        auto by_qps = table.rank(mid, false);
+        auto by_eff = table.rank(mid, true);
+        w.addRow({model::modelName(mid),
+                  by_qps.empty() ? "-" : hw::serverSpec(by_qps[0]).name,
+                  by_eff.empty() ? "-" : hw::serverSpec(by_eff[0]).name});
+    }
+    w.print();
+    std::printf("\npaper: NMP-rich servers win the pooled DLRMs; "
+                "V100 servers win the compute-heavy\nmodels; NMP adds "
+                "only idle power for one-hot MT-WnD/DIN/DIEN.\n"
+                "(efficiency table cached to %s)\n",
+                bench::efficiencyCachePath().c_str());
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the serving simulator: one DES
+ * run per mapping, a latency-bounded measurement, one gradient-search
+ * step cost, and the NMP LUT pre-simulation — the building blocks whose
+ * cost bounds offline-profiling time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "hw/nmp.h"
+#include "sched/gradient_search.h"
+#include "sim/measure.h"
+
+using namespace hercules;
+
+namespace {
+
+sim::SimOptions
+probeOptions()
+{
+    sim::SimOptions opt;
+    opt.num_queries = 400;
+    opt.warmup_queries = 80;
+    opt.offered_qps = 800.0;
+    return opt;
+}
+
+void
+BM_DesCpuModelBased(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::CpuModelBased;
+    cfg.cpu_threads = 10;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    sim::PreparedWorkload w =
+        sim::prepare(hw::serverSpec(hw::ServerType::T2), m, cfg);
+    sim::SimOptions opt = probeOptions();
+    for (auto _ : state) {
+        sim::ServerSimResult r = sim::simulateServer(w, opt);
+        benchmark::DoNotOptimize(r.p95_ms);
+    }
+}
+BENCHMARK(BM_DesCpuModelBased);
+
+void
+BM_DesCpuSdPipeline(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::CpuSdPipeline;
+    cfg.cpu_threads = 6;
+    cfg.cores_per_thread = 2;
+    cfg.dense_threads = 4;
+    cfg.batch = 128;
+    sim::PreparedWorkload w =
+        sim::prepare(hw::serverSpec(hw::ServerType::T2), m, cfg);
+    sim::SimOptions opt = probeOptions();
+    for (auto _ : state) {
+        sim::ServerSimResult r = sim::simulateServer(w, opt);
+        benchmark::DoNotOptimize(r.p95_ms);
+    }
+}
+BENCHMARK(BM_DesCpuSdPipeline);
+
+void
+BM_DesGpuFusion(benchmark::State& state)
+{
+    model::Model m =
+        model::buildModel(model::ModelId::DlrmRmc3, model::Variant::Small);
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::GpuModelBased;
+    cfg.gpu_threads = 2;
+    cfg.fusion_limit = static_cast<int>(state.range(0));
+    cfg.cpu_threads = 2;
+    sim::PreparedWorkload w =
+        sim::prepare(hw::serverSpec(hw::ServerType::T7), m, cfg);
+    sim::SimOptions opt = probeOptions();
+    opt.offered_qps = 2000.0;
+    for (auto _ : state) {
+        sim::ServerSimResult r = sim::simulateServer(w, opt);
+        benchmark::DoNotOptimize(r.p95_ms);
+    }
+}
+BENCHMARK(BM_DesGpuFusion)->Arg(0)->Arg(2000)->Arg(6000);
+
+void
+BM_MeasureLatencyBounded(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::CpuModelBased;
+    cfg.cpu_threads = 10;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    sim::PreparedWorkload w =
+        sim::prepare(hw::serverSpec(hw::ServerType::T2), m, cfg);
+    sim::MeasureOptions mo;
+    mo.sim = probeOptions();
+    mo.bisect_iters = 5;
+    for (auto _ : state) {
+        auto point = sim::measureLatencyBoundedQps(w, 20.0, mo);
+        benchmark::DoNotOptimize(point.has_value());
+    }
+}
+BENCHMARK(BM_MeasureLatencyBounded);
+
+void
+BM_GradientSearchCpu(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
+    sched::SearchOptions opt;
+    opt.measure.sim = probeOptions();
+    opt.measure.bisect_iters = 4;
+    for (auto _ : state) {
+        sched::SearchResult r = sched::gradientSearchMapping(
+            hw::serverSpec(hw::ServerType::T2), m,
+            sched::Mapping::CpuModelBased, 20.0, opt);
+        benchmark::DoNotOptimize(r.best_qps);
+    }
+}
+BENCHMARK(BM_GradientSearchCpu)->Unit(benchmark::kMillisecond);
+
+void
+BM_NmpLutBuild(benchmark::State& state)
+{
+    hw::MemSpec mem = hw::nmpX(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        hw::NmpLut lut(mem, 32);
+        benchmark::DoNotOptimize(lut.lookup(256, 80).latency_us);
+    }
+}
+BENCHMARK(BM_NmpLutBuild)->Arg(2)->Arg(8);
+
+void
+BM_CpuGraphTiming(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc2);
+    hw::CostModel cost(hw::serverSpec(hw::ServerType::T2));
+    hw::CpuExecContext cx;
+    cx.workers = 2;
+    cx.mem_bw_gbps = 5.0;
+    for (auto _ : state) {
+        hw::GraphTiming t = cost.cpuGraphTiming(m.graph, 256, cx);
+        benchmark::DoNotOptimize(t.latency_us);
+    }
+}
+BENCHMARK(BM_CpuGraphTiming);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the cluster-side machinery: the
+ * simplex LP solver and the four provisioning policies at realistic
+ * problem sizes (the online cluster manager runs these every
+ * provisioning interval).
+ */
+#include <benchmark/benchmark.h>
+
+#include "cluster/lp.h"
+#include "cluster/provision.h"
+#include "util/rng.h"
+
+using namespace hercules;
+using namespace hercules::cluster;
+
+namespace {
+
+LpProblem
+randomLp(int vars, int constraints, uint64_t seed)
+{
+    Rng rng(seed);
+    LpProblem p;
+    p.c.resize(static_cast<size_t>(vars));
+    for (auto& c : p.c)
+        c = rng.uniform(1.0, 10.0);
+    for (int i = 0; i < constraints; ++i) {
+        std::vector<double> row(static_cast<size_t>(vars));
+        for (auto& a : row)
+            a = rng.uniform(0.0, 2.0);
+        p.a.push_back(std::move(row));
+        p.b.push_back(rng.uniform(5.0, 50.0));
+    }
+    // A few coverage (>=) rows keep phase 1 honest.
+    for (int i = 0; i < constraints / 4 + 1; ++i) {
+        std::vector<double> row(static_cast<size_t>(vars), 0.0);
+        for (int j = 0; j < vars; ++j)
+            row[static_cast<size_t>(j)] = -rng.uniform(0.5, 2.0);
+        p.a.push_back(std::move(row));
+        p.b.push_back(-rng.uniform(1.0, 10.0));
+    }
+    return p;
+}
+
+ProvisionProblem
+randomProvisionProblem(int servers, int models, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<hw::ServerType> types;
+    std::vector<int> avail;
+    for (int h = 0; h < servers; ++h) {
+        types.push_back(hw::allServerTypes()[static_cast<size_t>(h) %
+                                             10]);
+        avail.push_back(static_cast<int>(rng.uniformInt(5, 100)));
+    }
+    std::vector<model::ModelId> mids;
+    for (int m = 0; m < models; ++m)
+        mids.push_back(model::allModels()[static_cast<size_t>(m) % 6]);
+    // ServerType values repeat; ProvisionProblem treats rows
+    // positionally, so duplicates are fine for benchmarking.
+    ProvisionProblem p(types, avail, mids);
+    for (int h = 0; h < servers; ++h)
+        for (int m = 0; m < models; ++m)
+            p.setPerf(h, m, {true, rng.uniform(500.0, 5000.0),
+                             rng.uniform(100.0, 400.0)});
+    return p;
+}
+
+void
+BM_SimplexSolve(benchmark::State& state)
+{
+    LpProblem p = randomLp(static_cast<int>(state.range(0)),
+                           static_cast<int>(state.range(1)), 42);
+    for (auto _ : state) {
+        LpResult r = solveLp(p);
+        benchmark::DoNotOptimize(r.objective);
+    }
+}
+BENCHMARK(BM_SimplexSolve)
+    ->Args({10, 5})
+    ->Args({30, 10})
+    ->Args({60, 16})
+    ->Args({120, 20});
+
+void
+BM_HerculesProvision(benchmark::State& state)
+{
+    ProvisionProblem p = randomProvisionProblem(
+        static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(1)), 7);
+    std::vector<double> loads;
+    for (int m = 0; m < p.numModels(); ++m)
+        loads.push_back(0.3 * p.totalCapacity(m));
+    HerculesProvisioner policy;
+    for (auto _ : state) {
+        Allocation a = policy.provision(p, loads, 0.05);
+        benchmark::DoNotOptimize(a.activatedServers());
+    }
+}
+BENCHMARK(BM_HerculesProvision)->Args({3, 2})->Args({10, 6})->Args({10,
+                                                                    12});
+
+void
+BM_GreedyProvision(benchmark::State& state)
+{
+    ProvisionProblem p = randomProvisionProblem(10, 6, 7);
+    std::vector<double> loads;
+    for (int m = 0; m < p.numModels(); ++m)
+        loads.push_back(0.3 * p.totalCapacity(m));
+    GreedyProvisioner policy;
+    for (auto _ : state) {
+        Allocation a = policy.provision(p, loads, 0.05);
+        benchmark::DoNotOptimize(a.activatedServers());
+    }
+}
+BENCHMARK(BM_GreedyProvision);
+
+void
+BM_HotSplit(benchmark::State& state)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc2);
+    int64_t cap = m.embeddingBytes() / 4;
+    for (auto _ : state) {
+        model::HotSplit hs = model::computeHotSplit(m, cap);
+        benchmark::DoNotOptimize(hs.hit_rate);
+    }
+}
+BENCHMARK(BM_HotSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table I — state-of-the-art production-scale recommendation model
+ * configurations, as instantiated by the model zoo.
+ */
+#include "bench/bench_common.h"
+#include "model/footprint.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Table I",
+                  "Production-scale recommendation model configurations");
+
+    TablePrinter t({"Model", "Service", "#Embs", "Rows (min-max)",
+                    "Lookups/item", "Pooling", "Emb GB (prod)",
+                    "Emb GB (small)", "Dense MB", "SLA (ms)"});
+    for (model::ModelId id : model::allModels()) {
+        model::Model prod = model::buildModel(id, model::Variant::Prod);
+        model::Model small = model::buildModel(id, model::Variant::Small);
+        // Lookup counts vary per table (DIN/DIEN mix one-hot candidate
+        // lookups with 100-1000-element behaviour gathers).
+        double pool_lo = 1e18, pool_hi = 0.0;
+        for (const auto& n : prod.graph.nodes()) {
+            if (n.kind() != model::OpKind::EmbeddingLookup)
+                continue;
+            const auto& p = std::get<model::EmbeddingParams>(n.params);
+            pool_lo = std::min(pool_lo, p.pooling_min);
+            pool_hi = std::max(pool_hi, p.pooling_max);
+        }
+        t.addRow({
+            model::modelName(id),
+            model::modelService(id),
+            std::to_string(prod.num_tables),
+            fmtEng(static_cast<double>(prod.rows_min), 1) + " - " +
+                fmtEng(static_cast<double>(prod.rows_max), 1),
+            fmtDouble(pool_lo, 0) + " - " + fmtDouble(pool_hi, 0),
+            prod.pooled ? "Yes" : "No",
+            fmtDouble(static_cast<double>(prod.embeddingBytes()) /
+                          (1ll << 30), 1),
+            fmtDouble(static_cast<double>(small.embeddingBytes()) /
+                          (1ll << 30), 1),
+            fmtDouble(static_cast<double>(prod.denseParamBytes()) /
+                          (1 << 20), 1),
+            fmtDouble(prod.sla_ms, 0),
+        });
+    }
+    t.print();
+
+    std::printf("\nNotes: rows capped for MT-WnD (20M) and DIN/DIEN "
+                "(300M) vs Table I so production\nvariants fit the 64 GB "
+                "T1 host — see DESIGN.md 'Substitutions'.\n");
+    return 0;
+}

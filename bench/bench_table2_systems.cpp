@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table II — system parameters and the T1–T10 heterogeneous server
+ * catalog with availabilities.
+ */
+#include "bench/bench_common.h"
+#include "hw/power.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main()
+{
+    bench::banner("Table II", "System parameters and configurations");
+
+    TablePrinter t({"Th", "Nh", "CPU", "Cores", "GHz", "Memory", "GB",
+                    "BW GB/s", "Ranks", "GPU", "TFLOPs", "Idle W",
+                    "Peak W"});
+    for (const auto& s : hw::serverCatalog()) {
+        hw::PowerModel pm(s);
+        t.addRow({
+            hw::serverTypeName(s.type),
+            std::to_string(s.availability),
+            s.cpu.name,
+            std::to_string(s.cpu.cores),
+            fmtDouble(s.cpu.freq_ghz, 1),
+            s.mem.name,
+            std::to_string(s.mem.capacity_gb),
+            fmtDouble(s.mem.peakBwGbps(), 1),
+            std::to_string(s.mem.totalRanks()),
+            s.gpu ? s.gpu->name : "-",
+            s.gpu ? fmtDouble(s.gpu->peakTflops(), 1) : "-",
+            fmtDouble(pm.idlePowerW(), 0),
+            fmtDouble(pm.peakPowerW(), 0),
+        });
+    }
+    t.print();
+    return 0;
+}

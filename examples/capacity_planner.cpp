@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Capacity planner: given a set of recommendation services with peak
+ * loads and SLA targets, decide how many servers of each type a
+ * datacenter must provision.
+ *
+ * Demonstrates the full Hercules pipeline end-to-end:
+ *   1. offline profiling of every (model, server-type) pair on the
+ *      requested hardware menu (gradient search per pair);
+ *   2. the constrained-optimization provisioner (Eq. 1-3) sizing the
+ *      fleet for the peak load;
+ *   3. a comparison against the greedy scheduler, showing the
+ *      provisioned-power saving the LP formulation buys.
+ *
+ * Usage: capacity_planner [peak_qps_rmc1] [peak_qps_din]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/provision.h"
+#include "core/profiler.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main(int argc, char** argv)
+{
+    double peak_rmc1 = argc > 1 ? std::atof(argv[1]) : 30'000.0;
+    double peak_din = argc > 2 ? std::atof(argv[2]) : 4'000.0;
+
+    std::printf("== Hercules capacity planner ==\n");
+    std::printf("services: DLRM-RMC1 @ %.0f QPS peak (20 ms SLA), "
+                "DIN @ %.0f QPS peak (50 ms SLA)\n\n",
+                peak_rmc1, peak_din);
+
+    // Hardware menu: a CPU generation, an NMP box and a GPU box.
+    const std::vector<hw::ServerType> menu = {
+        hw::ServerType::T2, hw::ServerType::T4, hw::ServerType::T7};
+    const std::vector<model::ModelId> services = {
+        model::ModelId::DlrmRmc1, model::ModelId::Din};
+
+    std::printf("[1/2] offline profiling (%zu pairs)...\n",
+                menu.size() * services.size());
+    core::ProfilerOptions popt;
+    popt.servers = menu;
+    popt.models = services;
+    core::EfficiencyTable table = core::offlineProfile(popt);
+
+    TablePrinter prof({"Model", "Server", "QPS/server", "Power (W)",
+                       "Best schedule"});
+    for (model::ModelId mid : services) {
+        for (hw::ServerType st : menu) {
+            const core::EfficiencyEntry* e = table.get(st, mid);
+            if (!e || !e->feasible)
+                continue;
+            prof.addRow({model::modelName(mid), hw::serverSpec(st).name,
+                         fmtDouble(e->qps, 0), fmtDouble(e->power_w, 0),
+                         e->config.str()});
+        }
+    }
+    prof.print();
+
+    std::printf("\n[2/2] provisioning for the peak...\n");
+    cluster::ProvisionProblem problem =
+        cluster::ProvisionProblem::fromTable(table, menu, services);
+    std::vector<double> loads = {peak_rmc1, peak_din};
+
+    cluster::HerculesProvisioner hercules;
+    cluster::GreedyProvisioner greedy;
+    TablePrinter plan({"Policy", "Plan", "Servers", "Power (kW)",
+                       "Loads met"});
+    for (cluster::Provisioner* policy :
+         std::initializer_list<cluster::Provisioner*>{&hercules,
+                                                      &greedy}) {
+        cluster::Allocation a = policy->provision(problem, loads, 0.05);
+        std::string desc;
+        for (int h = 0; h < problem.numServers(); ++h) {
+            for (int m = 0; m < problem.numModels(); ++m) {
+                int n = a.n[static_cast<size_t>(h)][static_cast<size_t>(m)];
+                if (n == 0)
+                    continue;
+                if (!desc.empty())
+                    desc += ", ";
+                desc += std::to_string(n) + "x" +
+                        hw::serverTypeName(problem.serverType(h)) + "->" +
+                        model::modelName(problem.modelId(m));
+            }
+        }
+        plan.addRow({policy->name(), desc,
+                     std::to_string(a.activatedServers()),
+                     fmtDouble(a.provisionedPowerW(problem) / 1e3, 2),
+                     a.satisfies(problem, loads, 0.05) ? "yes" : "NO"});
+    }
+    plan.print();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quickstart: profile one recommendation model on one server type.
+ *
+ * Demonstrates the core Hercules offline-profiling flow:
+ *   1. build a production-scale model from the zoo (Table I);
+ *   2. pick a server architecture from the catalog (Table II);
+ *   3. run the baseline (DeepRecSys-style) scheduler search;
+ *   4. run the Hercules gradient-based search over the full
+ *      parallelism space Psp(M + D + O);
+ *   5. print the efficiency tuple (QPS, power) of both.
+ *
+ * Usage: quickstart [model] [server] [sla_ms]
+ *   model:  DLRM-RMC1 | DLRM-RMC2 | DLRM-RMC3 | MT-WnD | DIN | DIEN
+ *   server: T1..T10
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/profiler.h"
+#include "sched/baselines.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main(int argc, char** argv)
+{
+    const char* model_name = argc > 1 ? argv[1] : "DLRM-RMC1";
+    const char* server_name = argc > 2 ? argv[2] : "T2";
+
+    model::ModelId mid = model::ModelId::DlrmRmc1;
+    bool found = false;
+    for (model::ModelId id : model::allModels()) {
+        if (std::strcmp(model::modelName(id), model_name) == 0) {
+            mid = id;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::fprintf(stderr, "unknown model '%s'\n", model_name);
+        return 1;
+    }
+    hw::ServerType st = hw::ServerType::T2;
+    found = false;
+    for (hw::ServerType t : hw::allServerTypes()) {
+        if (std::strcmp(hw::serverTypeName(t), server_name) == 0) {
+            st = t;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::fprintf(stderr, "unknown server '%s'\n", server_name);
+        return 1;
+    }
+
+    model::Model m = model::buildModel(mid);
+    const hw::ServerSpec& server = hw::serverSpec(st);
+    double sla_ms = argc > 3 ? std::atof(argv[3]) : m.sla_ms;
+
+    std::printf("== Hercules quickstart ==\n");
+    std::printf("model : %s (%.1f GB embeddings, SLA %.0f ms)\n",
+                m.name.c_str(),
+                static_cast<double>(m.embeddingBytes()) / (1ll << 30),
+                sla_ms);
+    std::printf("server: %s (%s)\n\n", hw::serverTypeName(st),
+                server.name.c_str());
+
+    sched::SearchOptions opt;
+
+    sched::SearchResult base =
+        sched::baselineSearch(server, m, sla_ms, opt);
+    sched::SearchResult herc =
+        sched::herculesTaskSearch(server, m, sla_ms, opt);
+
+    TablePrinter t({"Scheduler", "Best config", "QPS", "Tail (ms)",
+                    "Peak power (W)", "QPS/W", "Evals"});
+    auto addRow = [&](const char* name, const sched::SearchResult& r) {
+        if (r.best) {
+            t.addRow({name, r.best->str(), fmtDouble(r.best_qps, 0),
+                      fmtDouble(r.best_point.result.tail_ms, 1),
+                      fmtDouble(r.best_point.result.peak_power_w, 0),
+                      fmtDouble(r.best_point.result.qps_per_watt, 2),
+                      std::to_string(r.evals)});
+        } else {
+            t.addRow({name, "(infeasible)", "-", "-", "-", "-",
+                      std::to_string(r.evals)});
+        }
+    };
+    addRow("Baseline (DeepRecSys/Baymax)", base);
+    addRow("Hercules", herc);
+    t.print();
+
+    if (base.best && herc.best && base.best_qps > 0.0) {
+        std::printf("\nHercules speedup over baseline: %.2fx "
+                    "(QPS), %.2fx (QPS/W)\n",
+                    herc.best_qps / base.best_qps,
+                    herc.best_point.result.qps_per_watt /
+                        base.best_point.result.qps_per_watt);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Server-architecture explorer: which of the T1-T10 architectures
+ * should serve a given model? Runs the Hercules offline profiler across
+ * the catalog and ranks the candidates by latency-bounded throughput
+ * and energy efficiency — the paper's Fig 15 exploration for one
+ * workload, exposed as a tool.
+ *
+ * Usage: server_arch_explorer [model] [sla_ms]
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "core/profiler.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+int
+main(int argc, char** argv)
+{
+    const char* model_name = argc > 1 ? argv[1] : "DLRM-RMC2";
+    model::ModelId mid = model::ModelId::DlrmRmc2;
+    bool found = false;
+    for (model::ModelId id : model::allModels()) {
+        if (std::strcmp(model::modelName(id), model_name) == 0) {
+            mid = id;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::fprintf(stderr, "unknown model '%s'\n", model_name);
+        return 1;
+    }
+    model::Model m = model::buildModel(mid);
+    double sla_ms = argc > 2 ? std::atof(argv[2]) : m.sla_ms;
+
+    std::printf("== server architecture exploration: %s, SLA %.0f ms ==\n\n",
+                m.name.c_str(), sla_ms);
+
+    core::ProfilerOptions popt;
+    popt.models = {mid};
+    popt.sla_ms_override = sla_ms;
+    core::EfficiencyTable table = core::offlineProfile(popt);
+
+    TablePrinter t({"Rank (QPS/W)", "Server", "QPS", "QPS/W",
+                    "Peak W", "Best schedule"});
+    int rank = 1;
+    for (hw::ServerType st : table.rank(mid, true)) {
+        const core::EfficiencyEntry* e = table.get(st, mid);
+        t.addRow({std::to_string(rank++), hw::serverSpec(st).name,
+                  fmtDouble(e->qps, 0), fmtDouble(e->qps_per_watt, 2),
+                  fmtDouble(e->power_w, 0), e->config.str()});
+    }
+    t.print();
+
+    auto by_qps = table.rank(mid, false);
+    if (!by_qps.empty()) {
+        std::printf("\nhighest raw throughput: %s",
+                    hw::serverSpec(by_qps[0]).name.c_str());
+        const core::EfficiencyEntry* e = table.get(by_qps[0], mid);
+        std::printf(" (%.0f QPS with %s)\n", e->qps,
+                    e->config.str().c_str());
+    }
+    return 0;
+}

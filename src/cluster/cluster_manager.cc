@@ -1,0 +1,78 @@
+#include "cluster/cluster_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hercules::cluster {
+
+double
+estimateOverprovisionRate(const workload::DiurnalLoad& load,
+                          double interval_hours, double horizon_hours)
+{
+    double worst = 0.0;
+    for (double t = 0.0; t + interval_hours <= horizon_hours;
+         t += interval_hours / 4.0) {
+        double now = load.loadAt(t);
+        double next = load.loadAt(t + interval_hours);
+        if (now > 1e-9)
+            worst = std::max(worst, (next - now) / now);
+    }
+    return std::clamp(worst, 0.0, 1.0);
+}
+
+ClusterRunResult
+runCluster(const ProvisionProblem& problem,
+           const std::vector<ClusterWorkload>& workloads,
+           Provisioner& policy, const ClusterManagerOptions& opt)
+{
+    if (static_cast<int>(workloads.size()) != problem.numModels())
+        fatal("runCluster: %zu workloads but problem has %d models",
+              workloads.size(), problem.numModels());
+
+    std::vector<workload::DiurnalLoad> curves;
+    curves.reserve(workloads.size());
+    for (const auto& w : workloads)
+        curves.emplace_back(w.load);
+
+    double r = opt.overprovision_rate;
+    if (r < 0.0) {
+        r = 0.0;
+        for (const auto& c : curves)
+            r = std::max(r, estimateOverprovisionRate(
+                                c, opt.interval_hours, opt.horizon_hours));
+    }
+
+    ClusterRunResult result;
+    double power_sum = 0.0;
+    double server_sum = 0.0;
+    for (double t = 0.0; t < opt.horizon_hours; t += opt.interval_hours) {
+        IntervalRecord rec;
+        rec.t_hours = t;
+        for (const auto& c : curves)
+            rec.loads.push_back(c.loadAt(t));
+        rec.alloc = policy.provision(problem, rec.loads, r);
+        rec.activated_servers = rec.alloc.activatedServers();
+        rec.provisioned_power_w = rec.alloc.provisionedPowerW(problem);
+        rec.satisfied = rec.alloc.satisfies(problem, rec.loads, r) &&
+                        rec.alloc.withinAvailability(problem);
+        if (!rec.satisfied)
+            ++result.unsatisfied_intervals;
+        result.peak_power_w =
+            std::max(result.peak_power_w, rec.provisioned_power_w);
+        result.peak_servers =
+            std::max(result.peak_servers, rec.activated_servers);
+        power_sum += rec.provisioned_power_w;
+        server_sum += rec.activated_servers;
+        result.intervals.push_back(std::move(rec));
+    }
+    if (!result.intervals.empty()) {
+        result.avg_power_w =
+            power_sum / static_cast<double>(result.intervals.size());
+        result.avg_servers =
+            server_sum / static_cast<double>(result.intervals.size());
+    }
+    return result;
+}
+
+}  // namespace hercules::cluster

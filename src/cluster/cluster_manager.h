@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The online-serving cluster manager (Fig 13): every provisioning
+ * interval it reads the diurnal loads, invokes a provisioning policy
+ * against the efficiency-tuple table, and activates/releases servers.
+ * Records per-interval capacity and provisioned power for the Fig
+ * 8/16/17 experiments.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/provision.h"
+#include "workload/diurnal.h"
+
+namespace hercules::cluster {
+
+/** One workload being served by the cluster. */
+struct ClusterWorkload
+{
+    model::ModelId model = model::ModelId::DlrmRmc1;
+    workload::DiurnalConfig load{};
+};
+
+/** Options of a cluster-serving run. */
+struct ClusterManagerOptions
+{
+    double horizon_hours = 24.0;
+    /** Coarse re-provisioning interval (paper: tens of minutes). */
+    double interval_hours = 0.5;
+    /**
+     * Over-provision rate R; negative = estimate from the load curves'
+     * maximum inter-interval increase (the paper's history profiling).
+     */
+    double overprovision_rate = -1.0;
+};
+
+/** Snapshot of one provisioning interval. */
+struct IntervalRecord
+{
+    double t_hours = 0.0;
+    std::vector<double> loads;       ///< per workload
+    Allocation alloc;
+    int activated_servers = 0;
+    double provisioned_power_w = 0.0;
+    bool satisfied = false;          ///< loads met within availability
+};
+
+/** Aggregates of a full run. */
+struct ClusterRunResult
+{
+    std::vector<IntervalRecord> intervals;
+    double peak_power_w = 0.0;
+    double avg_power_w = 0.0;
+    int peak_servers = 0;
+    double avg_servers = 0.0;
+    int unsatisfied_intervals = 0;
+};
+
+/**
+ * Estimate the over-provision rate R from a load curve: the maximum
+ * relative load increase across one provisioning interval.
+ */
+double estimateOverprovisionRate(const workload::DiurnalLoad& load,
+                                 double interval_hours,
+                                 double horizon_hours = 24.0);
+
+/** Run the cluster manager over the horizon with a given policy. */
+ClusterRunResult runCluster(const ProvisionProblem& problem,
+                            const std::vector<ClusterWorkload>& workloads,
+                            Provisioner& policy,
+                            const ClusterManagerOptions& opt);
+
+}  // namespace hercules::cluster

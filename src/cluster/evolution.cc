@@ -1,0 +1,65 @@
+#include "cluster/evolution.h"
+
+#include "util/logging.h"
+
+namespace hercules::cluster {
+
+std::vector<EvolutionService>
+defaultEvolutionServices()
+{
+    std::vector<EvolutionService> services;
+    workload::DiurnalConfig base;
+    base.peak_qps = 50'000.0;
+    base.trough_frac = 0.40;
+    base.peak_hour = 20.0;
+
+    EvolutionService s1{model::ModelId::DlrmRmc1, model::ModelId::Din,
+                        base};
+    s1.load.seed = 11;
+    EvolutionService s2{model::ModelId::DlrmRmc2, model::ModelId::Dien,
+                        base};
+    s2.load.seed = 22;
+    s2.load.peak_hour = 19.5;  // synchronized but not identical
+    EvolutionService s3{model::ModelId::DlrmRmc3, model::ModelId::MtWnd,
+                        base};
+    s3.load.seed = 33;
+    s3.load.peak_hour = 20.5;
+    return {s1, s2, s3};
+}
+
+std::vector<ClusterWorkload>
+evolutionWorkloads(const std::vector<EvolutionService>& services, double s)
+{
+    if (s < 0.0 || s > 1.0)
+        fatal("evolutionWorkloads: stage %f outside [0,1]", s);
+    std::vector<ClusterWorkload> out;
+    for (const auto& svc : services) {
+        if (s < 1.0) {
+            ClusterWorkload w;
+            w.model = svc.legacy;
+            w.load = svc.load;
+            w.load.peak_qps = svc.load.peak_qps * (1.0 - s);
+            out.push_back(w);
+        }
+        if (s > 0.0) {
+            ClusterWorkload w;
+            w.model = svc.successor;
+            w.load = svc.load;
+            w.load.peak_qps = svc.load.peak_qps * s;
+            w.load.seed = svc.load.seed + 1000;  // distinct ripple
+            out.push_back(w);
+        }
+    }
+    return out;
+}
+
+std::vector<model::ModelId>
+evolutionModels(const std::vector<EvolutionService>& services, double s)
+{
+    std::vector<model::ModelId> out;
+    for (const auto& w : evolutionWorkloads(services, s))
+        out.push_back(w.model);
+    return out;
+}
+
+}  // namespace hercules::cluster

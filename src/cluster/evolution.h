@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The synthetic model-evolution scenario of Fig 16: three services
+ * whose traffic migrates linearly from the legacy DLRM workloads
+ * (RMC1/RMC2/RMC3) to the newer, higher-complexity models
+ * (DIN/DIEN/MT-WnD) over a model-update cycle.
+ */
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+
+namespace hercules::cluster {
+
+/** One service: a legacy model being replaced by a successor. */
+struct EvolutionService
+{
+    model::ModelId legacy;
+    model::ModelId successor;
+    workload::DiurnalConfig load;  ///< total service traffic
+};
+
+/** @return the paper's three services (RMC1->DIN, RMC2->DIEN,
+ *  RMC3->MT-WnD) with synchronized 50K-QPS-peak diurnal loads. */
+std::vector<EvolutionService> defaultEvolutionServices();
+
+/**
+ * Workload set at evolution stage `s` in [0, 1]: every service splits
+ * its traffic (1-s) to the legacy model and s to the successor.
+ * Workloads with zero share are dropped.
+ */
+std::vector<ClusterWorkload> evolutionWorkloads(
+    const std::vector<EvolutionService>& services, double s);
+
+/**
+ * The models participating at stage `s` (legacy + successor set),
+ * matching evolutionWorkloads() order.
+ */
+std::vector<model::ModelId> evolutionModels(
+    const std::vector<EvolutionService>& services, double s);
+
+}  // namespace hercules::cluster

@@ -1,0 +1,247 @@
+#include "cluster/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hercules::cluster {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau.
+ *
+ * Layout: rows 0..m-1 are constraints (columns: structural + slack +
+ * artificial + rhs), row m is the phase objective. `basis[i]` is the
+ * column currently basic in row i.
+ */
+class Tableau
+{
+  public:
+    Tableau(const LpProblem& p)
+        : m_(static_cast<int>(p.b.size())),
+          n_(static_cast<int>(p.c.size()))
+    {
+        // Normalize rows so every rhs is non-negative; rows that
+        // started negative get an artificial variable (their slack
+        // column enters with coefficient -1 and cannot be basic).
+        std::vector<bool> needs_artificial(m_, false);
+        int num_art = 0;
+        for (int i = 0; i < m_; ++i) {
+            if (p.b[i] < 0.0) {
+                needs_artificial[i] = true;
+                ++num_art;
+            }
+        }
+        cols_ = n_ + m_ + num_art + 1;  // + slack + artificial + rhs
+        rows_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+        basis_.assign(m_, -1);
+
+        int art = 0;
+        for (int i = 0; i < m_; ++i) {
+            double sign = needs_artificial[i] ? -1.0 : 1.0;
+            for (int j = 0; j < n_; ++j)
+                rows_[i][j] = sign * p.a[i][j];
+            rows_[i][n_ + i] = sign;  // slack
+            rows_[i][cols_ - 1] = sign * p.b[i];
+            if (needs_artificial[i]) {
+                int acol = n_ + m_ + art++;
+                rows_[i][acol] = 1.0;
+                basis_[i] = acol;
+            } else {
+                basis_[i] = n_ + i;
+            }
+        }
+        first_artificial_ = n_ + m_;
+        num_artificial_ = num_art;
+    }
+
+    /** Run phase 1; @return true when a feasible basis exists. */
+    bool
+    phase1()
+    {
+        if (num_artificial_ == 0)
+            return true;
+        // Objective: minimize sum of artificials.
+        auto& obj = rows_[m_];
+        std::fill(obj.begin(), obj.end(), 0.0);
+        for (int a = 0; a < num_artificial_; ++a)
+            obj[first_artificial_ + a] = 1.0;
+        // Price out the basic artificials.
+        for (int i = 0; i < m_; ++i) {
+            if (basis_[i] >= first_artificial_)
+                subtractRow(m_, i, 1.0);
+        }
+        if (!iterate(first_artificial_ + num_artificial_))
+            return false;  // unbounded phase 1 cannot happen, treat as fail
+        if (rows_[m_][cols_ - 1] < -kEps)
+            return false;  // positive artificial sum -> infeasible
+        // Pivot any artificial still in the basis out (degenerate).
+        for (int i = 0; i < m_; ++i) {
+            if (basis_[i] < first_artificial_)
+                continue;
+            bool pivoted = false;
+            for (int j = 0; j < first_artificial_ && !pivoted; ++j) {
+                if (std::fabs(rows_[i][j]) > kEps) {
+                    pivot(i, j);
+                    pivoted = true;
+                }
+            }
+            // An all-zero row is redundant; the artificial stays basic
+            // at value zero, harmless for phase 2.
+        }
+        return true;
+    }
+
+    /** Run phase 2 with the real objective; @return false = unbounded. */
+    bool
+    phase2(const std::vector<double>& c)
+    {
+        auto& obj = rows_[m_];
+        std::fill(obj.begin(), obj.end(), 0.0);
+        for (int j = 0; j < n_; ++j)
+            obj[j] = c[j];
+        for (int i = 0; i < m_; ++i) {
+            int bj = basis_[i];
+            if (bj < n_ && std::fabs(c[bj]) > kEps)
+                subtractRow(m_, i, c[bj]);
+        }
+        return iterate(first_artificial_);  // artificials stay non-basic
+    }
+
+    /** Extract the structural solution. */
+    std::vector<double>
+    solution() const
+    {
+        std::vector<double> x(static_cast<size_t>(n_), 0.0);
+        for (int i = 0; i < m_; ++i) {
+            if (basis_[i] < n_)
+                x[static_cast<size_t>(basis_[i])] = rows_[i][cols_ - 1];
+        }
+        return x;
+    }
+
+    /** @return current objective value (phase 2). */
+    double
+    objective(const std::vector<double>& c) const
+    {
+        std::vector<double> x = solution();
+        double v = 0.0;
+        for (int j = 0; j < n_; ++j)
+            v += c[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+        return v;
+    }
+
+  private:
+    /** rows_[dst] -= factor * rows_[src]. */
+    void
+    subtractRow(int dst, int src, double factor)
+    {
+        for (int j = 0; j < cols_; ++j)
+            rows_[dst][j] -= factor * rows_[src][j];
+    }
+
+    void
+    pivot(int row, int col)
+    {
+        double p = rows_[row][col];
+        if (std::fabs(p) < kEps)
+            panic("simplex: zero pivot");
+        for (int j = 0; j < cols_; ++j)
+            rows_[row][j] /= p;
+        for (int i = 0; i <= m_; ++i) {
+            if (i == row)
+                continue;
+            double f = rows_[i][col];
+            if (std::fabs(f) > kEps)
+                subtractRow(i, row, f);
+        }
+        basis_[row] = col;
+    }
+
+    /**
+     * Simplex iterations with Bland's rule over columns [0, col_limit).
+     * @return false when the LP is unbounded in the current objective.
+     */
+    bool
+    iterate(int col_limit)
+    {
+        const auto& obj = rows_[m_];
+        for (int guard = 0; guard < 100000; ++guard) {
+            // Bland: entering = smallest index with negative reduced
+            // cost (minimization: improve while any obj coeff < 0).
+            int enter = -1;
+            for (int j = 0; j < col_limit; ++j) {
+                if (obj[j] < -kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter < 0)
+                return true;  // optimal
+            // Leaving: min ratio, ties broken by smallest basis index.
+            int leave = -1;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < m_; ++i) {
+                double a = rows_[i][enter];
+                if (a > kEps) {
+                    double ratio = rows_[i][cols_ - 1] / a;
+                    if (ratio < best_ratio - kEps ||
+                        (ratio < best_ratio + kEps &&
+                         (leave < 0 || basis_[i] < basis_[leave]))) {
+                        best_ratio = ratio;
+                        leave = i;
+                    }
+                }
+            }
+            if (leave < 0)
+                return false;  // unbounded
+            pivot(leave, enter);
+        }
+        panic("simplex: iteration guard exceeded");
+    }
+
+    int m_;
+    int n_;
+    int cols_ = 0;
+    int first_artificial_ = 0;
+    int num_artificial_ = 0;
+    std::vector<std::vector<double>> rows_;
+    std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpResult
+solveLp(const LpProblem& p)
+{
+    if (p.c.empty())
+        fatal("solveLp: no variables");
+    if (p.a.size() != p.b.size())
+        fatal("solveLp: %zu constraint rows but %zu rhs entries",
+              p.a.size(), p.b.size());
+    for (const auto& row : p.a)
+        if (row.size() != p.c.size())
+            fatal("solveLp: constraint width mismatch");
+
+    LpResult r;
+    Tableau t(p);
+    if (!t.phase1()) {
+        r.status = LpResult::Status::Infeasible;
+        return r;
+    }
+    if (!t.phase2(p.c)) {
+        r.status = LpResult::Status::Unbounded;
+        return r;
+    }
+    r.status = LpResult::Status::Optimal;
+    r.x = t.solution();
+    r.objective = t.objective(p.c);
+    return r;
+}
+
+}  // namespace hercules::cluster

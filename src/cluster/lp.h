@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dense two-phase primal simplex solver for the cluster-provisioning
+ * linear program (paper Eq. (1)–(3)). The paper uses an off-the-shelf
+ * interior-point solver [12]; for the problem sizes involved (tens of
+ * variables, a handful of constraints) simplex reaches the same optimum
+ * and is self-contained. Bland's rule guarantees termination.
+ */
+#pragma once
+
+#include <vector>
+
+namespace hercules::cluster {
+
+/**
+ * minimize    c' x
+ * subject to  A x <= b,  x >= 0
+ *
+ * Rows of `b` may be negative (encode `>=` constraints by negating).
+ */
+struct LpProblem
+{
+    std::vector<double> c;               ///< objective, size n
+    std::vector<std::vector<double>> a;  ///< constraints, m x n
+    std::vector<double> b;               ///< right-hand side, size m
+};
+
+/** Solver outcome. */
+struct LpResult
+{
+    enum class Status { Optimal, Infeasible, Unbounded };
+
+    Status status = Status::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;  ///< primal solution (size n when Optimal)
+};
+
+/** Solve with two-phase primal simplex (Bland's anti-cycling rule). */
+LpResult solveLp(const LpProblem& p);
+
+}  // namespace hercules::cluster

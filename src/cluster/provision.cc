@@ -1,0 +1,433 @@
+#include "cluster/provision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/lp.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hercules::cluster {
+
+ProvisionProblem::ProvisionProblem(std::vector<hw::ServerType> servers,
+                                   std::vector<int> availability,
+                                   std::vector<model::ModelId> models)
+    : servers_(std::move(servers)), availability_(std::move(availability)),
+      models_(std::move(models))
+{
+    if (servers_.size() != availability_.size())
+        fatal("ProvisionProblem: %zu servers but %zu availabilities",
+              servers_.size(), availability_.size());
+    if (servers_.empty() || models_.empty())
+        fatal("ProvisionProblem: empty servers or models");
+    perf_.assign(servers_.size() * models_.size(), PairPerf{});
+}
+
+ProvisionProblem
+ProvisionProblem::fromTable(const core::EfficiencyTable& table,
+                            const std::vector<hw::ServerType>& servers,
+                            const std::vector<model::ModelId>& models,
+                            const std::vector<int>& availability)
+{
+    std::vector<int> avail = availability;
+    if (avail.empty()) {
+        for (hw::ServerType t : servers)
+            avail.push_back(hw::serverSpec(t).availability);
+    }
+    ProvisionProblem p(servers, avail, models);
+    for (int h = 0; h < p.numServers(); ++h) {
+        for (int m = 0; m < p.numModels(); ++m) {
+            const core::EfficiencyEntry* e =
+                table.get(servers[static_cast<size_t>(h)],
+                          models[static_cast<size_t>(m)]);
+            if (e && e->feasible) {
+                PairPerf perf;
+                perf.feasible = true;
+                perf.qps = e->qps;
+                perf.power_w = e->power_w;
+                p.setPerf(h, m, perf);
+            }
+        }
+    }
+    return p;
+}
+
+void
+ProvisionProblem::setPerf(int h, int m, PairPerf perf)
+{
+    perf_[static_cast<size_t>(h) * models_.size() +
+          static_cast<size_t>(m)] = perf;
+}
+
+const PairPerf&
+ProvisionProblem::perf(int h, int m) const
+{
+    return perf_[static_cast<size_t>(h) * models_.size() +
+                 static_cast<size_t>(m)];
+}
+
+double
+ProvisionProblem::totalCapacity(int m) const
+{
+    double cap = 0.0;
+    for (int h = 0; h < numServers(); ++h) {
+        if (perf(h, m).feasible)
+            cap += perf(h, m).qps * availability_[static_cast<size_t>(h)];
+    }
+    return cap;
+}
+
+Allocation
+Allocation::zero(const ProvisionProblem& p)
+{
+    Allocation a;
+    a.n.assign(static_cast<size_t>(p.numServers()),
+               std::vector<int>(static_cast<size_t>(p.numModels()), 0));
+    return a;
+}
+
+int
+Allocation::activatedServers() const
+{
+    int total = 0;
+    for (const auto& row : n)
+        total += std::accumulate(row.begin(), row.end(), 0);
+    return total;
+}
+
+int
+Allocation::activatedOfType(int h) const
+{
+    const auto& row = n[static_cast<size_t>(h)];
+    return std::accumulate(row.begin(), row.end(), 0);
+}
+
+double
+Allocation::provisionedPowerW(const ProvisionProblem& p) const
+{
+    double power = 0.0;
+    for (int h = 0; h < p.numServers(); ++h)
+        for (int m = 0; m < p.numModels(); ++m)
+            power += n[static_cast<size_t>(h)][static_cast<size_t>(m)] *
+                     p.perf(h, m).power_w;
+    return power;
+}
+
+double
+Allocation::coverageQps(const ProvisionProblem& p, int m) const
+{
+    double qps = 0.0;
+    for (int h = 0; h < p.numServers(); ++h)
+        qps += n[static_cast<size_t>(h)][static_cast<size_t>(m)] *
+               p.perf(h, m).qps;
+    return qps;
+}
+
+bool
+Allocation::satisfies(const ProvisionProblem& p,
+                      const std::vector<double>& loads, double r) const
+{
+    for (int m = 0; m < p.numModels(); ++m) {
+        double target = loads[static_cast<size_t>(m)] * (1.0 + r);
+        if (coverageQps(p, m) + 1e-9 < target)
+            return false;
+    }
+    return true;
+}
+
+bool
+Allocation::withinAvailability(const ProvisionProblem& p) const
+{
+    for (int h = 0; h < p.numServers(); ++h)
+        if (activatedOfType(h) > p.availability(h))
+            return false;
+    return true;
+}
+
+namespace {
+
+/** Greedy coverage of one model from a ranked server-type list. */
+void
+coverGreedy(const ProvisionProblem& p, int m, double target,
+            const std::vector<int>& ranking, std::vector<int>& remaining,
+            Allocation& alloc)
+{
+    double covered = alloc.coverageQps(p, m);
+    for (int h : ranking) {
+        if (covered >= target)
+            break;
+        const PairPerf& perf = p.perf(h, m);
+        if (!perf.feasible || perf.qps <= 0.0)
+            continue;
+        int need = static_cast<int>(
+            std::ceil((target - covered) / perf.qps));
+        int take = std::min(need, remaining[static_cast<size_t>(h)]);
+        if (take <= 0)
+            continue;
+        alloc.n[static_cast<size_t>(h)][static_cast<size_t>(m)] += take;
+        remaining[static_cast<size_t>(h)] -= take;
+        covered += take * perf.qps;
+    }
+}
+
+/** Server-type ranking for model m by energy efficiency (QPS/W). */
+std::vector<int>
+rankByEfficiency(const ProvisionProblem& p, int m)
+{
+    std::vector<int> hs;
+    for (int h = 0; h < p.numServers(); ++h)
+        if (p.perf(h, m).feasible && p.perf(h, m).qps > 0.0)
+            hs.push_back(h);
+    std::stable_sort(hs.begin(), hs.end(), [&](int a, int b) {
+        double ea = p.perf(a, m).qps / std::max(p.perf(a, m).power_w, 1e-9);
+        double eb = p.perf(b, m).qps / std::max(p.perf(b, m).power_w, 1e-9);
+        return ea > eb;
+    });
+    return hs;
+}
+
+}  // namespace
+
+Allocation
+GreedyProvisioner::provision(const ProvisionProblem& p,
+                             const std::vector<double>& loads, double r)
+{
+    Allocation alloc = Allocation::zero(p);
+    std::vector<int> remaining;
+    for (int h = 0; h < p.numServers(); ++h)
+        remaining.push_back(p.availability(h));
+
+    // Each workload repeatedly claims one server of its best-ranked
+    // available type, in round-robin workload order. When several
+    // workloads prefer the same scarce type, the pool gets divided
+    // between them without regard for who benefits most — the §III-C
+    // deficiency the priority-aware and Hercules schedulers fix.
+    std::vector<std::vector<int>> rankings;
+    std::vector<double> covered(static_cast<size_t>(p.numModels()), 0.0);
+    for (int m = 0; m < p.numModels(); ++m)
+        rankings.push_back(rankByEfficiency(p, m));
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int m = 0; m < p.numModels(); ++m) {
+            double target = loads[static_cast<size_t>(m)] * (1.0 + r);
+            if (covered[static_cast<size_t>(m)] >= target)
+                continue;
+            for (int h : rankings[static_cast<size_t>(m)]) {
+                if (remaining[static_cast<size_t>(h)] <= 0)
+                    continue;
+                alloc.n[static_cast<size_t>(h)][static_cast<size_t>(m)] +=
+                    1;
+                remaining[static_cast<size_t>(h)] -= 1;
+                covered[static_cast<size_t>(m)] += p.perf(h, m).qps;
+                progress = true;
+                break;
+            }
+        }
+    }
+    return alloc;
+}
+
+Allocation
+PriorityAwareProvisioner::provision(const ProvisionProblem& p,
+                                    const std::vector<double>& loads,
+                                    double r)
+{
+    Allocation alloc = Allocation::zero(p);
+    std::vector<int> remaining;
+    for (int h = 0; h < p.numServers(); ++h)
+        remaining.push_back(p.availability(h));
+
+    // Workloads that lose the most when pushed off their preferred
+    // server type allocate first (marginal efficiency gain ordering).
+    std::vector<int> order(static_cast<size_t>(p.numModels()));
+    std::iota(order.begin(), order.end(), 0);
+    auto gain = [&](int m) {
+        std::vector<int> ranked = rankByEfficiency(p, m);
+        if (ranked.size() < 2)
+            return 1.0;
+        auto eff = [&](int h) {
+            return p.perf(h, m).qps / std::max(p.perf(h, m).power_w, 1e-9);
+        };
+        return eff(ranked[0]) / std::max(eff(ranked[1]), 1e-9);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return gain(a) > gain(b); });
+
+    for (int m : order) {
+        double target = loads[static_cast<size_t>(m)] * (1.0 + r);
+        coverGreedy(p, m, target, rankByEfficiency(p, m), remaining,
+                    alloc);
+    }
+    return alloc;
+}
+
+Allocation
+NhProvisioner::provision(const ProvisionProblem& p,
+                         const std::vector<double>& loads, double r)
+{
+    Allocation alloc = Allocation::zero(p);
+    std::vector<int> remaining;
+    for (int h = 0; h < p.numServers(); ++h)
+        remaining.push_back(p.availability(h));
+
+    // Heterogeneity-oblivious: a fresh random shuffle of server types
+    // per workload and per call — whatever is available gets assigned.
+    for (int m = 0; m < p.numModels(); ++m) {
+        std::vector<int> order;
+        for (int h = 0; h < p.numServers(); ++h)
+            if (p.perf(h, m).feasible)
+                order.push_back(h);
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1],
+                      order[static_cast<size_t>(rng_.uniformInt(
+                          0, static_cast<int64_t>(i) - 1))]);
+        double target = loads[static_cast<size_t>(m)] * (1.0 + r);
+        coverGreedy(p, m, target, order, remaining, alloc);
+    }
+    return alloc;
+}
+
+Allocation
+HerculesProvisioner::provision(const ProvisionProblem& p,
+                               const std::vector<double>& loads, double r)
+{
+    // Variables: x_{h,m} over feasible pairs.
+    struct Var
+    {
+        int h, m;
+    };
+    std::vector<Var> vars;
+    for (int h = 0; h < p.numServers(); ++h)
+        for (int m = 0; m < p.numModels(); ++m)
+            if (p.perf(h, m).feasible && p.perf(h, m).qps > 0.0)
+                vars.push_back({h, m});
+
+    Allocation alloc = Allocation::zero(p);
+    if (vars.empty())
+        return alloc;
+
+    LpProblem lp;
+    lp.c.resize(vars.size());
+    // Objective: provisioned power (Eq. (1)), with a tiny per-server
+    // epsilon so power-equivalent optima prefer fewer activated
+    // machines (cluster capacity is the paper's second metric).
+    constexpr double kServerEpsilonW = 3.0;
+    for (size_t v = 0; v < vars.size(); ++v)
+        lp.c[v] = p.perf(vars[v].h, vars[v].m).power_w + kServerEpsilonW;
+
+    // Coverage: -sum_h qps * x >= load(1+R)  =>  -sum qps x <= -target.
+    for (int m = 0; m < p.numModels(); ++m) {
+        std::vector<double> row(vars.size(), 0.0);
+        for (size_t v = 0; v < vars.size(); ++v)
+            if (vars[v].m == m)
+                row[v] = -p.perf(vars[v].h, m).qps;
+        lp.a.push_back(std::move(row));
+        lp.b.push_back(-loads[static_cast<size_t>(m)] * (1.0 + r));
+    }
+    // Availability: sum_m x_{h,m} <= Nh.
+    for (int h = 0; h < p.numServers(); ++h) {
+        std::vector<double> row(vars.size(), 0.0);
+        for (size_t v = 0; v < vars.size(); ++v)
+            if (vars[v].h == h)
+                row[v] = 1.0;
+        lp.a.push_back(std::move(row));
+        lp.b.push_back(static_cast<double>(p.availability(h)));
+    }
+
+    LpResult sol = solveLp(lp);
+
+    std::vector<int> remaining;
+    for (int h = 0; h < p.numServers(); ++h)
+        remaining.push_back(p.availability(h));
+
+    if (sol.status == LpResult::Status::Optimal) {
+        // Round down, then repair coverage with the most efficient
+        // still-available servers.
+        for (size_t v = 0; v < vars.size(); ++v) {
+            int k = static_cast<int>(std::floor(sol.x[v] + 1e-6));
+            k = std::min(k, remaining[static_cast<size_t>(vars[v].h)]);
+            if (k > 0) {
+                alloc.n[static_cast<size_t>(vars[v].h)]
+                       [static_cast<size_t>(vars[v].m)] += k;
+                remaining[static_cast<size_t>(vars[v].h)] -= k;
+            }
+        }
+    }
+
+    // Coverage repair (also the full fallback when the LP is
+    // infeasible): per uncovered workload add the lowest
+    // power-per-provisioned-QPS available server.
+    for (int m = 0; m < p.numModels(); ++m) {
+        double target = loads[static_cast<size_t>(m)] * (1.0 + r);
+        double covered = alloc.coverageQps(p, m);
+        while (covered + 1e-9 < target) {
+            int best_h = -1;
+            double best_cost = 0.0;
+            for (int h = 0; h < p.numServers(); ++h) {
+                const PairPerf& perf = p.perf(h, m);
+                if (!perf.feasible || perf.qps <= 0.0 ||
+                    remaining[static_cast<size_t>(h)] <= 0)
+                    continue;
+                double useful = std::min(perf.qps, target - covered);
+                double cost = perf.power_w / useful;
+                if (best_h < 0 || cost < best_cost) {
+                    best_h = h;
+                    best_cost = cost;
+                }
+            }
+            if (best_h < 0)
+                break;  // out of capacity: best effort
+            alloc.n[static_cast<size_t>(best_h)]
+                   [static_cast<size_t>(m)] += 1;
+            remaining[static_cast<size_t>(best_h)] -= 1;
+            covered += p.perf(best_h, m).qps;
+        }
+    }
+
+    // Trim pass: release servers whose removal keeps coverage, highest
+    // power first.
+    struct Cand
+    {
+        int h, m;
+        double power;
+    };
+    std::vector<Cand> cands;
+    for (int h = 0; h < p.numServers(); ++h)
+        for (int m = 0; m < p.numModels(); ++m)
+            if (alloc.n[static_cast<size_t>(h)][static_cast<size_t>(m)] >
+                0)
+                cands.push_back({h, m, p.perf(h, m).power_w});
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand& a, const Cand& b) {
+                         return a.power > b.power;
+                     });
+    for (const Cand& c : cands) {
+        double target = loads[static_cast<size_t>(c.m)] * (1.0 + r);
+        while (alloc.n[static_cast<size_t>(c.h)]
+                      [static_cast<size_t>(c.m)] > 0 &&
+               alloc.coverageQps(p, c.m) - p.perf(c.h, c.m).qps + 1e-9 >=
+                   target) {
+            alloc.n[static_cast<size_t>(c.h)][static_cast<size_t>(c.m)] -=
+                1;
+        }
+    }
+
+    // Integer quantization can occasionally leave the repaired LP
+    // solution behind the plain greedy one; the scheduler returns
+    // whichever feasible integer allocation provisions less power, so
+    // Hercules dominates greedy by construction.
+    GreedyProvisioner greedy;
+    Allocation greedy_alloc = greedy.provision(p, loads, r);
+    bool lp_ok = alloc.satisfies(p, loads, r);
+    bool greedy_ok = greedy_alloc.satisfies(p, loads, r);
+    if (greedy_ok &&
+        (!lp_ok || greedy_alloc.provisionedPowerW(p) <
+                       alloc.provisionedPowerW(p)))
+        return greedy_alloc;
+    return alloc;
+}
+
+}  // namespace hercules::cluster

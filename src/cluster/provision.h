@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Heterogeneity-aware cluster provisioning (paper §IV-C): given the
+ * efficiency-tuple table, per-workload loads and per-type availability,
+ * decide how many servers of each type to activate for each workload.
+ *
+ * Four provisioners are implemented:
+ *  - HerculesProvisioner: the paper's constrained optimization
+ *    (Eq. (1)–(3)) solved as an LP with an integer repair pass;
+ *  - GreedyProvisioner: the state-of-the-art Paragon/Quasar-style
+ *    scheduler [8,9] — each workload takes its best-ranked available
+ *    servers, in arbitrary workload order;
+ *  - PriorityAwareProvisioner: the §III-C refinement — workloads with
+ *    the most to gain from their preferred server type allocate first;
+ *  - NhProvisioner: heterogeneity-oblivious — servers assigned in
+ *    arrival (seeded random) order.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/efficiency_table.h"
+#include "util/rng.h"
+
+namespace hercules::cluster {
+
+/** Performance of one (server type, model) pair. */
+struct PairPerf
+{
+    bool feasible = false;
+    double qps = 0.0;      ///< latency-bounded throughput per server
+    double power_w = 0.0;  ///< provisioned power per server
+};
+
+/** The provisioning problem instance. */
+class ProvisionProblem
+{
+  public:
+    /**
+     * @param servers       server types in play.
+     * @param availability  Nh per type (same order).
+     * @param models        workloads in play.
+     */
+    ProvisionProblem(std::vector<hw::ServerType> servers,
+                     std::vector<int> availability,
+                     std::vector<model::ModelId> models);
+
+    /** Build from an offline-profiled efficiency table. */
+    static ProvisionProblem fromTable(
+        const core::EfficiencyTable& table,
+        const std::vector<hw::ServerType>& servers,
+        const std::vector<model::ModelId>& models,
+        const std::vector<int>& availability = {});
+
+    /** Set the performance of pair (h, m). */
+    void setPerf(int h, int m, PairPerf perf);
+
+    int numServers() const { return static_cast<int>(servers_.size()); }
+    int numModels() const { return static_cast<int>(models_.size()); }
+    const PairPerf& perf(int h, int m) const;
+    int availability(int h) const { return availability_[h]; }
+    hw::ServerType serverType(int h) const { return servers_[h]; }
+    model::ModelId modelId(int m) const { return models_[m]; }
+
+    /** Aggregate QPS if every server of every type served model m. */
+    double totalCapacity(int m) const;
+
+  private:
+    std::vector<hw::ServerType> servers_;
+    std::vector<int> availability_;
+    std::vector<model::ModelId> models_;
+    std::vector<PairPerf> perf_;  ///< numServers x numModels, row-major
+};
+
+/** An assignment N_{h,m} of servers to workloads. */
+struct Allocation
+{
+    std::vector<std::vector<int>> n;  ///< [server][model]
+
+    /** Build a zero allocation of the problem's shape. */
+    static Allocation zero(const ProvisionProblem& p);
+
+    /** @return total activated servers. */
+    int activatedServers() const;
+
+    /** @return servers of type h activated. */
+    int activatedOfType(int h) const;
+
+    /** @return total provisioned power (Eq. (1) objective). */
+    double provisionedPowerW(const ProvisionProblem& p) const;
+
+    /** @return aggregate QPS provisioned to model m. */
+    double coverageQps(const ProvisionProblem& p, int m) const;
+
+    /** @return true when loads (with over-provision rate R) are met. */
+    bool satisfies(const ProvisionProblem& p,
+                   const std::vector<double>& loads, double r) const;
+
+    /** @return true when no type exceeds its availability. */
+    bool withinAvailability(const ProvisionProblem& p) const;
+};
+
+/** Interface of a cluster provisioning policy. */
+class Provisioner
+{
+  public:
+    virtual ~Provisioner() = default;
+
+    /**
+     * @param p      the problem (perf + availability).
+     * @param loads  current load per model (QPS).
+     * @param r      over-provision rate R (fraction, e.g. 0.05).
+     */
+    virtual Allocation provision(const ProvisionProblem& p,
+                                 const std::vector<double>& loads,
+                                 double r) = 0;
+
+    /** @return display name. */
+    virtual const char* name() const = 0;
+};
+
+/** Paper Eq. (1)–(3): LP relaxation + integer repair. */
+class HerculesProvisioner : public Provisioner
+{
+  public:
+    Allocation provision(const ProvisionProblem& p,
+                         const std::vector<double>& loads,
+                         double r) override;
+    const char* name() const override { return "Hercules"; }
+};
+
+/** Greedy best-ranked-first scheduler [8,9]. */
+class GreedyProvisioner : public Provisioner
+{
+  public:
+    Allocation provision(const ProvisionProblem& p,
+                         const std::vector<double>& loads,
+                         double r) override;
+    const char* name() const override { return "Greedy"; }
+};
+
+/** Greedy with marginal-gain workload ordering (§III-C). */
+class PriorityAwareProvisioner : public Provisioner
+{
+  public:
+    Allocation provision(const ProvisionProblem& p,
+                         const std::vector<double>& loads,
+                         double r) override;
+    const char* name() const override { return "Priority-aware"; }
+};
+
+/**
+ * Heterogeneity-oblivious scheduler: assigns whatever servers are
+ * available in a random order. The RNG advances across provision()
+ * calls, so each interval sees a fresh arbitrary assignment (a fixed
+ * order could coincidentally match the greedy ranking).
+ */
+class NhProvisioner : public Provisioner
+{
+  public:
+    explicit NhProvisioner(uint64_t seed = 7) : rng_(seed) {}
+    Allocation provision(const ProvisionProblem& p,
+                         const std::vector<double>& loads,
+                         double r) override;
+    const char* name() const override { return "NH"; }
+
+  private:
+    Rng rng_;
+};
+
+}  // namespace hercules::cluster

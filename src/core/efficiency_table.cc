@@ -1,0 +1,105 @@
+#include "core/efficiency_table.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace hercules::core {
+
+void
+EfficiencyTable::set(const EfficiencyEntry& e)
+{
+    for (auto& existing : entries_) {
+        if (existing.server == e.server && existing.model == e.model) {
+            existing = e;
+            return;
+        }
+    }
+    entries_.push_back(e);
+}
+
+const EfficiencyEntry*
+EfficiencyTable::get(hw::ServerType server, model::ModelId m) const
+{
+    for (const auto& e : entries_)
+        if (e.server == server && e.model == m)
+            return &e;
+    return nullptr;
+}
+
+std::vector<hw::ServerType>
+EfficiencyTable::rank(model::ModelId m, bool by_energy) const
+{
+    std::vector<const EfficiencyEntry*> feasible;
+    for (const auto& e : entries_)
+        if (e.model == m && e.feasible && e.qps > 0.0)
+            feasible.push_back(&e);
+    std::stable_sort(feasible.begin(), feasible.end(),
+                     [&](const EfficiencyEntry* a,
+                         const EfficiencyEntry* b) {
+                         double ka = by_energy ? a->qps_per_watt : a->qps;
+                         double kb = by_energy ? b->qps_per_watt : b->qps;
+                         return ka > kb;
+                     });
+    std::vector<hw::ServerType> out;
+    out.reserve(feasible.size());
+    for (const auto* e : feasible)
+        out.push_back(e->server);
+    return out;
+}
+
+void
+EfficiencyTable::writeCsv(const std::string& path) const
+{
+    CsvWriter w({"server", "model", "feasible", "qps", "power_w",
+                 "avg_power_w", "qps_per_watt", "config"});
+    for (const auto& e : entries_) {
+        w.addRow({hw::serverTypeName(e.server), model::modelName(e.model),
+                  e.feasible ? "1" : "0", std::to_string(e.qps),
+                  std::to_string(e.power_w),
+                  std::to_string(e.avg_power_w),
+                  std::to_string(e.qps_per_watt), e.config.str()});
+    }
+    w.write(path);
+}
+
+EfficiencyTable
+EfficiencyTable::readCsv(const std::string& path)
+{
+    auto rows = readCsvFile(path);
+    EfficiencyTable table;
+    for (size_t i = 1; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        if (r.size() < 7)
+            fatal("EfficiencyTable::readCsv: malformed row %zu in %s", i,
+                  path.c_str());
+        EfficiencyEntry e;
+        bool found_server = false;
+        for (hw::ServerType t : hw::allServerTypes()) {
+            if (r[0] == hw::serverTypeName(t)) {
+                e.server = t;
+                found_server = true;
+            }
+        }
+        bool found_model = false;
+        for (model::ModelId m : model::allModels()) {
+            if (r[1] == model::modelName(m)) {
+                e.model = m;
+                found_model = true;
+            }
+        }
+        if (!found_server || !found_model)
+            fatal("EfficiencyTable::readCsv: unknown pair %s/%s",
+                  r[0].c_str(), r[1].c_str());
+        e.feasible = r[2] == "1";
+        e.qps = std::stod(r[3]);
+        e.power_w = std::stod(r[4]);
+        e.avg_power_w = std::stod(r[5]);
+        e.qps_per_watt = std::stod(r[6]);
+        table.set(e);
+    }
+    return table;
+}
+
+}  // namespace hercules::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The workload-classification table of Fig 9(b): for every
+ * (server type Th, model Gm) pair, the efficiency tuple
+ * (QPS_{h,m}, Power_{h,m}) measured by offline profiling, plus the
+ * optimal task-scheduling configuration that achieves it. The cluster
+ * manager consumes this table during online serving.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/server.h"
+#include "model/model_zoo.h"
+#include "sched/config.h"
+
+namespace hercules::core {
+
+/** One profiled (server, model) pair. */
+struct EfficiencyEntry
+{
+    hw::ServerType server = hw::ServerType::T1;
+    model::ModelId model = model::ModelId::DlrmRmc1;
+    bool feasible = false;   ///< some configuration met the SLA
+    double qps = 0.0;        ///< latency-bounded throughput QPS_{h,m}
+    double power_w = 0.0;    ///< provisioned (peak) power Power_{h,m}
+    double avg_power_w = 0.0;
+    double qps_per_watt = 0.0;  ///< energy efficiency at the QPS point
+    sched::SchedulingConfig config;  ///< the optimal task schedule
+};
+
+/** The efficiency-tuple table, indexed by (server type, model). */
+class EfficiencyTable
+{
+  public:
+    /** Insert or replace an entry. */
+    void set(const EfficiencyEntry& e);
+
+    /** @return the entry, or nullptr when the pair was never profiled. */
+    const EfficiencyEntry* get(hw::ServerType server,
+                               model::ModelId m) const;
+
+    /** @return all entries in insertion order. */
+    const std::vector<EfficiencyEntry>& entries() const
+    { return entries_; }
+
+    /**
+     * Server types ranked for a model, best first. Infeasible pairs are
+     * excluded.
+     *
+     * @param by_energy true: rank by QPS/W (the paper's cluster
+     *                  classification metric); false: rank by QPS.
+     */
+    std::vector<hw::ServerType> rank(model::ModelId m,
+                                     bool by_energy = true) const;
+
+    /** Persist as CSV. */
+    void writeCsv(const std::string& path) const;
+
+    /** Load a table written by writeCsv(). */
+    static EfficiencyTable readCsv(const std::string& path);
+
+  private:
+    std::vector<EfficiencyEntry> entries_;
+};
+
+}  // namespace hercules::core

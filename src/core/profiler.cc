@@ -1,0 +1,63 @@
+#include "core/profiler.h"
+
+#include "util/logging.h"
+
+namespace hercules::core {
+
+EfficiencyEntry
+profilePair(const hw::ServerSpec& server, const model::Model& m,
+            double sla_ms, const sched::SearchOptions& opt)
+{
+    EfficiencyEntry e;
+    e.server = server.type;
+    e.model = m.id;
+
+    sched::SearchResult r =
+        sched::herculesTaskSearch(server, m, sla_ms, opt);
+    if (r.best) {
+        e.feasible = true;
+        e.qps = r.best_qps;
+        e.power_w = r.best_point.result.peak_power_w;
+        e.avg_power_w = r.best_point.result.avg_power_w;
+        e.qps_per_watt = r.best_point.result.qps_per_watt;
+        e.config = *r.best;
+    }
+    return e;
+}
+
+EfficiencyTable
+offlineProfile(const ProfilerOptions& opt)
+{
+    std::vector<hw::ServerType> servers = opt.servers;
+    if (servers.empty())
+        servers = hw::allServerTypes();
+    std::vector<model::ModelId> models = opt.models;
+    if (models.empty())
+        models = model::allModels();
+
+    EfficiencyTable table;
+    for (model::ModelId mid : models) {
+        model::Model m = model::buildModel(mid, opt.variant);
+        double sla =
+            opt.sla_ms_override > 0.0 ? opt.sla_ms_override : m.sla_ms;
+        for (hw::ServerType st : servers) {
+            const hw::ServerSpec& server = hw::serverSpec(st);
+            inform("profiling %s on %s (SLA %.0f ms)", m.name.c_str(),
+                   server.name.c_str(), sla);
+            table.set(profilePair(server, m, sla, opt.search));
+        }
+    }
+    return table;
+}
+
+EfficiencyEntry
+onlineSetup(const hw::ServerSpec& server, const model::Model& m,
+            double sla_ms, double power_budget_w,
+            const sched::SearchOptions& opt)
+{
+    sched::SearchOptions constrained = opt;
+    constrained.power_budget_w = power_budget_w;
+    return profilePair(server, m, sla_ms, constrained);
+}
+
+}  // namespace hercules::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hercules stage 1: offline profiling (Fig 9(a)).
+ *
+ * For every candidate server type and workload, run the HW-aware model
+ * partition plus the SLA-aware gradient search, and record the
+ * efficiency tuple (latency-bounded QPS, provisioned peak power) in the
+ * workload-classification table. Stage 2 (online serving) re-runs the
+ * same exploration under the provisioned power budget with real-time
+ * query streams (onlineSetup).
+ */
+#pragma once
+
+#include "core/efficiency_table.h"
+#include "sched/gradient_search.h"
+
+namespace hercules::core {
+
+/** Options of an offline profiling pass. */
+struct ProfilerOptions
+{
+    sched::SearchOptions search{};
+    /** Server types to profile; empty = the full T1–T10 catalog. */
+    std::vector<hw::ServerType> servers;
+    /** Models to profile; empty = all six Table I models. */
+    std::vector<model::ModelId> models;
+    model::Variant variant = model::Variant::Prod;
+    /** Override SLA per model; <=0 uses the model's default target. */
+    double sla_ms_override = 0.0;
+};
+
+/**
+ * Profile one (server, model) pair: Hercules task-scheduling search,
+ * efficiency tuple extraction.
+ */
+EfficiencyEntry profilePair(const hw::ServerSpec& server,
+                            const model::Model& m, double sla_ms,
+                            const sched::SearchOptions& opt);
+
+/** Run the full offline profiling pass. */
+EfficiencyTable offlineProfile(const ProfilerOptions& opt);
+
+/**
+ * Online-serving initial setup for a placed workload: the SLA- and
+ * power-aware exploration re-run under the provisioned power budget
+ * (updates the tuple to real-time conditions).
+ */
+EfficiencyEntry onlineSetup(const hw::ServerSpec& server,
+                            const model::Model& m, double sla_ms,
+                            double power_budget_w,
+                            const sched::SearchOptions& opt);
+
+}  // namespace hercules::core

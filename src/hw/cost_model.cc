@@ -1,0 +1,346 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/calibration.h"
+#include "util/logging.h"
+
+namespace hercules::hw {
+
+using model::EmbeddingParams;
+using model::Graph;
+using model::Node;
+using model::OpKind;
+
+CostModel::CostModel(const ServerSpec& server) : server_(server) {}
+
+double
+CostModel::effectiveHostBwGbps(int threads) const
+{
+    using namespace calib;
+    threads = std::max(threads, 1);
+    // Rank-level parallelism limits random-gather efficiency: a 4-rank
+    // config (CPU-T1) exposes fewer open banks than an 8-rank one.
+    double rank_factor =
+        std::min(1.0, static_cast<double>(server_.mem.totalRanks()) / 8.0);
+    double base = server_.mem.peakBwGbps() * kDdrGatherEff * rank_factor;
+    double interference =
+        1.0 + kCpuInterferencePerThread * static_cast<double>(threads - 1);
+    return base / interference;
+}
+
+double
+CostModel::perThreadBwGbps(int threads) const
+{
+    threads = std::max(threads, 1);
+    return effectiveHostBwGbps(threads) / static_cast<double>(threads);
+}
+
+const NmpLut&
+CostModel::nmpLut(int emb_dim) const
+{
+    if (!server_.hasNmp())
+        panic("nmpLut: server %s has no NMP memory", server_.name.c_str());
+    auto it = nmp_luts_.find(emb_dim);
+    if (it == nmp_luts_.end()) {
+        it = nmp_luts_
+                 .emplace(emb_dim,
+                          std::make_unique<NmpLut>(server_.mem, emb_dim))
+                 .first;
+    }
+    return *it->second;
+}
+
+namespace {
+
+/** Batch-dependent GEMM efficiency on the CPU. */
+double
+cpuBatchEff(int batch)
+{
+    double b = static_cast<double>(batch);
+    return b / (b + calib::kCpuBatchHalf);
+}
+
+/**
+ * Batch-dependent fraction of peak FLOPs reached on the GPU: maximum
+ * GEMM efficiency times the occupancy a b-row kernel can achieve.
+ */
+double
+gpuBatchEff(int batch)
+{
+    double b = static_cast<double>(batch);
+    return calib::kGpuEffMax * b / (b + calib::kGpuBatchHalf);
+}
+
+/** MPS interference slowdown with g co-located clients. */
+double
+colocSlowdown(int colocated)
+{
+    int g = std::max(colocated, 1);
+    return 1.0 + calib::kGpuColocPenalty * static_cast<double>(g - 1);
+}
+
+}  // namespace
+
+double
+CostModel::cpuOpLatencyUs(const Node& n, int batch,
+                          const CpuExecContext& cx) const
+{
+    using namespace calib;
+    model::OpCost cost = model::opCostPerItem(n);
+    double b = static_cast<double>(batch);
+
+    if (n.kind() == OpKind::EmbeddingLookup) {
+        const auto& p = std::get<EmbeddingParams>(n.params);
+        double pooling =
+            std::max(1.0, p.avgPooling() * cx.pooling_scale);
+        if (cx.use_nmp && p.pooled) {
+            // In-DIMM gather-and-reduce: host just dispatches the dummy
+            // SLS-NMP operator and waits for the LUT latency, scaled by
+            // this thread's share of the NMP device.
+            NmpResult r = nmpLut(p.emb_dim).lookup(batch, pooling);
+            double share = std::clamp(cx.nmp_share, 1e-3, 1.0);
+            return kNmpHostDispatchUs + r.latency_us / share;
+        }
+        double bytes = b * pooling * p.emb_dim * 4.0;
+        double bw = std::max(cx.mem_bw_gbps, 1e-3) * 1e9;
+        return kCpuOpOverheadUs + bytes / bw * 1e6;
+    }
+
+    // Compute-bound operator on a single op-worker core.
+    double gflops = server_.cpu.effGflopsPerCore() * cpuBatchEff(batch);
+    double us = cost.flops * b / (gflops * 1e9) * 1e6;
+    return kCpuOpOverheadUs + us;
+}
+
+GraphTiming
+CostModel::cpuGraphTiming(const Graph& g, int batch,
+                          const CpuExecContext& cx) const
+{
+    using namespace calib;
+    int workers = std::max(cx.workers, 1);
+
+    GraphTiming t;
+    t.ops.reserve(g.nodes().size());
+
+    // Greedy list scheduling: walk nodes in topological order, placing
+    // each op on the earliest-available worker no earlier than its
+    // dependencies complete. Independent SparseNet lookups spread across
+    // workers; the DenseNet chain serializes (Fig 5).
+    std::vector<double> worker_free(static_cast<size_t>(workers), 0.0);
+    std::vector<double> node_end(g.nodes().size(), 0.0);
+    double dram_lb_bytes = 0.0;  // bandwidth serialization lower bound
+    double nmp_total_us = 0.0;
+
+    for (int id : g.topoOrder()) {
+        const Node& n = g.node(id);
+        double ready = 0.0;
+        for (int d : n.deps)
+            ready = std::max(ready, node_end[static_cast<size_t>(d)]);
+
+        double lat = cpuOpLatencyUs(n, batch, cx);
+        model::OpCost cost = model::opCostPerItem(n);
+        double b = static_cast<double>(batch);
+        t.flops += cost.flops * b;
+
+        bool on_nmp = false;
+        if (n.kind() == OpKind::EmbeddingLookup) {
+            const auto& p = std::get<EmbeddingParams>(n.params);
+            on_nmp = cx.use_nmp && p.pooled;
+            double pooling =
+                std::max(1.0, p.avgPooling() * cx.pooling_scale);
+            double bytes = b * pooling * p.emb_dim * 4.0;
+            if (on_nmp) {
+                NmpResult r = nmpLut(p.emb_dim).lookup(batch, pooling);
+                double share = std::clamp(cx.nmp_share, 1e-3, 1.0);
+                nmp_total_us += r.latency_us / share;
+                t.nmp_energy_uj += r.energy_uj;
+            } else {
+                dram_lb_bytes += bytes;
+                t.dram_bytes += bytes;
+            }
+        }
+
+        // Earliest-available worker.
+        size_t w = 0;
+        for (size_t i = 1; i < worker_free.size(); ++i)
+            if (worker_free[i] < worker_free[w])
+                w = i;
+        double start = std::max(ready, worker_free[w]);
+        double end = start + lat;
+        worker_free[w] = end;
+        node_end[static_cast<size_t>(id)] = end;
+        t.busy_us += lat;
+        t.ops.push_back({id, static_cast<int>(w), start, end});
+    }
+
+    double makespan = 0.0;
+    for (double f : worker_free)
+        makespan = std::max(makespan, f);
+
+    // Bandwidth lower bound: gathers scheduled on parallel workers still
+    // share this thread's DRAM bandwidth; NMP ops serialize on the NMP
+    // device share.
+    double bw = std::max(cx.mem_bw_gbps, 1e-3) * 1e9;
+    double mem_lb_us = dram_lb_bytes / bw * 1e6;
+    double latency = std::max({makespan, mem_lb_us, nmp_total_us});
+
+    t.latency_us = kCpuQueryOverheadUs + latency;
+    t.nmp_busy_us = nmp_total_us;
+    double span = makespan * static_cast<double>(workers);
+    t.idle_frac = span > 0.0 ? 1.0 - t.busy_us / span : 0.0;
+    return t;
+}
+
+double
+CostModel::gpuKernelLatencyUs(const Node& n, int batch,
+                              const GpuExecContext& cx) const
+{
+    using namespace calib;
+    if (!server_.hasGpu())
+        panic("gpuKernelLatencyUs: server %s has no GPU",
+              server_.name.c_str());
+
+    const GpuSpec& gpu = *server_.gpu;
+    double slow = colocSlowdown(cx.colocated);
+    double b = static_cast<double>(batch);
+    model::OpCost cost = model::opCostPerItem(n);
+
+    if (n.kind() == OpKind::EmbeddingLookup) {
+        const auto& p = std::get<EmbeddingParams>(n.params);
+        double pooling = std::max(
+            1.0, p.avgPooling() * cx.pooling_scale * cx.hot_hit_rate);
+        double bytes = b * pooling * p.emb_dim * 4.0;
+        double bw = gpu.hbm_gbps * kGpuHbmGatherEff * 1e9;
+        return kGpuKernelLaunchUs + bytes / bw * 1e6 * slow;
+    }
+
+    double eff = gpuBatchEff(batch);
+    if (n.kind() == OpKind::Gru) {
+        // Sequence-serial recurrence keeps the device poorly utilized
+        // regardless of batch.
+        eff *= 0.30;
+    }
+    double flops = cost.flops * b;
+    double rate = gpu.peakTflops() * 1e12 * eff;
+    return kGpuKernelLaunchUs + flops / rate * 1e6 * slow;
+}
+
+GraphTiming
+CostModel::gpuGraphTiming(const Graph& g, int batch,
+                          const GpuExecContext& cx) const
+{
+    GraphTiming t;
+    t.ops.reserve(g.nodes().size());
+    // Kernels issue in-order on the thread's stream.
+    double now = 0.0;
+    for (int id : g.topoOrder()) {
+        const Node& n = g.node(id);
+        double lat = gpuKernelLatencyUs(n, batch, cx);
+        model::OpCost cost = model::opCostPerItem(n);
+        t.flops += cost.flops * static_cast<double>(batch);
+        t.ops.push_back({id, 0, now, now + lat});
+        now += lat;
+    }
+    t.latency_us = now;
+    t.busy_us = now;
+    t.idle_frac = 0.0;
+    return t;
+}
+
+double
+CostModel::gpuInputBytes(const Graph& g, int batch,
+                         const GpuExecContext& cx) const
+{
+    double per_item = 0.0;
+    for (const auto& n : g.nodes()) {
+        model::OpCost cost = model::opCostPerItem(n);
+        switch (n.kind()) {
+          case OpKind::EmbeddingLookup: {
+            const auto& p = std::get<EmbeddingParams>(n.params);
+            double pooling =
+                std::max(1.0, p.avgPooling() * cx.pooling_scale);
+            // Resident fraction receives raw indices. The cold fraction
+            // of a pooled lookup was pre-reduced on the host and arrives
+            // as one partial-sum vector per table; a non-pooled cold
+            // fraction must ship the gathered rows themselves.
+            per_item += pooling * cx.hot_hit_rate * 8.0;
+            if (cx.hot_hit_rate < 1.0) {
+                if (p.pooled)
+                    per_item += p.emb_dim * 4.0;
+                else
+                    per_item += (1.0 - cx.hot_hit_rate) * pooling *
+                                p.emb_dim * 4.0;
+            }
+            break;
+          }
+          case OpKind::Fc:
+            if (n.deps.empty())
+                per_item += cost.input_bytes;  // root dense features
+            break;
+          case OpKind::Interaction: {
+            // Dependencies severed by partitioning arrive over PCIe.
+            const auto& p = std::get<model::InteractionParams>(n.params);
+            int missing = p.num_features - static_cast<int>(n.deps.size());
+            if (missing > 0)
+                per_item += static_cast<double>(missing) *
+                            p.feature_dim * 4.0;
+            break;
+          }
+          case OpKind::Attention: {
+            const auto& p = std::get<model::AttentionParams>(n.params);
+            bool has_seq_producer = false;
+            for (int d : n.deps) {
+                OpKind k = g.node(d).kind();
+                if (k == OpKind::EmbeddingLookup || k == OpKind::Gru)
+                    has_seq_producer = true;
+            }
+            if (!has_seq_producer) {
+                per_item += p.avgSeqLen() * cx.pooling_scale *
+                            p.behavior_dim * 4.0;
+            }
+            break;
+          }
+          case OpKind::Gru: {
+            const auto& p = std::get<model::GruParams>(n.params);
+            if (n.deps.empty()) {
+                per_item += p.avgSeqLen() * cx.pooling_scale *
+                            p.input_dim * 4.0;
+            }
+            break;
+          }
+          case OpKind::Concat: {
+            const auto& p = std::get<model::ConcatParams>(n.params);
+            double present = 0.0;
+            for (int d : n.deps)
+                present += model::opCostPerItem(g.node(d)).output_bytes;
+            double missing = static_cast<double>(p.total_dim) * 4.0 -
+                             present;
+            if (missing > 0.0 && n.deps.empty())
+                per_item += missing;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return per_item * static_cast<double>(batch);
+}
+
+double
+CostModel::pcieBwGbps() const
+{
+    if (!server_.hasGpu())
+        panic("pcieBwGbps: server %s has no GPU", server_.name.c_str());
+    return server_.gpu->pcie_gbps * calib::kPcieEff;
+}
+
+double
+CostModel::pcieTransferUs(double bytes, double bw_share_gbps) const
+{
+    double bw = std::max(bw_share_gbps, 1e-3) * 1e9;
+    return calib::kPcieSetupUs + bytes / bw * 1e6;
+}
+
+}  // namespace hercules::hw

@@ -1,0 +1,141 @@
+#include "hw/device_specs.h"
+
+#include "hw/calibration.h"
+#include "util/logging.h"
+
+namespace hercules::hw {
+
+double
+CpuSpec::effGflopsPerCore() const
+{
+    return freq_ghz * calib::kCpuFlopsPerCycle;
+}
+
+double
+MemSpec::peakBwGbps() const
+{
+    // DDR4-2666: 21.3 GB/s per channel regardless of DIMM/rank count
+    // (ranks add capacity and parallelism, not pin bandwidth).
+    return 21.3 * channels;
+}
+
+double
+GpuSpec::peakTflops() const
+{
+    // fp32: 64 CUDA lanes per SM, 2 flops per FMA.
+    return sms * 64.0 * 2.0 * boost_mhz * 1e6 / 1e12;
+}
+
+CpuSpec
+cpuT1()
+{
+    CpuSpec c;
+    c.name = "Intel Xeon D-2191";
+    c.freq_ghz = 1.6;
+    c.cores = 18;
+    c.llc_mb = 24.75;
+    c.tdp_w = 86.0;
+    return c;
+}
+
+CpuSpec
+cpuT2()
+{
+    CpuSpec c;
+    c.name = "Intel Xeon Gold 6138";
+    c.freq_ghz = 2.0;
+    c.cores = 20;
+    c.llc_mb = 27.5;
+    c.tdp_w = 125.0;
+    return c;
+}
+
+MemSpec
+ddr4T1()
+{
+    MemSpec m;
+    m.name = "DDR4";
+    m.kind = MemKind::Ddr4;
+    m.channels = 4;
+    m.dimms_per_channel = 1;
+    m.ranks_per_dimm = 1;
+    m.capacity_gb = 64;
+    m.tdp_w = 28.0;
+    return m;
+}
+
+MemSpec
+ddr4T2()
+{
+    MemSpec m;
+    m.name = "DDR4";
+    m.kind = MemKind::Ddr4;
+    m.channels = 4;
+    m.dimms_per_channel = 1;
+    m.ranks_per_dimm = 2;
+    m.capacity_gb = 128;
+    m.tdp_w = 50.0;
+    return m;
+}
+
+MemSpec
+nmpX(int n)
+{
+    MemSpec m;
+    m.kind = MemKind::Nmp;
+    m.channels = 4;
+    m.ranks_per_dimm = 2;
+    switch (n) {
+      case 2:
+        m.dimms_per_channel = 1;
+        m.capacity_gb = 128;
+        m.tdp_w = 50.0;
+        break;
+      case 4:
+        m.dimms_per_channel = 2;
+        m.capacity_gb = 256;
+        m.tdp_w = 100.0;
+        break;
+      case 8:
+        m.dimms_per_channel = 4;
+        m.capacity_gb = 512;
+        m.tdp_w = 200.0;
+        break;
+      default:
+        fatal("nmpX: unsupported rank parallelism %d (use 2, 4 or 8)", n);
+    }
+    m.name = "NMPx" + std::to_string(n);
+    return m;
+}
+
+GpuSpec
+gpuP100()
+{
+    GpuSpec g;
+    g.name = "NVIDIA P100";
+    g.boost_mhz = 1480.0;
+    g.sms = 56;
+    g.tpcs = 28;
+    g.hbm_gbps = 732.0;
+    g.mem_gb = 16;
+    g.pcie_gbps = 16.0;
+    g.tdp_w = 300.0;
+    return g;
+}
+
+GpuSpec
+gpuV100()
+{
+    GpuSpec g;
+    g.name = "NVIDIA V100";
+    g.boost_mhz = 1530.0;
+    g.sms = 80;
+    g.tpcs = 40;
+    g.hbm_gbps = 900.0;
+    g.mem_gb = 16;
+    g.pcie_gbps = 16.0;
+    g.tdp_w = 300.0;
+    return g;
+}
+
+}  // namespace hercules::hw

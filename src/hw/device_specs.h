@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware component specifications mirroring Table II of the paper:
+ * two Xeon generations (CPU-T1/CPU-T2), DDR4 and NMP-DIMM memory
+ * configurations, and two NVIDIA GPU generations (P100/V100).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hercules::hw {
+
+/** A server-grade CPU socket. */
+struct CpuSpec
+{
+    std::string name;          ///< e.g. "Intel Xeon Gold 6138"
+    double freq_ghz = 0.0;     ///< nominal core clock
+    int cores = 0;             ///< physical cores (no hyperthreading)
+    double llc_mb = 0.0;       ///< last-level cache size
+    double tdp_w = 0.0;        ///< thermal design power
+
+    /**
+     * Effective per-core GFLOP/s for inference GEMM kernels: clock times
+     * the calibrated effective SIMD FLOPs/cycle (well below the AVX-512
+     * peak — production inference kernels on small batches run at a
+     * fraction of peak).
+     */
+    double effGflopsPerCore() const;
+};
+
+/** Memory subsystem kind. */
+enum class MemKind {
+    Ddr4,  ///< plain DDR4 DIMMs
+    Nmp,   ///< DIMM-based near-memory-processing (RecNMP-style)
+};
+
+/** A memory configuration (channels x DIMMs x ranks). */
+struct MemSpec
+{
+    std::string name;            ///< e.g. "NMPx4"
+    MemKind kind = MemKind::Ddr4;
+    int channels = 0;            ///< memory channels
+    int dimms_per_channel = 0;
+    int ranks_per_dimm = 0;
+    int64_t capacity_gb = 0;
+    double tdp_w = 0.0;
+
+    /** @return total ranks (the NMP rank-level parallelism factor). */
+    int totalRanks() const
+    { return channels * dimms_per_channel * ranks_per_dimm; }
+
+    /** @return peak pin bandwidth in GB/s (DDR4-2666, 21.3 GB/s/ch). */
+    double peakBwGbps() const;
+
+    /** @return capacity in bytes. */
+    int64_t capacityBytes() const
+    { return capacity_gb * (1ll << 30); }
+};
+
+/** A discrete GPU accelerator. */
+struct GpuSpec
+{
+    std::string name;          ///< "NVIDIA V100"
+    double boost_mhz = 0.0;
+    int sms = 0;               ///< streaming multiprocessors
+    int tpcs = 0;
+    double hbm_gbps = 0.0;     ///< HBM2 bandwidth
+    int64_t mem_gb = 0;        ///< device memory capacity
+    double pcie_gbps = 0.0;    ///< host link bandwidth
+    double tdp_w = 0.0;
+
+    /** @return peak fp32 TFLOP/s (SMs x 64 lanes x 2 FMA x clock). */
+    double peakTflops() const;
+
+    /** @return device memory in bytes. */
+    int64_t memBytes() const { return mem_gb * (1ll << 30); }
+};
+
+/** @return the Xeon D-2191 socket (CPU-T1 in Table II). */
+CpuSpec cpuT1();
+
+/** @return the Xeon Gold 6138 socket (CPU-T2 in Table II). */
+CpuSpec cpuT2();
+
+/** @return CPU-T1's DDR4 config: 4ch x 1 DIMM x 1 rank, 64 GB, 28 W. */
+MemSpec ddr4T1();
+
+/** @return CPU-T2's DDR4 config: 4ch x 1 DIMM x 2 ranks, 128 GB, 50 W. */
+MemSpec ddr4T2();
+
+/**
+ * @return an NMP-DIMM config with `n` ranks per channel (n in {2,4,8}),
+ * matching Table II's NMPx2/x4/x8 rows.
+ */
+MemSpec nmpX(int n);
+
+/** @return the NVIDIA P100 spec. */
+GpuSpec gpuP100();
+
+/** @return the NVIDIA V100 spec. */
+GpuSpec gpuV100();
+
+}  // namespace hercules::hw

@@ -1,0 +1,114 @@
+#include "hw/nmp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/calibration.h"
+#include "util/logging.h"
+
+namespace hercules::hw {
+
+NmpSimulator::NmpSimulator(const MemSpec& mem) : ranks_(mem.totalRanks())
+{
+    if (mem.kind != MemKind::Nmp)
+        fatal("NmpSimulator: memory spec '%s' is not NMP", mem.name.c_str());
+    if (ranks_ <= 0)
+        fatal("NmpSimulator: no ranks");
+}
+
+NmpResult
+NmpSimulator::simulateSls(int batch, double pooling, int emb_dim) const
+{
+    using namespace calib;
+    if (batch <= 0 || pooling <= 0.0 || emb_dim <= 0)
+        fatal("NmpSimulator: bad SLS shape b=%d p=%f d=%d", batch, pooling,
+              emb_dim);
+
+    double accesses = static_cast<double>(batch) * pooling;
+    double row_bytes = static_cast<double>(emb_dim) * 4.0;
+    double bursts = std::ceil(row_bytes / 64.0);
+
+    // Cycles charged per row gather within one rank: activate+CAS
+    // amortized over the open banks, plus the data bursts.
+    double per_access =
+        kNmpAccessCycles / kNmpBankOverlap + bursts * kNmpBurstCycles;
+
+    // Work is spread over all ranks; the PU reduces one pooled vector
+    // per item assigned to it.
+    double accesses_per_rank = accesses / ranks_;
+    double items_per_rank =
+        static_cast<double>(batch) / ranks_;
+    double cycles = accesses_per_rank * per_access +
+                    std::ceil(items_per_rank) * kNmpReduceCycles;
+
+    NmpResult r;
+    r.latency_us = cycles / kNmpDramMhz;  // MHz -> cycles/us
+    r.energy_uj = accesses * kNmpAccessEnergyNj * 1e-3;
+    return r;
+}
+
+NmpLut::NmpLut(const MemSpec& mem, int emb_dim) : emb_dim_(emb_dim)
+{
+    NmpSimulator sim(mem);
+    // Grid covers the batch/pooling ranges the six models exercise.
+    batches_ = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+    poolings_ = {1, 2, 5, 10, 20, 40, 80, 160, 320, 640, 1000};
+    grid_.reserve(batches_.size() * poolings_.size());
+    for (int b : batches_)
+        for (double p : poolings_)
+            grid_.push_back(sim.simulateSls(b, p, emb_dim));
+}
+
+const NmpResult&
+NmpLut::at(size_t bi, size_t pi) const
+{
+    return grid_[bi * poolings_.size() + pi];
+}
+
+NmpResult
+NmpLut::lookup(int batch, double pooling) const
+{
+    auto clampIndex = [](double v, const auto& axis, size_t& lo,
+                         double& frac) {
+        if (v <= static_cast<double>(axis.front())) {
+            lo = 0;
+            frac = 0.0;
+            return;
+        }
+        if (v >= static_cast<double>(axis.back())) {
+            lo = axis.size() - 2;
+            frac = 1.0;
+            return;
+        }
+        for (size_t i = 0; i + 1 < axis.size(); ++i) {
+            double a = static_cast<double>(axis[i]);
+            double b = static_cast<double>(axis[i + 1]);
+            if (v >= a && v <= b) {
+                lo = i;
+                frac = (v - a) / (b - a);
+                return;
+            }
+        }
+        lo = axis.size() - 2;
+        frac = 1.0;
+    };
+
+    size_t bi = 0, pi = 0;
+    double bf = 0.0, pf = 0.0;
+    clampIndex(static_cast<double>(batch), batches_, bi, bf);
+    clampIndex(pooling, poolings_, pi, pf);
+
+    auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+    auto blend = [&](auto get) {
+        double lo = lerp(get(at(bi, pi)), get(at(bi, pi + 1)), pf);
+        double hi = lerp(get(at(bi + 1, pi)), get(at(bi + 1, pi + 1)), pf);
+        return lerp(lo, hi, bf);
+    };
+
+    NmpResult r;
+    r.latency_us = blend([](const NmpResult& x) { return x.latency_us; });
+    r.energy_uj = blend([](const NmpResult& x) { return x.energy_uj; });
+    return r;
+}
+
+}  // namespace hercules::hw

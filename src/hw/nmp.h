@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-approximate simulator of a DIMM-based near-memory-processing
+ * (NMP) device executing SparseLengthsSum (gather-and-reduce), in the
+ * style of RecNMP [25].
+ *
+ * The paper's methodology (Fig 13) runs a cycle-level NMP simulation of
+ * sampled queries ahead of time and records latency/energy in a lookup
+ * table (LUT); online, a dummy SLS-NMP operator taxes the LUT latency.
+ * We reproduce exactly that: NmpSimulator is the cycle model, NmpLut the
+ * pre-built table with interpolation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/device_specs.h"
+
+namespace hercules::hw {
+
+/** Latency and energy of one SLS operation executed in-DIMM. */
+struct NmpResult
+{
+    double latency_us = 0.0;
+    double energy_uj = 0.0;
+};
+
+/**
+ * Cycle-approximate model of rank-parallel gather-and-reduce.
+ *
+ * Row accesses are spread round-robin across all NMP ranks; each access
+ * pays DRAM activate+CAS cycles (amortized by bank-level parallelism)
+ * plus data burst cycles; the per-rank processing unit adds reduce
+ * cycles per pooled vector. Latency scales ~1/ranks, which is the
+ * rank-level parallelism NMPxN advertises in Table II.
+ */
+class NmpSimulator
+{
+  public:
+    /** @param mem an NMP memory spec (fatal if kind != Nmp). */
+    explicit NmpSimulator(const MemSpec& mem);
+
+    /**
+     * Simulate one SLS operator.
+     *
+     * @param batch    items in the batch.
+     * @param pooling  rows gathered and reduced per item.
+     * @param emb_dim  embedding width (fp32 elements).
+     */
+    NmpResult simulateSls(int batch, double pooling, int emb_dim) const;
+
+    /** @return the number of NMP ranks (parallelism factor). */
+    int ranks() const { return ranks_; }
+
+  private:
+    int ranks_;
+};
+
+/**
+ * Pre-built latency/energy lookup table over a (batch x pooling) grid
+ * for a fixed embedding width, with bilinear interpolation — the "LUT"
+ * of the paper's evaluation framework. Using the LUT during serving
+ * keeps the expensive cycle simulation off the critical path.
+ */
+class NmpLut
+{
+  public:
+    /**
+     * Pre-simulate the grid.
+     * @param mem      NMP memory spec.
+     * @param emb_dim  embedding width this LUT is built for.
+     */
+    NmpLut(const MemSpec& mem, int emb_dim);
+
+    /** Interpolated lookup (clamped to the grid boundary). */
+    NmpResult lookup(int batch, double pooling) const;
+
+    /** @return embedding width the table was built for. */
+    int embDim() const { return emb_dim_; }
+
+  private:
+    int emb_dim_;
+    std::vector<int> batches_;
+    std::vector<double> poolings_;
+    std::vector<NmpResult> grid_;  ///< batches_ x poolings_, row-major
+
+    const NmpResult& at(size_t bi, size_t pi) const;
+};
+
+}  // namespace hercules::hw

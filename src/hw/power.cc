@@ -1,0 +1,68 @@
+#include "hw/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/calibration.h"
+
+namespace hercules::hw {
+
+PowerModel::PowerModel(const ServerSpec& server) : server_(server) {}
+
+double
+PowerModel::cpuPowerW(double util) const
+{
+    using namespace calib;
+    util = std::clamp(util, 0.0, 1.0);
+    double idle = kCpuIdleFrac * server_.cpu.tdp_w;
+    double span = server_.cpu.tdp_w - idle;
+    return idle + span * std::pow(util, kCpuPowerAlpha);
+}
+
+double
+PowerModel::memPowerW(double bw_util) const
+{
+    using namespace calib;
+    bw_util = std::clamp(bw_util, 0.0, 1.0);
+    double idle = kMemIdleFrac * server_.mem.tdp_w;
+    if (server_.hasNmp())
+        idle += kNmpPuIdleW * server_.mem.totalRanks();
+    double span = server_.mem.tdp_w - kMemIdleFrac * server_.mem.tdp_w;
+    return std::min(idle + span * bw_util,
+                    server_.mem.tdp_w +
+                        (server_.hasNmp()
+                             ? kNmpPuIdleW * server_.mem.totalRanks()
+                             : 0.0));
+}
+
+double
+PowerModel::gpuPowerW(double util) const
+{
+    using namespace calib;
+    if (!server_.hasGpu())
+        return 0.0;
+    util = std::clamp(util, 0.0, 1.0);
+    double idle = kGpuIdleFrac * server_.gpu->tdp_w;
+    double span = server_.gpu->tdp_w - idle;
+    return idle + span * util;
+}
+
+double
+PowerModel::serverPowerW(const Utilization& u) const
+{
+    return cpuPowerW(u.cpu) + memPowerW(u.mem_bw) + gpuPowerW(u.gpu);
+}
+
+double
+PowerModel::idlePowerW() const
+{
+    return serverPowerW(Utilization{});
+}
+
+double
+PowerModel::peakPowerW() const
+{
+    return serverPowerW(Utilization{1.0, 1.0, 1.0});
+}
+
+}  // namespace hercules::hw

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytical server power model standing in for the paper's RAPL /
+ * nvidia-smi measurements. Each component contributes idle (leakage)
+ * power plus activity-proportional dynamic power capped at its TDP.
+ */
+#pragma once
+
+#include "hw/server.h"
+
+namespace hercules::hw {
+
+/** Component utilizations in [0, 1] describing one operating point. */
+struct Utilization
+{
+    double cpu = 0.0;     ///< fraction of core-cycles busy
+    double mem_bw = 0.0;  ///< fraction of effective bandwidth consumed
+    double gpu = 0.0;     ///< fraction of SM-time busy
+};
+
+/**
+ * Power model for one server.
+ *
+ * NMP memory dissipates extra idle power for the per-rank processing
+ * units and the additional DIMMs — the effect that makes NMPx8 a poor
+ * QPS/W choice for one-hot models (Fig 15).
+ */
+class PowerModel
+{
+  public:
+    /** @param server the server architecture to model. */
+    explicit PowerModel(const ServerSpec& server);
+
+    /** @return CPU socket power at the given utilization (W). */
+    double cpuPowerW(double util) const;
+
+    /** @return memory subsystem power at the given BW utilization (W). */
+    double memPowerW(double bw_util) const;
+
+    /** @return GPU power at the given utilization (0 without GPU). */
+    double gpuPowerW(double util) const;
+
+    /** @return whole-server power at an operating point (W). */
+    double serverPowerW(const Utilization& u) const;
+
+    /** @return power with everything idle (W). */
+    double idlePowerW() const;
+
+    /** @return power with everything saturated (W). */
+    double peakPowerW() const;
+
+  private:
+    ServerSpec server_;
+};
+
+}  // namespace hercules::hw

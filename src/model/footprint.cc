@@ -1,0 +1,116 @@
+#include "model/footprint.h"
+
+namespace hercules::model {
+
+namespace {
+
+/** Bytes of one embedding index on the wire (int64 ids in production). */
+constexpr double kIndexBytes = 8.0;
+
+struct CostVisitor
+{
+    bool is_root;
+
+    OpCost operator()(const EmbeddingParams& p) const
+    {
+        OpCost c;
+        double pooling = p.avgPooling();
+        c.dram_bytes = pooling * p.emb_dim * 4.0;
+        c.flops = p.pooled ? pooling * p.emb_dim : 0.0;
+        c.input_bytes = pooling * kIndexBytes;
+        double out_rows = p.pooled ? 1.0 : pooling;
+        c.output_bytes = out_rows * p.emb_dim * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const FcParams& p) const
+    {
+        OpCost c;
+        c.flops = 2.0 * p.in_dim * p.out_dim;
+        if (is_root)
+            c.input_bytes = p.in_dim * 4.0;
+        c.output_bytes = p.out_dim * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const AttentionParams& p) const
+    {
+        OpCost c;
+        double seq = p.avgSeqLen();
+        // Activation unit per behaviour: concat(behaviour, candidate,
+        // interaction) -> hidden -> scalar, then the weighted sum.
+        double unit = 2.0 * (3.0 * p.behavior_dim * p.hidden_dim +
+                             p.hidden_dim);
+        c.flops = seq * (unit + 2.0 * p.behavior_dim);
+        c.output_bytes = p.behavior_dim * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const GruParams& p) const
+    {
+        OpCost c;
+        double seq = p.avgSeqLen();
+        // 3 gates, each input and recurrent GEMV, per layer per step.
+        double step = 6.0 * p.hidden_dim * (p.input_dim + p.hidden_dim);
+        c.flops = p.layers * seq * step;
+        c.output_bytes = static_cast<double>(p.hidden_dim) * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const InteractionParams& p) const
+    {
+        OpCost c;
+        double pairs = 0.5 * p.num_features * (p.num_features - 1);
+        c.flops = pairs * p.feature_dim * 2.0 +
+                  static_cast<double>(p.num_features) * p.feature_dim;
+        c.output_bytes = pairs * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const ConcatParams& p) const
+    {
+        OpCost c;
+        c.flops = static_cast<double>(p.total_dim);  // pure data movement
+        c.output_bytes = static_cast<double>(p.total_dim) * 4.0;
+        return c;
+    }
+
+    OpCost operator()(const ActivationParams& p) const
+    {
+        OpCost c;
+        c.flops = static_cast<double>(p.dim);
+        c.output_bytes = static_cast<double>(p.dim) * 4.0;
+        return c;
+    }
+};
+
+}  // namespace
+
+OpCost
+opCostPerItem(const Node& n, bool is_root)
+{
+    return std::visit(CostVisitor{is_root}, n.params);
+}
+
+OpCost
+opCostPerItem(const Node& n)
+{
+    return opCostPerItem(n, n.deps.empty());
+}
+
+ModelFootprint
+analyzeModel(const Model& m)
+{
+    ModelFootprint f;
+    for (const auto& n : m.graph.nodes()) {
+        OpCost c = opCostPerItem(n);
+        f.flops_per_item += c.flops;
+        f.dram_bytes_per_item += c.dram_bytes;
+        f.input_bytes_per_item += c.input_bytes;
+    }
+    f.emb_bytes = m.embeddingBytes();
+    f.param_bytes = m.denseParamBytes();
+    return f;
+}
+
+}  // namespace hercules::model

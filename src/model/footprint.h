@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Roofline-style cost descriptors: per-ranked-item FLOPs, DRAM traffic
+ * and host-to-device input bytes for every operator and whole models.
+ *
+ * These numbers drive both the Fig 1 characterization (compute vs memory
+ * footprint per query) and the hardware cost model in src/hw.
+ *
+ * Accounting rules:
+ *  - Embedding tables are tens of GB and never cache-resident, so every
+ *    gathered row is DRAM traffic.
+ *  - Dense-layer weights are MBs and LLC/HBM-resident after the first
+ *    touch, so steady-state FC/GRU/attention traffic is counted as
+ *    compute only (the paper's models are either bandwidth-bound in the
+ *    SparseNet or compute-bound in the DenseNet — Fig 1).
+ *  - `input_bytes` counts what must cross PCIe when the operator runs on
+ *    a discrete accelerator: embedding indices (8 B each) and root dense
+ *    features. This is what makes DLRM-RMC3 data-loading-dominated on
+ *    GPUs (Fig 7).
+ */
+#pragma once
+
+#include "model/graph.h"
+#include "model/model_zoo.h"
+
+namespace hercules::model {
+
+/** Per-ranked-item cost of one operator. */
+struct OpCost
+{
+    double flops = 0.0;        ///< arithmetic operations
+    double dram_bytes = 0.0;   ///< DRAM-resident traffic
+    double input_bytes = 0.0;  ///< host->device transfer volume
+    double output_bytes = 0.0; ///< operator output size (queue traffic)
+};
+
+/**
+ * @param n        operator node.
+ * @param is_root  true when the node has no intra-graph producers and
+ *                 therefore reads model inputs (dense features).
+ * @return expected per-item cost using mean pooling / sequence length.
+ */
+OpCost opCostPerItem(const Node& n, bool is_root);
+
+/** Convenience overload: derives is_root from n.deps. */
+OpCost opCostPerItem(const Node& n);
+
+/** Aggregate per-item cost plus static footprint of a model. */
+struct ModelFootprint
+{
+    double flops_per_item = 0.0;
+    double dram_bytes_per_item = 0.0;
+    double input_bytes_per_item = 0.0;
+    int64_t emb_bytes = 0;      ///< embedding-table bytes
+    int64_t param_bytes = 0;    ///< dense parameter bytes
+
+    /** @return arithmetic intensity (FLOPs per DRAM byte). */
+    double intensity() const
+    {
+        return dram_bytes_per_item > 0.0
+            ? flops_per_item / dram_bytes_per_item
+            : 1e9;
+    }
+};
+
+/** Sum the per-item operator costs over a whole model. */
+ModelFootprint analyzeModel(const Model& m);
+
+}  // namespace hercules::model

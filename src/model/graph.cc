@@ -1,0 +1,170 @@
+#include "model/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace hercules::model {
+
+const char*
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::EmbeddingLookup: return "EmbeddingLookup";
+      case OpKind::Fc:              return "FC";
+      case OpKind::Attention:       return "Attention";
+      case OpKind::Gru:             return "GRU";
+      case OpKind::Interaction:     return "Interaction";
+      case OpKind::Concat:          return "Concat";
+      case OpKind::Activation:      return "Activation";
+    }
+    panic("unknown OpKind %d", static_cast<int>(k));
+}
+
+OpKind
+opKindOf(const OpParams& params)
+{
+    struct Visitor
+    {
+        OpKind operator()(const EmbeddingParams&) const
+        { return OpKind::EmbeddingLookup; }
+        OpKind operator()(const FcParams&) const { return OpKind::Fc; }
+        OpKind operator()(const AttentionParams&) const
+        { return OpKind::Attention; }
+        OpKind operator()(const GruParams&) const { return OpKind::Gru; }
+        OpKind operator()(const InteractionParams&) const
+        { return OpKind::Interaction; }
+        OpKind operator()(const ConcatParams&) const
+        { return OpKind::Concat; }
+        OpKind operator()(const ActivationParams&) const
+        { return OpKind::Activation; }
+    };
+    return std::visit(Visitor{}, params);
+}
+
+const char*
+stageName(Stage s)
+{
+    return s == Stage::Sparse ? "Sparse" : "Dense";
+}
+
+int
+Graph::addNode(const std::string& name, OpParams params, Stage stage,
+               const std::vector<int>& deps)
+{
+    if (findNode(name) != -1)
+        fatal("Graph: duplicate node name '%s'", name.c_str());
+    for (int d : deps) {
+        if (d < 0 || d >= size())
+            fatal("Graph: node '%s' depends on unknown id %d", name.c_str(),
+                  d);
+    }
+    Node n;
+    n.id = size();
+    n.name = name;
+    n.params = std::move(params);
+    n.stage = stage;
+    n.deps = deps;
+    nodes_.push_back(std::move(n));
+    topo_cache_.clear();
+    return nodes_.back().id;
+}
+
+const Node&
+Graph::node(int id) const
+{
+    if (id < 0 || id >= size())
+        panic("Graph: node id %d out of range [0, %d)", id, size());
+    return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>&
+Graph::topoOrder() const
+{
+    if (!topo_cache_.empty() || nodes_.empty())
+        return topo_cache_;
+    std::vector<int> indeg(nodes_.size(), 0);
+    std::vector<std::vector<int>> out(nodes_.size());
+    for (const auto& n : nodes_) {
+        indeg[static_cast<size_t>(n.id)] = static_cast<int>(n.deps.size());
+        for (int d : n.deps)
+            out[static_cast<size_t>(d)].push_back(n.id);
+    }
+    std::vector<int> order;
+    order.reserve(nodes_.size());
+    std::vector<int> frontier;
+    for (const auto& n : nodes_)
+        if (n.deps.empty())
+            frontier.push_back(n.id);
+    while (!frontier.empty()) {
+        int id = frontier.back();
+        frontier.pop_back();
+        order.push_back(id);
+        for (int succ : out[static_cast<size_t>(id)]) {
+            if (--indeg[static_cast<size_t>(succ)] == 0)
+                frontier.push_back(succ);
+        }
+    }
+    if (order.size() != nodes_.size())
+        fatal("Graph: dependency cycle detected");
+    topo_cache_ = std::move(order);
+    return topo_cache_;
+}
+
+std::vector<int>
+Graph::stageNodes(Stage stage) const
+{
+    std::vector<int> ids;
+    for (const auto& n : nodes_)
+        if (n.stage == stage)
+            ids.push_back(n.id);
+    return ids;
+}
+
+bool
+Graph::hasStage(Stage stage) const
+{
+    return !stageNodes(stage).empty();
+}
+
+int
+Graph::criticalPathLength(const std::vector<int>& subset) const
+{
+    std::unordered_set<int> in_set(subset.begin(), subset.end());
+    std::vector<int> depth(nodes_.size(), 0);
+    int best = 0;
+    for (int id : topoOrder()) {
+        if (!in_set.count(id))
+            continue;
+        int d = 1;
+        for (int dep : node(id).deps) {
+            if (in_set.count(dep))
+                d = std::max(d, depth[static_cast<size_t>(dep)] + 1);
+        }
+        depth[static_cast<size_t>(id)] = d;
+        best = std::max(best, d);
+    }
+    return best;
+}
+
+std::vector<int>
+Graph::roots() const
+{
+    std::vector<int> ids;
+    for (const auto& n : nodes_)
+        if (n.deps.empty())
+            ids.push_back(n.id);
+    return ids;
+}
+
+int
+Graph::findNode(const std::string& name) const
+{
+    for (const auto& n : nodes_)
+        if (n.name == name)
+            return n.id;
+    return -1;
+}
+
+}  // namespace hercules::model

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Computation graph `Gm`: operator nodes plus dependency edges.
+ *
+ * The task scheduler partitions this graph (SparseNet `Gs`, DenseNet
+ * `Gd`, Hot-SparseNet `Gs.hot`) and maps the pieces onto devices; the
+ * simulator walks it in dependency order to model per-thread execution.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/op.h"
+
+namespace hercules::model {
+
+/** Which side of the sparse/dense split a node belongs to. */
+enum class Stage { Sparse, Dense };
+
+/** @return printable name for a stage. */
+const char* stageName(Stage s);
+
+/** One operator instance in a computation graph. */
+struct Node
+{
+    int id = -1;               ///< index within the owning graph
+    std::string name;          ///< unique human-readable name
+    OpParams params;           ///< operator shape descriptor
+    Stage stage = Stage::Dense;///< sparse/dense classification
+    std::vector<int> deps;     ///< ids of nodes that must finish first
+
+    /** @return the operator kind. */
+    OpKind kind() const { return opKindOf(params); }
+};
+
+/**
+ * A directed acyclic computation graph.
+ *
+ * Nodes are added in any order; edges reference node ids. The graph
+ * validates acyclicity on demand and provides the queries the scheduler
+ * needs: topological order, stage subsets, and dependency-chain depth
+ * (which bounds op-parallel speedup — the root cause of the op-worker
+ * idling the paper measures in Fig 5).
+ */
+class Graph
+{
+  public:
+    /**
+     * Add a node; returns its id.
+     *
+     * @param name   unique name (fatal on duplicates).
+     * @param params operator descriptor.
+     * @param stage  sparse/dense classification.
+     * @param deps   ids of prerequisite nodes (must already exist).
+     */
+    int addNode(const std::string& name, OpParams params, Stage stage,
+                const std::vector<int>& deps = {});
+
+    /** @return node by id (panics when out of range). */
+    const Node& node(int id) const;
+
+    /** @return all nodes in insertion order. */
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /** @return number of nodes. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /**
+     * @return node ids in a valid topological order; fatal on cycles.
+     * The order is memoized and invalidated by addNode(), since the
+     * simulator walks graphs millions of times.
+     */
+    const std::vector<int>& topoOrder() const;
+
+    /** @return ids of all nodes in the given stage. */
+    std::vector<int> stageNodes(Stage stage) const;
+
+    /** @return true when the graph has at least one node of the stage. */
+    bool hasStage(Stage stage) const;
+
+    /**
+     * Length (in nodes) of the longest dependency chain restricted to
+     * the given node subset. With unlimited workers, execution time is
+     * bounded below by this critical path.
+     */
+    int criticalPathLength(const std::vector<int>& subset) const;
+
+    /** @return ids of nodes with no prerequisites. */
+    std::vector<int> roots() const;
+
+    /** @return id of a node by name, or -1 when absent. */
+    int findNode(const std::string& name) const;
+
+  private:
+    std::vector<Node> nodes_;
+    mutable std::vector<int> topo_cache_;  ///< memoized topoOrder()
+};
+
+}  // namespace hercules::model

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Operator IR for recommendation-model computation graphs.
+ *
+ * The simulator never executes real tensor math; each operator carries
+ * the *shape* information a roofline-style cost model needs (FLOPs and
+ * bytes as a function of batch size and pooling factor). This mirrors how
+ * the paper treats models: as computation graphs whose operators have
+ * measurable latency/energy on each device.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hercules::model {
+
+/** Operator categories found in the six production models (Table I). */
+enum class OpKind {
+    EmbeddingLookup,  ///< SparseLengthsSum-style gather(-and-reduce)
+    Fc,               ///< fully-connected layer (GEMM)
+    Attention,        ///< DIN-style local activation unit over behaviors
+    Gru,              ///< DIEN-style recurrent unit over behaviors
+    Interaction,      ///< dense/sparse feature interaction (dot products)
+    Concat,           ///< feature concatenation
+    Activation,       ///< elementwise (ReLU / sigmoid)
+};
+
+/** @return human-readable name of an operator kind. */
+const char* opKindName(OpKind k);
+
+/**
+ * One embedding table lookup (and optional pooling).
+ *
+ * A multi-hot lookup gathers `pooling` rows per ranked item and reduces
+ * them into a single vector (Gather-and-Reduce); a one-hot lookup
+ * (`pooling == 1`) gathers a single row (Gather).
+ */
+struct EmbeddingParams
+{
+    int64_t rows = 0;          ///< number of rows in this table
+    int emb_dim = 0;           ///< embedding vector width (fp32 elements)
+    double pooling_min = 1.0;  ///< per-item pooling factor, lower bound
+    double pooling_max = 1.0;  ///< per-item pooling factor, upper bound
+    bool pooled = false;       ///< true => Gather-and-Reduce (SLS)
+    double zipf_exponent = 0.9;///< index-locality skew (hot-split input)
+
+    /** @return expected pooling factor (midpoint of the range). */
+    double avgPooling() const { return 0.5 * (pooling_min + pooling_max); }
+
+    /** @return table size in bytes (fp32 rows). */
+    int64_t tableBytes() const { return rows * emb_dim * 4; }
+};
+
+/** One fully-connected layer: [in_dim -> out_dim] GEMM + bias. */
+struct FcParams
+{
+    int in_dim = 0;
+    int out_dim = 0;
+};
+
+/**
+ * DIN-style attention: a small MLP evaluated per behavior-sequence
+ * element against the candidate item.
+ */
+struct AttentionParams
+{
+    int behavior_dim = 0;     ///< embedding width of one behavior
+    int hidden_dim = 0;       ///< activation-unit hidden width
+    double seq_len_min = 1.0; ///< behavior sequence length, lower bound
+    double seq_len_max = 1.0; ///< behavior sequence length, upper bound
+
+    /** @return expected behavior-sequence length. */
+    double avgSeqLen() const { return 0.5 * (seq_len_min + seq_len_max); }
+};
+
+/** DIEN-style GRU over the behavior sequence. */
+struct GruParams
+{
+    int input_dim = 0;
+    int hidden_dim = 0;
+    double seq_len_min = 1.0;
+    double seq_len_max = 1.0;
+    int layers = 1;           ///< stacked GRU layers (DIEN: GRU + AUGRU)
+
+    /** @return expected behavior-sequence length. */
+    double avgSeqLen() const { return 0.5 * (seq_len_min + seq_len_max); }
+};
+
+/** Pairwise dot-product feature interaction over n vectors of width d. */
+struct InteractionParams
+{
+    int num_features = 0;     ///< number of interacting vectors
+    int feature_dim = 0;      ///< width of each vector
+};
+
+/** Concatenation of feature vectors (pure data movement). */
+struct ConcatParams
+{
+    int64_t total_dim = 0;    ///< concatenated output width
+};
+
+/** Elementwise activation over a vector. */
+struct ActivationParams
+{
+    int64_t dim = 0;
+};
+
+/** Tagged union of all operator parameter structs. */
+using OpParams = std::variant<EmbeddingParams, FcParams, AttentionParams,
+                              GruParams, InteractionParams, ConcatParams,
+                              ActivationParams>;
+
+/** @return the OpKind corresponding to the active OpParams alternative. */
+OpKind opKindOf(const OpParams& params);
+
+}  // namespace hercules::model

@@ -1,0 +1,203 @@
+#include "model/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hercules::model {
+
+const char*
+partitionKindName(PartitionKind k)
+{
+    switch (k) {
+      case PartitionKind::ModelBased: return "model-based";
+      case PartitionKind::SdPipeline: return "S-D pipeline";
+      case PartitionKind::HotSplit:   return "hot-split";
+    }
+    panic("unknown PartitionKind %d", static_cast<int>(k));
+}
+
+Graph
+subgraph(const Graph& g, const std::vector<int>& keep)
+{
+    std::unordered_map<int, int> remap;
+    Graph out;
+    for (int old_id : keep) {
+        const Node& n = g.node(old_id);
+        std::vector<int> deps;
+        for (int d : n.deps) {
+            auto it = remap.find(d);
+            if (it != remap.end())
+                deps.push_back(it->second);
+        }
+        int new_id = out.addNode(n.name, n.params, n.stage, deps);
+        remap[old_id] = new_id;
+    }
+    return out;
+}
+
+Graph
+sparseSubgraph(const Graph& g)
+{
+    return subgraph(g, g.stageNodes(Stage::Sparse));
+}
+
+Graph
+denseSubgraph(const Graph& g)
+{
+    return subgraph(g, g.stageNodes(Stage::Dense));
+}
+
+HotSplit
+computeHotSplit(const Model& m, int64_t capacity_bytes)
+{
+    if (capacity_bytes < 0)
+        fatal("computeHotSplit: negative capacity");
+
+    // Collect the embedding tables in graph order.
+    std::vector<const EmbeddingParams*> tables;
+    for (const auto& n : m.graph.nodes()) {
+        if (n.kind() == OpKind::EmbeddingLookup)
+            tables.push_back(&std::get<EmbeddingParams>(n.params));
+    }
+
+    HotSplit hs;
+    hs.capacity_bytes = capacity_bytes;
+    hs.hot_rows_per_table.assign(tables.size(), 0);
+    if (tables.empty()) {
+        hs.hit_rate = 1.0;
+        return hs;
+    }
+
+    // Lookup traffic per table decides both the budget split and the
+    // hit-rate weighting: a table touched 160 times per item matters far
+    // more than a one-hot table.
+    double total_traffic = 0.0;
+    std::vector<double> traffic(tables.size());
+    for (size_t t = 0; t < tables.size(); ++t) {
+        traffic[t] = tables[t]->avgPooling();
+        total_traffic += traffic[t];
+    }
+
+    // Greedy marginal-gain allocation: hand out the budget in chunks,
+    // each chunk going to the table whose next hot rows capture the
+    // most lookup traffic per byte. This is the locality-aware ranking
+    // of Fig 10(a): hot rows are the Zipf head of each table, weighted
+    // by how often the table is touched.
+    const int kRounds = 192;
+    int64_t chunk = std::max<int64_t>(capacity_bytes / kRounds, 4096);
+    int64_t remaining = capacity_bytes;
+    std::vector<int64_t> hot(tables.size(), 0);
+    while (remaining > 0) {
+        int best = -1;
+        double best_gain = 0.0;
+        int64_t best_rows = 0;
+        for (size_t t = 0; t < tables.size(); ++t) {
+            const EmbeddingParams* p = tables[t];
+            if (hot[t] >= p->rows)
+                continue;
+            int64_t row_bytes = static_cast<int64_t>(p->emb_dim) * 4;
+            int64_t take_rows = std::min<int64_t>(
+                {p->rows - hot[t], std::max<int64_t>(chunk / row_bytes, 1),
+                 remaining / row_bytes});
+            if (take_rows <= 0)
+                continue;
+            double mass_now = zipfTopMass(
+                static_cast<uint64_t>(p->rows), p->zipf_exponent,
+                static_cast<uint64_t>(hot[t]));
+            double mass_next = zipfTopMass(
+                static_cast<uint64_t>(p->rows), p->zipf_exponent,
+                static_cast<uint64_t>(hot[t] + take_rows));
+            double gain = traffic[t] / total_traffic *
+                          (mass_next - mass_now) /
+                          static_cast<double>(take_rows * row_bytes);
+            if (best < 0 || gain > best_gain) {
+                best = static_cast<int>(t);
+                best_gain = gain;
+                best_rows = take_rows;
+            }
+        }
+        if (best < 0)
+            break;  // everything resident
+        int64_t row_bytes =
+            static_cast<int64_t>(tables[static_cast<size_t>(best)]
+                                     ->emb_dim) * 4;
+        hot[static_cast<size_t>(best)] += best_rows;
+        remaining -= best_rows * row_bytes;
+    }
+    hs.hot_rows_per_table = hot;
+
+    // Expected hit rate: traffic-weighted Zipf popularity mass of the
+    // resident prefix of each table (hot rows are the most popular).
+    double hit = 0.0;
+    bool all_resident = true;
+    for (size_t t = 0; t < tables.size(); ++t) {
+        int64_t rows = hs.hot_rows_per_table[t];
+        hs.hot_rows += rows;
+        hs.hot_bytes += rows * tables[t]->emb_dim * 4;
+        double mass = 0.0;
+        if (rows >= tables[t]->rows) {
+            mass = 1.0;
+        } else if (rows > 0) {
+            all_resident = false;
+            mass = zipfTopMass(static_cast<uint64_t>(tables[t]->rows),
+                               tables[t]->zipf_exponent,
+                               static_cast<uint64_t>(rows));
+        } else {
+            all_resident = false;
+        }
+        hit += traffic[t] / total_traffic * mass;
+    }
+    // Exact 1.0 when everything is on-device (the weighted sum can land
+    // a few ulps short).
+    hs.hit_rate = all_resident ? 1.0 : std::min(1.0, hit);
+    return hs;
+}
+
+Graph
+fuseElementwise(const Graph& g)
+{
+    // An Activation is fuseable when it has exactly one dependency that
+    // is a compute op (FC / GRU / Attention). Consumers of the
+    // activation are rerouted to the producer.
+    std::unordered_map<int, int> alias;  // removed id -> producer id
+    std::vector<int> keep;
+    for (const auto& n : g.nodes()) {
+        bool fuseable = false;
+        if (n.kind() == OpKind::Activation && n.deps.size() == 1) {
+            OpKind dep_kind = g.node(n.deps[0]).kind();
+            fuseable = dep_kind == OpKind::Fc || dep_kind == OpKind::Gru ||
+                       dep_kind == OpKind::Attention;
+        }
+        if (fuseable) {
+            int producer = n.deps[0];
+            // Producer may itself have been aliased (not for activations,
+            // but stay safe under chained fusion).
+            auto it = alias.find(producer);
+            alias[n.id] = it == alias.end() ? producer : it->second;
+        } else {
+            keep.push_back(n.id);
+        }
+    }
+
+    Graph out;
+    std::unordered_map<int, int> remap;
+    for (int old_id : keep) {
+        const Node& n = g.node(old_id);
+        std::vector<int> deps;
+        for (int d : n.deps) {
+            auto a = alias.find(d);
+            int resolved = a == alias.end() ? d : a->second;
+            auto it = remap.find(resolved);
+            if (it != remap.end())
+                deps.push_back(it->second);
+        }
+        remap[old_id] = out.addNode(n.name, n.params, n.stage, deps);
+    }
+    return out;
+}
+
+}  // namespace hercules::model

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * HW-aware model partitioning (paper §IV-B, Fig 10):
+ *
+ *  - sparse/dense (S-D) split: SparseNet `Gs` = the embedding lookups
+ *    (no inter-op dependencies), DenseNet `Gd` = everything else (the
+ *    dependency-chained MLP/attention part);
+ *  - locality-aware hot-embedding split: given an accelerator capacity
+ *    budget, pick the most frequently accessed embedding rows per table
+ *    (access frequency modeled by each table's Zipf skew) to form
+ *    Hot-SparseNet `Gs.hot`, and report the expected hit rate;
+ *  - element-wise operator fusion (TVM-style) to remove per-op launch
+ *    overhead for activations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/graph.h"
+#include "model/model_zoo.h"
+
+namespace hercules::model {
+
+/** How a model is mapped onto the execution engine(s). */
+enum class PartitionKind {
+    ModelBased,  ///< whole graph Gm launched by one inference thread
+    SdPipeline,  ///< SparseNet and DenseNet threads in a pipeline
+    HotSplit,    ///< Gs.hot + Gd on accelerator, cold SparseNet on host
+};
+
+/** @return printable name of a partition kind. */
+const char* partitionKindName(PartitionKind k);
+
+/**
+ * Keep only `keep` nodes of `g`, remapping dependencies among kept nodes
+ * and dropping edges to removed ones. Order of `keep` defines new ids.
+ */
+Graph subgraph(const Graph& g, const std::vector<int>& keep);
+
+/** @return SparseNet Gs: all embedding-lookup nodes. */
+Graph sparseSubgraph(const Graph& g);
+
+/** @return DenseNet Gd: all non-embedding nodes. */
+Graph denseSubgraph(const Graph& g);
+
+/**
+ * Result of the locality-aware hot-embedding partition.
+ *
+ * `hit_rate` is the expected fraction of embedding lookups served by the
+ * hot tables; the remaining (1 - hit_rate) of lookups are executed by
+ * host-side SparseNet threads which forward a partial sum (Psum).
+ */
+struct HotSplit
+{
+    int64_t capacity_bytes = 0;  ///< accelerator budget given
+    int64_t hot_bytes = 0;       ///< bytes actually placed on device
+    int64_t hot_rows = 0;        ///< total hot rows across tables
+    double hit_rate = 0.0;       ///< expected lookup hit fraction
+    std::vector<int64_t> hot_rows_per_table;  ///< indexed by table order
+
+    /** @return true when the whole SparseNet fits (no host path left). */
+    bool full() const { return hit_rate >= 1.0; }
+};
+
+/**
+ * Locality-aware embedding partition (Fig 10(a)).
+ *
+ * Distributes the capacity budget across tables proportionally to their
+ * lookup traffic, clamps to table size, and computes the expected hit
+ * rate from each table's Zipf popularity mass. A model whose embeddings
+ * fit entirely returns hit_rate == 1.
+ *
+ * @param m               the model to partition.
+ * @param capacity_bytes  device bytes available for embeddings
+ *                        (memory capacity / co-located threads, minus
+ *                        dense parameters).
+ */
+HotSplit computeHotSplit(const Model& m, int64_t capacity_bytes);
+
+/**
+ * Fuse elementwise Activation nodes into their single producer
+ * (FC/GRU/attention), removing them from the graph and rerouting
+ * consumers. Reduces per-operator dispatch overhead.
+ */
+Graph fuseElementwise(const Graph& g);
+
+}  // namespace hercules::model

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The state-of-the-art baseline task schedulers the paper compares
+ * against (§III, Fig 6, Fig 14):
+ *
+ *  - DeepRecSys [37]: model-based scheduling on the CPU with one
+ *    inference thread per physical core; hill-climbs only the batch
+ *    size (Psp(D)). On accelerators it runs one model, no fusion.
+ *  - Baymax [32]: accelerator model co-location only — hill-climbs the
+ *    number of co-located inference threads with no query fusion.
+ *  - baselineSearch(): the combined baseline used in Fig 14 —
+ *    DeepRecSys on CPU-only servers, the better of DeepRecSys-CPU and
+ *    Baymax-GPU on accelerated servers.
+ */
+#pragma once
+
+#include "sched/gradient_search.h"
+
+namespace hercules::sched {
+
+/** DeepRecSys: threads = cores, 1 core each, batch-size hill climb. */
+SearchResult deepRecSysSearch(const hw::ServerSpec& server,
+                              const model::Model& m, double sla_ms,
+                              const SearchOptions& opt);
+
+/**
+ * DeepRecSys on the accelerator: a single inference thread, no query
+ * fusion (the (1, 1) points of Fig 6).
+ *
+ * @param allow_partition false (default): the scheduler cannot split a
+ *        model, so it only runs fully device-resident models (the §III-B
+ *        characterization setting); true: the Hercules locality-aware
+ *        partition is applied for it (the Fig 14 evaluation setting,
+ *        where production models cannot run on the device otherwise).
+ */
+SearchResult deepRecSysGpuSearch(const hw::ServerSpec& server,
+                                 const model::Model& m, double sla_ms,
+                                 const SearchOptions& opt,
+                                 bool allow_partition = false);
+
+/** Baymax: co-location hill climb on the accelerator, no fusion. */
+SearchResult baymaxSearch(const hw::ServerSpec& server,
+                          const model::Model& m, double sla_ms,
+                          const SearchOptions& opt,
+                          bool allow_partition = false);
+
+/**
+ * The Fig 14 baseline for a given server type: DeepRecSys on the CPU
+ * plus (on accelerated servers) Baymax with the locality-aware
+ * partition applied, since the production models exceed device memory.
+ */
+SearchResult baselineSearch(const hw::ServerSpec& server,
+                            const model::Model& m, double sla_ms,
+                            const SearchOptions& opt);
+
+}  // namespace hercules::sched

@@ -1,0 +1,51 @@
+#include "sched/config.h"
+
+#include "util/logging.h"
+
+namespace hercules::sched {
+
+const char*
+mappingName(Mapping m)
+{
+    switch (m) {
+      case Mapping::CpuModelBased: return "cpu-model";
+      case Mapping::CpuSdPipeline: return "cpu-sd";
+      case Mapping::GpuModelBased: return "gpu-model";
+      case Mapping::GpuSdPipeline: return "gpu-sd";
+    }
+    panic("unknown Mapping %d", static_cast<int>(m));
+}
+
+std::string
+SchedulingConfig::str() const
+{
+    std::string s = mappingName(mapping);
+    switch (mapping) {
+      case Mapping::CpuModelBased:
+        s += " " + std::to_string(cpu_threads) + "x" +
+             std::to_string(cores_per_thread) + " b" +
+             std::to_string(batch);
+        break;
+      case Mapping::CpuSdPipeline:
+        s += " " + std::to_string(cpu_threads) + "x" +
+             std::to_string(cores_per_thread) + "::" +
+             std::to_string(dense_threads) + " b" + std::to_string(batch);
+        break;
+      case Mapping::GpuModelBased:
+        s += " g" + std::to_string(gpu_threads) + " f" +
+             std::to_string(fusion_limit) + " host" +
+             std::to_string(cpu_threads) + "x" +
+             std::to_string(cores_per_thread);
+        break;
+      case Mapping::GpuSdPipeline:
+        s += " " + std::to_string(cpu_threads) + "x" +
+             std::to_string(cores_per_thread) + " b" +
+             std::to_string(batch) + " -> g" +
+             std::to_string(gpu_threads) + " f" +
+             std::to_string(fusion_limit);
+        break;
+    }
+    return s;
+}
+
+}  // namespace hercules::sched

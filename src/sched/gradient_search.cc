@@ -1,0 +1,441 @@
+#include "sched/gradient_search.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/prepared.h"
+#include "util/logging.h"
+
+namespace hercules::sched {
+
+namespace {
+
+/**
+ * Measurement cache + trace recorder shared by one search invocation.
+ * Configurations are keyed by their string form; infeasible and invalid
+ * configurations cache as nullopt.
+ */
+class Evaluator
+{
+  public:
+    Evaluator(const hw::ServerSpec& server, const model::Model& m,
+              double sla_ms, const SearchOptions& opt,
+              SearchResult& result)
+        : server_(server), model_(m), sla_ms_(sla_ms), opt_(opt),
+          result_(result)
+    {
+    }
+
+    /** Latency-bounded QPS of a config; -1 when invalid/infeasible. */
+    double
+    qps(const SchedulingConfig& cfg)
+    {
+        const auto& point = eval(cfg);
+        return point ? point->qps : -1.0;
+    }
+
+    const std::optional<sim::OperatingPoint>&
+    eval(const SchedulingConfig& cfg)
+    {
+        std::string key = cfg.str();
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+
+        std::optional<sim::OperatingPoint> point;
+        if (!sim::validateConfig(server_, model_, cfg)) {
+            sim::MeasureOptions mo = opt_.measure;
+            mo.power_budget_w = opt_.power_budget_w;
+            sim::PreparedWorkload w = sim::prepare(server_, model_, cfg);
+            point = sim::measureLatencyBoundedQps(w, sla_ms_, mo);
+            ++result_.evals;
+
+            SearchStep step;
+            step.cfg = cfg;
+            if (point) {
+                step.qps = point->qps;
+                step.tail_ms = point->result.tail_ms;
+                step.peak_power_w = point->result.peak_power_w;
+                step.qps_per_watt = point->result.qps_per_watt;
+            }
+            result_.trace.push_back(step);
+
+            if (point && point->qps > result_.best_qps) {
+                result_.best = cfg;
+                result_.best_point = *point;
+                result_.best_qps = point->qps;
+            }
+        }
+        it = cache_.emplace(std::move(key), std::move(point)).first;
+        return it->second;
+    }
+
+    /** Mark the latest trace entry for `cfg` as an accepted move. */
+    void
+    markAccepted(const SchedulingConfig& cfg)
+    {
+        std::string key = cfg.str();
+        for (auto rit = result_.trace.rbegin(); rit != result_.trace.rend();
+             ++rit) {
+            if (rit->cfg.str() == key) {
+                rit->accepted = true;
+                return;
+            }
+        }
+    }
+
+  private:
+    const hw::ServerSpec& server_;
+    const model::Model& model_;
+    double sla_ms_;
+    const SearchOptions& opt_;
+    SearchResult& result_;
+    std::unordered_map<std::string, std::optional<sim::OperatingPoint>>
+        cache_;
+};
+
+/**
+ * The Psp(M + D) climber of Algorithm 1: a 2D gradient ascent over
+ * index axes, moving to the best of the three forward neighbours while
+ * throughput improves.
+ *
+ * @param nx, ny    axis lengths.
+ * @param cfg_at    builds the configuration at position (xi, yi).
+ * @param ev        shared evaluator.
+ * @param start_xi, start_yi  origin (minimal parallelism).
+ * @return best feasible QPS found along the climb (-1 when none).
+ */
+double
+climb2d(int nx, int ny,
+        const std::function<SchedulingConfig(int, int)>& cfg_at,
+        Evaluator& ev, int start_xi = 0, int start_yi = 0,
+        int* final_xi = nullptr, int* final_yi = nullptr)
+{
+    int xi = start_xi;
+    int yi = start_yi;
+    double cur = ev.qps(cfg_at(xi, yi));
+    double best = cur;
+    if (cur >= 0.0)
+        ev.markAccepted(cfg_at(xi, yi));
+
+    // If even the origin is infeasible, scan the batch axis once — the
+    // origin may violate SLA while larger batches cannot help, but a
+    // tiny query-fused batch sometimes only becomes feasible later.
+    if (cur < 0.0) {
+        for (int y = start_yi + 1; y < ny; ++y) {
+            double q = ev.qps(cfg_at(xi, y));
+            if (q >= 0.0) {
+                yi = y;
+                cur = best = q;
+                ev.markAccepted(cfg_at(xi, yi));
+                break;
+            }
+        }
+        if (cur < 0.0)
+            return -1.0;
+    }
+
+    while (true) {
+        struct Cand
+        {
+            int xi, yi;
+        };
+        std::vector<Cand> cands;
+        if (xi + 1 < nx)
+            cands.push_back({xi + 1, yi});
+        if (yi + 1 < ny)
+            cands.push_back({xi, yi + 1});
+        if (xi + 1 < nx && yi + 1 < ny)
+            cands.push_back({xi + 1, yi + 1});
+        if (cands.empty())
+            break;
+
+        double best_q = -1.0;
+        Cand best_c{xi, yi};
+        for (const Cand& c : cands) {
+            double q = ev.qps(cfg_at(c.xi, c.yi));
+            if (q > best_q) {
+                best_q = q;
+                best_c = c;
+            }
+        }
+        if (best_q <= cur)
+            break;  // convex surface: no improving direction left
+        xi = best_c.xi;
+        yi = best_c.yi;
+        cur = best_q;
+        best = std::max(best, cur);
+        ev.markAccepted(cfg_at(xi, yi));
+    }
+    if (final_xi)
+        *final_xi = xi;
+    if (final_yi)
+        *final_yi = yi;
+    return best;
+}
+
+/** Outer Psp(O) loop: returns when per-o peaks start decreasing. */
+double
+opParallelismLoop(int max_o, const std::function<double(int)>& climb_for_o)
+{
+    double best = -1.0;
+    double prev = -1.0;
+    for (int o = 1; o <= max_o; ++o) {
+        double peak = climb_for_o(o);
+        best = std::max(best, peak);
+        if (o > 1 && peak < prev)
+            break;  // Algorithm 1: terminate on decreasing op-parallelism
+        if (peak >= 0.0)
+            prev = peak;
+    }
+    return best;
+}
+
+double
+searchCpuModelBased(const hw::ServerSpec& server,
+                    [[maybe_unused]] const model::Model& m,
+                    const SearchOptions& opt, Evaluator& ev)
+{
+    const auto& batches = opt.space.batches;
+    int cores = server.cpu.cores;
+    int max_o = std::min(opt.space.max_cores_per_thread, cores);
+    double best = opParallelismLoop(max_o, [&](int o) {
+        int max_threads = cores / o;
+        if (max_threads < 1)
+            return -1.0;
+        auto cfg_at = [&](int xi, int yi) {
+            SchedulingConfig cfg;
+            cfg.mapping = Mapping::CpuModelBased;
+            cfg.cpu_threads = xi + 1;
+            cfg.cores_per_thread = o;
+            cfg.batch = batches[static_cast<size_t>(yi)];
+            return cfg;
+        };
+        return climb2d(max_threads, static_cast<int>(batches.size()),
+                       cfg_at, ev);
+    });
+    // Anchor sweep along the fully-threaded edge (one thread per core,
+    // the DeepRecSys corner): cheap insurance that measurement noise in
+    // an early climb step can never leave Hercules below a baseline
+    // whose space it supersedes. The evaluator dedupes repeats.
+    for (int b : batches) {
+        SchedulingConfig cfg;
+        cfg.mapping = Mapping::CpuModelBased;
+        cfg.cpu_threads = cores;
+        cfg.cores_per_thread = 1;
+        cfg.batch = b;
+        best = std::max(best, ev.qps(cfg));
+    }
+    return best;
+}
+
+double
+searchCpuSdPipeline(const hw::ServerSpec& server, const model::Model& m,
+                    const SearchOptions& opt, Evaluator& ev)
+{
+    const auto& batches = opt.space.batches;
+    int cores = server.cpu.cores;
+    int max_o = std::min(opt.space.max_cores_per_thread, cores);
+    return opParallelismLoop(max_o, [&](int o) {
+        int max_sparse = std::max(cores / o - 1, 0);
+        if (max_sparse < 1)
+            return -1.0;
+        auto cfg_at = [&](int xi, int yi) {
+            SchedulingConfig cfg;
+            cfg.mapping = Mapping::CpuSdPipeline;
+            cfg.cpu_threads = xi + 1;
+            cfg.cores_per_thread = o;
+            cfg.batch = batches[static_cast<size_t>(yi)];
+            cfg.dense_threads = balancedDenseThreads(
+                server, m, cfg.cpu_threads, o, cfg.batch);
+            return cfg;
+        };
+        return climb2d(max_sparse, static_cast<int>(batches.size()),
+                       cfg_at, ev);
+    });
+}
+
+double
+searchGpuModelBased(const hw::ServerSpec& server,
+                    [[maybe_unused]] const model::Model& m,
+                    const SearchOptions& opt, Evaluator& ev)
+{
+    const auto& fusions = opt.space.fusion_limits;
+    // Host helper-thread options matter only when a cold path exists;
+    // the evaluator dedupes identical configs either way.
+    std::vector<int> helpers = {1};
+    for (int h : opt.space.host_helper_threads)
+        if (h <= server.cpu.cores)
+            helpers.push_back(h);
+
+    double best = -1.0;
+    for (int h : helpers) {
+        auto cfg_at = [&](int xi, int yi) {
+            SchedulingConfig cfg;
+            cfg.mapping = Mapping::GpuModelBased;
+            cfg.gpu_threads = xi + 1;
+            cfg.fusion_limit = fusions[static_cast<size_t>(yi)];
+            cfg.cpu_threads = h;
+            cfg.cores_per_thread = 1;
+            return cfg;
+        };
+        best = std::max(best,
+                        climb2d(opt.space.max_gpu_threads,
+                                static_cast<int>(fusions.size()), cfg_at,
+                                ev));
+    }
+    return best;
+}
+
+double
+searchGpuSdPipeline(const hw::ServerSpec& server,
+                    [[maybe_unused]] const model::Model& m,
+                    const SearchOptions& opt, Evaluator& ev)
+{
+    const auto& batches = opt.space.batches;
+    const auto& fusions = opt.space.fusion_limits;
+    int cores = server.cpu.cores;
+    // Host-side SparseNet lookups are bandwidth-bound, so m x o and
+    // (m*o) x 1 allocations are nearly equivalent; probing o in {1, 2}
+    // keeps the nested host/accelerator search tractable.
+    int max_o = std::min({2, opt.space.max_cores_per_thread, cores});
+
+    return opParallelismLoop(max_o, [&](int o) {
+        int max_threads = cores / o;
+        if (max_threads < 1)
+            return -1.0;
+        // Accelerator-side warm start: each host-side move re-runs the
+        // small (co-location x fusion) climb from the last optimum
+        // (paper: "following each move-step of host-side search, the
+        // accelerator-side search is performed").
+        int warm_g = 0;
+        int warm_f = 0;
+        auto cfg_at = [&](int xi, int yi) {
+            SchedulingConfig cfg;
+            cfg.mapping = Mapping::GpuSdPipeline;
+            cfg.cpu_threads = xi + 1;
+            cfg.cores_per_thread = o;
+            cfg.batch = batches[static_cast<size_t>(yi)];
+            cfg.gpu_threads = warm_g + 1;
+            cfg.fusion_limit = fusions[static_cast<size_t>(warm_f)];
+            return cfg;
+        };
+        // Host-side outer climb where each accepted move refines the
+        // accelerator side.
+        int xi = 0, yi = 0;
+        auto inner = [&](int hxi, int hyi) {
+            auto inner_cfg = [&](int gxi, int gyi) {
+                SchedulingConfig cfg;
+                cfg.mapping = Mapping::GpuSdPipeline;
+                cfg.cpu_threads = hxi + 1;
+                cfg.cores_per_thread = o;
+                cfg.batch = batches[static_cast<size_t>(hyi)];
+                cfg.gpu_threads = gxi + 1;
+                cfg.fusion_limit = fusions[static_cast<size_t>(gyi)];
+                return cfg;
+            };
+            return climb2d(opt.space.max_gpu_threads,
+                           static_cast<int>(fusions.size()), inner_cfg,
+                           ev, warm_g, warm_f, &warm_g, &warm_f);
+        };
+        double cur = inner(xi, yi);
+        double best = cur;
+        if (cur < 0.0)
+            return -1.0;
+        while (true) {
+            struct Cand
+            {
+                int xi, yi;
+            };
+            std::vector<Cand> cands;
+            if (xi + 1 < max_threads)
+                cands.push_back({xi + 1, yi});
+            if (yi + 1 < static_cast<int>(batches.size()))
+                cands.push_back({xi, yi + 1});
+            if (xi + 1 < max_threads &&
+                yi + 1 < static_cast<int>(batches.size()))
+                cands.push_back({xi + 1, yi + 1});
+            if (cands.empty())
+                break;
+            double best_q = -1.0;
+            Cand best_c{xi, yi};
+            for (const Cand& c : cands) {
+                double q = inner(c.xi, c.yi);
+                if (q > best_q) {
+                    best_q = q;
+                    best_c = c;
+                }
+            }
+            if (best_q <= cur)
+                break;
+            xi = best_c.xi;
+            yi = best_c.yi;
+            cur = best_q;
+            best = std::max(best, cur);
+        }
+        (void)cfg_at;
+        return best;
+    });
+}
+
+}  // namespace
+
+SearchResult
+gradientSearchMapping(const hw::ServerSpec& server, const model::Model& m,
+                      Mapping mapping, double sla_ms,
+                      const SearchOptions& opt)
+{
+    SearchResult result;
+    Evaluator ev(server, m, sla_ms, opt, result);
+    switch (mapping) {
+      case Mapping::CpuModelBased:
+        searchCpuModelBased(server, m, opt, ev);
+        break;
+      case Mapping::CpuSdPipeline:
+        searchCpuSdPipeline(server, m, opt, ev);
+        break;
+      case Mapping::GpuModelBased:
+        searchGpuModelBased(server, m, opt, ev);
+        break;
+      case Mapping::GpuSdPipeline:
+        searchGpuSdPipeline(server, m, opt, ev);
+        break;
+    }
+    return result;
+}
+
+SearchResult
+herculesTaskSearch(const hw::ServerSpec& server, const model::Model& m,
+                   double sla_ms, const SearchOptions& opt)
+{
+    SearchResult combined;
+    for (Mapping mapping : applicableMappings(server, m)) {
+        SearchResult r =
+            gradientSearchMapping(server, m, mapping, sla_ms, opt);
+        combined.evals += r.evals;
+        combined.trace.insert(combined.trace.end(), r.trace.begin(),
+                              r.trace.end());
+        if (r.best && r.best_qps > combined.best_qps) {
+            combined.best = r.best;
+            combined.best_point = r.best_point;
+            combined.best_qps = r.best_qps;
+        }
+    }
+    return combined;
+}
+
+SearchResult
+exhaustiveSearch(const hw::ServerSpec& server, const model::Model& m,
+                 Mapping mapping, double sla_ms, const SearchOptions& opt)
+{
+    SearchResult result;
+    Evaluator ev(server, m, sla_ms, opt, result);
+    for (const SchedulingConfig& cfg :
+         enumerateConfigs(server, m, mapping, opt.space))
+        ev.eval(cfg);
+    return result;
+}
+
+}  // namespace hercules::sched

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal discrete-event scheduler: a time-ordered queue of callbacks
+ * with deterministic FIFO tie-breaking (equal timestamps run in
+ * scheduling order, so floating-point ties can never reorder runs).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace hercules::sim {
+
+/** Priority queue of (time, callback) events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `fn` at absolute time `t` seconds (>= now). */
+    void
+    schedule(double t, Callback fn)
+    {
+        if (t < now_)
+            panic("EventQueue: scheduling into the past (%f < %f)", t,
+                  now_);
+        heap_.push(Event{t, seq_++, std::move(fn)});
+    }
+
+    /** @return true when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** @return current simulation time (of the last executed event). */
+    double now() const { return now_; }
+
+    /** Pop and run the next event; advances now(). */
+    void
+    runNext()
+    {
+        if (heap_.empty())
+            panic("EventQueue: runNext on empty queue");
+        // std::priority_queue::top returns const&; the callback must be
+        // moved out before pop, hence the const_cast on our own storage.
+        Event& ev = const_cast<Event&>(heap_.top());
+        now_ = ev.t;
+        Callback fn = std::move(ev.fn);
+        heap_.pop();
+        fn();
+    }
+
+    /** Run events until the queue drains. */
+    void
+    runAll()
+    {
+        while (!heap_.empty())
+            runNext();
+    }
+
+  private:
+    struct Event
+    {
+        double t;
+        uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event& o) const
+        {
+            if (t != o.t)
+                return t > o.t;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    uint64_t seq_ = 0;
+    double now_ = 0.0;
+};
+
+}  // namespace hercules::sim

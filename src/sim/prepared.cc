@@ -1,0 +1,175 @@
+#include "sim/prepared.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "hw/calibration.h"
+#include "util/logging.h"
+
+namespace hercules::sim {
+
+using sched::Mapping;
+using sched::SchedulingConfig;
+
+namespace {
+
+/** Host memory available for model storage (small OS/runtime margin). */
+int64_t
+hostModelCapacity(const hw::ServerSpec& server)
+{
+    return static_cast<int64_t>(
+        0.95 * static_cast<double>(server.mem.capacityBytes()));
+}
+
+/** Device memory budget for one co-located accelerator thread. */
+int64_t
+gpuPerThreadCapacity(const hw::ServerSpec& server, int gpu_threads)
+{
+    double usable = static_cast<double>(server.gpu->memBytes()) -
+                    hw::calib::kGpuReservedBytes;
+    return static_cast<int64_t>(usable /
+                                std::max(gpu_threads, 1));
+}
+
+/**
+ * Hot splits are pure functions of (model, capacity) and the search
+ * evaluates them for every candidate configuration — memoize.
+ * (Single-threaded by design, like the rest of the simulator.)
+ */
+const model::HotSplit&
+cachedHotSplit(const model::Model& m, int64_t capacity)
+{
+    static std::unordered_map<std::string, model::HotSplit> cache;
+    std::string key = m.name + "/" + std::to_string(capacity);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, model::computeHotSplit(m, capacity)).first;
+    return it->second;
+}
+
+}  // namespace
+
+std::optional<std::string>
+validateConfig(const hw::ServerSpec& server, const model::Model& m,
+               const SchedulingConfig& cfg)
+{
+    if (cfg.batch < 1)
+        return "batch must be >= 1";
+    if (cfg.cores_per_thread < 1)
+        return "cores_per_thread must be >= 1";
+
+    // Every mapping keeps the full embedding tables host-resident (the
+    // accelerator holds at most the hot split).
+    if (m.totalBytes() > hostModelCapacity(server))
+        return "model does not fit host memory";
+
+    switch (cfg.mapping) {
+      case Mapping::CpuModelBased:
+        if (cfg.cpu_threads < 1)
+            return "need at least one inference thread";
+        if (cfg.hostCores() > server.cpu.cores)
+            return "host cores exceeded";
+        break;
+      case Mapping::CpuSdPipeline:
+        if (cfg.cpu_threads < 1 || cfg.dense_threads < 1)
+            return "S-D pipeline needs sparse and dense threads";
+        if (cfg.hostCores() > server.cpu.cores)
+            return "host cores exceeded";
+        break;
+      case Mapping::GpuModelBased: {
+        if (!server.hasGpu())
+            return "server has no accelerator";
+        if (cfg.gpu_threads < 1)
+            return "need at least one accelerator thread";
+        int64_t budget = gpuPerThreadCapacity(server, cfg.gpu_threads) -
+                         m.denseParamBytes();
+        if (budget <= 0)
+            return "dense parameters do not fit device memory";
+        const model::HotSplit& hot = cachedHotSplit(m, budget);
+        bool needs_cold = !hot.full();
+        if (needs_cold && cfg.cpu_threads < 1)
+            return "cold embedding path needs host threads";
+        if (cfg.hostCores() > server.cpu.cores)
+            return "host cores exceeded";
+        break;
+      }
+      case Mapping::GpuSdPipeline: {
+        if (!server.hasGpu())
+            return "server has no accelerator";
+        if (cfg.gpu_threads < 1)
+            return "need at least one accelerator thread";
+        if (cfg.cpu_threads < 1)
+            return "S-D pipeline needs host SparseNet threads";
+        if (cfg.hostCores() > server.cpu.cores)
+            return "host cores exceeded";
+        int64_t budget = gpuPerThreadCapacity(server, cfg.gpu_threads);
+        if (m.denseParamBytes() > budget)
+            return "dense parameters do not fit device memory";
+        break;
+      }
+    }
+    return std::nullopt;
+}
+
+PreparedWorkload
+prepare(const hw::ServerSpec& server, const model::Model& m,
+        const SchedulingConfig& cfg)
+{
+    if (auto err = validateConfig(server, m, cfg))
+        fatal("prepare: invalid config '%s' for %s on %s: %s",
+              cfg.str().c_str(), m.name.c_str(), server.name.c_str(),
+              err->c_str());
+
+    PreparedWorkload w;
+    w.server = &server;
+    w.model = &m;
+    w.config = cfg;
+
+    const model::Graph& base =
+        m.graph;  // zoo graphs are already minimal; fusion applied below
+    w.full = cfg.fuse_elementwise ? model::fuseElementwise(base) : base;
+    w.sparse = model::sparseSubgraph(w.full);
+    w.dense = model::denseSubgraph(w.full);
+
+    // ---- CPU execution contexts --------------------------------------
+    // Memory-bandwidth sharing counts the threads that actually touch
+    // DRAM for gathers.
+    int mem_threads = 1;
+    switch (cfg.mapping) {
+      case Mapping::CpuModelBased:
+        mem_threads = cfg.cpu_threads;
+        break;
+      case Mapping::CpuSdPipeline:
+      case Mapping::GpuSdPipeline:
+      case Mapping::GpuModelBased:
+        mem_threads = std::max(cfg.cpu_threads, 1);
+        break;
+    }
+    hw::CostModel cost(server);
+    w.cpu_cx.workers = cfg.cores_per_thread;
+    w.cpu_cx.mem_bw_gbps = cost.perThreadBwGbps(mem_threads);
+    w.cpu_cx.use_nmp = server.hasNmp();
+    w.cpu_cx.nmp_share = 1.0 / std::max(mem_threads, 1);
+
+    // ---- Accelerator context -----------------------------------------
+    if (cfg.usesGpu()) {
+        w.gpu_cx.colocated = cfg.gpu_threads;
+        if (cfg.mapping == Mapping::GpuModelBased) {
+            int64_t budget =
+                gpuPerThreadCapacity(server, cfg.gpu_threads) -
+                m.denseParamBytes();
+            w.hot = cachedHotSplit(m, budget);
+            w.gpu_cx.hot_hit_rate = w.hot.hit_rate;
+            // Host-side cold path computes the (1 - hit) fraction.
+            w.cold_cx = w.cpu_cx;
+            w.cold_cx.pooling_scale = 1.0 - w.hot.hit_rate;
+        } else {
+            w.gpu_cx.hot_hit_rate = 1.0;
+        }
+    }
+    return w;
+}
+
+}  // namespace hercules::sim

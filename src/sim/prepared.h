@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binding of (server architecture, model, scheduling configuration)
+ * into the concrete execution plan the simulator runs: validated
+ * resource allocation, partitioned graphs, hot-embedding split, and the
+ * per-thread execution contexts of the cost model.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hw/cost_model.h"
+#include "hw/server.h"
+#include "model/model_zoo.h"
+#include "model/partition.h"
+#include "sched/config.h"
+
+namespace hercules::sim {
+
+/**
+ * A validated, ready-to-simulate workload placement.
+ *
+ * Which graphs are populated depends on the mapping:
+ *  - CpuModelBased: `full` only;
+ *  - CpuSdPipeline: `sparse` + `dense`;
+ *  - GpuModelBased: `full` on the device (embeddings scaled by the hot
+ *    hit rate) and `sparse` on the host for the cold fraction;
+ *  - GpuSdPipeline: `sparse` on the host, `dense` on the device.
+ */
+struct PreparedWorkload
+{
+    const hw::ServerSpec* server = nullptr;
+    const model::Model* model = nullptr;
+    sched::SchedulingConfig config;
+
+    model::Graph full;    ///< whole graph (elementwise-fused if enabled)
+    model::Graph sparse;  ///< SparseNet Gs
+    model::Graph dense;   ///< DenseNet Gd
+    model::HotSplit hot;  ///< accelerator-resident embedding split
+
+    hw::CpuExecContext cpu_cx;   ///< model-based / SparseNet threads
+    hw::CpuExecContext cold_cx;  ///< host cold-sparse path (hot-split)
+    hw::GpuExecContext gpu_cx;   ///< accelerator threads
+};
+
+/**
+ * Check a configuration against the server's physical constraints
+ * (cores, host memory, device memory, thread counts).
+ *
+ * @return std::nullopt when valid, else a human-readable reason.
+ */
+std::optional<std::string> validateConfig(
+    const hw::ServerSpec& server, const model::Model& m,
+    const sched::SchedulingConfig& cfg);
+
+/**
+ * Build the execution plan; fatal() if the configuration is invalid
+ * (call validateConfig() first when probing a search space).
+ */
+PreparedWorkload prepare(const hw::ServerSpec& server,
+                         const model::Model& m,
+                         const sched::SchedulingConfig& cfg);
+
+}  // namespace hercules::sim

@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hercules {
+
+namespace {
+std::atomic<bool> g_verbose{false};
+
+void
+vreport(const char* tag, const char* fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+}  // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verboseEnabled()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (!verboseEnabled())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+}  // namespace hercules

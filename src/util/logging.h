@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * - inform(): normal operating messages.
+ * - warn():   something questionable happened but execution continues.
+ * - fatal():  unrecoverable *user* error (bad configuration / arguments);
+ *             exits with status 1.
+ * - panic():  unrecoverable *internal* bug (broken invariant); aborts.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace hercules {
+
+/** Print an informational message to stderr (printf-style). */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr (printf-style). */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Use for invalid configurations or arguments — conditions that are the
+ * caller's fault, not a bug in the library.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a broken internal invariant and abort().
+ *
+ * Use for conditions that should be impossible regardless of user input.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity switch for inform(); warnings always print. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verboseEnabled();
+
+}  // namespace hercules

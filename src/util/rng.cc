@@ -1,0 +1,206 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hercules {
+
+uint64_t
+Rng::nextU64()
+{
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(nextU64());
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo %lld > hi %lld", static_cast<long long>(lo),
+              static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextU64() % span);
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        panic("exponential: non-positive rate %f", rate);
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -std::log(u) / rate;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; one value per call keeps the stream stateless.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean < 0.0)
+        panic("poisson: negative mean %f", mean);
+    if (mean == 0.0)
+        return 0;
+    if (mean > 64.0) {
+        // Normal approximation with continuity correction.
+        double v = normal(mean, std::sqrt(mean));
+        return v < 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    uint64_t count = 0;
+    do {
+        prod *= uniform();
+        ++count;
+    } while (prod > limit);
+    return count - 1;
+}
+
+namespace {
+
+/** Euler-Maclaurin approximation of H_m(s) = sum_{i=1..m} i^-s. */
+double
+harmonicApprox(double m, double s)
+{
+    if (m < 1.0)
+        return 0.0;
+    if (m <= 32.0) {
+        double sum = 0.0;
+        for (int i = 1; i <= static_cast<int>(m); ++i)
+            sum += std::pow(i, -s);
+        return sum;
+    }
+    double tail;
+    if (std::abs(s - 1.0) < 1e-9)
+        tail = std::log(m / 32.0);
+    else
+        tail = (std::pow(m, 1.0 - s) - std::pow(32.0, 1.0 - s)) /
+               (1.0 - s);
+    return harmonicApprox(32.0, s) + tail +
+           0.5 * (std::pow(m, -s) - std::pow(32.0, -s));
+}
+
+}  // namespace
+
+double
+zipfTopMass(uint64_t n, double exponent, uint64_t k)
+{
+    if (n == 0)
+        fatal("zipfTopMass: empty domain");
+    if (k == 0)
+        return 0.0;
+    if (k >= n)
+        return 1.0;
+    return harmonicApprox(static_cast<double>(k), exponent) /
+           harmonicApprox(static_cast<double>(n), exponent);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent) : n_(n)
+{
+    if (n == 0)
+        fatal("ZipfSampler: empty domain");
+    if (exponent < 0.0)
+        fatal("ZipfSampler: negative exponent %f", exponent);
+
+    // Tabulate up to 1M ranks explicitly; the tail (if any) is served from
+    // a uniform remainder. Production embedding tables can have hundreds
+    // of millions of rows and full tabulation would be wasteful while the
+    // tail mass is tiny for the skews we model.
+    table_size_ = std::min<uint64_t>(n, 1u << 20);
+    cdf_.resize(table_size_);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < table_size_; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        cdf_[i] = sum;
+    }
+    // Approximate the tail mass by the integral of x^-s from table_size_
+    // to n (exact enough for sampling purposes).
+    double tail = 0.0;
+    if (n > table_size_) {
+        double s = exponent;
+        double a = static_cast<double>(table_size_);
+        double b = static_cast<double>(n);
+        if (std::abs(s - 1.0) < 1e-9)
+            tail = std::log(b / a);
+        else
+            tail = (std::pow(b, 1.0 - s) - std::pow(a, 1.0 - s)) / (1.0 - s);
+    }
+    tail_mass_ = tail;
+    double total = sum + tail;
+    for (auto& c : cdf_)
+        c /= total;
+    tail_mass_ /= total;
+}
+
+uint64_t
+ZipfSampler::sample(Rng& rng) const
+{
+    double u = rng.uniform();
+    if (u < cdf_.back()) {
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<uint64_t>(it - cdf_.begin());
+    }
+    // Tail: uniform over [table_size_, n).
+    uint64_t span = n_ - table_size_;
+    if (span == 0)
+        return n_ - 1;
+    return table_size_ + rng.nextU64() % span;
+}
+
+double
+ZipfSampler::topMass(uint64_t k) const
+{
+    if (k == 0)
+        return 0.0;
+    if (k >= table_size_)
+        return cdf_.back();
+    return cdf_[k - 1];
+}
+
+}  // namespace hercules

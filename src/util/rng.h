@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the distributions the
+ * workload generators need (uniform, exponential, lognormal, Poisson,
+ * Zipf).
+ *
+ * Everything is seeded explicitly so simulations, tests and benches are
+ * reproducible bit-for-bit across runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hercules {
+
+/**
+ * SplitMix64 generator — tiny, fast, and statistically solid for
+ * simulation purposes. Also used to derive independent child seeds.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** @return the next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** @return an independent generator derived from this stream. */
+    Rng fork();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [lo, hi] (inclusive). */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** @return exponentially distributed value with the given rate. */
+    double exponential(double rate);
+
+    /** @return standard normal via Box-Muller. */
+    double normal();
+
+    /** @return normal with given mean / standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * @return lognormal variate where mu/sigma parameterize the
+     * underlying normal in log space.
+     */
+    double lognormal(double mu, double sigma);
+
+    /**
+     * @return Poisson-distributed count with the given mean.
+     *
+     * Uses Knuth's product method for small means and a normal
+     * approximation beyond mean 64 (adequate for load generation).
+     */
+    uint64_t poisson(double mean);
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Analytic probability mass of the top-k ranks of a Zipf(n, s)
+ * distribution: H_k(s) / H_n(s) with the generalized harmonic numbers
+ * approximated by Euler-Maclaurin. Exact enough for hit-rate modeling
+ * and O(1), unlike tabulating millions of ranks.
+ */
+double zipfTopMass(uint64_t n, double exponent, uint64_t k);
+
+/**
+ * Zipf-distributed integer sampler over [0, n) with exponent s.
+ *
+ * Uses an inverted-CDF table built once at construction; sampling is
+ * O(log n). Models the temporal locality of embedding-index accesses in
+ * production recommendation traces.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n        domain size (number of embedding rows).
+     * @param exponent Zipf skew parameter (larger => more skewed).
+     */
+    ZipfSampler(uint64_t n, double exponent);
+
+    /** Draw one index in [0, n). */
+    uint64_t sample(Rng& rng) const;
+
+    /** @return domain size. */
+    uint64_t domain() const { return n_; }
+
+    /** @return the probability mass of the top-k most popular indices. */
+    double topMass(uint64_t k) const;
+
+  private:
+    uint64_t n_;
+    std::vector<double> cdf_;  ///< cumulative probabilities, size n (capped)
+    double tail_mass_;         ///< mass beyond the tabulated prefix
+    uint64_t table_size_;      ///< number of explicitly tabulated ranks
+};
+
+}  // namespace hercules

@@ -1,0 +1,154 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hercules {
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+void
+PercentileTracker::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+PercentileTracker::addAll(const std::vector<double>& xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+void
+PercentileTracker::sortIfNeeded() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile out of range: %f", p);
+    sortIfNeeded();
+    // Nearest-rank definition: ceil(p/100 * N), 1-indexed.
+    double rank = std::ceil(p / 100.0 * static_cast<double>(samples_.size()));
+    size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    idx = std::min(idx, samples_.size() - 1);
+    return samples_[idx];
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+PercentileTracker::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    sortIfNeeded();
+    return samples_.back();
+}
+
+void
+PercentileTracker::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram: zero bins");
+    if (hi <= lo)
+        fatal("Histogram: hi %f <= lo %f", hi, lo);
+}
+
+void
+Histogram::add(double x)
+{
+    double rel = (x - lo_) / width_;
+    long bin = static_cast<long>(std::floor(rel));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+uint64_t
+Histogram::binCount(size_t bin) const
+{
+    if (bin >= counts_.size())
+        panic("Histogram: bin %zu out of range", bin);
+    return counts_[bin];
+}
+
+double
+Histogram::binLo(size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::binHi(size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double
+Histogram::fraction(size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(bin)) / static_cast<double>(total_);
+}
+
+}  // namespace hercules

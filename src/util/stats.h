@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Small statistics toolkit used throughout the simulator: running
+ * mean/variance, percentile tracking for tail-latency measurement, and a
+ * logarithmic histogram for workload characterization.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hercules {
+
+/** Numerically stable running mean / variance (Welford). */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return number of observations. */
+    size_t count() const { return count_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return sample variance (0 with fewer than two observations). */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * Exact percentile tracker: stores all samples and sorts on demand.
+ *
+ * Simulation runs collect a few thousand latency samples, so exact
+ * storage is cheap and avoids quantile-sketch approximation error in
+ * tests that assert tail behaviour.
+ */
+class PercentileTracker
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add many samples. */
+    void addAll(const std::vector<double>& xs);
+
+    /** @return number of samples. */
+    size_t count() const { return samples_.size(); }
+
+    /**
+     * @param p percentile in [0, 100].
+     * @return the p-th percentile via nearest-rank; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Convenience accessors for the tails the paper reports. */
+    double p50() const { return percentile(50.0); }
+    double p75() const { return percentile(75.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const;
+
+    /** @return largest sample (0 when empty). */
+    double max() const;
+
+    /** Remove all samples. */
+    void reset();
+
+  private:
+    void sortIfNeeded() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Histogram with fixed-width bins over [lo, hi); out-of-range samples are
+ * clamped into the first/last bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the tracked range.
+     * @param hi    exclusive upper bound of the tracked range.
+     * @param bins  number of equal-width bins (must be > 0).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return count in the given bin. */
+    uint64_t binCount(size_t bin) const;
+
+    /** @return total number of samples. */
+    uint64_t total() const { return total_; }
+
+    /** @return number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** @return inclusive lower edge of the given bin. */
+    double binLo(size_t bin) const;
+
+    /** @return exclusive upper edge of the given bin. */
+    double binHi(size_t bin) const;
+
+    /** @return fraction of samples in the given bin (0 when empty). */
+    double fraction(size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+}  // namespace hercules

@@ -1,0 +1,134 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hercules {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TablePrinter: no columns");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TablePrinter: row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+size_t
+TablePrinter::rows() const
+{
+    size_t n = 0;
+    for (const auto& r : rows_)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto hline = [&] {
+        std::string s = "+";
+        for (size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto renderRow = [&](const std::vector<std::string>& row) {
+        std::string s = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+                 " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out;
+    out += hline();
+    out += renderRow(headers_);
+    out += hline();
+    for (const auto& row : rows_) {
+        if (row.empty())
+            out += hline();
+        else
+            out += renderRow(row);
+    }
+    out += hline();
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::cout << str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtEng(double v, int decimals)
+{
+    const char* suffix = "";
+    double scaled = v;
+    double a = std::fabs(v);
+    if (a >= 1e9) {
+        scaled = v / 1e9;
+        suffix = "G";
+    } else if (a >= 1e6) {
+        scaled = v / 1e6;
+        suffix = "M";
+    } else if (a >= 1e3) {
+        scaled = v / 1e3;
+        suffix = "K";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, scaled, suffix);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace hercules

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned console table printer used by the bench harnesses so every
+ * reproduced paper table/figure prints in a uniform, readable format.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hercules {
+
+/**
+ * Collects rows of string cells and prints them with column alignment.
+ *
+ * Typical use:
+ * @code
+ *   TablePrinter t({"Model", "QPS", "QPS/W"});
+ *   t.addRow({"DLRM-RMC1", fmt(qps), fmt(eff)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** @param headers column titles; fixes the column count. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** @return number of data rows (separators excluded). */
+    size_t rows() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  ///< empty vec == separator
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a double in engineering style: 12.3K, 4.56M, ... */
+std::string fmtEng(double v, int decimals = 1);
+
+/** Format a ratio as a speedup, e.g. "3.58x". */
+std::string fmtSpeedup(double v, int decimals = 2);
+
+/** Format a fraction as a percentage, e.g. "47.7%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+}  // namespace hercules

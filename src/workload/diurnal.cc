@@ -1,0 +1,55 @@
+#include "workload/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hercules::workload {
+
+DiurnalLoad::DiurnalLoad(DiurnalConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.peak_qps <= 0.0)
+        fatal("DiurnalLoad: non-positive peak %f", cfg_.peak_qps);
+    if (cfg_.trough_frac < 0.0 || cfg_.trough_frac > 1.0)
+        fatal("DiurnalLoad: trough fraction %f outside [0,1]",
+              cfg_.trough_frac);
+    Rng rng(cfg_.seed);
+    ripple_phase1_ = rng.uniform(0.0, 2.0 * M_PI);
+    ripple_phase2_ = rng.uniform(0.0, 2.0 * M_PI);
+}
+
+double
+DiurnalLoad::loadAt(double t_hours) const
+{
+    const double w = 2.0 * M_PI / 24.0;
+    double x = w * (t_hours - cfg_.peak_hour);
+    // Raised cosine (peak at peak_hour) with a second harmonic giving
+    // the characteristic asymmetric morning shoulder.
+    double s = 0.5 * (1.0 + std::cos(x));
+    s += 0.12 * std::cos(2.0 * x + 0.9);
+    s = std::clamp(s, 0.0, 1.0);
+
+    double base = cfg_.trough_frac + (1.0 - cfg_.trough_frac) * s;
+    // Smooth deterministic ripple (two incommensurate harmonics).
+    double ripple =
+        std::sin(5.0 * w * t_hours + ripple_phase1_) * 0.6 +
+        std::sin(11.0 * w * t_hours + ripple_phase2_) * 0.4;
+    double load =
+        cfg_.peak_qps * (base + cfg_.noise_frac * ripple);
+    return std::max(load, 0.0);
+}
+
+std::vector<double>
+DiurnalLoad::sample(double horizon_hours, double interval_hours) const
+{
+    if (interval_hours <= 0.0)
+        fatal("DiurnalLoad::sample: non-positive interval");
+    std::vector<double> out;
+    for (double t = 0.0; t < horizon_hours; t += interval_hours)
+        out.push_back(loadAt(t));
+    return out;
+}
+
+}  // namespace hercules::workload

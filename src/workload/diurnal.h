@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic diurnal load curves with the properties the paper measures
+ * on production services (Fig 2(d)): one dominant daily cycle, peaks
+ * synchronized across services/datacenters, >50% peak-to-trough swing,
+ * and mild stochastic ripple.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hercules::workload {
+
+/** Configuration of one service's diurnal curve. */
+struct DiurnalConfig
+{
+    double peak_qps = 50'000.0;  ///< load at the daily peak
+    double trough_frac = 0.40;   ///< trough load as a fraction of peak
+    double peak_hour = 20.0;     ///< local hour of the daily peak
+    double noise_frac = 0.03;    ///< ripple amplitude (fraction of peak)
+    uint64_t seed = 1;           ///< ripple phase seed
+};
+
+/**
+ * Deterministic, smooth diurnal load function.
+ *
+ * load(t) = trough + (peak - trough) * s(t) with s(t) a raised cosine
+ * plus a second harmonic (morning shoulder), modulated by a small
+ * seeded ripple so distinct services do not coincide exactly.
+ */
+class DiurnalLoad
+{
+  public:
+    /** @param cfg curve parameters. */
+    explicit DiurnalLoad(DiurnalConfig cfg);
+
+    /** @return load in QPS at time `t_hours` (any horizon; 24h cycle). */
+    double loadAt(double t_hours) const;
+
+    /** Sample the curve every `interval_hours` over `horizon_hours`. */
+    std::vector<double> sample(double horizon_hours,
+                               double interval_hours) const;
+
+    /** @return configured peak QPS. */
+    double peakQps() const { return cfg_.peak_qps; }
+
+    /** @return the configuration. */
+    const DiurnalConfig& config() const { return cfg_; }
+
+  private:
+    DiurnalConfig cfg_;
+    double ripple_phase1_;
+    double ripple_phase2_;
+};
+
+}  // namespace hercules::workload

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The unit of work: one inference query ranking `size` candidate items
+ * for one user (paper §II-A). Query sizes follow a heavy-tailed
+ * distribution (Fig 2(b)); per-query pooling variance models the
+ * pooling-factor spread of Fig 2(c).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace hercules::workload {
+
+/** One inference request. */
+struct Query
+{
+    uint64_t id = 0;
+    double arrival_s = 0.0;      ///< arrival time (seconds)
+    int size = 0;                ///< number of candidate items to rank
+    double pooling_scale = 1.0;  ///< per-query pooling multiplier
+};
+
+}  // namespace hercules::workload

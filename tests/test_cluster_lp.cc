@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the two-phase simplex solver: textbook instances, edge
+ * cases (infeasible / unbounded / degenerate), and randomized
+ * comparison against a brute-force grid oracle.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/lp.h"
+#include "util/rng.h"
+
+namespace hercules::cluster {
+namespace {
+
+TEST(Lp, SimpleTwoVariable)
+{
+    // min -x - y  s.t.  x + y <= 4, x <= 2, y <= 3  -> x=2,y=2? No:
+    // optimum fills x+y=4 with x<=2,y<=3: several optima share obj -4.
+    LpProblem p;
+    p.c = {-1.0, -1.0};
+    p.a = {{1.0, 1.0}, {1.0, 0.0}, {0.0, 1.0}};
+    p.b = {4.0, 2.0, 3.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.objective, -4.0, 1e-9);
+    EXPECT_NEAR(r.x[0] + r.x[1], 4.0, 1e-9);
+    EXPECT_LE(r.x[0], 2.0 + 1e-9);
+    EXPECT_LE(r.x[1], 3.0 + 1e-9);
+}
+
+TEST(Lp, GreaterEqualConstraintViaNegation)
+{
+    // min 2x + 3y  s.t.  x + y >= 10 (as -x - y <= -10), x,y >= 0.
+    LpProblem p;
+    p.c = {2.0, 3.0};
+    p.a = {{-1.0, -1.0}};
+    p.b = {-10.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.objective, 20.0, 1e-9);  // all on the cheaper x
+    EXPECT_NEAR(r.x[0], 10.0, 1e-9);
+}
+
+TEST(Lp, Infeasible)
+{
+    // x <= 1 and x >= 3 simultaneously.
+    LpProblem p;
+    p.c = {1.0};
+    p.a = {{1.0}, {-1.0}};
+    p.b = {1.0, -3.0};
+    EXPECT_EQ(solveLp(p).status, LpResult::Status::Infeasible);
+}
+
+TEST(Lp, Unbounded)
+{
+    // min -x with only x >= 2.
+    LpProblem p;
+    p.c = {-1.0};
+    p.a = {{-1.0}};
+    p.b = {-2.0};
+    EXPECT_EQ(solveLp(p).status, LpResult::Status::Unbounded);
+}
+
+TEST(Lp, DegenerateVertexTerminates)
+{
+    // Multiple constraints meet at the optimum; Bland's rule must not
+    // cycle.
+    LpProblem p;
+    p.c = {-1.0, -1.0};
+    p.a = {{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+    p.b = {1.0, 1.0, 1.0, 2.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.objective, -2.0, 1e-9);
+}
+
+TEST(Lp, ZeroObjectiveFeasibility)
+{
+    LpProblem p;
+    p.c = {0.0, 0.0};
+    p.a = {{-1.0, -1.0}};
+    p.b = {-5.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.objective, 0.0, 1e-9);
+    EXPECT_GE(r.x[0] + r.x[1], 5.0 - 1e-9);
+}
+
+TEST(Lp, EqualityEncodedAsTwoInequalities)
+{
+    // x + y == 7 via <= and >=; min x -> x=0, y=7.
+    LpProblem p;
+    p.c = {1.0, 0.0};
+    p.a = {{1.0, 1.0}, {-1.0, -1.0}};
+    p.b = {7.0, -7.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 7.0, 1e-9);
+}
+
+TEST(Lp, ProvisioningShapedInstance)
+{
+    // Two server types, two workloads — the paper's Eq.(1)-(3) in
+    // miniature. Type A: 100 QPS @ 100 W for both. Type B: 200 QPS @
+    // 120 W for w0, 50 QPS @ 120 W for w1. Loads: 400, 100.
+    // Optimal: B covers w0 (2 x 120 W), A covers w1 (1 x 100 W).
+    LpProblem p;
+    // Variables: x_A0, x_A1, x_B0, x_B1.
+    p.c = {100.0, 100.0, 120.0, 120.0};
+    p.a = {
+        {-100.0, 0.0, -200.0, 0.0},  // cover w0
+        {0.0, -100.0, 0.0, -50.0},   // cover w1
+        {1.0, 1.0, 0.0, 0.0},        // avail A = 10
+        {0.0, 0.0, 1.0, 1.0},        // avail B = 10
+    };
+    p.b = {-400.0, -100.0, 10.0, 10.0};
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+    EXPECT_NEAR(r.objective, 2.0 * 120.0 + 100.0, 1e-6);
+}
+
+TEST(LpDeath, MalformedProblems)
+{
+    LpProblem p;
+    EXPECT_DEATH(solveLp(p), "no variables");
+    p.c = {1.0};
+    p.a = {{1.0, 2.0}};
+    p.b = {1.0};
+    EXPECT_DEATH(solveLp(p), "width");
+}
+
+/**
+ * Randomized property test: on small problems with bounded feasible
+ * regions, simplex must match a dense grid search within grid error.
+ */
+class LpRandomOracle : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LpRandomOracle, MatchesGridSearch)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+    // Two variables, box-bounded, two extra random constraints.
+    LpProblem p;
+    p.c = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    double bx = rng.uniform(1.0, 8.0);
+    double by = rng.uniform(1.0, 8.0);
+    p.a = {{1.0, 0.0}, {0.0, 1.0}};
+    p.b = {bx, by};
+    for (int k = 0; k < 2; ++k) {
+        p.a.push_back({rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0)});
+        p.b.push_back(rng.uniform(0.5, 10.0));
+    }
+
+    LpResult r = solveLp(p);
+    ASSERT_EQ(r.status, LpResult::Status::Optimal);
+
+    // Grid oracle.
+    double best = 1e300;
+    const int steps = 200;
+    for (int i = 0; i <= steps; ++i) {
+        for (int j = 0; j <= steps; ++j) {
+            double x = bx * i / steps;
+            double y = by * j / steps;
+            bool ok = true;
+            for (size_t c = 0; c < p.a.size(); ++c)
+                ok &= p.a[c][0] * x + p.a[c][1] * y <= p.b[c] + 1e-9;
+            if (ok)
+                best = std::min(best, p.c[0] * x + p.c[1] * y);
+        }
+    }
+    double grid_err = (std::fabs(p.c[0]) * bx + std::fabs(p.c[1]) * by) /
+                      steps * 2.0;
+    EXPECT_LE(r.objective, best + 1e-6);
+    EXPECT_GE(r.objective, best - grid_err);
+    // Solution must itself be feasible.
+    for (size_t c = 0; c < p.a.size(); ++c)
+        EXPECT_LE(p.a[c][0] * r.x[0] + p.a[c][1] * r.x[1],
+                  p.b[c] + 1e-6);
+    EXPECT_GE(r.x[0], -1e-9);
+    EXPECT_GE(r.x[1], -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomOracle, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hercules::cluster

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests of the online cluster manager: interval bookkeeping, diurnal
+ * tracking, over-provision rate estimation, and the model-evolution
+ * scenario generator of Fig 16.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/evolution.h"
+
+namespace hercules::cluster {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+
+ProvisionProblem
+twoModelProblem()
+{
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {100, 15},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    p.setPerf(0, 0, {true, 2500.0, 160.0});
+    p.setPerf(0, 1, {true, 900.0, 160.0});
+    p.setPerf(1, 0, {true, 4400.0, 165.0});
+    p.setPerf(1, 1, {true, 1850.0, 165.0});
+    return p;
+}
+
+std::vector<ClusterWorkload>
+twoWorkloads(double peak1, double peak2)
+{
+    ClusterWorkload w1, w2;
+    w1.model = ModelId::DlrmRmc1;
+    w1.load.peak_qps = peak1;
+    w1.load.seed = 1;
+    w2.model = ModelId::DlrmRmc2;
+    w2.load.peak_qps = peak2;
+    w2.load.seed = 2;
+    return {w1, w2};
+}
+
+TEST(OverprovisionRate, PositiveAndBounded)
+{
+    workload::DiurnalConfig cfg;
+    workload::DiurnalLoad load(cfg);
+    double r = estimateOverprovisionRate(load, 0.5);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 0.5);
+}
+
+TEST(OverprovisionRate, GrowsWithInterval)
+{
+    workload::DiurnalLoad load(workload::DiurnalConfig{});
+    EXPECT_LE(estimateOverprovisionRate(load, 0.25),
+              estimateOverprovisionRate(load, 2.0) + 1e-9);
+}
+
+TEST(RunCluster, IntervalCountMatchesHorizon)
+{
+    ProvisionProblem p = twoModelProblem();
+    GreedyProvisioner policy;
+    ClusterManagerOptions opt;
+    opt.horizon_hours = 24.0;
+    opt.interval_hours = 0.5;
+    ClusterRunResult r =
+        runCluster(p, twoWorkloads(50'000, 20'000), policy, opt);
+    EXPECT_EQ(r.intervals.size(), 48u);
+}
+
+TEST(RunCluster, AllIntervalsSatisfied)
+{
+    ProvisionProblem p = twoModelProblem();
+    HerculesProvisioner policy;
+    ClusterManagerOptions opt;
+    ClusterRunResult r =
+        runCluster(p, twoWorkloads(50'000, 20'000), policy, opt);
+    EXPECT_EQ(r.unsatisfied_intervals, 0);
+    for (const auto& iv : r.intervals)
+        EXPECT_TRUE(iv.satisfied) << "t=" << iv.t_hours;
+}
+
+TEST(RunCluster, CapacityTracksDiurnalLoad)
+{
+    ProvisionProblem p = twoModelProblem();
+    HerculesProvisioner policy;
+    ClusterManagerOptions opt;
+    ClusterRunResult r =
+        runCluster(p, twoWorkloads(50'000, 20'000), policy, opt);
+    // Peak provisioning well above the average (diurnal swing > 50%).
+    EXPECT_GT(r.peak_servers, r.avg_servers * 1.2);
+    EXPECT_GT(r.peak_power_w, r.avg_power_w * 1.2);
+    // The busiest interval should be near the configured peak hour.
+    double peak_t = 0.0;
+    double peak_p = 0.0;
+    for (const auto& iv : r.intervals) {
+        if (iv.provisioned_power_w > peak_p) {
+            peak_p = iv.provisioned_power_w;
+            peak_t = iv.t_hours;
+        }
+    }
+    EXPECT_NEAR(peak_t, 20.0, 3.0);
+}
+
+TEST(RunCluster, HerculesCheaperThanGreedyOverDay)
+{
+    ProvisionProblem p = twoModelProblem();
+    HerculesProvisioner hercules;
+    GreedyProvisioner greedy;
+    ClusterManagerOptions opt;
+    auto workloads = twoWorkloads(60'000, 25'000);
+    ClusterRunResult rh = runCluster(p, workloads, hercules, opt);
+    ClusterRunResult rg = runCluster(p, workloads, greedy, opt);
+    EXPECT_LE(rh.avg_power_w, rg.avg_power_w + 1e-6);
+    EXPECT_LE(rh.peak_power_w, rg.peak_power_w + 1e-6);
+}
+
+TEST(RunCluster, ExplicitRateOverridesEstimate)
+{
+    ProvisionProblem p = twoModelProblem();
+    HerculesProvisioner policy;
+    ClusterManagerOptions opt;
+    opt.overprovision_rate = 0.30;
+    ClusterRunResult big =
+        runCluster(p, twoWorkloads(50'000, 20'000), policy, opt);
+    opt.overprovision_rate = 0.0;
+    ClusterRunResult small =
+        runCluster(p, twoWorkloads(50'000, 20'000), policy, opt);
+    EXPECT_GT(big.avg_power_w, small.avg_power_w);
+}
+
+TEST(RunClusterDeath, WorkloadCountMismatch)
+{
+    ProvisionProblem p = twoModelProblem();
+    GreedyProvisioner policy;
+    ClusterManagerOptions opt;
+    EXPECT_DEATH(
+        runCluster(p, {twoWorkloads(1000, 1000)[0]}, policy, opt),
+        "workloads");
+}
+
+TEST(Evolution, DefaultServicesMatchPaper)
+{
+    auto services = defaultEvolutionServices();
+    ASSERT_EQ(services.size(), 3u);
+    EXPECT_EQ(services[0].legacy, ModelId::DlrmRmc1);
+    EXPECT_EQ(services[0].successor, ModelId::Din);
+    EXPECT_EQ(services[1].legacy, ModelId::DlrmRmc2);
+    EXPECT_EQ(services[1].successor, ModelId::Dien);
+    EXPECT_EQ(services[2].legacy, ModelId::DlrmRmc3);
+    EXPECT_EQ(services[2].successor, ModelId::MtWnd);
+    for (const auto& s : services)
+        EXPECT_DOUBLE_EQ(s.load.peak_qps, 50'000.0);
+}
+
+TEST(Evolution, StageZeroOnlyLegacy)
+{
+    auto w = evolutionWorkloads(defaultEvolutionServices(), 0.0);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0].model, ModelId::DlrmRmc1);
+    EXPECT_EQ(w[1].model, ModelId::DlrmRmc2);
+    EXPECT_EQ(w[2].model, ModelId::DlrmRmc3);
+}
+
+TEST(Evolution, StageOneOnlySuccessors)
+{
+    auto w = evolutionWorkloads(defaultEvolutionServices(), 1.0);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0].model, ModelId::Din);
+    EXPECT_EQ(w[1].model, ModelId::Dien);
+    EXPECT_EQ(w[2].model, ModelId::MtWnd);
+}
+
+TEST(Evolution, MidStageSplitsTraffic)
+{
+    auto w = evolutionWorkloads(defaultEvolutionServices(), 0.2);
+    ASSERT_EQ(w.size(), 6u);
+    // 80/20 split per service, conserving total peak traffic.
+    EXPECT_NEAR(w[0].load.peak_qps, 40'000.0, 1e-6);
+    EXPECT_NEAR(w[1].load.peak_qps, 10'000.0, 1e-6);
+    double total = 0.0;
+    for (const auto& x : w)
+        total += x.load.peak_qps;
+    EXPECT_NEAR(total, 150'000.0, 1e-6);
+}
+
+TEST(Evolution, ModelsListMatchesWorkloads)
+{
+    auto services = defaultEvolutionServices();
+    for (double s : {0.0, 0.4, 1.0}) {
+        auto w = evolutionWorkloads(services, s);
+        auto m = evolutionModels(services, s);
+        ASSERT_EQ(w.size(), m.size());
+        for (size_t i = 0; i < w.size(); ++i)
+            EXPECT_EQ(w[i].model, m[i]);
+    }
+}
+
+TEST(EvolutionDeath, StageOutOfRange)
+{
+    EXPECT_DEATH(evolutionWorkloads(defaultEvolutionServices(), 1.5),
+                 "stage");
+}
+
+}  // namespace
+}  // namespace hercules::cluster

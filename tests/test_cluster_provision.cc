@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests of the provisioning policies: constraint compliance for all
+ * four provisioners, the paper's cost ordering (Hercules <= priority <=
+ * greedy <= NH in provisioned power), and the §III-C competition
+ * scenario where greedy misallocates the contested NMP servers.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/provision.h"
+#include "util/rng.h"
+
+namespace hercules::cluster {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+
+/**
+ * The §III-C scenario: CPU, CPU+NMP, CPU+GPU serving RMC1 and RMC2.
+ * CPU+NMP is the most efficient for both, but RMC2 gains more from it
+ * (paper: 2.04x vs 1.75x over CPU).
+ */
+ProvisionProblem
+characterizationProblem()
+{
+    ProvisionProblem p({ServerType::T2, ServerType::T3, ServerType::T7},
+                       {70, 15, 5},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    // (qps, power) tuples shaped after Fig 8(a): NMP best for both,
+    // with a larger margin on RMC2.
+    p.setPerf(0, 0, {true, 2500.0, 160.0});   // T2 / RMC1
+    p.setPerf(0, 1, {true, 900.0, 160.0});    // T2 / RMC2
+    p.setPerf(1, 0, {true, 4400.0, 165.0});   // T3 / RMC1 (1.75x eff)
+    p.setPerf(1, 1, {true, 1850.0, 165.0});   // T3 / RMC2 (2.04x eff)
+    p.setPerf(2, 0, {true, 3200.0, 250.0});   // T7 / RMC1
+    p.setPerf(2, 1, {true, 1100.0, 250.0});   // T7 / RMC2
+    return p;
+}
+
+TEST(Allocation, ZeroShape)
+{
+    ProvisionProblem p = characterizationProblem();
+    Allocation a = Allocation::zero(p);
+    EXPECT_EQ(a.activatedServers(), 0);
+    EXPECT_DOUBLE_EQ(a.provisionedPowerW(p), 0.0);
+    EXPECT_TRUE(a.withinAvailability(p));
+}
+
+TEST(Allocation, AccountingMatchesHandComputation)
+{
+    ProvisionProblem p = characterizationProblem();
+    Allocation a = Allocation::zero(p);
+    a.n[1][0] = 2;  // two T3 for RMC1
+    a.n[0][1] = 3;  // three T2 for RMC2
+    EXPECT_EQ(a.activatedServers(), 5);
+    EXPECT_EQ(a.activatedOfType(1), 2);
+    EXPECT_DOUBLE_EQ(a.coverageQps(p, 0), 8800.0);
+    EXPECT_DOUBLE_EQ(a.coverageQps(p, 1), 2700.0);
+    EXPECT_DOUBLE_EQ(a.provisionedPowerW(p), 2 * 165.0 + 3 * 160.0);
+}
+
+TEST(Allocation, SatisfiesChecksOverprovisionRate)
+{
+    ProvisionProblem p = characterizationProblem();
+    Allocation a = Allocation::zero(p);
+    a.n[1][0] = 1;  // 4400 QPS for RMC1
+    std::vector<double> loads = {4000.0, 0.0};
+    EXPECT_TRUE(a.satisfies(p, loads, 0.05));   // needs 4200
+    EXPECT_FALSE(a.satisfies(p, loads, 0.15));  // needs 4600
+}
+
+/** All four policies must produce valid allocations. */
+class PolicyCompliance : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::unique_ptr<Provisioner>
+    makePolicy(int which)
+    {
+        switch (which) {
+          case 0: return std::make_unique<HerculesProvisioner>();
+          case 1: return std::make_unique<GreedyProvisioner>();
+          case 2: return std::make_unique<PriorityAwareProvisioner>();
+          default: return std::make_unique<NhProvisioner>(5);
+        }
+    }
+};
+
+TEST_P(PolicyCompliance, MeetsLoadsWithinAvailability)
+{
+    ProvisionProblem p = characterizationProblem();
+    auto policy = makePolicy(GetParam());
+    std::vector<double> loads = {30'000.0, 12'000.0};
+    Allocation a = policy->provision(p, loads, 0.05);
+    EXPECT_TRUE(a.withinAvailability(p)) << policy->name();
+    EXPECT_TRUE(a.satisfies(p, loads, 0.05)) << policy->name();
+}
+
+TEST_P(PolicyCompliance, ZeroLoadZeroServers)
+{
+    ProvisionProblem p = characterizationProblem();
+    auto policy = makePolicy(GetParam());
+    std::vector<double> loads = {0.0, 0.0};
+    Allocation a = policy->provision(p, loads, 0.05);
+    EXPECT_EQ(a.activatedServers(), 0) << policy->name();
+}
+
+TEST_P(PolicyCompliance, OverCapacityBestEffort)
+{
+    ProvisionProblem p = characterizationProblem();
+    auto policy = makePolicy(GetParam());
+    // Far beyond the ~430K total capacity: policies must allocate a
+    // large share of the fleet without exceeding availability.
+    std::vector<double> loads = {1e7, 1e7};
+    Allocation a = policy->provision(p, loads, 0.0);
+    EXPECT_TRUE(a.withinAvailability(p)) << policy->name();
+    EXPECT_FALSE(a.satisfies(p, loads, 0.0)) << policy->name();
+    EXPECT_GT(a.activatedServers(), 60) << policy->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyCompliance,
+                         ::testing::Range(0, 4));
+
+TEST(PolicyOrdering, HerculesNoWorseThanGreedy)
+{
+    ProvisionProblem p = characterizationProblem();
+    HerculesProvisioner hercules;
+    GreedyProvisioner greedy;
+    std::vector<double> loads = {45'000.0, 25'000.0};
+    double ph = hercules.provision(p, loads, 0.05).provisionedPowerW(p);
+    double pg = greedy.provision(p, loads, 0.05).provisionedPowerW(p);
+    EXPECT_LE(ph, pg + 1e-6);
+}
+
+TEST(PolicyOrdering, GreedyNoWorseThanNhOnAverage)
+{
+    ProvisionProblem p = characterizationProblem();
+    GreedyProvisioner greedy;
+    std::vector<double> loads = {45'000.0, 25'000.0};
+    double pg = greedy.provision(p, loads, 0.05).provisionedPowerW(p);
+    double nh_sum = 0.0;
+    const int trials = 7;
+    for (int s = 0; s < trials; ++s) {
+        NhProvisioner nh(static_cast<uint64_t>(s) + 1);
+        nh_sum += nh.provision(p, loads, 0.05).provisionedPowerW(p);
+    }
+    EXPECT_LE(pg, nh_sum / trials + 1e-6);
+}
+
+TEST(PolicyOrdering, PriorityFixesNmpContention)
+{
+    // §III-C: when RMC1 and RMC2 compete for the 15 CPU+NMP servers,
+    // greedy divides the pool between them without regard for who
+    // benefits most; the priority-aware scheduler hands the pool to the
+    // bigger marginal gainer (RMC2) and saves provisioned power.
+    ProvisionProblem p = characterizationProblem();
+    GreedyProvisioner greedy;
+    PriorityAwareProvisioner priority;
+    std::vector<double> loads = {50'000.0, 25'000.0};
+    Allocation ag = greedy.provision(p, loads, 0.02);
+    Allocation ap = priority.provision(p, loads, 0.02);
+    ASSERT_TRUE(ag.satisfies(p, loads, 0.02));
+    ASSERT_TRUE(ap.satisfies(p, loads, 0.02));
+    // Greedy splits the NMP pool across both workloads; priority gives
+    // RMC2 strictly more of it.
+    EXPECT_GT(ag.n[1][0], 0);
+    EXPECT_GT(ag.n[1][1], 0);
+    EXPECT_GT(ap.n[1][1], ag.n[1][1]);
+    EXPECT_LE(ap.provisionedPowerW(p), ag.provisionedPowerW(p));
+}
+
+TEST(Hercules, BeatsGreedyUnderContention)
+{
+    // The LP sees the global picture; under heavy competition for the
+    // small efficient pool it must strictly win.
+    ProvisionProblem p = characterizationProblem();
+    HerculesProvisioner hercules;
+    GreedyProvisioner greedy;
+    std::vector<double> loads = {50'000.0, 28'000.0};
+    double ph = hercules.provision(p, loads, 0.02).provisionedPowerW(p);
+    double pg = greedy.provision(p, loads, 0.02).provisionedPowerW(p);
+    EXPECT_LT(ph, pg);
+}
+
+TEST(Hercules, MatchesLpOnIntegerFriendlyInstance)
+{
+    // When the LP optimum is integral, the repair must not distort it.
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {10, 10},
+                       {ModelId::DlrmRmc1});
+    p.setPerf(0, 0, {true, 1000.0, 200.0});
+    p.setPerf(1, 0, {true, 1000.0, 100.0});
+    HerculesProvisioner hercules;
+    std::vector<double> loads = {5000.0};
+    Allocation a = hercules.provision(p, loads, 0.0);
+    // 5 of the cheap type, none of the expensive.
+    EXPECT_EQ(a.n[1][0], 5);
+    EXPECT_EQ(a.n[0][0], 0);
+    EXPECT_DOUBLE_EQ(a.provisionedPowerW(p), 500.0);
+}
+
+TEST(Hercules, InfeasiblePairsNeverUsed)
+{
+    ProvisionProblem p({ServerType::T2, ServerType::T7}, {10, 10},
+                       {ModelId::Din});
+    p.setPerf(0, 0, {true, 500.0, 150.0});
+    p.setPerf(1, 0, PairPerf{});  // infeasible pair
+    HerculesProvisioner hercules;
+    Allocation a = hercules.provision(p, {2000.0}, 0.0);
+    EXPECT_EQ(a.n[1][0], 0);
+    EXPECT_GE(a.n[0][0], 4);
+}
+
+TEST(FromTable, BuildsFromEfficiencyEntries)
+{
+    core::EfficiencyTable table;
+    core::EfficiencyEntry e;
+    e.server = ServerType::T2;
+    e.model = ModelId::DlrmRmc1;
+    e.feasible = true;
+    e.qps = 1234.0;
+    e.power_w = 150.0;
+    table.set(e);
+    ProvisionProblem p = ProvisionProblem::fromTable(
+        table, {ServerType::T2, ServerType::T3}, {ModelId::DlrmRmc1});
+    EXPECT_TRUE(p.perf(0, 0).feasible);
+    EXPECT_DOUBLE_EQ(p.perf(0, 0).qps, 1234.0);
+    EXPECT_FALSE(p.perf(1, 0).feasible);  // unprofiled pair
+    EXPECT_EQ(p.availability(0), 100);    // catalog default
+}
+
+TEST(FromTable, TotalCapacity)
+{
+    ProvisionProblem p = characterizationProblem();
+    EXPECT_DOUBLE_EQ(p.totalCapacity(0),
+                     70 * 2500.0 + 15 * 4400.0 + 5 * 3200.0);
+}
+
+/**
+ * Randomized cost-ordering property: across random instances the LP
+ * policy never provisions more power than greedy, and greedy (averaged
+ * over NH seeds) never more than NH.
+ */
+class RandomInstanceOrdering : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomInstanceOrdering, HerculesLeqGreedy)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+    std::vector<ServerType> servers = {ServerType::T1, ServerType::T3,
+                                       ServerType::T7};
+    std::vector<int> avail = {
+        static_cast<int>(rng.uniformInt(5, 60)),
+        static_cast<int>(rng.uniformInt(3, 20)),
+        static_cast<int>(rng.uniformInt(2, 10))};
+    std::vector<ModelId> models = {ModelId::DlrmRmc1, ModelId::DlrmRmc2,
+                                   ModelId::Din};
+    ProvisionProblem p(servers, avail, models);
+    for (int h = 0; h < 3; ++h)
+        for (int m = 0; m < 3; ++m)
+            p.setPerf(h, m, {true, rng.uniform(500.0, 5000.0),
+                             rng.uniform(100.0, 400.0)});
+    std::vector<double> loads;
+    for (int m = 0; m < 3; ++m)
+        loads.push_back(rng.uniform(0.1, 0.5) * p.totalCapacity(m));
+
+    HerculesProvisioner hercules;
+    GreedyProvisioner greedy;
+    Allocation ah = hercules.provision(p, loads, 0.05);
+    Allocation ag = greedy.provision(p, loads, 0.05);
+    EXPECT_TRUE(ah.withinAvailability(p));
+    if (ah.satisfies(p, loads, 0.05) && ag.satisfies(p, loads, 0.05)) {
+        EXPECT_LE(ah.provisionedPowerW(p),
+                  ag.provisionedPowerW(p) + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceOrdering,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hercules::cluster

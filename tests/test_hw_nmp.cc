@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests of the cycle-approximate NMP simulator and its pre-built
+ * latency/energy LUT — the substitute for the paper's RecNMP
+ * cycle-level simulation methodology.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/nmp.h"
+
+namespace hercules::hw {
+namespace {
+
+TEST(NmpSimulator, RankParallelismSpeedsUpSls)
+{
+    NmpSimulator x2(nmpX(2));
+    NmpSimulator x4(nmpX(4));
+    NmpSimulator x8(nmpX(8));
+    NmpResult r2 = x2.simulateSls(256, 80, 32);
+    NmpResult r4 = x4.simulateSls(256, 80, 32);
+    NmpResult r8 = x8.simulateSls(256, 80, 32);
+    EXPECT_GT(r2.latency_us, r4.latency_us);
+    EXPECT_GT(r4.latency_us, r8.latency_us);
+    // Rank scaling should be roughly linear.
+    EXPECT_NEAR(r2.latency_us / r4.latency_us, 2.0, 0.3);
+}
+
+TEST(NmpSimulator, LatencyScalesWithWork)
+{
+    NmpSimulator sim(nmpX(2));
+    double base = sim.simulateSls(64, 80, 32).latency_us;
+    EXPECT_GT(sim.simulateSls(128, 80, 32).latency_us, base);
+    EXPECT_GT(sim.simulateSls(64, 160, 32).latency_us, base);
+    EXPECT_GT(sim.simulateSls(64, 80, 64).latency_us, base);
+}
+
+TEST(NmpSimulator, EnergyIndependentOfRanks)
+{
+    // The same gathers happen regardless of how they are spread.
+    NmpResult r2 = NmpSimulator(nmpX(2)).simulateSls(128, 40, 32);
+    NmpResult r8 = NmpSimulator(nmpX(8)).simulateSls(128, 40, 32);
+    EXPECT_DOUBLE_EQ(r2.energy_uj, r8.energy_uj);
+    EXPECT_GT(r2.energy_uj, 0.0);
+}
+
+TEST(NmpSimulator, EnergyLinearInAccesses)
+{
+    NmpSimulator sim(nmpX(4));
+    double e1 = sim.simulateSls(100, 50, 32).energy_uj;
+    double e2 = sim.simulateSls(200, 50, 32).energy_uj;
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(NmpSimulatorDeath, RequiresNmpMemory)
+{
+    EXPECT_DEATH(NmpSimulator{ddr4T2()}, "not NMP");
+}
+
+TEST(NmpSimulatorDeath, RejectsBadShape)
+{
+    NmpSimulator sim(nmpX(2));
+    EXPECT_DEATH(sim.simulateSls(0, 80, 32), "bad SLS shape");
+    EXPECT_DEATH(sim.simulateSls(64, 0, 32), "bad SLS shape");
+}
+
+TEST(NmpLut, MatchesSimulatorOnGridPoints)
+{
+    MemSpec mem = nmpX(2);
+    NmpSimulator sim(mem);
+    NmpLut lut(mem, 32);
+    // (64, 80) is a grid point: exact agreement expected.
+    NmpResult direct = sim.simulateSls(64, 80, 32);
+    NmpResult tabled = lut.lookup(64, 80);
+    EXPECT_NEAR(tabled.latency_us, direct.latency_us, 1e-9);
+    EXPECT_NEAR(tabled.energy_uj, direct.energy_uj, 1e-9);
+}
+
+TEST(NmpLut, InterpolatesBetweenGridPoints)
+{
+    MemSpec mem = nmpX(4);
+    NmpSimulator sim(mem);
+    NmpLut lut(mem, 32);
+    // Off-grid: interpolation within a few percent of the cycle model.
+    NmpResult direct = sim.simulateSls(100, 60, 32);
+    NmpResult tabled = lut.lookup(100, 60);
+    EXPECT_NEAR(tabled.latency_us, direct.latency_us,
+                direct.latency_us * 0.20);
+}
+
+TEST(NmpLut, ClampsBeyondGrid)
+{
+    NmpLut lut(nmpX(2), 32);
+    NmpResult max_grid = lut.lookup(4096, 1000);
+    NmpResult beyond = lut.lookup(100000, 5000);
+    EXPECT_DOUBLE_EQ(beyond.latency_us, max_grid.latency_us);
+}
+
+TEST(NmpLut, MonotoneInBatch)
+{
+    NmpLut lut(nmpX(2), 32);
+    double prev = 0.0;
+    for (int b : {1, 8, 64, 256, 1024, 4096}) {
+        double lat = lut.lookup(b, 80).latency_us;
+        EXPECT_GE(lat, prev) << "batch " << b;
+        prev = lat;
+    }
+}
+
+TEST(NmpLut, MonotoneInPooling)
+{
+    NmpLut lut(nmpX(8), 64);
+    double prev = 0.0;
+    for (double p : {1.0, 5.0, 20.0, 80.0, 320.0, 1000.0}) {
+        double lat = lut.lookup(128, p).latency_us;
+        EXPECT_GE(lat, prev) << "pooling " << p;
+        prev = lat;
+    }
+}
+
+TEST(NmpLut, EmbDimRecorded)
+{
+    NmpLut lut(nmpX(2), 64);
+    EXPECT_EQ(lut.embDim(), 64);
+}
+
+/**
+ * In-DIMM gather beats the host DDR gather path for realistic SLS
+ * shapes — the premise of the RecNMP-style acceleration.
+ */
+class NmpVsHostTest
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(NmpVsHostTest, NmpFasterThanHostShare)
+{
+    auto [batch, pooling] = GetParam();
+    MemSpec mem = nmpX(8);
+    NmpSimulator sim(mem);
+    double nmp_us = sim.simulateSls(batch, pooling, 32).latency_us;
+    // Host path at a generous 30 GB/s effective gather bandwidth.
+    double bytes = static_cast<double>(batch) * pooling * 32 * 4;
+    double host_us = bytes / (30e9) * 1e6;
+    EXPECT_LT(nmp_us, host_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NmpVsHostTest,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(20.0, 80.0, 160.0)));
+
+}  // namespace
+}  // namespace hercules::hw

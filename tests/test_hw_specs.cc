@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Conformance tests of the hardware catalog against Table II, and of
+ * the power model's physical bounds.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/power.h"
+#include "hw/server.h"
+
+namespace hercules::hw {
+namespace {
+
+TEST(Specs, CpuT1MatchesTable2)
+{
+    CpuSpec c = cpuT1();
+    EXPECT_EQ(c.name, "Intel Xeon D-2191");
+    EXPECT_DOUBLE_EQ(c.freq_ghz, 1.6);
+    EXPECT_EQ(c.cores, 18);
+    EXPECT_DOUBLE_EQ(c.tdp_w, 86.0);
+}
+
+TEST(Specs, CpuT2MatchesTable2)
+{
+    CpuSpec c = cpuT2();
+    EXPECT_EQ(c.name, "Intel Xeon Gold 6138");
+    EXPECT_DOUBLE_EQ(c.freq_ghz, 2.0);
+    EXPECT_EQ(c.cores, 20);
+    EXPECT_DOUBLE_EQ(c.tdp_w, 125.0);
+}
+
+TEST(Specs, CpuEffectiveRateScalesWithClock)
+{
+    EXPECT_GT(cpuT2().effGflopsPerCore(), cpuT1().effGflopsPerCore());
+}
+
+TEST(Specs, MemoryCapacitiesMatchTable2)
+{
+    EXPECT_EQ(ddr4T1().capacity_gb, 64);
+    EXPECT_EQ(ddr4T2().capacity_gb, 128);
+    EXPECT_EQ(nmpX(2).capacity_gb, 128);
+    EXPECT_EQ(nmpX(4).capacity_gb, 256);
+    EXPECT_EQ(nmpX(8).capacity_gb, 512);
+}
+
+TEST(Specs, MemoryTdpsMatchTable2)
+{
+    EXPECT_DOUBLE_EQ(ddr4T1().tdp_w, 28.0);
+    EXPECT_DOUBLE_EQ(ddr4T2().tdp_w, 50.0);
+    EXPECT_DOUBLE_EQ(nmpX(2).tdp_w, 50.0);
+    EXPECT_DOUBLE_EQ(nmpX(4).tdp_w, 100.0);
+    EXPECT_DOUBLE_EQ(nmpX(8).tdp_w, 200.0);
+}
+
+TEST(Specs, NmpRankParallelism)
+{
+    EXPECT_EQ(nmpX(2).totalRanks(), 8);
+    EXPECT_EQ(nmpX(4).totalRanks(), 16);
+    EXPECT_EQ(nmpX(8).totalRanks(), 32);
+    EXPECT_EQ(ddr4T1().totalRanks(), 4);
+    EXPECT_EQ(ddr4T2().totalRanks(), 8);
+}
+
+TEST(SpecsDeath, InvalidNmpConfigIsFatal)
+{
+    EXPECT_DEATH(nmpX(3), "unsupported");
+}
+
+TEST(Specs, GpuMatchTable2)
+{
+    GpuSpec p = gpuP100();
+    GpuSpec v = gpuV100();
+    EXPECT_EQ(p.sms, 56);
+    EXPECT_EQ(v.sms, 80);
+    EXPECT_DOUBLE_EQ(p.boost_mhz, 1480.0);
+    EXPECT_DOUBLE_EQ(v.boost_mhz, 1530.0);
+    EXPECT_EQ(p.mem_gb, 16);
+    EXPECT_EQ(v.mem_gb, 16);
+    EXPECT_DOUBLE_EQ(v.pcie_gbps, 16.0);
+    EXPECT_DOUBLE_EQ(v.tdp_w, 300.0);
+}
+
+TEST(Specs, V100FasterThanP100)
+{
+    EXPECT_GT(gpuV100().peakTflops(), gpuP100().peakTflops());
+    // V100 fp32 peak is ~15.7 TFLOP/s.
+    EXPECT_NEAR(gpuV100().peakTflops(), 15.7, 0.3);
+}
+
+TEST(Catalog, TenServerTypes)
+{
+    EXPECT_EQ(serverCatalog().size(), 10u);
+    EXPECT_EQ(allServerTypes().size(), 10u);
+}
+
+TEST(Catalog, AvailabilitiesMatchTable2)
+{
+    const std::vector<int> expected = {100, 100, 15, 10, 5,
+                                       10,  5,   6,  4,  2};
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(serverCatalog()[i].availability, expected[i])
+            << "T" << (i + 1);
+}
+
+TEST(Catalog, GpuAndNmpFlags)
+{
+    EXPECT_FALSE(serverSpec(ServerType::T1).hasGpu());
+    EXPECT_FALSE(serverSpec(ServerType::T2).hasNmp());
+    EXPECT_TRUE(serverSpec(ServerType::T3).hasNmp());
+    EXPECT_TRUE(serverSpec(ServerType::T7).hasGpu());
+    EXPECT_TRUE(serverSpec(ServerType::T8).hasGpu());
+    EXPECT_TRUE(serverSpec(ServerType::T8).hasNmp());
+}
+
+TEST(Catalog, T6UsesP100RestUseV100)
+{
+    EXPECT_EQ(serverSpec(ServerType::T6).gpu->name, "NVIDIA P100");
+    for (ServerType t : {ServerType::T7, ServerType::T8, ServerType::T9,
+                         ServerType::T10})
+        EXPECT_EQ(serverSpec(t).gpu->name, "NVIDIA V100");
+}
+
+TEST(Catalog, NamesAreDescriptive)
+{
+    EXPECT_EQ(serverSpec(ServerType::T2).name, "CPU-T2");
+    EXPECT_EQ(serverSpec(ServerType::T3).name, "CPU-T2+NMPx2");
+    EXPECT_EQ(serverSpec(ServerType::T10).name, "CPU-T2+NMPx8+V100");
+}
+
+TEST(Power, IdleBelowPeak)
+{
+    for (const auto& s : serverCatalog()) {
+        PowerModel p(s);
+        EXPECT_LT(p.idlePowerW(), p.peakPowerW()) << s.name;
+        EXPECT_GT(p.idlePowerW(), 0.0) << s.name;
+    }
+}
+
+TEST(Power, PeakBoundedByComponentTdps)
+{
+    for (const auto& s : serverCatalog()) {
+        PowerModel p(s);
+        // NMP PU idle power slightly exceeds the DIMM TDP budget line,
+        // so allow that documented margin.
+        double margin = s.hasNmp() ? 1.5 * s.mem.totalRanks() : 0.0;
+        EXPECT_LE(p.peakPowerW(), s.maxPowerW() + margin + 1e-9)
+            << s.name;
+    }
+}
+
+TEST(Power, MonotoneInUtilization)
+{
+    PowerModel p(serverSpec(ServerType::T7));
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        double w = p.serverPowerW(Utilization{u, u, u});
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(Power, UtilizationClamped)
+{
+    PowerModel p(serverSpec(ServerType::T2));
+    EXPECT_DOUBLE_EQ(p.cpuPowerW(-1.0), p.cpuPowerW(0.0));
+    EXPECT_DOUBLE_EQ(p.cpuPowerW(2.0), p.cpuPowerW(1.0));
+}
+
+TEST(Power, GpuZeroWithoutGpu)
+{
+    PowerModel p(serverSpec(ServerType::T2));
+    EXPECT_DOUBLE_EQ(p.gpuPowerW(1.0), 0.0);
+}
+
+TEST(Power, GpuLeakageIsSubstantial)
+{
+    // The paper attributes weak GPU energy efficiency partly to high
+    // leakage: idle GPU power must be a noticeable TDP fraction.
+    PowerModel p(serverSpec(ServerType::T7));
+    EXPECT_GT(p.gpuPowerW(0.0), 0.10 * 300.0);
+}
+
+TEST(Power, NmpIdleTax)
+{
+    // More NMP DIMMs/PUs -> more idle power (why NMPx8 loses QPS/W on
+    // one-hot models, Fig 15).
+    PowerModel t2(serverSpec(ServerType::T2));
+    PowerModel t3(serverSpec(ServerType::T3));
+    PowerModel t5(serverSpec(ServerType::T5));
+    EXPECT_GT(t3.idlePowerW(), t2.idlePowerW());
+    EXPECT_GT(t5.idlePowerW(), t3.idlePowerW());
+}
+
+/** Every catalog entry behaves like a physical machine. */
+class CatalogEveryServer : public ::testing::TestWithParam<ServerType>
+{
+};
+
+TEST_P(CatalogEveryServer, SaneSpec)
+{
+    const ServerSpec& s = serverSpec(GetParam());
+    EXPECT_GT(s.cpu.cores, 0);
+    EXPECT_GT(s.cpu.freq_ghz, 0.0);
+    EXPECT_GT(s.mem.peakBwGbps(), 0.0);
+    EXPECT_GT(s.mem.capacityBytes(), 0);
+    EXPECT_GT(s.availability, 0);
+    if (s.hasGpu()) {
+        EXPECT_GT(s.gpu->peakTflops(), 0.0);
+        EXPECT_GT(s.gpu->memBytes(), 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CatalogEveryServer,
+                         ::testing::ValuesIn(allServerTypes()));
+
+}  // namespace
+}  // namespace hercules::hw

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests that the per-item cost model reproduces the Fig 1
+ * characterization: DLRM-RMC1/RMC2 memory-dominated, RMC3 / MT-WnD /
+ * DIN / DIEN compute-dominated, with the orderings the paper plots.
+ */
+#include <gtest/gtest.h>
+
+#include "model/footprint.h"
+
+namespace hercules::model {
+namespace {
+
+ModelFootprint
+fp(ModelId id)
+{
+    Model m = buildModel(id);
+    return analyzeModel(m);
+}
+
+TEST(OpCost, EmbeddingPooledGathersDram)
+{
+    EmbeddingParams p;
+    p.rows = 1'000'000;
+    p.emb_dim = 32;
+    p.pooling_min = p.pooling_max = 80;
+    p.pooled = true;
+    Graph g;
+    g.addNode("e", p, Stage::Sparse);
+    OpCost c = opCostPerItem(g.node(0));
+    EXPECT_DOUBLE_EQ(c.dram_bytes, 80.0 * 32 * 4);
+    EXPECT_DOUBLE_EQ(c.input_bytes, 80.0 * 8);
+    // Pooled output is a single vector.
+    EXPECT_DOUBLE_EQ(c.output_bytes, 32.0 * 4);
+    EXPECT_GT(c.flops, 0.0);
+}
+
+TEST(OpCost, EmbeddingOneHotNoReduce)
+{
+    EmbeddingParams p;
+    p.rows = 1'000'000;
+    p.emb_dim = 64;
+    p.pooling_min = p.pooling_max = 1;
+    p.pooled = false;
+    Graph g;
+    g.addNode("e", p, Stage::Sparse);
+    OpCost c = opCostPerItem(g.node(0));
+    EXPECT_DOUBLE_EQ(c.dram_bytes, 64.0 * 4);
+    EXPECT_DOUBLE_EQ(c.flops, 0.0);
+}
+
+TEST(OpCost, FcFlopsAndRootInput)
+{
+    FcParams p;
+    p.in_dim = 256;
+    p.out_dim = 128;
+    Graph g;
+    int root = g.addNode("fc0", p, Stage::Dense);
+    int inner = g.addNode("fc1", p, Stage::Dense, {root});
+    OpCost c_root = opCostPerItem(g.node(root));
+    OpCost c_inner = opCostPerItem(g.node(inner));
+    EXPECT_DOUBLE_EQ(c_root.flops, 2.0 * 256 * 128);
+    EXPECT_DOUBLE_EQ(c_root.input_bytes, 256.0 * 4);
+    EXPECT_DOUBLE_EQ(c_inner.input_bytes, 0.0);
+}
+
+TEST(OpCost, AttentionScalesWithSequence)
+{
+    AttentionParams p;
+    p.behavior_dim = 64;
+    p.hidden_dim = 36;
+    p.seq_len_min = p.seq_len_max = 100;
+    Graph g;
+    g.addNode("a", p, Stage::Dense);
+    double f100 = opCostPerItem(g.node(0)).flops;
+    Graph g2;
+    p.seq_len_min = p.seq_len_max = 1000;
+    g2.addNode("a", p, Stage::Dense);
+    double f1000 = opCostPerItem(g2.node(0)).flops;
+    EXPECT_NEAR(f1000 / f100, 10.0, 0.01);
+}
+
+TEST(OpCost, GruScalesWithLayersAndSequence)
+{
+    GruParams p;
+    p.input_dim = 32;
+    p.hidden_dim = 32;
+    p.seq_len_min = p.seq_len_max = 200;
+    p.layers = 1;
+    Graph g;
+    g.addNode("r", p, Stage::Dense);
+    double f1 = opCostPerItem(g.node(0)).flops;
+    p.layers = 2;
+    Graph g2;
+    g2.addNode("r", p, Stage::Dense);
+    double f2 = opCostPerItem(g2.node(0)).flops;
+    EXPECT_NEAR(f2 / f1, 2.0, 1e-9);
+}
+
+TEST(OpCost, InteractionQuadraticInFeatures)
+{
+    InteractionParams p;
+    p.num_features = 11;
+    p.feature_dim = 32;
+    Graph g;
+    g.addNode("i", p, Stage::Dense);
+    OpCost c = opCostPerItem(g.node(0));
+    EXPECT_DOUBLE_EQ(c.flops, 55.0 * 32 * 2 + 11.0 * 32);
+}
+
+// ---------------------------------------------------------------------
+// Fig 1 shape: who is memory-dominated, who is compute-dominated.
+// ---------------------------------------------------------------------
+
+TEST(Fig1Shape, Rmc1Rmc2MemoryDominated)
+{
+    // Arithmetic intensity below ~10 FLOP/DRAM-byte: bandwidth-bound.
+    EXPECT_LT(fp(ModelId::DlrmRmc1).intensity(), 10.0);
+    EXPECT_LT(fp(ModelId::DlrmRmc2).intensity(), 10.0);
+}
+
+TEST(Fig1Shape, ComputeDominatedModels)
+{
+    EXPECT_GT(fp(ModelId::DlrmRmc3).intensity(), 20.0);
+    EXPECT_GT(fp(ModelId::MtWnd).intensity(), 20.0);
+    EXPECT_GT(fp(ModelId::Din).intensity(), 20.0);
+    EXPECT_GT(fp(ModelId::Dien).intensity(), 20.0);
+}
+
+TEST(Fig1Shape, Rmc2HighestMemoryTraffic)
+{
+    // RMC2 (100 tables) is the rightmost point of Fig 1.
+    double rmc2 = fp(ModelId::DlrmRmc2).dram_bytes_per_item;
+    for (ModelId id : {ModelId::DlrmRmc1, ModelId::DlrmRmc3, ModelId::MtWnd,
+                       ModelId::Din, ModelId::Dien})
+        EXPECT_GT(rmc2, fp(id).dram_bytes_per_item) << modelName(id);
+}
+
+TEST(Fig1Shape, MtWndHighestCompute)
+{
+    // MT-WnD (five 1024-512-256 towers) tops the FLOPs axis.
+    double wnd = fp(ModelId::MtWnd).flops_per_item;
+    for (ModelId id : {ModelId::DlrmRmc1, ModelId::DlrmRmc2,
+                       ModelId::DlrmRmc3, ModelId::Din})
+        EXPECT_GT(wnd, fp(id).flops_per_item) << modelName(id);
+}
+
+TEST(Fig1Shape, Rmc1LowestCompute)
+{
+    double rmc1 = fp(ModelId::DlrmRmc1).flops_per_item;
+    for (ModelId id : {ModelId::DlrmRmc2, ModelId::DlrmRmc3, ModelId::MtWnd,
+                       ModelId::Din, ModelId::Dien})
+        EXPECT_LT(rmc1, fp(id).flops_per_item) << modelName(id);
+}
+
+TEST(Fig1Shape, DienHeavierThanDin)
+{
+    // The GRU stack makes DIEN strictly more compute-intensive.
+    EXPECT_GT(fp(ModelId::Dien).flops_per_item,
+              fp(ModelId::Din).flops_per_item);
+}
+
+TEST(Fig1Shape, SpansOrdersOfMagnitude)
+{
+    // "can vary by one to two orders of magnitude" (paper §I).
+    double min_f = 1e300, max_f = 0.0, min_b = 1e300, max_b = 0.0;
+    for (ModelId id : allModels()) {
+        ModelFootprint f = fp(id);
+        min_f = std::min(min_f, f.flops_per_item);
+        max_f = std::max(max_f, f.flops_per_item);
+        min_b = std::min(min_b, f.dram_bytes_per_item);
+        max_b = std::max(max_b, f.dram_bytes_per_item);
+    }
+    EXPECT_GT(max_f / min_f, 10.0);
+    EXPECT_GT(max_b / min_b, 10.0);
+}
+
+TEST(Footprint, MultiHotModelsHaveHeavyInputs)
+{
+    // Multi-hot index traffic is what clogs PCIe for RMC3 (Fig 7).
+    EXPECT_GT(fp(ModelId::DlrmRmc3).input_bytes_per_item,
+              fp(ModelId::MtWnd).input_bytes_per_item);
+}
+
+TEST(Footprint, AggregatesArePositive)
+{
+    for (ModelId id : allModels()) {
+        ModelFootprint f = fp(id);
+        EXPECT_GT(f.flops_per_item, 0.0) << modelName(id);
+        EXPECT_GT(f.dram_bytes_per_item, 0.0) << modelName(id);
+        EXPECT_GT(f.input_bytes_per_item, 0.0) << modelName(id);
+        EXPECT_GT(f.emb_bytes, 0) << modelName(id);
+        EXPECT_GT(f.param_bytes, 0) << modelName(id);
+    }
+}
+
+}  // namespace
+}  // namespace hercules::model

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the computation-graph IR: construction, topological order,
+ * stage queries and dependency-chain analysis.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "model/graph.h"
+
+namespace hercules::model {
+namespace {
+
+FcParams
+fc(int in, int out)
+{
+    FcParams p;
+    p.in_dim = in;
+    p.out_dim = out;
+    return p;
+}
+
+EmbeddingParams
+emb(int64_t rows, int dim)
+{
+    EmbeddingParams p;
+    p.rows = rows;
+    p.emb_dim = dim;
+    p.pooled = true;
+    p.pooling_min = p.pooling_max = 10;
+    return p;
+}
+
+TEST(Graph, AddAndQueryNodes)
+{
+    Graph g;
+    int a = g.addNode("emb0", emb(100, 32), Stage::Sparse);
+    int b = g.addNode("fc0", fc(32, 16), Stage::Dense, {a});
+    EXPECT_EQ(g.size(), 2);
+    EXPECT_EQ(g.node(a).name, "emb0");
+    EXPECT_EQ(g.node(b).deps, std::vector<int>{a});
+    EXPECT_EQ(g.node(a).kind(), OpKind::EmbeddingLookup);
+    EXPECT_EQ(g.node(b).kind(), OpKind::Fc);
+}
+
+TEST(Graph, FindNode)
+{
+    Graph g;
+    g.addNode("x", fc(1, 1), Stage::Dense);
+    EXPECT_EQ(g.findNode("x"), 0);
+    EXPECT_EQ(g.findNode("nope"), -1);
+}
+
+TEST(GraphDeath, DuplicateNameIsFatal)
+{
+    Graph g;
+    g.addNode("x", fc(1, 1), Stage::Dense);
+    EXPECT_DEATH(g.addNode("x", fc(1, 1), Stage::Dense), "duplicate");
+}
+
+TEST(GraphDeath, UnknownDepIsFatal)
+{
+    Graph g;
+    EXPECT_DEATH(g.addNode("x", fc(1, 1), Stage::Dense, {5}), "unknown");
+}
+
+TEST(Graph, TopoOrderRespectsDeps)
+{
+    Graph g;
+    int a = g.addNode("a", fc(1, 1), Stage::Dense);
+    int b = g.addNode("b", fc(1, 1), Stage::Dense, {a});
+    int c = g.addNode("c", fc(1, 1), Stage::Dense, {a});
+    int d = g.addNode("d", fc(1, 1), Stage::Dense, {b, c});
+    const auto& order = g.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    auto pos = [&](int id) {
+        return std::find(order.begin(), order.end(), id) - order.begin();
+    };
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(a), pos(c));
+    EXPECT_LT(pos(b), pos(d));
+    EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(Graph, TopoOrderCachedAndInvalidated)
+{
+    Graph g;
+    int a = g.addNode("a", fc(1, 1), Stage::Dense);
+    EXPECT_EQ(g.topoOrder().size(), 1u);
+    g.addNode("b", fc(1, 1), Stage::Dense, {a});
+    EXPECT_EQ(g.topoOrder().size(), 2u);
+}
+
+TEST(Graph, StageQueries)
+{
+    Graph g;
+    g.addNode("e0", emb(10, 8), Stage::Sparse);
+    g.addNode("e1", emb(10, 8), Stage::Sparse);
+    g.addNode("f", fc(8, 4), Stage::Dense);
+    EXPECT_EQ(g.stageNodes(Stage::Sparse).size(), 2u);
+    EXPECT_EQ(g.stageNodes(Stage::Dense).size(), 1u);
+    EXPECT_TRUE(g.hasStage(Stage::Sparse));
+    EXPECT_TRUE(g.hasStage(Stage::Dense));
+}
+
+TEST(Graph, HasStageFalseWhenAbsent)
+{
+    Graph g;
+    g.addNode("f", fc(8, 4), Stage::Dense);
+    EXPECT_FALSE(g.hasStage(Stage::Sparse));
+}
+
+TEST(Graph, Roots)
+{
+    Graph g;
+    int a = g.addNode("a", fc(1, 1), Stage::Dense);
+    g.addNode("b", fc(1, 1), Stage::Dense, {a});
+    int c = g.addNode("c", fc(1, 1), Stage::Dense);
+    auto roots = g.roots();
+    EXPECT_EQ(roots, (std::vector<int>{a, c}));
+}
+
+TEST(Graph, CriticalPathChainVsParallel)
+{
+    Graph g;
+    // A chain of 4 plus 3 independent nodes.
+    int a = g.addNode("a", fc(1, 1), Stage::Dense);
+    int b = g.addNode("b", fc(1, 1), Stage::Dense, {a});
+    int c = g.addNode("c", fc(1, 1), Stage::Dense, {b});
+    int d = g.addNode("d", fc(1, 1), Stage::Dense, {c});
+    int p0 = g.addNode("p0", fc(1, 1), Stage::Dense);
+    int p1 = g.addNode("p1", fc(1, 1), Stage::Dense);
+    int p2 = g.addNode("p2", fc(1, 1), Stage::Dense);
+
+    EXPECT_EQ(g.criticalPathLength({a, b, c, d}), 4);
+    EXPECT_EQ(g.criticalPathLength({p0, p1, p2}), 1);
+    EXPECT_EQ(g.criticalPathLength({a, b, p0}), 2);
+    EXPECT_EQ(g.criticalPathLength({}), 0);
+}
+
+TEST(Graph, CriticalPathIgnoresOutsideDeps)
+{
+    Graph g;
+    int a = g.addNode("a", fc(1, 1), Stage::Dense);
+    int b = g.addNode("b", fc(1, 1), Stage::Dense, {a});
+    // Restricted to {b}, the chain through `a` is invisible.
+    EXPECT_EQ(g.criticalPathLength({b}), 1);
+}
+
+TEST(OpKindNames, AllDistinct)
+{
+    std::unordered_set<std::string> names;
+    for (OpKind k : {OpKind::EmbeddingLookup, OpKind::Fc, OpKind::Attention,
+                     OpKind::Gru, OpKind::Interaction, OpKind::Concat,
+                     OpKind::Activation})
+        names.insert(opKindName(k));
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(OpKindOf, MatchesVariantAlternative)
+{
+    EXPECT_EQ(opKindOf(OpParams{fc(1, 2)}), OpKind::Fc);
+    EXPECT_EQ(opKindOf(OpParams{emb(10, 4)}), OpKind::EmbeddingLookup);
+    EXPECT_EQ(opKindOf(OpParams{GruParams{}}), OpKind::Gru);
+    EXPECT_EQ(opKindOf(OpParams{AttentionParams{}}), OpKind::Attention);
+    EXPECT_EQ(opKindOf(OpParams{InteractionParams{}}),
+              OpKind::Interaction);
+    EXPECT_EQ(opKindOf(OpParams{ConcatParams{}}), OpKind::Concat);
+    EXPECT_EQ(opKindOf(OpParams{ActivationParams{}}), OpKind::Activation);
+}
+
+TEST(EmbeddingParams, Helpers)
+{
+    EmbeddingParams p = emb(1000, 32);
+    p.pooling_min = 20;
+    p.pooling_max = 160;
+    EXPECT_DOUBLE_EQ(p.avgPooling(), 90.0);
+    EXPECT_EQ(p.tableBytes(), 1000 * 32 * 4);
+}
+
+}  // namespace
+}  // namespace hercules::model

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests of the HW-aware partitioner: S-D subgraphs, locality-aware hot
+ * embedding split (capacity compliance, hit-rate monotonicity) and
+ * elementwise operator fusion.
+ */
+#include <gtest/gtest.h>
+
+#include "model/footprint.h"
+#include "model/partition.h"
+
+namespace hercules::model {
+namespace {
+
+TEST(Subgraph, SparseContainsOnlyEmbeddings)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    Graph s = sparseSubgraph(m.graph);
+    EXPECT_EQ(s.size(), m.num_tables);
+    for (const auto& n : s.nodes())
+        EXPECT_EQ(n.kind(), OpKind::EmbeddingLookup);
+}
+
+TEST(Subgraph, DenseContainsNoEmbeddings)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    Graph d = denseSubgraph(m.graph);
+    EXPECT_EQ(d.size(), m.graph.size() - m.num_tables);
+    for (const auto& n : d.nodes())
+        EXPECT_NE(n.kind(), OpKind::EmbeddingLookup);
+}
+
+TEST(Subgraph, CrossStageDepsDropped)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    Graph d = denseSubgraph(m.graph);
+    // The interaction node depended on all embedding nodes; those edges
+    // must be cut, intra-dense edges preserved.
+    int inter = d.findNode("interaction");
+    ASSERT_GE(inter, 0);
+    EXPECT_EQ(d.node(inter).deps.size(), 1u);  // only the bottom MLP
+    EXPECT_EQ(d.topoOrder().size(), static_cast<size_t>(d.size()));
+}
+
+TEST(Subgraph, PreservesInsertionOrderSemantics)
+{
+    Model m = buildModel(ModelId::Dien);
+    Graph d = denseSubgraph(m.graph);
+    int gru = d.findNode("gru");
+    int attn = d.findNode("attention");
+    ASSERT_GE(gru, 0);
+    ASSERT_GE(attn, 0);
+    // Attention still depends on the GRU inside the dense subgraph.
+    bool has_gru_dep = false;
+    for (int dep : d.node(attn).deps)
+        has_gru_dep |= dep == gru;
+    EXPECT_TRUE(has_gru_dep);
+}
+
+TEST(HotSplit, ZeroCapacityNothingResident)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    HotSplit hs = computeHotSplit(m, 0);
+    EXPECT_EQ(hs.hot_bytes, 0);
+    EXPECT_DOUBLE_EQ(hs.hit_rate, 0.0);
+    EXPECT_FALSE(hs.full());
+}
+
+TEST(HotSplit, FullCapacityFullyResident)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    HotSplit hs = computeHotSplit(m, m.embeddingBytes() * 2);
+    EXPECT_DOUBLE_EQ(hs.hit_rate, 1.0);
+    EXPECT_TRUE(hs.full());
+    EXPECT_EQ(hs.hot_bytes, m.embeddingBytes());
+}
+
+TEST(HotSplit, RespectsCapacityBudget)
+{
+    Model m = buildModel(ModelId::DlrmRmc2);
+    for (int64_t cap : {1ll << 28, 1ll << 30, 4ll << 30}) {
+        HotSplit hs = computeHotSplit(m, cap);
+        EXPECT_LE(hs.hot_bytes, cap) << "cap=" << cap;
+    }
+}
+
+TEST(HotSplit, HitRateMonotoneInCapacity)
+{
+    Model m = buildModel(ModelId::DlrmRmc3);
+    double prev = -1.0;
+    for (int64_t cap = 1ll << 26; cap <= 32ll << 30; cap *= 4) {
+        HotSplit hs = computeHotSplit(m, cap);
+        EXPECT_GE(hs.hit_rate, prev) << "cap=" << cap;
+        EXPECT_LE(hs.hit_rate, 1.0);
+        prev = hs.hit_rate;
+    }
+}
+
+TEST(HotSplit, LocalityBeatsProportionalRows)
+{
+    // With Zipf locality, a small fraction of rows captures a much
+    // larger fraction of accesses — the premise of Fig 10(a).
+    Model m = buildModel(ModelId::DlrmRmc1);
+    int64_t cap = m.embeddingBytes() / 10;
+    HotSplit hs = computeHotSplit(m, cap);
+    double rows_frac = 0.0;
+    {
+        int64_t total_rows = 0;
+        for (const auto& n : m.graph.nodes())
+            if (n.kind() == OpKind::EmbeddingLookup)
+                total_rows += std::get<EmbeddingParams>(n.params).rows;
+        rows_frac = static_cast<double>(hs.hot_rows) /
+                    static_cast<double>(total_rows);
+    }
+    EXPECT_GT(hs.hit_rate, 2.0 * rows_frac);
+}
+
+TEST(HotSplit, SmallTablesMostlyResidentUnderAmpleBudget)
+{
+    // DIN: 0.1M / ~5.5M / 300M rows. With a 2 GB budget the greedy
+    // marginal-gain allocation keeps most of the small tables' head
+    // resident (the extreme Zipf tail may lose to the big behaviour
+    // table, which is correct: it captures more traffic per byte).
+    Model m = buildModel(ModelId::Din);
+    HotSplit hs = computeHotSplit(m, 2ll << 30);
+    std::vector<int64_t> rows;
+    for (const auto& n : m.graph.nodes())
+        if (n.kind() == OpKind::EmbeddingLookup)
+            rows.push_back(std::get<EmbeddingParams>(n.params).rows);
+    ASSERT_EQ(hs.hot_rows_per_table.size(), rows.size());
+    EXPECT_GT(static_cast<double>(hs.hot_rows_per_table[0]),
+              0.5 * static_cast<double>(rows[0]));
+    EXPECT_GT(hs.hit_rate, 0.5);
+}
+
+TEST(HotSplit, PerTableRowsNeverExceedTable)
+{
+    Model m = buildModel(ModelId::MtWnd);
+    HotSplit hs = computeHotSplit(m, 8ll << 30);
+    std::vector<int64_t> rows;
+    for (const auto& n : m.graph.nodes())
+        if (n.kind() == OpKind::EmbeddingLookup)
+            rows.push_back(std::get<EmbeddingParams>(n.params).rows);
+    for (size_t t = 0; t < rows.size(); ++t)
+        EXPECT_LE(hs.hot_rows_per_table[t], rows[t]) << "table " << t;
+}
+
+TEST(HotSplit, ModelWithoutEmbeddingsIsTriviallyFull)
+{
+    Model m;
+    m.graph.addNode("fc", FcParams{16, 8}, Stage::Dense);
+    HotSplit hs = computeHotSplit(m, 1 << 20);
+    EXPECT_TRUE(hs.full());
+}
+
+TEST(Fusion, RemovesActivationsAfterFc)
+{
+    Model m = buildModel(ModelId::DlrmRmc1);
+    int before = m.graph.size();
+    Graph fused = fuseElementwise(m.graph);
+    int activations = 0;
+    for (const auto& n : m.graph.nodes())
+        if (n.kind() == OpKind::Activation)
+            ++activations;
+    EXPECT_GT(activations, 0);
+    EXPECT_EQ(fused.size(), before - activations);
+    for (const auto& n : fused.nodes())
+        EXPECT_NE(n.kind(), OpKind::Activation);
+}
+
+TEST(Fusion, ReroutesConsumers)
+{
+    Graph g;
+    int fc0 = g.addNode("fc0", FcParams{8, 8}, Stage::Dense);
+    int act = g.addNode("act", ActivationParams{8}, Stage::Dense, {fc0});
+    g.addNode("fc1", FcParams{8, 4}, Stage::Dense, {act});
+    Graph fused = fuseElementwise(g);
+    ASSERT_EQ(fused.size(), 2);
+    int nfc1 = fused.findNode("fc1");
+    int nfc0 = fused.findNode("fc0");
+    ASSERT_GE(nfc1, 0);
+    EXPECT_EQ(fused.node(nfc1).deps, std::vector<int>{nfc0});
+}
+
+TEST(Fusion, KeepsUnfuseableActivations)
+{
+    Graph g;
+    // Activation with no producer (graph input) cannot fuse.
+    g.addNode("act", ActivationParams{8}, Stage::Dense);
+    Graph fused = fuseElementwise(g);
+    EXPECT_EQ(fused.size(), 1);
+}
+
+TEST(Fusion, PreservesTotalFlops)
+{
+    // Fusion removes dispatch overhead, not arithmetic: total FLOPs of
+    // FC/attention/GRU nodes must be identical.
+    Model m = buildModel(ModelId::Dien);
+    auto flopsOf = [](const Graph& g) {
+        double f = 0.0;
+        for (const auto& n : g.nodes())
+            if (n.kind() != OpKind::Activation)
+                f += opCostPerItem(n).flops;
+        return f;
+    };
+    EXPECT_NEAR(flopsOf(m.graph), flopsOf(fuseElementwise(m.graph)),
+                1e-6);
+}
+
+TEST(Fusion, AcyclicAfterFusion)
+{
+    for (ModelId id : allModels()) {
+        Model m = buildModel(id);
+        Graph fused = fuseElementwise(m.graph);
+        EXPECT_EQ(fused.topoOrder().size(),
+                  static_cast<size_t>(fused.size()))
+            << m.name;
+    }
+}
+
+TEST(PartitionKindNames, Distinct)
+{
+    EXPECT_STRNE(partitionKindName(PartitionKind::ModelBased),
+                 partitionKindName(PartitionKind::SdPipeline));
+    EXPECT_STRNE(partitionKindName(PartitionKind::SdPipeline),
+                 partitionKindName(PartitionKind::HotSplit));
+}
+
+/** Hit-rate monotonicity as a property over all models. */
+class HotSplitEveryModel : public ::testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(HotSplitEveryModel, MonotoneAndBounded)
+{
+    Model m = buildModel(GetParam());
+    double prev = -1.0;
+    for (int64_t cap = 1ll << 24; cap <= 64ll << 30; cap *= 8) {
+        HotSplit hs = computeHotSplit(m, cap);
+        EXPECT_GE(hs.hit_rate, prev);
+        EXPECT_GE(hs.hit_rate, 0.0);
+        EXPECT_LE(hs.hit_rate, 1.0);
+        EXPECT_LE(hs.hot_bytes, cap);
+        prev = hs.hit_rate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, HotSplitEveryModel,
+                         ::testing::ValuesIn(allModels()));
+
+}  // namespace
+}  // namespace hercules::model

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests of the gradient-based search (Algorithm 1) and the baseline
+ * schedulers: near-optimality against the exhaustive oracle, constraint
+ * compliance, trace sanity and the paper's dominance relations
+ * (Hercules >= Baymax >= DeepRecSys on accelerators).
+ */
+#include <gtest/gtest.h>
+
+#include "sched/baselines.h"
+#include "sched/gradient_search.h"
+
+namespace hercules::sched {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+using model::Variant;
+
+SearchOptions
+fastSearch()
+{
+    SearchOptions opt;
+    opt.measure.sim.num_queries = 300;
+    opt.measure.sim.warmup_queries = 60;
+    opt.measure.bisect_iters = 5;
+    opt.space.batches = {32, 128, 512};
+    opt.space.fusion_limits = {0, 1000, 4000};
+    opt.space.max_gpu_threads = 4;
+    opt.space.host_helper_threads = {2};
+    return opt;
+}
+
+TEST(GradientSearch, FindsFeasibleConfigOnCpu)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchResult r = gradientSearchMapping(
+        hw::serverSpec(ServerType::T2), m, Mapping::CpuModelBased, 20.0,
+        fastSearch());
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_GT(r.best_qps, 0.0);
+    EXPECT_LE(r.best_point.result.tail_ms, 20.0);
+    EXPECT_GT(r.evals, 3);
+}
+
+TEST(GradientSearch, NearOptimalVsExhaustive)
+{
+    // The headline property of Algorithm 1: the cheap climb lands
+    // within a few percent of the exhaustive optimum of the same space.
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    SearchOptions opt = fastSearch();
+    opt.space.max_cores_per_thread = 2;
+
+    SearchResult grad = gradientSearchMapping(
+        server, m, Mapping::CpuModelBased, 20.0, opt);
+    SearchResult oracle =
+        exhaustiveSearch(server, m, Mapping::CpuModelBased, 20.0, opt);
+    ASSERT_TRUE(grad.best && oracle.best);
+    EXPECT_GE(grad.best_qps, 0.85 * oracle.best_qps);
+    // And it must do so with far fewer measurements.
+    EXPECT_LT(grad.evals, oracle.evals);
+}
+
+TEST(GradientSearch, TraceMarksAcceptedPath)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchResult r = gradientSearchMapping(
+        hw::serverSpec(ServerType::T2), m, Mapping::CpuModelBased, 20.0,
+        fastSearch());
+    int accepted = 0;
+    for (const auto& step : r.trace)
+        accepted += step.accepted ? 1 : 0;
+    EXPECT_GE(accepted, 1);
+    EXPECT_EQ(r.trace.size(), static_cast<size_t>(r.evals));
+}
+
+TEST(GradientSearch, RespectsPowerBudget)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchOptions opt = fastSearch();
+    opt.power_budget_w = 150.0;  // below T2 peak (~175 W)
+    SearchResult r = gradientSearchMapping(
+        hw::serverSpec(ServerType::T2), m, Mapping::CpuModelBased, 20.0,
+        opt);
+    if (r.best) {
+        EXPECT_LE(r.best_point.result.peak_power_w, 150.0 + 1e-9);
+    }
+}
+
+TEST(GradientSearch, InfeasibleSlaGivesNoBest)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchResult r = gradientSearchMapping(
+        hw::serverSpec(ServerType::T2), m, Mapping::CpuModelBased, 0.01,
+        fastSearch());
+    EXPECT_FALSE(r.best.has_value());
+}
+
+TEST(HerculesSearch, CombinesMappings)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchResult r = herculesTaskSearch(hw::serverSpec(ServerType::T2),
+                                        m, 20.0, fastSearch());
+    ASSERT_TRUE(r.best.has_value());
+    // RMC1 is sparse-heavy: the S-D pipeline should win on the CPU.
+    EXPECT_EQ(r.best->mapping, Mapping::CpuSdPipeline);
+}
+
+TEST(HerculesSearch, BeatsOrMatchesBaselineEverywhere)
+{
+    // Fig 14 dominance: Hercules explores a superset of the baseline
+    // space, so its best config can never be worse.
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchOptions opt = fastSearch();
+    for (ServerType st : {ServerType::T2, ServerType::T3}) {
+        SearchResult base =
+            baselineSearch(hw::serverSpec(st), m, 20.0, opt);
+        SearchResult herc =
+            herculesTaskSearch(hw::serverSpec(st), m, 20.0, opt);
+        ASSERT_TRUE(base.best && herc.best) << hw::serverTypeName(st);
+        EXPECT_GE(herc.best_qps, 0.97 * base.best_qps)
+            << hw::serverTypeName(st);
+    }
+}
+
+TEST(Baselines, DeepRecSysUsesAllCoresOneEach)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SearchResult r = deepRecSysSearch(hw::serverSpec(ServerType::T2), m,
+                                      20.0, fastSearch());
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_EQ(r.best->cpu_threads, 20);
+    EXPECT_EQ(r.best->cores_per_thread, 1);
+    EXPECT_EQ(r.best->mapping, Mapping::CpuModelBased);
+}
+
+TEST(Baselines, BaymaxNeverFuses)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc3, Variant::Small);
+    SearchResult r = baymaxSearch(hw::serverSpec(ServerType::T7), m,
+                                  50.0, fastSearch());
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_EQ(r.best->fusion_limit, 0);
+    for (const auto& step : r.trace)
+        EXPECT_EQ(step.cfg.fusion_limit, 0);
+}
+
+TEST(Baselines, Fig6OrderingOnAccelerator)
+{
+    // DeepRecSys (1 thread, no fusion) <= Baymax (co-location) <=
+    // Hercules (co-location + fusion), the Fig 6 ladder.
+    model::Model m = model::buildModel(ModelId::DlrmRmc3, Variant::Small);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T7);
+    SearchOptions opt = fastSearch();
+    SearchResult drs = deepRecSysGpuSearch(server, m, 50.0, opt);
+    SearchResult bay = baymaxSearch(server, m, 50.0, opt);
+    SearchResult herc = gradientSearchMapping(
+        server, m, Mapping::GpuModelBased, 50.0, opt);
+    ASSERT_TRUE(drs.best && bay.best && herc.best);
+    EXPECT_GE(bay.best_qps, 0.95 * drs.best_qps);
+    EXPECT_GT(herc.best_qps, bay.best_qps);
+    // Fusion is the lever: the Hercules winner uses a non-zero limit.
+    EXPECT_GT(herc.best->fusion_limit, 0);
+}
+
+TEST(Baselines, GpuBaselineRequiresGpu)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    EXPECT_DEATH(
+        baymaxSearch(hw::serverSpec(ServerType::T2), m, 20.0,
+                     fastSearch()),
+        "no accelerator");
+}
+
+TEST(Baselines, CombinedPicksBestSide)
+{
+    model::Model m = model::buildModel(ModelId::MtWnd);
+    SearchResult r = baselineSearch(hw::serverSpec(ServerType::T7), m,
+                                    100.0, fastSearch());
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_GT(r.best_qps, 0.0);
+}
+
+/** Hercules beats the baseline across models on the NMP server. */
+class DominanceEveryModel : public ::testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(DominanceEveryModel, HerculesAtLeastBaselineOnT3)
+{
+    model::Model m = model::buildModel(GetParam());
+    SearchOptions opt = fastSearch();
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T3);
+    SearchResult base = baselineSearch(server, m, m.sla_ms, opt);
+    SearchResult herc = herculesTaskSearch(server, m, m.sla_ms, opt);
+    ASSERT_TRUE(base.best && herc.best) << m.name;
+    EXPECT_GE(herc.best_qps, 0.97 * base.best_qps) << m.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DominanceEveryModel,
+                         ::testing::ValuesIn(model::allModels()));
+
+}  // namespace
+}  // namespace hercules::sched

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the parallelism-space machinery: mapping applicability,
+ * config enumeration validity, pipeline balancing and the config
+ * string representation.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/prepared.h"
+#include "sched/space.h"
+
+namespace hercules::sched {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+
+TEST(Mappings, CpuServerHasNoGpuMappings)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    auto maps = applicableMappings(hw::serverSpec(ServerType::T2), m);
+    for (Mapping mp : maps) {
+        EXPECT_NE(mp, Mapping::GpuModelBased);
+        EXPECT_NE(mp, Mapping::GpuSdPipeline);
+    }
+    EXPECT_GE(maps.size(), 2u);
+}
+
+TEST(Mappings, GpuServerHasAllFour)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    auto maps = applicableMappings(hw::serverSpec(ServerType::T7), m);
+    EXPECT_EQ(maps.size(), 4u);
+}
+
+TEST(ConfigString, EncodesParameters)
+{
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuSdPipeline;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 2;
+    cfg.dense_threads = 3;
+    cfg.batch = 128;
+    std::string s = cfg.str();
+    EXPECT_NE(s.find("4x2"), std::string::npos);
+    EXPECT_NE(s.find("::3"), std::string::npos);
+    EXPECT_NE(s.find("b128"), std::string::npos);
+}
+
+TEST(ConfigString, DistinctConfigsDistinctStrings)
+{
+    SchedulingConfig a, b;
+    a.cpu_threads = 4;
+    b.cpu_threads = 5;
+    EXPECT_NE(a.str(), b.str());
+}
+
+TEST(Config, HostCoresAccounting)
+{
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuSdPipeline;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 2;
+    cfg.dense_threads = 3;
+    EXPECT_EQ(cfg.hostCores(), 11);
+    cfg.mapping = Mapping::CpuModelBased;
+    EXPECT_EQ(cfg.hostCores(), 8);
+}
+
+TEST(Enumerate, AllConfigsValid)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    SpaceOptions opt;
+    opt.batches = {64, 256};
+    for (Mapping mp : applicableMappings(server, m)) {
+        auto configs = enumerateConfigs(server, m, mp, opt);
+        EXPECT_GT(configs.size(), 0u) << mappingName(mp);
+        for (const auto& cfg : configs) {
+            EXPECT_FALSE(sim::validateConfig(server, m, cfg).has_value())
+                << cfg.str();
+            EXPECT_EQ(cfg.mapping, mp);
+        }
+    }
+}
+
+TEST(Enumerate, CoversOpParallelismAxis)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SpaceOptions opt;
+    opt.batches = {64};
+    auto configs = enumerateConfigs(hw::serverSpec(ServerType::T2), m,
+                                    Mapping::CpuModelBased, opt);
+    bool seen[5] = {false, false, false, false, false};
+    for (const auto& cfg : configs)
+        if (cfg.cores_per_thread <= 4)
+            seen[cfg.cores_per_thread] = true;
+    EXPECT_TRUE(seen[1]);
+    EXPECT_TRUE(seen[2]);
+    EXPECT_TRUE(seen[3]);
+    EXPECT_TRUE(seen[4]);
+}
+
+TEST(Enumerate, GpuConfigsRespectThreadCap)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc3,
+                                       model::Variant::Small);
+    SpaceOptions opt;
+    opt.max_gpu_threads = 4;
+    auto configs = enumerateConfigs(hw::serverSpec(ServerType::T7), m,
+                                    Mapping::GpuModelBased, opt);
+    EXPECT_GT(configs.size(), 0u);
+    for (const auto& cfg : configs) {
+        EXPECT_GE(cfg.gpu_threads, 1);
+        EXPECT_LE(cfg.gpu_threads, 4);
+    }
+}
+
+TEST(Enumerate, SdPipelineLeavesCoresForDense)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SpaceOptions opt;
+    opt.batches = {128};
+    auto configs = enumerateConfigs(hw::serverSpec(ServerType::T2), m,
+                                    Mapping::CpuSdPipeline, opt);
+    for (const auto& cfg : configs) {
+        EXPECT_GE(cfg.dense_threads, 1);
+        EXPECT_LE(cfg.hostCores(), 20);
+    }
+}
+
+TEST(Balance, DenseThreadsWithinCores)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    for (int sparse = 1; sparse <= 9; sparse += 2) {
+        int dense = balancedDenseThreads(server, m, sparse, 2, 128);
+        EXPECT_GE(dense, 0);
+        EXPECT_LE(sparse * 2 + dense, server.cpu.cores)
+            << "sparse=" << sparse;
+    }
+}
+
+TEST(Balance, NoCoresLeftReturnsZero)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    EXPECT_EQ(balancedDenseThreads(hw::serverSpec(ServerType::T2), m, 10,
+                                   2, 128),
+              0);
+}
+
+TEST(Balance, DenseHeavyModelGetsMoreDenseThreads)
+{
+    // RMC3's dense part is far heavier than RMC1's: the balancer must
+    // allocate at least as many dense threads.
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    model::Model rmc1 = model::buildModel(ModelId::DlrmRmc1);
+    model::Model rmc3 = model::buildModel(ModelId::DlrmRmc3);
+    int d1 = balancedDenseThreads(server, rmc1, 4, 2, 128);
+    int d3 = balancedDenseThreads(server, rmc3, 4, 2, 128);
+    EXPECT_GE(d3, d1);
+}
+
+TEST(MappingNames, Distinct)
+{
+    EXPECT_STRNE(mappingName(Mapping::CpuModelBased),
+                 mappingName(Mapping::CpuSdPipeline));
+    EXPECT_STRNE(mappingName(Mapping::GpuModelBased),
+                 mappingName(Mapping::GpuSdPipeline));
+}
+
+/** Enumeration sanity across every (model, server) combination. */
+class EnumerateEverywhere
+    : public ::testing::TestWithParam<std::tuple<ModelId, ServerType>>
+{
+};
+
+TEST_P(EnumerateEverywhere, NonEmptyAndValid)
+{
+    auto [mid, st] = GetParam();
+    model::Model m = model::buildModel(mid);
+    const hw::ServerSpec& server = hw::serverSpec(st);
+    SpaceOptions opt;
+    opt.batches = {128};
+    opt.fusion_limits = {0, 2000};
+    opt.max_gpu_threads = 2;
+    for (Mapping mp : applicableMappings(server, m)) {
+        auto configs = enumerateConfigs(server, m, mp, opt);
+        EXPECT_GT(configs.size(), 0u)
+            << m.name << " on " << server.name << " " << mappingName(mp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnumerateEverywhere,
+    ::testing::Combine(::testing::Values(ModelId::DlrmRmc1, ModelId::Din),
+                       ::testing::Values(ServerType::T1, ServerType::T3,
+                                         ServerType::T7,
+                                         ServerType::T10)));
+
+}  // namespace
+}  // namespace hercules::sched

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests of the discrete-event server simulator: event ordering, work
+ * conservation, queueing behaviour, mapping-specific paths (model-based
+ * / S-D pipeline / accelerator fusion), utilization bounds and power
+ * integration.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "hw/power.h"
+#include "sim/server_sim.h"
+
+namespace hercules::sim {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+using model::Variant;
+using sched::Mapping;
+using sched::SchedulingConfig;
+
+SchedulingConfig
+cpuConfig(int threads, int cores, int batch)
+{
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuModelBased;
+    cfg.cpu_threads = threads;
+    cfg.cores_per_thread = cores;
+    cfg.batch = batch;
+    return cfg;
+}
+
+SimOptions
+fastOptions(double qps)
+{
+    SimOptions opt;
+    opt.offered_qps = qps;
+    opt.num_queries = 300;
+    opt.warmup_queries = 60;
+    opt.seed = 42;
+    return opt;
+}
+
+TEST(EventQueue, FifoWithinEqualTimestamps)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(1.0, [&] { order.push_back(2); });
+    eq.schedule(0.5, [&] { order.push_back(0); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NowAdvances)
+{
+    EventQueue eq;
+    eq.schedule(2.5, [] {});
+    eq.runNext();
+    EXPECT_DOUBLE_EQ(eq.now(), 2.5);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] {
+        eq.schedule(2.0, [&] { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [] {});
+    eq.runNext();
+    EXPECT_DEATH(eq.schedule(1.0, [] {}), "past");
+}
+
+TEST(Validate, CoreOversubscriptionRejected)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    auto err = validateConfig(hw::serverSpec(ServerType::T2), m,
+                              cpuConfig(21, 1, 64));
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("cores"), std::string::npos);
+}
+
+TEST(Validate, HostMemoryRejected)
+{
+    // The 38 GB DLRM-RMC2 cannot be placed twice... but a single copy
+    // always fits; instead check a small host with an artificially huge
+    // model by validating DIN on T1 (39 GB of 64 GB: fits), so craft an
+    // oversized model directly.
+    model::Model m = model::buildModel(ModelId::DlrmRmc2);
+    model::EmbeddingParams huge;
+    huge.rows = 3'000'000'000ll;
+    huge.emb_dim = 32;
+    huge.pooled = true;
+    huge.pooling_min = huge.pooling_max = 10;
+    m.graph.addNode("huge", huge, model::Stage::Sparse);
+    auto err = validateConfig(hw::serverSpec(ServerType::T1), m,
+                              cpuConfig(4, 1, 64));
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("memory"), std::string::npos);
+}
+
+TEST(Validate, GpuMappingNeedsGpu)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuModelBased;
+    cfg.gpu_threads = 1;
+    cfg.cpu_threads = 1;
+    auto err =
+        validateConfig(hw::serverSpec(ServerType::T2), m, cfg);
+    ASSERT_TRUE(err.has_value());
+}
+
+TEST(Validate, AcceptsReasonableConfigs)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    EXPECT_FALSE(validateConfig(hw::serverSpec(ServerType::T2), m,
+                                cpuConfig(10, 2, 128))
+                     .has_value());
+}
+
+TEST(Prepare, HotSplitComputedForGpuModelBased)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);  // 3 GB prod
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuModelBased;
+    cfg.gpu_threads = 1;
+    cfg.fusion_limit = 2000;
+    cfg.cpu_threads = 2;
+    PreparedWorkload w =
+        prepare(hw::serverSpec(ServerType::T7), m, cfg);
+    // 3 GB of embeddings fit a 16 GB V100 minus reserve: fully hot.
+    EXPECT_DOUBLE_EQ(w.gpu_cx.hot_hit_rate, 1.0);
+
+    cfg.gpu_threads = 6;  // per-thread budget ~2.2 GB: partial split
+    PreparedWorkload w6 =
+        prepare(hw::serverSpec(ServerType::T7), m, cfg);
+    EXPECT_LT(w6.gpu_cx.hot_hit_rate, 1.0);
+    EXPECT_GT(w6.gpu_cx.hot_hit_rate, 0.0);
+    EXPECT_NEAR(w6.cold_cx.pooling_scale, 1.0 - w6.gpu_cx.hot_hit_rate,
+                1e-12);
+}
+
+TEST(Prepare, ElementwiseFusionToggle)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg = cpuConfig(4, 1, 64);
+    cfg.fuse_elementwise = true;
+    PreparedWorkload fused =
+        prepare(hw::serverSpec(ServerType::T2), m, cfg);
+    cfg.fuse_elementwise = false;
+    PreparedWorkload raw =
+        prepare(hw::serverSpec(ServerType::T2), m, cfg);
+    EXPECT_LT(fused.full.size(), raw.full.size());
+}
+
+TEST(Engine, AllQueriesComplete)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T2), m,
+                       cpuConfig(10, 2, 128), fastOptions(500));
+    // Work conservation: every post-warmup query completes.
+    EXPECT_EQ(r.completed, 300u - 60u);
+    EXPECT_GT(r.achieved_qps, 0.0);
+    EXPECT_GT(r.duration_s, 0.0);
+}
+
+TEST(Engine, Deterministic)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    ServerSimResult a =
+        simulateServer(hw::serverSpec(ServerType::T2), m,
+                       cpuConfig(10, 2, 128), fastOptions(500));
+    ServerSimResult b =
+        simulateServer(hw::serverSpec(ServerType::T2), m,
+                       cpuConfig(10, 2, 128), fastOptions(500));
+    EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+    EXPECT_DOUBLE_EQ(a.achieved_qps, b.achieved_qps);
+    EXPECT_DOUBLE_EQ(a.avg_power_w, b.avg_power_w);
+}
+
+TEST(Engine, LatencyGrowsWithLoad)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg = cpuConfig(10, 2, 128);
+    double light =
+        simulateServer(hw::serverSpec(ServerType::T2), m, cfg,
+                       fastOptions(200))
+            .p95_ms;
+    double heavy =
+        simulateServer(hw::serverSpec(ServerType::T2), m, cfg,
+                       fastOptions(2500))
+            .p95_ms;
+    EXPECT_GT(heavy, light);
+}
+
+TEST(Engine, SaturationModeMeasuresCapacity)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SimOptions opt = fastOptions(1.0);
+    opt.saturate = true;
+    ServerSimResult r = simulateServer(
+        hw::serverSpec(ServerType::T2), m, cpuConfig(10, 2, 128), opt);
+    EXPECT_GT(r.achieved_qps, 100.0);
+    // Under saturation the dispatcher queue dominates latency.
+    EXPECT_GT(r.mean_queue_ms, 0.0);
+}
+
+TEST(Engine, UtilizationsBounded)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T2), m,
+                       cpuConfig(20, 1, 64), fastOptions(1500));
+    EXPECT_GE(r.cpu_util, 0.0);
+    EXPECT_LE(r.cpu_util, 1.0);
+    EXPECT_GE(r.mem_bw_util, 0.0);
+    EXPECT_LE(r.mem_bw_util, 1.0);
+    EXPECT_DOUBLE_EQ(r.gpu_util, 0.0);
+    EXPECT_GT(r.cpu_util, 0.05);
+}
+
+TEST(Engine, PowerWithinPhysicalBounds)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    ServerSimResult r = simulateServer(server, m, cpuConfig(10, 2, 128),
+                                       fastOptions(1000));
+    hw::PowerModel pm(server);
+    EXPECT_GE(r.avg_power_w, pm.idlePowerW() - 1e-9);
+    EXPECT_LE(r.peak_power_w, pm.peakPowerW() + 1e-9);
+    EXPECT_GE(r.peak_power_w, r.avg_power_w);
+}
+
+TEST(Engine, SdPipelineCompletesAndUsesDenseThreads)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuSdPipeline;
+    cfg.cpu_threads = 6;
+    cfg.cores_per_thread = 2;
+    cfg.dense_threads = 4;
+    cfg.batch = 128;
+    ServerSimResult r = simulateServer(hw::serverSpec(ServerType::T2), m,
+                                       cfg, fastOptions(800));
+    EXPECT_EQ(r.completed, 240u);
+    EXPECT_GT(r.mean_exec_ms, 0.0);
+}
+
+TEST(Engine, GpuFusionCompletes)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc3, Variant::Small);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuModelBased;
+    cfg.gpu_threads = 2;
+    cfg.fusion_limit = 2000;
+    cfg.cpu_threads = 2;
+    ServerSimResult r = simulateServer(hw::serverSpec(ServerType::T7), m,
+                                       cfg, fastOptions(2000));
+    EXPECT_EQ(r.completed, 240u);
+    EXPECT_GT(r.gpu_util, 0.0);
+    EXPECT_GT(r.pcie_util, 0.0);
+    EXPECT_GT(r.mean_load_ms, 0.0);
+}
+
+TEST(Engine, GpuSdPipelineCompletes)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuSdPipeline;
+    cfg.cpu_threads = 8;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    cfg.gpu_threads = 2;
+    cfg.fusion_limit = 2000;
+    ServerSimResult r = simulateServer(hw::serverSpec(ServerType::T7), m,
+                                       cfg, fastOptions(1000));
+    EXPECT_EQ(r.completed, 240u);
+    EXPECT_GT(r.gpu_util, 0.0);
+    EXPECT_GT(r.cpu_util, 0.0);
+}
+
+TEST(Engine, FusionReducesDispatches)
+{
+    // With fusion, the same load is served in fewer, larger batches:
+    // per-query exec time rises but throughput capacity grows.
+    model::Model m = model::buildModel(ModelId::MtWnd, Variant::Small);
+    SchedulingConfig no_fusion;
+    no_fusion.mapping = Mapping::GpuModelBased;
+    no_fusion.gpu_threads = 1;
+    no_fusion.fusion_limit = 0;
+    no_fusion.cpu_threads = 1;
+    SchedulingConfig fused = no_fusion;
+    fused.fusion_limit = 6000;
+
+    SimOptions sat = fastOptions(1.0);
+    sat.saturate = true;
+    double cap_plain = simulateServer(hw::serverSpec(ServerType::T7), m,
+                                      no_fusion, sat)
+                           .achieved_qps;
+    double cap_fused = simulateServer(hw::serverSpec(ServerType::T7), m,
+                                      fused, sat)
+                           .achieved_qps;
+    EXPECT_GT(cap_fused, 2.0 * cap_plain);
+}
+
+TEST(Engine, NmpUtilizationReported)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T3), m,
+                       cpuConfig(10, 2, 128), fastOptions(2000));
+    EXPECT_GT(r.nmp_util, 0.0);
+}
+
+TEST(EngineDeath, WarmupMustBeBelowTotal)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SimOptions opt;
+    opt.num_queries = 10;
+    opt.warmup_queries = 10;
+    EXPECT_DEATH(simulateServer(hw::serverSpec(ServerType::T2), m,
+                                cpuConfig(4, 1, 64), opt),
+                 "exceed");
+}
+
+/** Conservation across mappings and models (property sweep). */
+class EngineConservation
+    : public ::testing::TestWithParam<std::tuple<ModelId, int>>
+{
+};
+
+TEST_P(EngineConservation, EveryQueryCompletesOnce)
+{
+    auto [mid, threads] = GetParam();
+    model::Model m = model::buildModel(mid);
+    SimOptions opt = fastOptions(300);
+    opt.num_queries = 200;
+    opt.warmup_queries = 40;
+    ServerSimResult r = simulateServer(hw::serverSpec(ServerType::T2), m,
+                                       cpuConfig(threads, 2, 128), opt);
+    EXPECT_EQ(r.completed, 160u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndThreads, EngineConservation,
+    ::testing::Combine(::testing::ValuesIn(model::allModels()),
+                       ::testing::Values(2, 6, 10)));
+
+}  // namespace
+}  // namespace hercules::sim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the deterministic RNG, its distributions and the Zipf
+ * machinery used by the locality-aware partitioner.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hercules {
+namespace {
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.nextU64() != c.nextU64();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    // The fork must not replay the parent stream.
+    EXPECT_NE(a.nextU64(), child.nextU64());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(42);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanVariance)
+{
+    Rng r(42);
+    OnlineStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntBoundsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(5);
+    OnlineStats s;
+    const double rate = 4.0;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.exponential(rate));
+    EXPECT_NEAR(s.mean(), 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(11);
+    OnlineStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.normal(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng r(13);
+    PercentileTracker t;
+    for (int i = 0; i < 20000; ++i)
+        t.add(r.lognormal(std::log(50.0), 1.0));
+    EXPECT_NEAR(t.p50(), 50.0, 3.0);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng r(17);
+    OnlineStats s;
+    for (int i = 0; i < 30000; ++i)
+        s.add(static_cast<double>(r.poisson(3.5)));
+    EXPECT_NEAR(s.mean(), 3.5, 0.1);
+    EXPECT_NEAR(s.variance(), 3.5, 0.2);
+}
+
+TEST(Rng, PoissonLargeMeanNormalApprox)
+{
+    Rng r(19);
+    OnlineStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(r.poisson(200.0)));
+    EXPECT_NEAR(s.mean(), 200.0, 1.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(200.0), 0.5);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng r(23);
+    EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(ZipfTopMass, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(zipfTopMass(1000, 0.9, 0), 0.0);
+    EXPECT_DOUBLE_EQ(zipfTopMass(1000, 0.9, 1000), 1.0);
+    EXPECT_DOUBLE_EQ(zipfTopMass(1000, 0.9, 2000), 1.0);
+}
+
+TEST(ZipfTopMass, MonotoneInK)
+{
+    double prev = 0.0;
+    for (uint64_t k : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+        double m = zipfTopMass(1u << 20, 0.9, k);
+        EXPECT_GT(m, prev);
+        prev = m;
+    }
+}
+
+TEST(ZipfTopMass, SkewConcentratesMass)
+{
+    // A more skewed distribution puts more mass in the head.
+    double flat = zipfTopMass(1'000'000, 0.5, 1000);
+    double skewed = zipfTopMass(1'000'000, 1.1, 1000);
+    EXPECT_GT(skewed, flat);
+}
+
+TEST(ZipfTopMass, UniformCase)
+{
+    // Exponent 0 is the uniform distribution: mass = k/n.
+    EXPECT_NEAR(zipfTopMass(1000, 0.0, 250), 0.25, 0.01);
+}
+
+TEST(ZipfTopMass, AgreesWithExactSmallDomain)
+{
+    const uint64_t n = 500;
+    const double s = 0.9;
+    double exact_total = 0.0;
+    for (uint64_t i = 1; i <= n; ++i)
+        exact_total += std::pow(static_cast<double>(i), -s);
+    for (uint64_t k : {1u, 5u, 50u, 250u}) {
+        double exact_head = 0.0;
+        for (uint64_t i = 1; i <= k; ++i)
+            exact_head += std::pow(static_cast<double>(i), -s);
+        EXPECT_NEAR(zipfTopMass(n, s, k), exact_head / exact_total, 0.01)
+            << "k=" << k;
+    }
+}
+
+TEST(ZipfSampler, SamplesInDomain)
+{
+    Rng r(3);
+    ZipfSampler z(1000, 0.9);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_LT(z.sample(r), 1000u);
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail)
+{
+    Rng r(31);
+    ZipfSampler z(100000, 1.0);
+    int head = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        if (z.sample(r) < 100)
+            ++head;
+    // Top 0.1% of ranks should capture far more than 0.1% of draws.
+    EXPECT_GT(head, draws / 50);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesTopMass)
+{
+    Rng r(37);
+    ZipfSampler z(50000, 0.9);
+    const uint64_t k = 500;
+    int head = 0;
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        if (z.sample(r) < k)
+            ++head;
+    double expected = z.topMass(k);
+    EXPECT_NEAR(static_cast<double>(head) / draws, expected, 0.02);
+}
+
+/** Distribution parameters swept as properties. */
+class ZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>>
+{
+};
+
+TEST_P(ZipfParamTest, MassIsValidDistribution)
+{
+    auto [n, s] = GetParam();
+    double prev = 0.0;
+    for (uint64_t k = 1; k <= n; k *= 4) {
+        double m = zipfTopMass(n, s, k);
+        EXPECT_GE(m, prev);
+        EXPECT_LE(m, 1.0 + 1e-9);
+        prev = m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, ZipfParamTest,
+    ::testing::Combine(::testing::Values<uint64_t>(100, 10'000, 1'000'000,
+                                                   300'000'000),
+                       ::testing::Values(0.5, 0.85, 0.95, 1.0, 1.2)));
+
+}  // namespace
+}  // namespace hercules

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests of the workload generators: Poisson arrivals, heavy-tailed
+ * query sizes (Fig 2(b)), pooling variability (Fig 2(c)), diurnal load
+ * curves (Fig 2(d)) and embedding-access traces.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/stats.h"
+#include "workload/diurnal.h"
+#include "workload/querygen.h"
+#include "model/partition.h"
+#include "workload/trace.h"
+
+namespace hercules::workload {
+namespace {
+
+TEST(QueryGen, DeterministicStreams)
+{
+    QueryGenerator a(1000, 42), b(1000, 42);
+    for (int i = 0; i < 50; ++i) {
+        Query qa = a.next();
+        Query qb = b.next();
+        EXPECT_DOUBLE_EQ(qa.arrival_s, qb.arrival_s);
+        EXPECT_EQ(qa.size, qb.size);
+        EXPECT_DOUBLE_EQ(qa.pooling_scale, qb.pooling_scale);
+    }
+}
+
+TEST(QueryGen, PoissonInterarrivalMean)
+{
+    QueryGenerator gen(500.0, 7);
+    OnlineStats gaps;
+    double prev = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        Query q = gen.next();
+        gaps.add(q.arrival_s - prev);
+        prev = q.arrival_s;
+    }
+    EXPECT_NEAR(gaps.mean(), 1.0 / 500.0, 1e-4);
+    // Exponential: stddev == mean.
+    EXPECT_NEAR(gaps.stddev(), gaps.mean(), 2e-4);
+}
+
+TEST(QueryGen, ArrivalsMonotone)
+{
+    QueryGenerator gen(100.0, 9);
+    double prev = -1.0;
+    for (int i = 0; i < 1000; ++i) {
+        Query q = gen.next();
+        EXPECT_GT(q.arrival_s, prev);
+        prev = q.arrival_s;
+    }
+}
+
+TEST(QueryGen, SizesWithinClipRange)
+{
+    QuerySizeDist dist;
+    QueryGenerator gen(100.0, 11, dist);
+    for (const Query& q : gen.generate(5000)) {
+        EXPECT_GE(q.size, dist.min_size);
+        EXPECT_LE(q.size, dist.max_size);
+    }
+}
+
+TEST(QueryGen, HeavyTailPercentileOrdering)
+{
+    // Fig 2(b): a pronounced p75 < p95 < p99 spread within [10, 1000].
+    QueryGenerator gen(100.0, 13);
+    PercentileTracker t;
+    for (const Query& q : gen.generate(30000))
+        t.add(q.size);
+    EXPECT_LT(t.p50(), t.p75());
+    EXPECT_LT(t.p75(), t.p95());
+    EXPECT_LT(t.p95(), t.p99());
+    // Tail heaviness: p99 is several times the median.
+    EXPECT_GT(t.p99() / t.p50(), 4.0);
+}
+
+TEST(QueryGen, AnalyticPercentilesMatchEmpirical)
+{
+    QuerySizeDist dist;
+    QueryGenerator gen(100.0, 17, dist);
+    PercentileTracker t;
+    for (const Query& q : gen.generate(40000))
+        t.add(q.size);
+    EXPECT_NEAR(t.p75(), dist.percentile(75), dist.percentile(75) * 0.1);
+    EXPECT_NEAR(t.p95(), dist.percentile(95), dist.percentile(95) * 0.1);
+}
+
+TEST(QueryGen, PoolingScaleCentredOnOne)
+{
+    QueryGenerator gen(100.0, 19);
+    OnlineStats s;
+    for (const Query& q : gen.generate(20000))
+        s.add(q.pooling_scale);
+    EXPECT_NEAR(s.mean(), 1.03, 0.05);  // exp(sigma^2/2), sigma=0.25
+    EXPECT_GT(s.stddev(), 0.1);
+}
+
+TEST(QueryGen, RateChangeTakesEffect)
+{
+    QueryGenerator gen(100.0, 23);
+    gen.generate(100);
+    double t0 = gen.next().arrival_s;
+    gen.setQps(10000.0);
+    OnlineStats gaps;
+    double prev = t0;
+    for (int i = 0; i < 5000; ++i) {
+        Query q = gen.next();
+        gaps.add(q.arrival_s - prev);
+        prev = q.arrival_s;
+    }
+    EXPECT_NEAR(gaps.mean(), 1e-4, 2e-5);
+}
+
+TEST(QueryGenDeath, NonPositiveRate)
+{
+    EXPECT_DEATH(QueryGenerator(0.0, 1), "non-positive");
+}
+
+TEST(Diurnal, PeakAtConfiguredHour)
+{
+    DiurnalConfig cfg;
+    cfg.peak_qps = 50'000;
+    cfg.peak_hour = 20.0;
+    cfg.noise_frac = 0.0;
+    DiurnalLoad load(cfg);
+    double at_peak = load.loadAt(20.0);
+    for (double h : {0.0, 6.0, 12.0, 16.0})
+        EXPECT_GT(at_peak, load.loadAt(h)) << "hour " << h;
+    EXPECT_NEAR(at_peak, 50'000, 50'000 * 0.13);
+}
+
+TEST(Diurnal, FluctuationExceedsFiftyPercent)
+{
+    // Paper: >50% swing between peak and off-peak.
+    DiurnalLoad load(DiurnalConfig{});
+    double lo = 1e18, hi = 0.0;
+    for (double t = 0.0; t < 24.0; t += 0.1) {
+        lo = std::min(lo, load.loadAt(t));
+        hi = std::max(hi, load.loadAt(t));
+    }
+    EXPECT_GT((hi - lo) / hi, 0.5);
+}
+
+TEST(Diurnal, TwentyFourHourPeriodicity)
+{
+    DiurnalLoad load(DiurnalConfig{});
+    for (double t : {1.0, 7.5, 13.0, 21.25})
+        EXPECT_NEAR(load.loadAt(t), load.loadAt(t + 24.0),
+                    load.loadAt(t) * 0.05);
+}
+
+TEST(Diurnal, SynchronizedServicesPeakTogether)
+{
+    // Two services with nearby peak hours must peak within ~2h of each
+    // other (the synchronous pattern of Fig 2(d)).
+    DiurnalConfig c1, c2;
+    c1.peak_hour = 20.0;
+    c2.peak_hour = 19.5;
+    c2.seed = 99;
+    DiurnalLoad l1(c1), l2(c2);
+    auto argmax = [](const DiurnalLoad& l) {
+        double best_t = 0.0, best = 0.0;
+        for (double t = 0.0; t < 24.0; t += 0.05) {
+            if (l.loadAt(t) > best) {
+                best = l.loadAt(t);
+                best_t = t;
+            }
+        }
+        return best_t;
+    };
+    EXPECT_NEAR(argmax(l1), argmax(l2), 2.0);
+}
+
+TEST(Diurnal, SampleGridLength)
+{
+    DiurnalLoad load(DiurnalConfig{});
+    auto s = load.sample(24.0, 0.5);
+    EXPECT_EQ(s.size(), 48u);
+    for (double v : s)
+        EXPECT_GE(v, 0.0);
+}
+
+TEST(Diurnal, NoiseIsDeterministicPerSeed)
+{
+    DiurnalConfig cfg;
+    cfg.seed = 5;
+    DiurnalLoad a(cfg), b(cfg);
+    EXPECT_DOUBLE_EQ(a.loadAt(3.21), b.loadAt(3.21));
+}
+
+TEST(DiurnalDeath, BadConfig)
+{
+    DiurnalConfig cfg;
+    cfg.peak_qps = -1.0;
+    EXPECT_DEATH(DiurnalLoad{cfg}, "non-positive");
+}
+
+TEST(Trace, GeneratesPerTableCounts)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1,
+                                       model::Variant::Small);
+    EmbAccessTrace trace = generateTrace(m, 200, 100, 3);
+    EXPECT_EQ(trace.accesses.size(), 10u);
+    EXPECT_GT(trace.total(), 0u);
+}
+
+TEST(Trace, HeadConcentration)
+{
+    // Zipf locality: the first 1% of ranks capture a large share.
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1,
+                                       model::Variant::Small);
+    EmbAccessTrace trace = generateTrace(m, 500, 150, 7);
+    const auto& t0 = trace.accesses[0];
+    uint64_t head = 0, total = 0;
+    for (size_t r = 0; r < t0.size(); ++r) {
+        total += t0[r];
+        if (r < t0.size() / 100)
+            head += t0[r];
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(head) / total, 0.10);
+}
+
+TEST(Trace, EmpiricalHitRateMatchesAnalytic)
+{
+    model::Model m = model::buildModel(model::ModelId::DlrmRmc1,
+                                       model::Variant::Small);
+    EmbAccessTrace trace = generateTrace(m, 500, 150, 11);
+    model::HotSplit hs =
+        model::computeHotSplit(m, m.embeddingBytes() / 8);
+    double empirical = empiricalHitRate(trace, hs.hot_rows_per_table);
+    EXPECT_NEAR(empirical, hs.hit_rate, 0.15);
+}
+
+TEST(Trace, FullPlacementHitsEverything)
+{
+    model::Model m = model::buildModel(model::ModelId::Din,
+                                       model::Variant::Small);
+    EmbAccessTrace trace = generateTrace(m, 100, 50, 13);
+    std::vector<int64_t> all_rows;
+    for (const auto& n : m.graph.nodes())
+        if (n.kind() == model::OpKind::EmbeddingLookup)
+            all_rows.push_back(
+                std::get<model::EmbeddingParams>(n.params).rows);
+    EXPECT_DOUBLE_EQ(empiricalHitRate(trace, all_rows), 1.0);
+}
+
+TEST(Trace, CsvRoundtrip)
+{
+    model::Model m = model::buildModel(model::ModelId::Din,
+                                       model::Variant::Small);
+    EmbAccessTrace trace = generateTrace(m, 50, 50, 17);
+    std::string path = ::testing::TempDir() + "/hercules_trace.csv";
+    writeTraceCsv(trace, path);
+    EmbAccessTrace back = readTraceCsv(path);
+    EXPECT_EQ(back.total(), trace.total());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hercules::workload
