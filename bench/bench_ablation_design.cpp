@@ -21,15 +21,22 @@ using namespace hercules;
 
 namespace {
 
+/** Shared engine: ablation cells repeating a config are memo hits. */
+core::EvalEngine&
+ablationEngine()
+{
+    static core::EvalEngine engine;
+    return engine;
+}
+
 double
 qpsOf(const hw::ServerSpec& server, const model::Model& m,
       const sched::SchedulingConfig& cfg, double sla_ms)
 {
-    if (sim::validateConfig(server, m, cfg))
-        return -1.0;
     sim::MeasureOptions mo = bench::benchSearchOptions().measure;
-    auto point = sim::measureLatencyBoundedQps(server, m, cfg, sla_ms, mo);
-    return point ? point->qps : -1.0;
+    core::EvalResult res = ablationEngine().evaluate(
+        bench::evalRequest(server, m, cfg, sla_ms, mo));
+    return res.valid && res.point ? res.point->qps : -1.0;
 }
 
 std::string

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/eval_engine.h"
 #include "sched/gradient_search.h"
 
 namespace hercules::bench {
@@ -41,6 +42,25 @@ inline std::string
 efficiencyCachePath()
 {
     return "hercules_efficiency_prod.csv";
+}
+
+/**
+ * Build one evaluation-engine request with the bench's measurement
+ * options. Grid benches collect these and fan them out with
+ * EvalEngine::evaluateMany instead of measuring serially.
+ */
+inline core::EvalRequest
+evalRequest(const hw::ServerSpec& server, const model::Model& m,
+            const sched::SchedulingConfig& cfg, double sla_ms,
+            const sim::MeasureOptions& mo)
+{
+    core::EvalRequest r;
+    r.server = &server;
+    r.model = &m;
+    r.cfg = cfg;
+    r.sla_ms = sla_ms;
+    r.measure = mo;
+    return r;
 }
 
 /** Print the standard bench banner. */

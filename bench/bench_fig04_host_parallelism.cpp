@@ -21,27 +21,30 @@ struct ConfigResult
     double cpu_util = 0.0;
 };
 
-/** Hill-climb the batch axis for a fixed (threads x cores) allocation. */
+/** Best over the batch axis for a fixed (threads x cores) allocation —
+ *  the whole axis fans onto the evaluation engine at once. */
 ConfigResult
-bestOverBatches(const hw::ServerSpec& server, const model::Model& m,
-                int threads, int cores, double sla_ms)
+bestOverBatches(core::EvalEngine& engine, const hw::ServerSpec& server,
+                const model::Model& m, int threads, int cores,
+                double sla_ms)
 {
     sched::SearchOptions opt = bench::benchSearchOptions();
-    ConfigResult best;
+    std::vector<core::EvalRequest> reqs;
     for (int b : opt.space.batches) {
         sched::SchedulingConfig cfg;
         cfg.mapping = sched::Mapping::CpuModelBased;
         cfg.cpu_threads = threads;
         cfg.cores_per_thread = cores;
         cfg.batch = b;
-        if (sim::validateConfig(server, m, cfg))
-            continue;
-        auto point = sim::measureLatencyBoundedQps(server, m, cfg, sla_ms,
-                                                   opt.measure);
-        if (point && point->qps > best.qps) {
-            best.qps = point->qps;
-            best.qps_per_watt = point->result.qps_per_watt;
-            best.cpu_util = point->result.cpu_util;
+        reqs.push_back(
+            bench::evalRequest(server, m, cfg, sla_ms, opt.measure));
+    }
+    ConfigResult best;
+    for (const core::EvalResult& res : engine.evaluateMany(reqs)) {
+        if (res.valid && res.point && res.point->qps > best.qps) {
+            best.qps = res.point->qps;
+            best.qps_per_watt = res.point->result.qps_per_watt;
+            best.cpu_util = res.point->result.cpu_util;
         }
     }
     return best;
@@ -58,6 +61,7 @@ main()
 
     model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
     const hw::ServerSpec& server = hw::serverSpec(hw::ServerType::T2);
+    core::EvalEngine engine;
 
     TablePrinter t({"SLA (ms)", "QPS 20x1", "QPS 10x2", "gain",
                     "QPS/W 20x1", "QPS/W 10x2", "gain",
@@ -65,8 +69,9 @@ main()
     double max_qps_gain = 0.0;
     double max_eff_gain = 0.0;
     for (double sla : {4.0, 8.0, 16.0, 64.0, 256.0, 512.0}) {
-        ConfigResult drs = bestOverBatches(server, m, 20, 1, sla);
-        ConfigResult ten2 = bestOverBatches(server, m, 10, 2, sla);
+        ConfigResult drs = bestOverBatches(engine, server, m, 20, 1, sla);
+        ConfigResult ten2 =
+            bestOverBatches(engine, server, m, 10, 2, sla);
         double qgain = drs.qps > 0 ? ten2.qps / drs.qps : 0.0;
         double egain = drs.qps_per_watt > 0
                            ? ten2.qps_per_watt / drs.qps_per_watt

@@ -20,8 +20,8 @@ using namespace hercules;
 namespace {
 
 void
-cpuGrid(const hw::ServerSpec& server, const model::Model& m,
-        double sla_ms)
+cpuGrid(core::EvalEngine& engine, const hw::ServerSpec& server,
+        const model::Model& m, double sla_ms)
 {
     sim::MeasureOptions mo = bench::benchSearchOptions().measure;
     const std::vector<int> threads = {1, 2, 4, 6, 8, 10, 14, 20};
@@ -34,19 +34,34 @@ cpuGrid(const hw::ServerSpec& server, const model::Model& m,
         std::vector<std::string> header = {"threads \\ batch"};
         for (int b : batches)
             header.push_back(std::to_string(b));
-        TablePrinter t(header);
+
+        // The whole grid fans onto the engine pool; rows are then
+        // printed from the ordered result vector.
+        std::vector<core::EvalRequest> reqs;
+        std::vector<int> row_threads;
         for (int th : threads) {
             if (th * o > server.cpu.cores)
                 continue;
-            std::vector<std::string> row = {std::to_string(th)};
+            row_threads.push_back(th);
             for (int b : batches) {
                 sched::SchedulingConfig cfg;
                 cfg.mapping = sched::Mapping::CpuModelBased;
                 cfg.cpu_threads = th;
                 cfg.cores_per_thread = o;
                 cfg.batch = b;
-                auto point = sim::measureLatencyBoundedQps(server, m, cfg,
-                                                           sla_ms, mo);
+                reqs.push_back(
+                    bench::evalRequest(server, m, cfg, sla_ms, mo));
+            }
+        }
+        std::vector<core::EvalResult> results =
+            engine.evaluateMany(reqs);
+
+        TablePrinter t(header);
+        size_t i = 0;
+        for (int th : row_threads) {
+            std::vector<std::string> row = {std::to_string(th)};
+            for (size_t bi = 0; bi < batches.size(); ++bi) {
+                const auto& point = results[i++].point;
                 row.push_back(point
                                   ? fmtDouble(point->qps, 0) + " [" +
                                         fmtDouble(point->result.tail_ms,
@@ -62,31 +77,43 @@ cpuGrid(const hw::ServerSpec& server, const model::Model& m,
 }
 
 void
-gpuGrid(const hw::ServerSpec& server, const model::Model& m,
-        double sla_ms)
+gpuGrid(core::EvalEngine& engine, const hw::ServerSpec& server,
+        const model::Model& m, double sla_ms)
 {
     sim::MeasureOptions mo = bench::benchSearchOptions().measure;
     std::printf("-- GPU Psp(M+D) (SLA %.0f ms): QPS [peak W] --\n",
                 sla_ms);
     const std::vector<int> fusions = {0, 500, 1000, 2000, 4000, 6000};
+    const std::vector<int> colocs = {1, 2, 3, 4};
     std::vector<std::string> header = {"coloc \\ fusion"};
     for (int f : fusions)
         header.push_back(f == 0 ? "none" : std::to_string(f));
-    TablePrinter t(header);
-    for (int g : {1, 2, 3, 4}) {
-        std::vector<std::string> row = {std::to_string(g)};
+
+    std::vector<core::EvalRequest> reqs;
+    for (int g : colocs) {
         for (int f : fusions) {
             sched::SchedulingConfig cfg;
             cfg.mapping = sched::Mapping::GpuModelBased;
             cfg.gpu_threads = g;
             cfg.fusion_limit = f;
             cfg.cpu_threads = 2;
-            if (sim::validateConfig(server, m, cfg)) {
+            reqs.push_back(
+                bench::evalRequest(server, m, cfg, sla_ms, mo));
+        }
+    }
+    std::vector<core::EvalResult> results = engine.evaluateMany(reqs);
+
+    TablePrinter t(header);
+    size_t i = 0;
+    for (int g : colocs) {
+        std::vector<std::string> row = {std::to_string(g)};
+        for (size_t fi = 0; fi < fusions.size(); ++fi) {
+            const core::EvalResult& res = results[i++];
+            if (!res.valid) {
                 row.push_back("invalid");
                 continue;
             }
-            auto point = sim::measureLatencyBoundedQps(server, m, cfg,
-                                                       sla_ms, mo);
+            const auto& point = res.point;
             row.push_back(
                 point ? fmtDouble(point->qps, 0) + " [" +
                             fmtDouble(point->result.peak_power_w, 0) + "]"
@@ -133,13 +160,14 @@ main()
     model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
     const hw::ServerSpec& t2 = hw::serverSpec(hw::ServerType::T2);
     const hw::ServerSpec& t7 = hw::serverSpec(hw::ServerType::T7);
+    core::EvalEngine engine;
 
-    cpuGrid(t2, m, 20.0);
+    cpuGrid(engine, t2, m, 20.0);
     searchPath(t2, m, sched::Mapping::CpuModelBased, 20.0);
 
     model::Model small =
         model::buildModel(model::ModelId::DlrmRmc1, model::Variant::Small);
-    gpuGrid(t7, small, 20.0);
+    gpuGrid(engine, t7, small, 20.0);
     searchPath(t7, small, sched::Mapping::GpuModelBased, 20.0);
     return 0;
 }

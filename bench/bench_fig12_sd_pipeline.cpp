@@ -21,10 +21,11 @@ main()
     model::Model m = model::buildModel(model::ModelId::DlrmRmc1);
     const hw::ServerSpec& t2 = hw::serverSpec(hw::ServerType::T2);
     sim::MeasureOptions mo = bench::benchSearchOptions().measure;
+    core::EvalEngine engine;
 
     // ---- (a) CPU: sweep the sparse/dense split ------------------------
     std::printf("-- Fig 12(a): CPU S-D split (batch 128, SLA 20 ms) --\n");
-    TablePrinter ta({"Config (SxO::D)", "QPS", "Tail (ms)"});
+    std::vector<core::EvalRequest> split_reqs;
     for (int o : {1, 2}) {
         for (int s = 1; s * o + 1 <= t2.cpu.cores; ++s) {
             int d = sched::balancedDenseThreads(t2, m, s, o, 128);
@@ -36,13 +37,21 @@ main()
             cfg.cores_per_thread = o;
             cfg.dense_threads = d;
             cfg.batch = 128;
-            auto point =
-                sim::measureLatencyBoundedQps(t2, m, cfg, 20.0, mo);
-            ta.addRow({std::to_string(s) + "x" + std::to_string(o) +
-                           "::" + std::to_string(d),
-                       point ? fmtDouble(point->qps, 0) : "viol.",
-                       point ? fmtDouble(point->result.tail_ms, 1) : "-"});
+            split_reqs.push_back(
+                bench::evalRequest(t2, m, cfg, 20.0, mo));
         }
+    }
+    std::vector<core::EvalResult> split_results =
+        engine.evaluateMany(split_reqs);
+    TablePrinter ta({"Config (SxO::D)", "QPS", "Tail (ms)"});
+    for (size_t i = 0; i < split_reqs.size(); ++i) {
+        const sched::SchedulingConfig& cfg = split_reqs[i].cfg;
+        const auto& point = split_results[i].point;
+        ta.addRow({std::to_string(cfg.cpu_threads) + "x" +
+                       std::to_string(cfg.cores_per_thread) +
+                       "::" + std::to_string(cfg.dense_threads),
+                   point ? fmtDouble(point->qps, 0) : "viol.",
+                   point ? fmtDouble(point->result.tail_ms, 1) : "-"});
     }
     ta.print();
     std::printf("shape: throughput climbs with more parallel tasks, then "
@@ -56,8 +65,9 @@ main()
     TablePrinter tb({"Host threads x cores", "Best GPU side", "QPS"});
     sched::SearchOptions opt = bench::benchSearchOptions();
     for (int s : {2, 4, 6, 8, 10, 14, 18}) {
-        double best_qps = -1.0;
-        std::string best_gpu = "-";
+        // All nine accelerator-side candidates of one host split are
+        // independent: fan them out, reduce in request order.
+        std::vector<core::EvalRequest> reqs;
         for (int g : {1, 2, 4}) {
             for (int f : {0, 1000, 4000}) {
                 sched::SchedulingConfig cfg;
@@ -67,15 +77,19 @@ main()
                 cfg.batch = 128;
                 cfg.gpu_threads = g;
                 cfg.fusion_limit = f;
-                if (sim::validateConfig(t7, m, cfg))
-                    continue;
-                auto point = sim::measureLatencyBoundedQps(t7, m, cfg,
-                                                           20.0, mo);
-                if (point && point->qps > best_qps) {
-                    best_qps = point->qps;
-                    best_gpu = "g" + std::to_string(g) + " f" +
-                               std::to_string(f);
-                }
+                reqs.push_back(bench::evalRequest(t7, m, cfg, 20.0, mo));
+            }
+        }
+        std::vector<core::EvalResult> results = engine.evaluateMany(reqs);
+        double best_qps = -1.0;
+        std::string best_gpu = "-";
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const core::EvalResult& res = results[i];
+            if (res.valid && res.point && res.point->qps > best_qps) {
+                best_qps = res.point->qps;
+                best_gpu =
+                    "g" + std::to_string(reqs[i].cfg.gpu_threads) +
+                    " f" + std::to_string(reqs[i].cfg.fusion_limit);
             }
         }
         tb.addRow({std::to_string(s) + "x1", best_gpu,

@@ -53,6 +53,19 @@ ProvisionProblem::fromTable(const core::EfficiencyTable& table,
     return p;
 }
 
+ProvisionProblem
+ProvisionProblem::fromProfile(const core::ProfilerOptions& opt,
+                              const std::vector<hw::ServerType>& servers,
+                              const std::vector<model::ModelId>& models,
+                              const std::vector<int>& availability)
+{
+    core::ProfilerOptions scoped = opt;
+    scoped.servers = servers;
+    scoped.models = models;
+    core::EfficiencyTable table = core::offlineProfile(scoped);
+    return fromTable(table, servers, models, availability);
+}
+
 void
 ProvisionProblem::setPerf(int h, int m, PairPerf perf)
 {

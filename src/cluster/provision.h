@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/efficiency_table.h"
+#include "core/profiler.h"
 #include "util/rng.h"
 
 namespace hercules::cluster {
@@ -49,6 +50,23 @@ class ProvisionProblem
     /** Build from an offline-profiled efficiency table. */
     static ProvisionProblem fromTable(
         const core::EfficiencyTable& table,
+        const std::vector<hw::ServerType>& servers,
+        const std::vector<model::ModelId>& models,
+        const std::vector<int>& availability = {});
+
+    /**
+     * Profile the (h, m) cells and build the problem in one call: runs
+     * the offline profiler — every cell fanned onto the evaluation
+     * engine's thread pool (one latency-bounded search per pair) — then
+     * assembles the problem from the resulting table. This is the
+     * provisioning front door for callers that have no cached table.
+     *
+     * @param opt  profiler options; servers/models are overridden with
+     *             the arguments below, and opt.search.engine (when set)
+     *             supplies a shared engine + memo.
+     */
+    static ProvisionProblem fromProfile(
+        const core::ProfilerOptions& opt,
         const std::vector<hw::ServerType>& servers,
         const std::vector<model::ModelId>& models,
         const std::vector<int>& availability = {});

@@ -7,6 +7,27 @@
 
 namespace hercules::core {
 
+bool
+operator==(const EfficiencyEntry& a, const EfficiencyEntry& b)
+{
+    return a.server == b.server && a.model == b.model &&
+           a.feasible == b.feasible && a.qps == b.qps &&
+           a.power_w == b.power_w && a.avg_power_w == b.avg_power_w &&
+           a.qps_per_watt == b.qps_per_watt &&
+           a.config.key() == b.config.key();
+}
+
+bool
+EfficiencyTable::operator==(const EfficiencyTable& o) const
+{
+    if (entries_.size() != o.entries_.size())
+        return false;
+    for (size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i] != o.entries_[i])
+            return false;
+    return true;
+}
+
 void
 EfficiencyTable::set(const EfficiencyEntry& e)
 {

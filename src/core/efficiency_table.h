@@ -31,6 +31,18 @@ struct EfficiencyEntry
     sched::SchedulingConfig config;  ///< the optimal task schedule
 };
 
+/**
+ * Exact equality (bitwise on the measured doubles): used by the
+ * determinism tests to assert that serial and pooled profiling passes
+ * produce the same table.
+ */
+bool operator==(const EfficiencyEntry& a, const EfficiencyEntry& b);
+inline bool
+operator!=(const EfficiencyEntry& a, const EfficiencyEntry& b)
+{
+    return !(a == b);
+}
+
 /** The efficiency-tuple table, indexed by (server type, model). */
 class EfficiencyTable
 {
@@ -55,6 +67,14 @@ class EfficiencyTable
      */
     std::vector<hw::ServerType> rank(model::ModelId m,
                                      bool by_energy = true) const;
+
+    /** @return number of profiled pairs. */
+    size_t size() const { return entries_.size(); }
+
+    /** Exact equality: same entries in the same insertion order. */
+    bool operator==(const EfficiencyTable& o) const;
+    bool operator!=(const EfficiencyTable& o) const
+    { return !(*this == o); }
 
     /** Persist as CSV. */
     void writeCsv(const std::string& path) const;

@@ -1,0 +1,230 @@
+#include "core/eval_engine.h"
+
+#include <condition_variable>
+#include <cstdio>
+
+#include "sim/prepared.h"
+#include "util/logging.h"
+
+namespace hercules::core {
+
+namespace {
+
+/** Append `label=value;` with enough digits to be collision-free. */
+void
+appendNum(std::string& s, const char* label, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g;", label, v);
+    s += buf;
+}
+
+void
+appendInt(std::string& s, const char* label, int64_t v)
+{
+    s += label;
+    s += '=';
+    s += std::to_string(v);
+    s += ';';
+}
+
+}  // namespace
+
+/**
+ * A cache cell: computed exactly once; concurrent requesters for the
+ * same key block on the cell's condition variable until the winner
+ * publishes the result.
+ */
+struct EvalEngine::Cell
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    EvalResult result;
+
+    EvalResult
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return ready; });
+        return result;
+    }
+
+    void
+    publish(EvalResult r)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            result = std::move(r);
+            ready = true;
+        }
+        cv.notify_all();
+    }
+};
+
+EvalEngine::EvalEngine(const EvalOptions& opt)
+    : opt_(opt), pool_(opt.threads)
+{
+}
+
+std::string
+EvalEngine::cacheKey(const EvalRequest& r, const EvalOptions& opt)
+{
+    std::string s;
+    s.reserve(256);
+
+    // Server signature: type name plus the numbers the cost model
+    // consumes, so hand-modified catalog specs (the server-arch
+    // explorer) never alias a stock type.
+    const hw::ServerSpec& sv = *r.server;
+    s += "sv=";
+    s += sv.name;
+    s += ';';
+    appendInt(s, "cores", sv.cpu.cores);
+    appendNum(s, "ghz", sv.cpu.freq_ghz);
+    appendNum(s, "llc", sv.cpu.llc_mb);
+    appendInt(s, "mk", static_cast<int>(sv.mem.kind));
+    appendInt(s, "ranks", sv.mem.totalRanks());
+    appendInt(s, "memgb", sv.mem.capacity_gb);
+    if (sv.gpu) {
+        s += "gpu=";
+        s += sv.gpu->name;
+        s += ';';
+        appendInt(s, "sms", sv.gpu->sms);
+        appendNum(s, "hbm", sv.gpu->hbm_gbps);
+        appendInt(s, "ggb", sv.gpu->mem_gb);
+        appendNum(s, "pcie", sv.gpu->pcie_gbps);
+    }
+
+    // Model signature: display name already encodes id + variant; the
+    // footprint numbers guard against hand-tweaked Model structs.
+    const model::Model& m = *r.model;
+    s += "md=";
+    s += m.name;
+    s += ';';
+    appendInt(s, "tbl", m.num_tables);
+    appendInt(s, "dim", m.emb_dim);
+    appendInt(s, "bytes", m.totalBytes());
+    appendNum(s, "pool", m.pooling_max);
+
+    // The scheduling configuration, every field.
+    s += r.cfg.key();
+    s += ';';
+
+    // SLA + measurement options (anything that steers the probes).
+    appendNum(s, "sla", r.sla_ms);
+    const sim::MeasureOptions& mo = r.measure;
+    appendNum(s, "pb", mo.power_budget_w);
+    appendInt(s, "bi", mo.bisect_iters);
+    appendNum(s, "hf", mo.hi_factor);
+    appendNum(s, "atf", mo.abort_tail_factor > 0.0
+                            ? mo.abort_tail_factor
+                            : opt.abort_tail_factor);
+    appendNum(s, "tol", mo.bisect_rel_tol > 0.0 ? mo.bisect_rel_tol
+                                                : opt.bisect_rel_tol);
+    appendInt(s, "nq", mo.sim.num_queries);
+    appendInt(s, "wq", mo.sim.warmup_queries);
+    appendInt(s, "seed", static_cast<int64_t>(mo.sim.seed));
+    appendNum(s, "pct", mo.sim.tail_percentile);
+    // Workload distributions: the generator consumes both, so two
+    // requests differing only in size/pooling shape must not alias.
+    appendNum(s, "qmed", mo.sim.sizes.median);
+    appendNum(s, "qsig", mo.sim.sizes.sigma);
+    appendInt(s, "qmin", mo.sim.sizes.min_size);
+    appendInt(s, "qmax", mo.sim.sizes.max_size);
+    appendNum(s, "psig", mo.sim.pooling.sigma);
+    return s;
+}
+
+EvalResult
+EvalEngine::compute(const EvalRequest& r)
+{
+    EvalResult out;
+    if (sim::validateConfig(*r.server, *r.model, r.cfg)) {
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+        return out;  // invalid: never simulated
+    }
+    out.valid = true;
+
+    sim::MeasureOptions mo = r.measure;
+    if (mo.abort_tail_factor <= 0.0)
+        mo.abort_tail_factor = opt_.abort_tail_factor;
+    if (mo.bisect_rel_tol <= 0.0)
+        mo.bisect_rel_tol = opt_.bisect_rel_tol;
+
+    sim::PreparedWorkload w = sim::prepare(*r.server, *r.model, r.cfg);
+    const sim::MeasureHint* hint =
+        opt_.warm_start && r.hint.valid ? &r.hint : nullptr;
+    out.point = sim::measureLatencyBoundedQps(w, r.sla_ms, mo, hint);
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    // One saturation probe + the bisection probes (a conservative
+    // estimate when infeasible: probes before the light-load retry).
+    simulations_.fetch_add(
+        out.point ? static_cast<uint64_t>(out.point->sims)
+                  : static_cast<uint64_t>(mo.bisect_iters + 2),
+        std::memory_order_relaxed);
+    return out;
+}
+
+EvalResult
+EvalEngine::evaluate(const EvalRequest& r)
+{
+    if (!r.server || !r.model)
+        fatal("EvalEngine::evaluate: null server or model");
+    if (!opt_.memoize)
+        return compute(r);
+
+    std::string key = cacheKey(r, opt_);
+    std::shared_ptr<Cell> cell;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            cell = std::make_shared<Cell>();
+            cache_.emplace(std::move(key), cell);
+            owner = true;
+        } else {
+            cell = it->second;
+        }
+    }
+
+    if (owner) {
+        cell->publish(compute(r));
+        return cell->result;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    EvalResult out = cell->wait();
+    out.cache_hit = true;
+    return out;
+}
+
+std::vector<EvalResult>
+EvalEngine::evaluateMany(const std::vector<EvalRequest>& rs)
+{
+    std::vector<EvalResult> out(rs.size());
+    pool_.parallelFor(rs.size(),
+                      [&](size_t i) { out[i] = evaluate(rs[i]); });
+    return out;
+}
+
+EvalEngine::Stats
+EvalEngine::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.simulations = simulations_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+EvalEngine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+}
+
+}  // namespace hercules::core

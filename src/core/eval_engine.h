@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The evaluation engine: the single gateway between every measurement
+ * consumer (task-scheduling search, baselines, offline profiler,
+ * cluster provisioning, benches) and the latency-bounded throughput
+ * measurement of sim/measure.h.
+ *
+ * The engine adds three things on top of a raw measureLatencyBoundedQps
+ * call:
+ *
+ *  1. **Memoization** — results are cached under a canonical key of
+ *     (server spec, model, scheduling config, SLA, measure options), so
+ *     configurations revisited across gradient arms, partition
+ *     strategies, baselines and efficiency-table cells cost nothing.
+ *  2. **Parallel fan-out** — independent candidates are evaluated on a
+ *     work-sharing thread pool (util/thread_pool.h). Each simulation
+ *     owns its seeded RNG stream and results are reduced in request
+ *     order, so a 1-thread engine and an N-thread engine produce
+ *     bit-identical outcomes.
+ *  3. **Measurement shortcuts** — optional warm-start bisection from a
+ *     caller-provided neighbour hint and early-abort of hopelessly
+ *     saturated probes (MeasureOptions::abort_tail_factor /
+ *     bisect_rel_tol). Both default off so the engine reproduces the
+ *     seed measurement bit-for-bit unless explicitly enabled.
+ *
+ * Thread-safety: evaluate()/evaluateMany()/prefetch() may be called
+ * concurrently; a configuration requested by several threads at once is
+ * simulated exactly once and the losers wait on the winner's future.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/measure.h"
+#include "util/thread_pool.h"
+
+namespace hercules::core {
+
+/** Engine tuning knobs. */
+struct EvalOptions
+{
+    /** Pool width including the caller; <= 0 uses all hardware threads. */
+    int threads = 0;
+    /** Cache results across evaluations (and searches sharing the engine). */
+    bool memoize = true;
+    /** Forward caller-supplied neighbour hints into the bisection. */
+    bool warm_start = false;
+    /** > 0: probes abort at sla * factor in-flight sojourn (see
+     *  MeasureOptions::abort_tail_factor). */
+    double abort_tail_factor = 0.0;
+    /** > 0: adaptive bisection stop (see MeasureOptions::bisect_rel_tol). */
+    double bisect_rel_tol = 0.0;
+    /**
+     * Allow searches to evaluate speculative candidates (e.g. all
+     * op-parallelism arms at once) when the pool has more than one
+     * thread. Speculation never changes results — discarded candidates
+     * are excluded from every reduction — it only trades extra
+     * simulations for wall-clock time on idle cores.
+     */
+    bool speculate = true;
+};
+
+/** One evaluation request: a fully-specified measurement. */
+struct EvalRequest
+{
+    const hw::ServerSpec* server = nullptr;
+    const model::Model* model = nullptr;
+    sched::SchedulingConfig cfg;
+    double sla_ms = 0.0;
+    sim::MeasureOptions measure{};
+    /** Deterministic warm-start hint (ignored unless warm_start set). */
+    sim::MeasureHint hint{};
+};
+
+/** Outcome of one evaluation. */
+struct EvalResult
+{
+    /** false: the configuration failed validateConfig (never simulated). */
+    bool valid = false;
+    /** Operating point; nullopt when valid but SLA/power-infeasible. */
+    std::optional<sim::OperatingPoint> point;
+    /** true when served from the memo (no new simulations ran). */
+    bool cache_hit = false;
+};
+
+class EvalEngine
+{
+  public:
+    explicit EvalEngine(const EvalOptions& opt = EvalOptions{});
+
+    const EvalOptions& options() const { return opt_; }
+
+    /** The shared pool (searches fan their own task sets onto it). */
+    util::ThreadPool& pool() { return pool_; }
+
+    /** @return true when searches should run speculative candidates. */
+    bool
+    speculative() const
+    {
+        return opt_.speculate && pool_.threads() > 1;
+    }
+
+    /** Evaluate one request (memoized). */
+    EvalResult evaluate(const EvalRequest& r);
+
+    /**
+     * Evaluate a batch of independent requests on the pool. Results are
+     * returned in request order regardless of completion order.
+     */
+    std::vector<EvalResult> evaluateMany(
+        const std::vector<EvalRequest>& rs);
+
+    /** Cumulative counters (monotone; approximate under concurrency). */
+    struct Stats
+    {
+        uint64_t hits = 0;        ///< requests served from the memo
+        uint64_t misses = 0;      ///< requests that ran the measurement
+        uint64_t invalid = 0;     ///< requests rejected by validateConfig
+        uint64_t simulations = 0; ///< discrete-event simulator runs
+    };
+    Stats stats() const;
+
+    /** Drop every memoized result (counters are kept). */
+    void clearCache();
+
+    /**
+     * The canonical cache key: every result-affecting input — server
+     * signature, model signature, full scheduling config, SLA, and the
+     * measurement options (seed, query counts, bisection knobs, power
+     * budget, abort/tolerance settings). Hints are deliberately
+     * excluded: the first evaluation of a configuration fixes its
+     * result (callers derive hints deterministically, so replays agree).
+     */
+    static std::string cacheKey(const EvalRequest& r,
+                                const EvalOptions& opt);
+
+  private:
+    struct Cell;
+
+    EvalResult compute(const EvalRequest& r);
+
+    EvalOptions opt_;
+    util::ThreadPool pool_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<Cell>> cache_;
+
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> invalid_{0};
+    std::atomic<uint64_t> simulations_{0};
+};
+
+}  // namespace hercules::core

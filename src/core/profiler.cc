@@ -1,5 +1,7 @@
 #include "core/profiler.h"
 
+#include <memory>
+
 #include "util/logging.h"
 
 namespace hercules::core {
@@ -35,18 +37,53 @@ offlineProfile(const ProfilerOptions& opt)
     if (models.empty())
         models = model::allModels();
 
-    EfficiencyTable table;
-    for (model::ModelId mid : models) {
-        model::Model m = model::buildModel(mid, opt.variant);
+    // One engine across every (server, model) cell: pairs share the
+    // thread pool, and any cell revisiting a profiled configuration
+    // (identical server/model signatures) hits the memo.
+    std::unique_ptr<EvalEngine> owned;
+    EvalEngine* engine = opt.search.engine;
+    if (!engine) {
+        owned = std::make_unique<EvalEngine>(opt.search.eval);
+        engine = owned.get();
+    }
+    sched::SearchOptions sub = opt.search;
+    sub.engine = engine;
+
+    // Models are built once up front (cells borrow const references
+    // into this vector from pool threads).
+    std::vector<model::Model> built;
+    built.reserve(models.size());
+    for (model::ModelId mid : models)
+        built.push_back(model::buildModel(mid, opt.variant));
+
+    struct Cell
+    {
+        size_t model_idx;
+        hw::ServerType server;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(models.size() * servers.size());
+    for (size_t mi = 0; mi < models.size(); ++mi)
+        for (hw::ServerType st : servers)
+            cells.push_back({mi, st});
+
+    // Every cell is an independent search: fan the whole table onto the
+    // pool, then insert in cell order so the table layout never depends
+    // on completion order.
+    std::vector<EfficiencyEntry> entries(cells.size());
+    engine->pool().parallelFor(cells.size(), [&](size_t i) {
+        const model::Model& m = built[cells[i].model_idx];
+        const hw::ServerSpec& server = hw::serverSpec(cells[i].server);
         double sla =
             opt.sla_ms_override > 0.0 ? opt.sla_ms_override : m.sla_ms;
-        for (hw::ServerType st : servers) {
-            const hw::ServerSpec& server = hw::serverSpec(st);
-            inform("profiling %s on %s (SLA %.0f ms)", m.name.c_str(),
-                   server.name.c_str(), sla);
-            table.set(profilePair(server, m, sla, opt.search));
-        }
-    }
+        inform("profiling %s on %s (SLA %.0f ms)", m.name.c_str(),
+               server.name.c_str(), sla);
+        entries[i] = profilePair(server, m, sla, sub);
+    });
+
+    EfficiencyTable table;
+    for (const EfficiencyEntry& e : entries)
+        table.set(e);
     return table;
 }
 

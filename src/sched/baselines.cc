@@ -1,7 +1,9 @@
 #include "sched/baselines.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "core/eval_engine.h"
 #include "sim/prepared.h"
 #include "util/logging.h"
 
@@ -14,6 +16,7 @@ void
 merge(SearchResult& acc, SearchResult r)
 {
     acc.evals += r.evals;
+    acc.cache_hits += r.cache_hits;
     acc.trace.insert(acc.trace.end(), r.trace.begin(), r.trace.end());
     if (r.best && r.best_qps > acc.best_qps) {
         acc.best = r.best;
@@ -40,20 +43,43 @@ hillClimb(const hw::ServerSpec& server, const model::Model& m,
           bool require_full_residency = false)
 {
     SearchResult result;
-    // Reuse the gradient-search evaluator through the public API: run a
-    // tiny manual loop with measurements.
-    sim::MeasureOptions mo = opt.measure;
-    mo.power_budget_w = opt.power_budget_w;
+    // The hill climb is sequential by definition (each step's verdict
+    // gates the next), so the engine is used for its memo — baseline
+    // configs overlapping a Hercules search sharing the engine are
+    // free — rather than for fan-out.
+    std::unique_ptr<core::EvalEngine> owned;
+    core::EvalEngine* engine = opt.engine;
+    if (!engine) {
+        owned = std::make_unique<core::EvalEngine>(opt.eval);
+        engine = owned.get();
+    }
     double prev = -1.0;
     for (const SchedulingConfig& cfg : seq) {
         if (sim::validateConfig(server, m, cfg))
             continue;
-        sim::PreparedWorkload w = sim::prepare(server, m, cfg);
-        if (require_full_residency && cfg.usesGpu() &&
-            w.gpu_cx.hot_hit_rate < 1.0)
-            continue;  // the baseline cannot partition the model
-        auto point = sim::measureLatencyBoundedQps(w, sla_ms, mo);
-        ++result.evals;
+        if (require_full_residency && cfg.usesGpu()) {
+            // Residency needs the prepared placement; the engine will
+            // prepare again on a cache miss, but a redundant prepare is
+            // far cheaper than the alternative (measuring the config
+            // and discarding it — the seed skipped such configs without
+            // tracing them, and that contract is kept).
+            sim::PreparedWorkload w = sim::prepare(server, m, cfg);
+            if (w.gpu_cx.hot_hit_rate < 1.0)
+                continue;  // the baseline cannot partition the model
+        }
+        core::EvalRequest req;
+        req.server = &server;
+        req.model = &m;
+        req.cfg = cfg;
+        req.sla_ms = sla_ms;
+        req.measure = opt.measure;
+        req.measure.power_budget_w = opt.power_budget_w;
+        core::EvalResult res = engine->evaluate(req);
+        if (res.cache_hit)
+            ++result.cache_hits;
+        else
+            ++result.evals;
+        const auto& point = res.point;
         SearchStep step;
         step.cfg = cfg;
         if (point) {

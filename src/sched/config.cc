@@ -48,4 +48,28 @@ SchedulingConfig::str() const
     return s;
 }
 
+std::string
+SchedulingConfig::key() const
+{
+    std::string s;
+    s.reserve(48);
+    s += "m=";
+    s += std::to_string(static_cast<int>(mapping));
+    s += ";t=";
+    s += std::to_string(cpu_threads);
+    s += ";o=";
+    s += std::to_string(cores_per_thread);
+    s += ";dt=";
+    s += std::to_string(dense_threads);
+    s += ";b=";
+    s += std::to_string(batch);
+    s += ";g=";
+    s += std::to_string(gpu_threads);
+    s += ";f=";
+    s += std::to_string(fusion_limit);
+    s += ";fe=";
+    s += fuse_elementwise ? '1' : '0';
+    return s;
+}
+
 }  // namespace hercules::sched

@@ -79,6 +79,13 @@ struct SchedulingConfig
 
     /** @return compact human-readable description. */
     std::string str() const;
+
+    /**
+     * @return a canonical encoding of every field, suitable as a cache
+     * key: two configurations compare equal iff their keys are equal
+     * (unlike str(), which omits fields irrelevant to display).
+     */
+    std::string key() const;
 };
 
 }  // namespace hercules::sched

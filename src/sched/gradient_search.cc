@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
-#include "sim/prepared.h"
 #include "util/logging.h"
 
 namespace hercules::sched {
@@ -13,73 +14,109 @@ namespace hercules::sched {
 namespace {
 
 /**
- * Measurement cache + trace recorder shared by one search invocation.
- * Configurations are keyed by their string form; infeasible and invalid
- * configurations cache as nullopt.
+ * Ordered reduction of a partial result into the combined one. Strict
+ * `>` on QPS keeps the earliest-merged winner on ties, so the reduction
+ * order — always program order, never completion order — fully
+ * determines the outcome regardless of the engine's thread count.
+ */
+void
+mergeResult(SearchResult& acc, SearchResult&& r)
+{
+    acc.evals += r.evals;
+    acc.cache_hits += r.cache_hits;
+    acc.trace.insert(acc.trace.end(),
+                     std::make_move_iterator(r.trace.begin()),
+                     std::make_move_iterator(r.trace.end()));
+    if (r.best && r.best_qps > acc.best_qps) {
+        acc.best = r.best;
+        acc.best_point = r.best_point;
+        acc.best_qps = r.best_qps;
+    }
+}
+
+/**
+ * Trace recorder on top of the evaluation engine, owned by one
+ * (sub-)search. The engine memoizes across evaluators; this class keeps
+ * the per-search bookkeeping the seed's Evaluator kept: first-request
+ * dedup, the trace, the eval/cache-hit counters and the running best.
  */
 class Evaluator
 {
   public:
-    Evaluator(const hw::ServerSpec& server, const model::Model& m,
-              double sla_ms, const SearchOptions& opt,
-              SearchResult& result)
-        : server_(server), model_(m), sla_ms_(sla_ms), opt_(opt),
-          result_(result)
+    Evaluator(core::EvalEngine& engine, const hw::ServerSpec& server,
+              const model::Model& m, double sla_ms,
+              const SearchOptions& opt, SearchResult& result)
+        : engine_(engine), server_(server), model_(m), sla_ms_(sla_ms),
+          opt_(opt), result_(result)
     {
     }
 
     /** Latency-bounded QPS of a config; -1 when invalid/infeasible. */
     double
-    qps(const SchedulingConfig& cfg)
+    qps(const SchedulingConfig& cfg, const sim::MeasureHint& hint = {})
     {
-        const auto& point = eval(cfg);
+        const auto& point = eval(cfg, hint);
         return point ? point->qps : -1.0;
     }
 
     const std::optional<sim::OperatingPoint>&
-    eval(const SchedulingConfig& cfg)
+    eval(const SchedulingConfig& cfg, const sim::MeasureHint& hint = {})
     {
-        std::string key = cfg.str();
-        auto it = cache_.find(key);
-        if (it != cache_.end())
-            return it->second;
-
-        std::optional<sim::OperatingPoint> point;
-        if (!sim::validateConfig(server_, model_, cfg)) {
-            sim::MeasureOptions mo = opt_.measure;
-            mo.power_budget_w = opt_.power_budget_w;
-            sim::PreparedWorkload w = sim::prepare(server_, model_, cfg);
-            point = sim::measureLatencyBoundedQps(w, sla_ms_, mo);
-            ++result_.evals;
-
-            SearchStep step;
-            step.cfg = cfg;
-            if (point) {
-                step.qps = point->qps;
-                step.tail_ms = point->result.tail_ms;
-                step.peak_power_w = point->result.peak_power_w;
-                step.qps_per_watt = point->result.qps_per_watt;
-            }
-            result_.trace.push_back(step);
-
-            if (point && point->qps > result_.best_qps) {
-                result_.best = cfg;
-                result_.best_point = *point;
-                result_.best_qps = point->qps;
-            }
-        }
-        it = cache_.emplace(std::move(key), std::move(point)).first;
+        auto [it, inserted] = seen_.try_emplace(cfg.key());
+        if (inserted)
+            record(cfg, engine_.evaluate(request(cfg, hint)), it->second);
         return it->second;
+    }
+
+    /**
+     * Fan a candidate batch onto the engine pool, then record results
+     * in request order — the trace and counters come out exactly as if
+     * the batch had been evaluated serially.
+     */
+    void
+    prefetch(const std::vector<SchedulingConfig>& cfgs,
+             const sim::MeasureHint& hint = {})
+    {
+        std::vector<const SchedulingConfig*> fresh;
+        std::vector<core::EvalRequest> reqs;
+        fresh.reserve(cfgs.size());
+        reqs.reserve(cfgs.size());
+        for (const SchedulingConfig& cfg : cfgs) {
+            if (seen_.count(cfg.key()))
+                continue;
+            fresh.push_back(&cfg);
+            reqs.push_back(request(cfg, hint));
+        }
+        std::vector<core::EvalResult> results =
+            engine_.evaluateMany(reqs);
+        for (size_t i = 0; i < fresh.size(); ++i) {
+            auto [it, inserted] = seen_.try_emplace(fresh[i]->key());
+            if (inserted)
+                record(*fresh[i], std::move(results[i]), it->second);
+        }
+    }
+
+    /** Warm-start hint derived from an operating point. */
+    static sim::MeasureHint
+    hintFrom(const std::optional<sim::OperatingPoint>& point)
+    {
+        sim::MeasureHint h;
+        if (point) {
+            h.valid = true;
+            h.qps = point->qps;
+            h.capacity = point->capacity;
+        }
+        return h;
     }
 
     /** Mark the latest trace entry for `cfg` as an accepted move. */
     void
     markAccepted(const SchedulingConfig& cfg)
     {
-        std::string key = cfg.str();
-        for (auto rit = result_.trace.rbegin(); rit != result_.trace.rend();
-             ++rit) {
-            if (rit->cfg.str() == key) {
+        std::string key = cfg.key();
+        for (auto rit = result_.trace.rbegin();
+             rit != result_.trace.rend(); ++rit) {
+            if (rit->cfg.key() == key) {
                 rit->accepted = true;
                 return;
             }
@@ -87,23 +124,87 @@ class Evaluator
     }
 
   private:
+    core::EvalRequest
+    request(const SchedulingConfig& cfg, const sim::MeasureHint& hint)
+    {
+        core::EvalRequest r;
+        r.server = &server_;
+        r.model = &model_;
+        r.cfg = cfg;
+        r.sla_ms = sla_ms_;
+        r.measure = opt_.measure;
+        r.measure.power_budget_w = opt_.power_budget_w;
+        r.hint = hint;
+        return r;
+    }
+
+    void
+    record(const SchedulingConfig& cfg, core::EvalResult&& res,
+           std::optional<sim::OperatingPoint>& slot)
+    {
+        if (!res.valid) {
+            slot = std::nullopt;  // invalid: never measured, not traced
+            return;
+        }
+        if (res.cache_hit)
+            ++result_.cache_hits;
+        else
+            ++result_.evals;
+
+        SearchStep step;
+        step.cfg = cfg;
+        if (res.point) {
+            step.qps = res.point->qps;
+            step.tail_ms = res.point->result.tail_ms;
+            step.peak_power_w = res.point->result.peak_power_w;
+            step.qps_per_watt = res.point->result.qps_per_watt;
+        }
+        result_.trace.push_back(step);
+
+        if (res.point && res.point->qps > result_.best_qps) {
+            result_.best = cfg;
+            result_.best_point = *res.point;
+            result_.best_qps = res.point->qps;
+        }
+        slot = std::move(res.point);
+    }
+
+    core::EvalEngine& engine_;
     const hw::ServerSpec& server_;
     const model::Model& model_;
     double sla_ms_;
     const SearchOptions& opt_;
     SearchResult& result_;
     std::unordered_map<std::string, std::optional<sim::OperatingPoint>>
-        cache_;
+        seen_;
+};
+
+/** Everything a mapping search needs to spawn sub-evaluators. */
+struct SearchCtx
+{
+    core::EvalEngine& engine;
+    const hw::ServerSpec& server;
+    const model::Model& model;
+    double sla_ms;
+    const SearchOptions& opt;
+
+    Evaluator
+    make(SearchResult& result) const
+    {
+        return Evaluator(engine, server, model, sla_ms, opt, result);
+    }
 };
 
 /**
  * The Psp(M + D) climber of Algorithm 1: a 2D gradient ascent over
  * index axes, moving to the best of the three forward neighbours while
- * throughput improves.
+ * throughput improves. The neighbours of each step are prefetched onto
+ * the engine pool (warm-started from the current position) and then
+ * reduced in candidate order.
  *
  * @param nx, ny    axis lengths.
  * @param cfg_at    builds the configuration at position (xi, yi).
- * @param ev        shared evaluator.
+ * @param ev        evaluator of the owning (sub-)search.
  * @param start_xi, start_yi  origin (minimal parallelism).
  * @return best feasible QPS found along the climb (-1 when none).
  */
@@ -123,6 +224,8 @@ climb2d(int nx, int ny,
     // If even the origin is infeasible, scan the batch axis once — the
     // origin may violate SLA while larger batches cannot help, but a
     // tiny query-fused batch sometimes only becomes feasible later.
+    // (Kept serial: the scan short-circuits at the first feasible
+    // batch, and prefetching past it would perturb hint-order.)
     if (cur < 0.0) {
         for (int y = start_yi + 1; y < ny; ++y) {
             double q = ev.qps(cfg_at(xi, y));
@@ -136,6 +239,7 @@ climb2d(int nx, int ny,
         if (cur < 0.0)
             return -1.0;
     }
+    sim::MeasureHint hint = Evaluator::hintFrom(ev.eval(cfg_at(xi, yi)));
 
     while (true) {
         struct Cand
@@ -152,10 +256,16 @@ climb2d(int nx, int ny,
         if (cands.empty())
             break;
 
+        std::vector<SchedulingConfig> cfgs;
+        cfgs.reserve(cands.size());
+        for (const Cand& c : cands)
+            cfgs.push_back(cfg_at(c.xi, c.yi));
+        ev.prefetch(cfgs, hint);
+
         double best_q = -1.0;
         Cand best_c{xi, yi};
         for (const Cand& c : cands) {
-            double q = ev.qps(cfg_at(c.xi, c.yi));
+            double q = ev.qps(cfg_at(c.xi, c.yi), hint);
             if (q > best_q) {
                 best_q = q;
                 best_c = c;
@@ -168,6 +278,7 @@ climb2d(int nx, int ny,
         cur = best_q;
         best = std::max(best, cur);
         ev.markAccepted(cfg_at(xi, yi));
+        hint = Evaluator::hintFrom(ev.eval(cfg_at(xi, yi), hint));
     }
     if (final_xi)
         *final_xi = xi;
@@ -176,102 +287,151 @@ climb2d(int nx, int ny,
     return best;
 }
 
-/** Outer Psp(O) loop: returns when per-o peaks start decreasing. */
+/**
+ * Outer Psp(O) loop: returns when per-o peaks start decreasing.
+ *
+ * When the engine pool has parallelism, every arm runs speculatively at
+ * once (disjoint configuration spaces — each arm owns one
+ * cores-per-thread value). The reduction then replays the serial
+ * early-termination rule in arm order: arms past the termination point
+ * are discarded wholesale — their trace, counters and best never merge
+ * — so the result is bit-identical to the serial walk, speculation only
+ * spends idle cores.
+ */
 double
-opParallelismLoop(int max_o, const std::function<double(int)>& climb_for_o)
+opParallelismLoop(const SearchCtx& ctx, int max_o,
+                  const std::function<double(int, SearchResult&)>& arm,
+                  SearchResult& result)
 {
+    if (max_o < 1)
+        return -1.0;
+    size_t n = static_cast<size_t>(max_o);
+    std::vector<SearchResult> partial(n);
+    std::vector<double> peak(n, -1.0);
+    std::vector<char> computed(n, 0);
+    if (ctx.engine.speculative()) {
+        // Cap speculation at pool width + 1: on a narrow pool a deep
+        // arm list would make discarded climbs compete with the kept
+        // arms' neighbour prefetches for slots. Arms past the cap are
+        // computed lazily below (identical values either way).
+        size_t spec = std::min(
+            n, static_cast<size_t>(ctx.engine.pool().threads()) + 1);
+        ctx.engine.pool().parallelFor(spec, [&](size_t i) {
+            peak[i] = arm(static_cast<int>(i) + 1, partial[i]);
+            computed[i] = 1;
+        });
+    }
+
     double best = -1.0;
     double prev = -1.0;
     for (int o = 1; o <= max_o; ++o) {
-        double peak = climb_for_o(o);
-        best = std::max(best, peak);
-        if (o > 1 && peak < prev)
+        size_t i = static_cast<size_t>(o - 1);
+        if (!computed[i])
+            peak[i] = arm(o, partial[i]);
+        mergeResult(result, std::move(partial[i]));
+        best = std::max(best, peak[i]);
+        if (o > 1 && peak[i] < prev)
             break;  // Algorithm 1: terminate on decreasing op-parallelism
-        if (peak >= 0.0)
-            prev = peak;
+        if (peak[i] >= 0.0)
+            prev = peak[i];
     }
     return best;
 }
 
 double
-searchCpuModelBased(const hw::ServerSpec& server,
-                    [[maybe_unused]] const model::Model& m,
-                    const SearchOptions& opt, Evaluator& ev)
+searchCpuModelBased(const SearchCtx& ctx, SearchResult& result)
 {
-    const auto& batches = opt.space.batches;
-    int cores = server.cpu.cores;
-    int max_o = std::min(opt.space.max_cores_per_thread, cores);
-    double best = opParallelismLoop(max_o, [&](int o) {
-        int max_threads = cores / o;
-        if (max_threads < 1)
-            return -1.0;
-        auto cfg_at = [&](int xi, int yi) {
-            SchedulingConfig cfg;
-            cfg.mapping = Mapping::CpuModelBased;
-            cfg.cpu_threads = xi + 1;
-            cfg.cores_per_thread = o;
-            cfg.batch = batches[static_cast<size_t>(yi)];
-            return cfg;
-        };
-        return climb2d(max_threads, static_cast<int>(batches.size()),
-                       cfg_at, ev);
-    });
+    const auto& batches = ctx.opt.space.batches;
+    int cores = ctx.server.cpu.cores;
+    int max_o = std::min(ctx.opt.space.max_cores_per_thread, cores);
+    double best = opParallelismLoop(
+        ctx, max_o,
+        [&](int o, SearchResult& out) {
+            int max_threads = cores / o;
+            if (max_threads < 1)
+                return -1.0;
+            Evaluator ev = ctx.make(out);
+            auto cfg_at = [&](int xi, int yi) {
+                SchedulingConfig cfg;
+                cfg.mapping = Mapping::CpuModelBased;
+                cfg.cpu_threads = xi + 1;
+                cfg.cores_per_thread = o;
+                cfg.batch = batches[static_cast<size_t>(yi)];
+                return cfg;
+            };
+            return climb2d(max_threads, static_cast<int>(batches.size()),
+                           cfg_at, ev);
+        },
+        result);
     // Anchor sweep along the fully-threaded edge (one thread per core,
     // the DeepRecSys corner): cheap insurance that measurement noise in
     // an early climb step can never leave Hercules below a baseline
-    // whose space it supersedes. The evaluator dedupes repeats.
+    // whose space it supersedes. The engine memo dedupes repeats.
+    Evaluator ev = ctx.make(result);
+    std::vector<SchedulingConfig> anchors;
+    anchors.reserve(batches.size());
     for (int b : batches) {
         SchedulingConfig cfg;
         cfg.mapping = Mapping::CpuModelBased;
         cfg.cpu_threads = cores;
         cfg.cores_per_thread = 1;
         cfg.batch = b;
-        best = std::max(best, ev.qps(cfg));
+        anchors.push_back(cfg);
     }
+    ev.prefetch(anchors);
+    for (const SchedulingConfig& cfg : anchors)
+        best = std::max(best, ev.qps(cfg));
     return best;
 }
 
 double
-searchCpuSdPipeline(const hw::ServerSpec& server, const model::Model& m,
-                    const SearchOptions& opt, Evaluator& ev)
+searchCpuSdPipeline(const SearchCtx& ctx, SearchResult& result)
 {
-    const auto& batches = opt.space.batches;
-    int cores = server.cpu.cores;
-    int max_o = std::min(opt.space.max_cores_per_thread, cores);
-    return opParallelismLoop(max_o, [&](int o) {
-        int max_sparse = std::max(cores / o - 1, 0);
-        if (max_sparse < 1)
-            return -1.0;
-        auto cfg_at = [&](int xi, int yi) {
-            SchedulingConfig cfg;
-            cfg.mapping = Mapping::CpuSdPipeline;
-            cfg.cpu_threads = xi + 1;
-            cfg.cores_per_thread = o;
-            cfg.batch = batches[static_cast<size_t>(yi)];
-            cfg.dense_threads = balancedDenseThreads(
-                server, m, cfg.cpu_threads, o, cfg.batch);
-            return cfg;
-        };
-        return climb2d(max_sparse, static_cast<int>(batches.size()),
-                       cfg_at, ev);
-    });
+    const auto& batches = ctx.opt.space.batches;
+    int cores = ctx.server.cpu.cores;
+    int max_o = std::min(ctx.opt.space.max_cores_per_thread, cores);
+    return opParallelismLoop(
+        ctx, max_o,
+        [&](int o, SearchResult& out) {
+            int max_sparse = std::max(cores / o - 1, 0);
+            if (max_sparse < 1)
+                return -1.0;
+            Evaluator ev = ctx.make(out);
+            auto cfg_at = [&](int xi, int yi) {
+                SchedulingConfig cfg;
+                cfg.mapping = Mapping::CpuSdPipeline;
+                cfg.cpu_threads = xi + 1;
+                cfg.cores_per_thread = o;
+                cfg.batch = batches[static_cast<size_t>(yi)];
+                cfg.dense_threads = balancedDenseThreads(
+                    ctx.server, ctx.model, cfg.cpu_threads, o, cfg.batch);
+                return cfg;
+            };
+            return climb2d(max_sparse, static_cast<int>(batches.size()),
+                           cfg_at, ev);
+        },
+        result);
 }
 
 double
-searchGpuModelBased(const hw::ServerSpec& server,
-                    [[maybe_unused]] const model::Model& m,
-                    const SearchOptions& opt, Evaluator& ev)
+searchGpuModelBased(const SearchCtx& ctx, SearchResult& result)
 {
-    const auto& fusions = opt.space.fusion_limits;
+    const auto& fusions = ctx.opt.space.fusion_limits;
     // Host helper-thread options matter only when a cold path exists;
-    // the evaluator dedupes identical configs either way.
+    // the engine memo dedupes identical configs either way.
     std::vector<int> helpers = {1};
-    for (int h : opt.space.host_helper_threads)
-        if (h <= server.cpu.cores)
+    for (int h : ctx.opt.space.host_helper_threads)
+        if (h <= ctx.server.cpu.cores)
             helpers.push_back(h);
 
-    double best = -1.0;
-    for (int h : helpers) {
+    // Helper arms are independent (disjoint cpu_threads values) and the
+    // seed walked all of them — no early termination — so they always
+    // fan out; the reduction stays in helper order.
+    std::vector<SearchResult> partial(helpers.size());
+    std::vector<double> peak(helpers.size(), -1.0);
+    ctx.engine.pool().parallelFor(helpers.size(), [&](size_t i) {
+        int h = helpers[i];
+        Evaluator ev = ctx.make(partial[i]);
         auto cfg_at = [&](int xi, int yi) {
             SchedulingConfig cfg;
             cfg.mapping = Mapping::GpuModelBased;
@@ -281,103 +441,111 @@ searchGpuModelBased(const hw::ServerSpec& server,
             cfg.cores_per_thread = 1;
             return cfg;
         };
-        best = std::max(best,
-                        climb2d(opt.space.max_gpu_threads,
-                                static_cast<int>(fusions.size()), cfg_at,
-                                ev));
+        peak[i] = climb2d(ctx.opt.space.max_gpu_threads,
+                          static_cast<int>(fusions.size()), cfg_at, ev);
+    });
+
+    double best = -1.0;
+    for (size_t i = 0; i < helpers.size(); ++i) {
+        mergeResult(result, std::move(partial[i]));
+        best = std::max(best, peak[i]);
     }
     return best;
 }
 
 double
-searchGpuSdPipeline(const hw::ServerSpec& server,
-                    [[maybe_unused]] const model::Model& m,
-                    const SearchOptions& opt, Evaluator& ev)
+searchGpuSdPipeline(const SearchCtx& ctx, SearchResult& result)
 {
-    const auto& batches = opt.space.batches;
-    const auto& fusions = opt.space.fusion_limits;
-    int cores = server.cpu.cores;
+    const auto& batches = ctx.opt.space.batches;
+    const auto& fusions = ctx.opt.space.fusion_limits;
+    int cores = ctx.server.cpu.cores;
     // Host-side SparseNet lookups are bandwidth-bound, so m x o and
     // (m*o) x 1 allocations are nearly equivalent; probing o in {1, 2}
     // keeps the nested host/accelerator search tractable.
-    int max_o = std::min({2, opt.space.max_cores_per_thread, cores});
+    int max_o = std::min({2, ctx.opt.space.max_cores_per_thread, cores});
 
-    return opParallelismLoop(max_o, [&](int o) {
-        int max_threads = cores / o;
-        if (max_threads < 1)
-            return -1.0;
-        // Accelerator-side warm start: each host-side move re-runs the
-        // small (co-location x fusion) climb from the last optimum
-        // (paper: "following each move-step of host-side search, the
-        // accelerator-side search is performed").
-        int warm_g = 0;
-        int warm_f = 0;
-        auto cfg_at = [&](int xi, int yi) {
-            SchedulingConfig cfg;
-            cfg.mapping = Mapping::GpuSdPipeline;
-            cfg.cpu_threads = xi + 1;
-            cfg.cores_per_thread = o;
-            cfg.batch = batches[static_cast<size_t>(yi)];
-            cfg.gpu_threads = warm_g + 1;
-            cfg.fusion_limit = fusions[static_cast<size_t>(warm_f)];
-            return cfg;
-        };
-        // Host-side outer climb where each accepted move refines the
-        // accelerator side.
-        int xi = 0, yi = 0;
-        auto inner = [&](int hxi, int hyi) {
-            auto inner_cfg = [&](int gxi, int gyi) {
-                SchedulingConfig cfg;
-                cfg.mapping = Mapping::GpuSdPipeline;
-                cfg.cpu_threads = hxi + 1;
-                cfg.cores_per_thread = o;
-                cfg.batch = batches[static_cast<size_t>(hyi)];
-                cfg.gpu_threads = gxi + 1;
-                cfg.fusion_limit = fusions[static_cast<size_t>(gyi)];
-                return cfg;
+    return opParallelismLoop(
+        ctx, max_o,
+        [&](int o, SearchResult& out) {
+            int max_threads = cores / o;
+            if (max_threads < 1)
+                return -1.0;
+            Evaluator ev = ctx.make(out);
+            // Accelerator-side warm start: each host-side move re-runs
+            // the small (co-location x fusion) climb from the last
+            // optimum (paper: "following each move-step of host-side
+            // search, the accelerator-side search is performed"). The
+            // warm state makes the host-candidate loop order-dependent,
+            // so it stays serial; parallelism comes from the inner
+            // climbs' neighbour prefetch and the o-arms.
+            int warm_g = 0;
+            int warm_f = 0;
+            auto inner = [&](int hxi, int hyi) {
+                auto inner_cfg = [&](int gxi, int gyi) {
+                    SchedulingConfig cfg;
+                    cfg.mapping = Mapping::GpuSdPipeline;
+                    cfg.cpu_threads = hxi + 1;
+                    cfg.cores_per_thread = o;
+                    cfg.batch = batches[static_cast<size_t>(hyi)];
+                    cfg.gpu_threads = gxi + 1;
+                    cfg.fusion_limit = fusions[static_cast<size_t>(gyi)];
+                    return cfg;
+                };
+                return climb2d(ctx.opt.space.max_gpu_threads,
+                               static_cast<int>(fusions.size()),
+                               inner_cfg, ev, warm_g, warm_f, &warm_g,
+                               &warm_f);
             };
-            return climb2d(opt.space.max_gpu_threads,
-                           static_cast<int>(fusions.size()), inner_cfg,
-                           ev, warm_g, warm_f, &warm_g, &warm_f);
-        };
-        double cur = inner(xi, yi);
-        double best = cur;
-        if (cur < 0.0)
-            return -1.0;
-        while (true) {
-            struct Cand
-            {
-                int xi, yi;
-            };
-            std::vector<Cand> cands;
-            if (xi + 1 < max_threads)
-                cands.push_back({xi + 1, yi});
-            if (yi + 1 < static_cast<int>(batches.size()))
-                cands.push_back({xi, yi + 1});
-            if (xi + 1 < max_threads &&
-                yi + 1 < static_cast<int>(batches.size()))
-                cands.push_back({xi + 1, yi + 1});
-            if (cands.empty())
-                break;
-            double best_q = -1.0;
-            Cand best_c{xi, yi};
-            for (const Cand& c : cands) {
-                double q = inner(c.xi, c.yi);
-                if (q > best_q) {
-                    best_q = q;
-                    best_c = c;
+            int xi = 0, yi = 0;
+            double cur = inner(xi, yi);
+            double best = cur;
+            if (cur < 0.0)
+                return -1.0;
+            while (true) {
+                struct Cand
+                {
+                    int xi, yi;
+                };
+                std::vector<Cand> cands;
+                if (xi + 1 < max_threads)
+                    cands.push_back({xi + 1, yi});
+                if (yi + 1 < static_cast<int>(batches.size()))
+                    cands.push_back({xi, yi + 1});
+                if (xi + 1 < max_threads &&
+                    yi + 1 < static_cast<int>(batches.size()))
+                    cands.push_back({xi + 1, yi + 1});
+                if (cands.empty())
+                    break;
+                double best_q = -1.0;
+                Cand best_c{xi, yi};
+                for (const Cand& c : cands) {
+                    double q = inner(c.xi, c.yi);
+                    if (q > best_q) {
+                        best_q = q;
+                        best_c = c;
+                    }
                 }
+                if (best_q <= cur)
+                    break;
+                xi = best_c.xi;
+                yi = best_c.yi;
+                cur = best_q;
+                best = std::max(best, cur);
             }
-            if (best_q <= cur)
-                break;
-            xi = best_c.xi;
-            yi = best_c.yi;
-            cur = best_q;
-            best = std::max(best, cur);
-        }
-        (void)cfg_at;
-        return best;
-    });
+            return best;
+        },
+        result);
+}
+
+/** Resolve the engine to use: the caller's shared one or a private one. */
+core::EvalEngine*
+resolveEngine(const SearchOptions& opt,
+              std::unique_ptr<core::EvalEngine>& owned)
+{
+    if (opt.engine)
+        return opt.engine;
+    owned = std::make_unique<core::EvalEngine>(opt.eval);
+    return owned.get();
 }
 
 }  // namespace
@@ -388,19 +556,21 @@ gradientSearchMapping(const hw::ServerSpec& server, const model::Model& m,
                       const SearchOptions& opt)
 {
     SearchResult result;
-    Evaluator ev(server, m, sla_ms, opt, result);
+    std::unique_ptr<core::EvalEngine> owned;
+    core::EvalEngine* engine = resolveEngine(opt, owned);
+    SearchCtx ctx{*engine, server, m, sla_ms, opt};
     switch (mapping) {
       case Mapping::CpuModelBased:
-        searchCpuModelBased(server, m, opt, ev);
+        searchCpuModelBased(ctx, result);
         break;
       case Mapping::CpuSdPipeline:
-        searchCpuSdPipeline(server, m, opt, ev);
+        searchCpuSdPipeline(ctx, result);
         break;
       case Mapping::GpuModelBased:
-        searchGpuModelBased(server, m, opt, ev);
+        searchGpuModelBased(ctx, result);
         break;
       case Mapping::GpuSdPipeline:
-        searchGpuSdPipeline(server, m, opt, ev);
+        searchGpuSdPipeline(ctx, result);
         break;
     }
     return result;
@@ -410,19 +580,24 @@ SearchResult
 herculesTaskSearch(const hw::ServerSpec& server, const model::Model& m,
                    double sla_ms, const SearchOptions& opt)
 {
+    std::unique_ptr<core::EvalEngine> owned;
+    core::EvalEngine* engine = resolveEngine(opt, owned);
+    SearchOptions sub = opt;
+    sub.engine = engine;
+
+    // Partition strategies explore disjoint configuration spaces, so
+    // they fan out as independent pool tasks; the merge below runs in
+    // catalog order for a thread-count-independent result.
+    std::vector<Mapping> mappings = applicableMappings(server, m);
+    std::vector<SearchResult> results(mappings.size());
+    engine->pool().parallelFor(mappings.size(), [&](size_t i) {
+        results[i] =
+            gradientSearchMapping(server, m, mappings[i], sla_ms, sub);
+    });
+
     SearchResult combined;
-    for (Mapping mapping : applicableMappings(server, m)) {
-        SearchResult r =
-            gradientSearchMapping(server, m, mapping, sla_ms, opt);
-        combined.evals += r.evals;
-        combined.trace.insert(combined.trace.end(), r.trace.begin(),
-                              r.trace.end());
-        if (r.best && r.best_qps > combined.best_qps) {
-            combined.best = r.best;
-            combined.best_point = r.best_point;
-            combined.best_qps = r.best_qps;
-        }
-    }
+    for (SearchResult& r : results)
+        mergeResult(combined, std::move(r));
     return combined;
 }
 
@@ -431,10 +606,14 @@ exhaustiveSearch(const hw::ServerSpec& server, const model::Model& m,
                  Mapping mapping, double sla_ms, const SearchOptions& opt)
 {
     SearchResult result;
-    Evaluator ev(server, m, sla_ms, opt, result);
-    for (const SchedulingConfig& cfg :
-         enumerateConfigs(server, m, mapping, opt.space))
-        ev.eval(cfg);
+    std::unique_ptr<core::EvalEngine> owned;
+    core::EvalEngine* engine = resolveEngine(opt, owned);
+    SearchCtx ctx{*engine, server, m, sla_ms, opt};
+    Evaluator ev = ctx.make(result);
+    // The oracle grid is embarrassingly parallel: prefetch evaluates
+    // every enumerated config on the pool and records them in
+    // enumeration order.
+    ev.prefetch(enumerateConfigs(server, m, mapping, opt.space));
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/eval_engine.h"
 #include "sched/space.h"
 #include "sim/measure.h"
 
@@ -39,8 +40,16 @@ struct SearchResult
     std::optional<SchedulingConfig> best;  ///< empty: nothing feasible
     sim::OperatingPoint best_point{};
     double best_qps = 0.0;
-    std::vector<SearchStep> trace;  ///< every evaluation, in order
-    int evals = 0;                  ///< distinct simulator measurements
+    std::vector<SearchStep> trace;  ///< every recorded step, in order
+    /**
+     * Distinct simulator measurements this search paid for: evaluation-
+     * engine cache misses. Configurations served from the engine memo
+     * (revisited across arms, partition strategies, or earlier searches
+     * sharing the engine) count in cache_hits instead, so
+     * trace.size() == evals + cache_hits.
+     */
+    int evals = 0;
+    int cache_hits = 0;  ///< steps served from the engine memo
 };
 
 /** Search tuning knobs. */
@@ -50,6 +59,15 @@ struct SearchOptions
     sim::MeasureOptions measure{};
     /** Provisioned power budget (online serving); infinity offline. */
     double power_budget_w = std::numeric_limits<double>::infinity();
+    /** Evaluation-engine knobs used when no shared engine is given. */
+    core::EvalOptions eval{};
+    /**
+     * Shared evaluation engine (borrowed). nullptr: the search builds a
+     * private engine from `eval`. Sharing one engine across searches
+     * reuses its memo and thread pool — the offline profiler shares one
+     * engine across every (server, model) cell.
+     */
+    core::EvalEngine* engine = nullptr;
 };
 
 /** Run Algorithm 1 for one model-partition strategy. */

@@ -154,4 +154,14 @@ enumerateConfigs(const hw::ServerSpec& server, const model::Model& m,
     return out;
 }
 
+size_t
+spaceSize(const hw::ServerSpec& server, const model::Model& m,
+          const SpaceOptions& opt)
+{
+    size_t total = 0;
+    for (Mapping mapping : applicableMappings(server, m))
+        total += enumerateConfigs(server, m, mapping, opt).size();
+    return total;
+}
+
 }  // namespace hercules::sched

@@ -57,4 +57,12 @@ std::vector<SchedulingConfig> enumerateConfigs(
     const hw::ServerSpec& server, const model::Model& m, Mapping mapping,
     const SpaceOptions& opt = SpaceOptions{});
 
+/**
+ * Total valid configurations across every applicable mapping — the
+ * denominator when reporting how little of Psp(M + D + O) the gradient
+ * search (or the memoized engine) actually measures.
+ */
+size_t spaceSize(const hw::ServerSpec& server, const model::Model& m,
+                 const SpaceOptions& opt = SpaceOptions{});
+
 }  // namespace hercules::sched

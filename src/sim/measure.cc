@@ -21,6 +21,8 @@ bool
 feasible(const ServerSimResult& r, double offered, double sla_ms,
          double power_budget_w)
 {
+    if (r.aborted)
+        return false;
     if (r.tail_ms > sla_ms)
         return false;
     if (r.peak_power_w > power_budget_w)
@@ -35,12 +37,14 @@ feasible(const ServerSimResult& r, double offered, double sla_ms,
 
 std::optional<OperatingPoint>
 measureLatencyBoundedQps(const PreparedWorkload& w, double sla_ms,
-                         const MeasureOptions& opt)
+                         const MeasureOptions& opt,
+                         const MeasureHint* hint)
 {
     if (sla_ms <= 0.0)
         fatal("measureLatencyBoundedQps: non-positive SLA %f", sla_ms);
 
     double capacity = saturationQps(w, opt.sim);
+    int sims = 1;
     if (capacity <= 0.0)
         return std::nullopt;
 
@@ -48,16 +52,31 @@ measureLatencyBoundedQps(const PreparedWorkload& w, double sla_ms,
     double hi = capacity * opt.hi_factor;
     std::optional<OperatingPoint> best;
 
+    auto probeAt = [&](double load) {
+        SimOptions probe = opt.sim;
+        probe.offered_qps = load;
+        probe.saturate = false;
+        if (opt.abort_tail_factor > 0.0)
+            probe.abort_tail_ms = sla_ms * opt.abort_tail_factor;
+        ++sims;
+        return simulateServer(w, probe);
+    };
+
     for (int it = 0; it < opt.bisect_iters; ++it) {
+        if (opt.bisect_rel_tol > 0.0 &&
+            hi - lo <= opt.bisect_rel_tol * capacity)
+            break;
         double mid = 0.5 * (lo + hi);
+        // Warm start: land the first probe on the neighbour's operating
+        // point when it falls inside the bracket, instead of mid-way.
+        if (it == 0 && hint && hint->valid && hint->qps > lo &&
+            hint->qps < hi)
+            mid = hint->qps;
         if (mid <= 0.0)
             break;
-        SimOptions probe = opt.sim;
-        probe.offered_qps = mid;
-        probe.saturate = false;
-        ServerSimResult r = simulateServer(w, probe);
+        ServerSimResult r = probeAt(mid);
         if (feasible(r, mid, sla_ms, opt.power_budget_w)) {
-            best = OperatingPoint{r.achieved_qps, r};
+            best = OperatingPoint{r.achieved_qps, r, capacity, lo, hi, 0};
             lo = mid;
         } else {
             hi = mid;
@@ -69,13 +88,17 @@ measureLatencyBoundedQps(const PreparedWorkload& w, double sla_ms,
         // origin; probe a light load before declaring infeasibility.
         double light = capacity * 0.02;
         if (light > 0.0) {
-            SimOptions probe = opt.sim;
-            probe.offered_qps = light;
-            probe.saturate = false;
-            ServerSimResult r = simulateServer(w, probe);
+            ServerSimResult r = probeAt(light);
             if (feasible(r, light, sla_ms, opt.power_budget_w))
-                best = OperatingPoint{r.achieved_qps, r};
+                best =
+                    OperatingPoint{r.achieved_qps, r, capacity, lo, hi, 0};
         }
+    }
+    if (best) {
+        best->capacity = capacity;
+        best->bracket_lo = lo;
+        best->bracket_hi = hi;
+        best->sims = sims;
     }
     return best;
 }

@@ -23,6 +23,39 @@ struct MeasureOptions
     double power_budget_w = std::numeric_limits<double>::infinity();
     int bisect_iters = 6;     ///< bisection refinement steps
     double hi_factor = 1.05;  ///< upper bracket as a fraction of capacity
+    /**
+     * > 0: load probes abort once the oldest in-flight post-warmup
+     * query has waited `sla_ms * abort_tail_factor` — the probe is
+     * declared infeasible without simulating the rest of the backlog.
+     * 0 disables (the seed behaviour).
+     */
+    double abort_tail_factor = 0.0;
+    /**
+     * > 0: stop bisecting once the bracket narrows below
+     * `bisect_rel_tol * capacity`. Combined with a warm-start hint this
+     * cuts the per-measurement simulation count. 0 disables (always run
+     * all bisect_iters refinement steps, the seed behaviour).
+     */
+    double bisect_rel_tol = 0.0;
+};
+
+/**
+ * Warm-start hint for the bisection: the operating point of a cached
+ * neighbouring configuration. The first probe lands on the neighbour's
+ * QPS instead of mid-bracket, so when the surface is smooth the bracket
+ * collapses onto the answer in fewer refinement steps.
+ *
+ * A hint changes which loads get probed and therefore (slightly) the
+ * measured operating point; callers that need results comparable across
+ * runs must pass the same hint for the same configuration every time
+ * (the evaluation engine's searches derive hints deterministically from
+ * the climb position).
+ */
+struct MeasureHint
+{
+    bool valid = false;
+    double qps = 0.0;       ///< neighbour's latency-bounded QPS
+    double capacity = 0.0;  ///< neighbour's saturation capacity
 };
 
 /** The chosen operating point of a feasible configuration. */
@@ -30,6 +63,10 @@ struct OperatingPoint
 {
     double qps = 0.0;          ///< latency-bounded throughput
     ServerSimResult result{};  ///< full measurements at that load
+    double capacity = 0.0;     ///< saturation capacity of the config
+    double bracket_lo = 0.0;   ///< final bisection bracket, low side
+    double bracket_hi = 0.0;   ///< final bisection bracket, high side
+    int sims = 0;              ///< simulator runs consumed (incl. probe)
 };
 
 /**
@@ -41,11 +78,13 @@ double saturationQps(const PreparedWorkload& w, const SimOptions& opt);
 /**
  * Measure the latency-bounded (and power-bounded) throughput.
  *
+ * @param hint optional warm-start from a neighbouring configuration.
  * @return the operating point, or std::nullopt when no load level
  * meets the SLA/power constraints (the configuration is infeasible).
  */
 std::optional<OperatingPoint> measureLatencyBoundedQps(
-    const PreparedWorkload& w, double sla_ms, const MeasureOptions& opt);
+    const PreparedWorkload& w, double sla_ms, const MeasureOptions& opt,
+    const MeasureHint* hint = nullptr);
 
 /** Convenience overload: prepare + measure. */
 std::optional<OperatingPoint> measureLatencyBoundedQps(

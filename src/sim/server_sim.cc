@@ -78,6 +78,7 @@ class Engine
         int size = 0;
         double ps = 1.0;
         bool started = false;
+        bool done = false;  ///< all chunks completed
     };
 
     // ---- pools ----------------------------------------------------------
@@ -157,7 +158,29 @@ class Engine
     double steady_start_ = 0.0;
     double last_finish_ = 0.0;
     size_t measured_completed_ = 0;
+
+    /** Oldest possibly-incomplete post-warmup query (abort check). */
+    size_t abort_scan_ = 0;
+    bool aborted_ = false;
+
+    bool abortTriggered();
 };
+
+/**
+ * The early-abort predicate: true once the oldest in-flight post-warmup
+ * query has been in the system longer than abort_tail_ms. Amortized
+ * O(1): the scan pointer only moves forward over completed queries.
+ */
+bool
+Engine::abortTriggered()
+{
+    while (abort_scan_ < queries_.size() && queries_[abort_scan_].done)
+        ++abort_scan_;
+    if (abort_scan_ >= queries_.size())
+        return false;
+    const QueryState& q = queries_[abort_scan_];
+    return eq_.now() - q.arrival > opt_.abort_tail_ms * 1e-3;
+}
 
 const model::Graph&
 Engine::poolGraph(int pool_id) const
@@ -319,6 +342,7 @@ Engine::queryPartDone(int qidx)
     QueryState& q = queries_[static_cast<size_t>(qidx)];
     if (--q.pending > 0)
         return;
+    q.done = true;
     double now = eq_.now();
     last_finish_ = now;
     if (qidx >= opt_.warmup_queries) {
@@ -571,10 +595,26 @@ Engine::run()
             steady_start_ = st.arrival;
     }
 
-    eq_.runAll();
+    if (opt_.abort_tail_ms > 0.0 && !opt_.saturate) {
+        // Tail statistics come from post-warmup queries only, so the
+        // abort watches those: a post-warmup query stuck for the whole
+        // grace window means the offered load cannot be sustained.
+        abort_scan_ = static_cast<size_t>(
+            std::max(opt_.warmup_queries, 0));
+        while (!eq_.empty()) {
+            eq_.runNext();
+            if (abortTriggered()) {
+                aborted_ = true;
+                break;
+            }
+        }
+    } else {
+        eq_.runAll();
+    }
 
     // ---- collect results ------------------------------------------------
     ServerSimResult r;
+    r.aborted = aborted_;
     r.offered_qps = opt_.saturate ? 0.0 : opt_.offered_qps;
     r.completed = measured_completed_;
     double t_begin = steady_start_;

@@ -33,6 +33,14 @@ struct SimOptions
     workload::PoolingDist pooling{};
     /** true: all queries arrive at t=0 (capacity / saturation probe). */
     bool saturate = false;
+    /**
+     * > 0: abort the run once the oldest in-flight post-warmup query
+     * has been in the system longer than this many milliseconds — the
+     * load level is hopelessly saturated and the measurement layer only
+     * needs the infeasibility verdict, not the full backlog drain. The
+     * result is returned with `aborted` set. 0 disables.
+     */
+    double abort_tail_ms = 0.0;
 };
 
 /** Measurements of one simulation run (post-warmup steady window). */
@@ -66,6 +74,8 @@ struct ServerSimResult
 
     size_t completed = 0;
     double duration_s = 0.0;
+    /** true when the run stopped early via SimOptions::abort_tail_ms. */
+    bool aborted = false;
 };
 
 /** Run the simulation for a prepared workload. */

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A small work-sharing thread pool built around one primitive:
+ * parallelFor(n, fn). The calling thread always participates, so a pool
+ * sized 1 (or a pool on a single-core host) degenerates to a plain
+ * serial loop with zero scheduling overhead in program order — the
+ * property the evaluation engine relies on for bit-identical serial vs
+ * parallel results.
+ *
+ * parallelFor may be called from inside a task (nested parallelism:
+ * per-mapping searches spawn per-arm climbs which prefetch neighbour
+ * evaluations). Nesting cannot deadlock: whoever claims an index runs
+ * it to completion, and a nested caller drains its own indices itself
+ * when no worker is free.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hercules::util {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total worker count including the caller; <= 0 uses
+     *                the hardware concurrency.
+     */
+    explicit ThreadPool(int threads = 0)
+    {
+        if (threads <= 0)
+            threads = hardwareThreads();
+        for (int i = 1; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** @return worker count including the calling thread. */
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /** @return std::thread::hardware_concurrency(), at least 1. */
+    static int
+    hardwareThreads()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    /**
+     * Run fn(0) .. fn(n-1), possibly concurrently; returns once every
+     * index completed. The caller claims indices too, in ascending
+     * order, so with no free worker the loop runs serially in index
+     * order. fn must not throw.
+     */
+    void
+    parallelFor(size_t n, const std::function<void(size_t)>& fn)
+    {
+        if (n == 0)
+            return;
+        if (n == 1 || workers_.empty()) {
+            for (size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+
+        auto job = std::make_shared<Job>();
+        job->n = n;
+        job->fn = &fn;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            jobs_.push_back(job);
+        }
+        cv_.notify_all();
+
+        // The caller participates until no index is left to claim...
+        while (claimAndRun(*job)) {
+        }
+        // ...then waits for indices claimed by workers to finish.
+        std::unique_lock<std::mutex> lock(job->m);
+        job->cv.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) == job->n;
+        });
+    }
+
+  private:
+    struct Job
+    {
+        size_t n = 0;
+        const std::function<void(size_t)>* fn = nullptr;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        std::mutex m;
+        std::condition_variable cv;
+    };
+
+    /** Claim one index of `job` and run it. @return false if drained. */
+    bool
+    claimAndRun(Job& job)
+    {
+        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return false;
+        (*job.fn)(i);
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.n) {
+            std::lock_guard<std::mutex> lock(job.m);
+            job.cv.notify_all();
+        }
+        return true;
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+                if (stop_)
+                    return;
+                job = jobs_.front();
+                // Drop jobs whose indices are all claimed; remaining
+                // work (if any) finishes on the threads that claimed it.
+                if (job->next.load(std::memory_order_relaxed) >= job->n) {
+                    jobs_.pop_front();
+                    continue;
+                }
+            }
+            while (claimAndRun(*job)) {
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Job>> jobs_;
+    bool stop_ = false;
+};
+
+}  // namespace hercules::util

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests of the evaluation engine: memoization correctness (cached
+ * replays are bit-identical and free), thread-count independence
+ * (1-thread vs N-thread searches and efficiency tables agree exactly),
+ * cache-key discrimination, and the measurement shortcuts (warm-start
+ * bisection, early-abort probes).
+ */
+#include <gtest/gtest.h>
+
+#include "core/eval_engine.h"
+#include "core/profiler.h"
+#include "sched/gradient_search.h"
+
+namespace hercules::core {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+using sched::Mapping;
+using sched::SchedulingConfig;
+using sched::SearchOptions;
+using sched::SearchResult;
+
+SearchOptions
+fastSearch(int threads)
+{
+    SearchOptions opt;
+    opt.measure.sim.num_queries = 250;
+    opt.measure.sim.warmup_queries = 50;
+    opt.measure.bisect_iters = 4;
+    opt.space.batches = {32, 128, 512};
+    opt.space.fusion_limits = {0, 1000, 4000};
+    opt.space.max_gpu_threads = 4;
+    opt.space.max_cores_per_thread = 2;
+    opt.space.host_helper_threads = {2};
+    opt.eval.threads = threads;
+    return opt;
+}
+
+EvalRequest
+request(const hw::ServerSpec& server, const model::Model& m,
+        const SchedulingConfig& cfg, double sla_ms,
+        const sim::MeasureOptions& mo)
+{
+    EvalRequest r;
+    r.server = &server;
+    r.model = &m;
+    r.cfg = cfg;
+    r.sla_ms = sla_ms;
+    r.measure = mo;
+    return r;
+}
+
+/** Exact (bitwise) equality of two search outcomes. */
+void
+expectIdentical(const SearchResult& a, const SearchResult& b)
+{
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best)
+        EXPECT_EQ(a.best->key(), b.best->key());
+    EXPECT_EQ(a.best_qps, b.best_qps);  // bit-identical, no tolerance
+    EXPECT_EQ(a.best_point.result.tail_ms, b.best_point.result.tail_ms);
+    EXPECT_EQ(a.best_point.result.peak_power_w,
+              b.best_point.result.peak_power_w);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].cfg.key(), b.trace[i].cfg.key()) << i;
+        EXPECT_EQ(a.trace[i].qps, b.trace[i].qps) << i;
+        EXPECT_EQ(a.trace[i].accepted, b.trace[i].accepted) << i;
+    }
+}
+
+TEST(EvalEngine, MemoizedReplayIsFreeAndIdentical)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    SearchOptions opt = fastSearch(2);
+    EvalEngine engine(opt.eval);
+    opt.engine = &engine;
+
+    SearchResult first = herculesTaskSearch(server, m, 20.0, opt);
+    EvalEngine::Stats after_first = engine.stats();
+    SearchResult second = herculesTaskSearch(server, m, 20.0, opt);
+
+    expectIdentical(first, second);
+    ASSERT_TRUE(first.best.has_value());
+    EXPECT_GT(first.evals, 0);
+    // The replay pays for nothing: every step is a memo hit and the
+    // engine runs zero additional simulations.
+    EXPECT_EQ(second.evals, 0);
+    EXPECT_EQ(second.cache_hits,
+              static_cast<int>(second.trace.size()));
+    EXPECT_EQ(engine.stats().misses, after_first.misses);
+    EXPECT_EQ(engine.stats().simulations, after_first.simulations);
+}
+
+TEST(EvalEngine, SerialAndPooledSearchesAreBitIdentical)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+
+    SearchResult serial =
+        herculesTaskSearch(server, m, 20.0, fastSearch(1));
+    SearchResult pooled =
+        herculesTaskSearch(server, m, 20.0, fastSearch(4));
+
+    expectIdentical(serial, pooled);
+    ASSERT_TRUE(serial.best.has_value());
+    EXPECT_EQ(serial.evals, pooled.evals);
+    EXPECT_EQ(serial.cache_hits, pooled.cache_hits);
+}
+
+TEST(EvalEngine, SerialAndPooledAgreeOnAccelerator)
+{
+    // The accelerator search exercises the helper fan-out and the
+    // nested S-D pipeline arms.
+    model::Model m =
+        model::buildModel(ModelId::DlrmRmc3, model::Variant::Small);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T7);
+
+    SearchResult serial =
+        herculesTaskSearch(server, m, 50.0, fastSearch(1));
+    SearchResult pooled =
+        herculesTaskSearch(server, m, 50.0, fastSearch(4));
+    expectIdentical(serial, pooled);
+    ASSERT_TRUE(serial.best.has_value());
+}
+
+TEST(EvalEngine, SerialAndPooledEfficiencyTablesAreIdentical)
+{
+    ProfilerOptions popt;
+    popt.search = fastSearch(1);
+    popt.servers = {ServerType::T1, ServerType::T2};
+    popt.models = {ModelId::DlrmRmc1, ModelId::MtWnd};
+
+    EfficiencyTable serial = offlineProfile(popt);
+    popt.search = fastSearch(4);
+    EfficiencyTable pooled = offlineProfile(popt);
+
+    ASSERT_EQ(serial.size(), 4u);
+    EXPECT_TRUE(serial == pooled);
+}
+
+TEST(EvalEngine, ExhaustiveOracleMatchesAcrossThreadCounts)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+    SearchResult serial = exhaustiveSearch(
+        server, m, Mapping::CpuModelBased, 20.0, fastSearch(1));
+    SearchResult pooled = exhaustiveSearch(
+        server, m, Mapping::CpuModelBased, 20.0, fastSearch(4));
+    expectIdentical(serial, pooled);
+    EXPECT_GT(serial.evals, 0);
+}
+
+TEST(EvalEngine, CacheKeyDiscriminates)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(ServerType::T2);
+    const hw::ServerSpec& t3 = hw::serverSpec(ServerType::T3);
+    sim::MeasureOptions mo;
+    SchedulingConfig cfg;
+    cfg.cpu_threads = 10;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+
+    EvalOptions eopt;
+    std::string base = EvalEngine::cacheKey(request(t2, m, cfg, 20.0, mo),
+                                            eopt);
+    // Identical request -> identical key.
+    EXPECT_EQ(base, EvalEngine::cacheKey(request(t2, m, cfg, 20.0, mo),
+                                         eopt));
+    // Any result-affecting input must change the key.
+    EXPECT_NE(base, EvalEngine::cacheKey(request(t3, m, cfg, 20.0, mo),
+                                         eopt));
+    EXPECT_NE(base, EvalEngine::cacheKey(request(t2, m, cfg, 50.0, mo),
+                                         eopt));
+    SchedulingConfig batch_cfg = cfg;
+    batch_cfg.batch = 256;
+    EXPECT_NE(base, EvalEngine::cacheKey(
+                        request(t2, m, batch_cfg, 20.0, mo), eopt));
+    SchedulingConfig fuse_cfg = cfg;
+    fuse_cfg.fuse_elementwise = false;
+    EXPECT_NE(base, EvalEngine::cacheKey(
+                        request(t2, m, fuse_cfg, 20.0, mo), eopt));
+    sim::MeasureOptions seed_mo = mo;
+    seed_mo.sim.seed = 43;
+    EXPECT_NE(base, EvalEngine::cacheKey(
+                        request(t2, m, cfg, 20.0, seed_mo), eopt));
+    sim::MeasureOptions power_mo = mo;
+    power_mo.power_budget_w = 150.0;
+    EXPECT_NE(base, EvalEngine::cacheKey(
+                        request(t2, m, cfg, 20.0, power_mo), eopt));
+    model::Model small =
+        model::buildModel(ModelId::DlrmRmc1, model::Variant::Small);
+    EXPECT_NE(base, EvalEngine::cacheKey(
+                        request(t2, small, cfg, 20.0, mo), eopt));
+
+    // Near-collision sanity: configs whose display strings could read
+    // alike must still key apart (t=11,o=1 vs t=1,o=11 etc.).
+    SchedulingConfig a, b;
+    a.cpu_threads = 11;
+    a.cores_per_thread = 1;
+    b.cpu_threads = 1;
+    b.cores_per_thread = 11;
+    EXPECT_NE(
+        EvalEngine::cacheKey(request(t2, m, a, 20.0, mo), eopt),
+        EvalEngine::cacheKey(request(t2, m, b, 20.0, mo), eopt));
+}
+
+TEST(EvalEngine, InvalidConfigsAreNeverSimulated)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(ServerType::T2);
+    SchedulingConfig cfg;
+    cfg.cpu_threads = 10000;  // far beyond the socket
+    EvalEngine engine(EvalOptions{});
+    EvalResult r =
+        engine.evaluate(request(t2, m, cfg, 20.0, sim::MeasureOptions{}));
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.point.has_value());
+    EXPECT_EQ(engine.stats().invalid, 1u);
+    EXPECT_EQ(engine.stats().simulations, 0u);
+}
+
+TEST(EvalEngine, WarmStartAndAbortCutSimulationsNotFeasibility)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& server = hw::serverSpec(ServerType::T2);
+
+    SearchOptions base = fastSearch(1);
+    SearchResult reference =
+        gradientSearchMapping(server, m, Mapping::CpuModelBased, 20.0,
+                              base);
+    ASSERT_TRUE(reference.best.has_value());
+
+    SearchOptions fast = base;
+    fast.eval.warm_start = true;
+    fast.eval.abort_tail_factor = 8.0;
+    fast.eval.bisect_rel_tol = 0.05;
+    EvalEngine engine(fast.eval);
+    fast.engine = &engine;
+    SearchResult shortcut = gradientSearchMapping(
+        server, m, Mapping::CpuModelBased, 20.0, fast);
+
+    // The shortcuts steer which loads get probed, so the operating
+    // point may move slightly — but feasibility and near-optimality
+    // must hold.
+    ASSERT_TRUE(shortcut.best.has_value());
+    EXPECT_GE(shortcut.best_qps, 0.90 * reference.best_qps);
+    EXPECT_LE(shortcut.best_point.result.tail_ms, 20.0);
+}
+
+TEST(EvalEngine, AbortedProbeIsInfeasibleVerdict)
+{
+    // Drive one measurement at an absurd SLA with aborts enabled: the
+    // engine must return infeasible, not hang on the backlog drain.
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(ServerType::T2);
+    SchedulingConfig cfg;
+    cfg.cpu_threads = 1;
+    cfg.cores_per_thread = 1;
+    cfg.batch = 32;
+    sim::MeasureOptions mo;
+    mo.sim.num_queries = 250;
+    mo.sim.warmup_queries = 50;
+    mo.abort_tail_factor = 4.0;
+    EvalEngine engine(EvalOptions{});
+    EvalResult r = engine.evaluate(request(t2, m, cfg, 0.05, mo));
+    EXPECT_TRUE(r.valid);
+    EXPECT_FALSE(r.point.has_value());
+}
+
+}  // namespace
+}  // namespace hercules::core
