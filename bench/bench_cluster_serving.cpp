@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Sharded online serving: router policies × cluster provisioners over
+ * a 24h diurnal replay on a heterogeneous (T2+T3+T7) shard fleet.
+ *
+ * Every query flows through a steppable ServerInstance shard behind
+ * the chosen Router; the chosen Provisioner re-provisions the active
+ * shard set every interval (released shards drain before going dark).
+ * Reported per combination: end-to-end p50/p99, SLA-violation rate,
+ * provisioned vs consumed power, and re-provision count. The
+ * heterogeneity-aware (efficiency-tuple-weighted) router must dominate
+ * round-robin on this fleet — that gate is the bench's exit status.
+ *
+ * Results land in BENCH_cluster.json next to the binary (per-interval
+ * p99 / violation-rate / power arrays included for the trajectory).
+ *
+ * Fast mode (HERCULES_BENCH_FAST=1): 2 shards (T2+T3), short horizon.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/serving.h"
+#include "core/profiler.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ComboResult
+{
+    const char* provisioner;
+    const char* router;
+    double wall_ms = 0.0;
+    cluster::TraceServeResult r;
+};
+
+core::EfficiencyTable
+loadOrProfile(const std::vector<hw::ServerType>& fleet,
+              model::ModelId model)
+{
+    std::string cache = bench::fastMode()
+                            ? "hercules_efficiency_serving_fast.csv"
+                            : "hercules_efficiency_serving.csv";
+    if (auto cached = bench::tryLoadCachedTable(cache))
+        return *cached;
+    std::printf("profiling the shard fleet...\n\n");
+    core::ProfilerOptions popt;
+    popt.search = bench::benchSearchOptions();
+    popt.servers = fleet;
+    popt.models = {model};
+    core::EfficiencyTable t = core::offlineProfile(popt);
+    t.writeCsv(cache);
+    return t;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Cluster serving",
+                  "Router policies x provisioners over a diurnal replay "
+                  "on a sharded heterogeneous fleet");
+
+    const bool fast = bench::fastMode();
+    const model::ModelId model = model::ModelId::DlrmRmc1;
+    const std::vector<hw::ServerType> fleet =
+        fast ? std::vector<hw::ServerType>{hw::ServerType::T2,
+                                           hw::ServerType::T3}
+             : std::vector<hw::ServerType>{hw::ServerType::T2,
+                                           hw::ServerType::T3,
+                                           hw::ServerType::T7};
+    const std::vector<int> slots = fast ? std::vector<int>{1, 1}
+                                        : std::vector<int>{2, 2, 1};
+
+    core::EfficiencyTable table = loadOrProfile(fleet, model);
+    double fleet_qps = 0.0;
+    for (size_t h = 0; h < fleet.size(); ++h) {
+        const core::EfficiencyEntry* e = table.get(fleet[h], model);
+        if (e != nullptr && e->feasible) {
+            fleet_qps += slots[h] * e->qps;
+            std::printf("%s x%d: %.0f QPS / %.0f W  (%s)\n",
+                        hw::serverTypeName(fleet[h]), slots[h], e->qps,
+                        e->power_w, e->config.str().c_str());
+        }
+    }
+    std::printf("shard fleet capacity: %.0f QPS\n\n", fleet_qps);
+
+    cluster::TraceServeOptions opt;
+    opt.horizon_hours = fast ? 3.0 : 24.0;
+    opt.interval_hours = 0.5;
+    opt.sla_ms = model::buildModel(model).sla_ms;
+    // Time compression: one simulated second stands for this many
+    // wall-clock seconds (instantaneous QPS — and so all queueing
+    // dynamics — is unchanged; only the query count shrinks).
+    opt.trace.time_compression = fast ? 960.0 : 480.0;
+    opt.trace.seed = 42;
+
+    workload::DiurnalConfig load;
+    // Sized so the peak needs most of the fleet: the provisioners must
+    // activate heterogeneous shard mixes and the routers are exposed
+    // to shards of very different capacity. The fast smoke puts the
+    // diurnal peak inside its short horizon for the same reason.
+    load.peak_qps = (fast ? 0.80 : 0.60) * fleet_qps;
+    load.trough_frac = 0.35;
+    if (fast)
+        load.peak_hour = 1.5;
+    load.seed = 5;
+
+    cluster::HerculesProvisioner hercules;
+    cluster::GreedyProvisioner greedy;
+    cluster::NhProvisioner nh(11);
+    std::vector<cluster::Provisioner*> provisioners = {&hercules,
+                                                       &greedy, &nh};
+
+    std::printf("horizon %.0fh, interval %.1fh, peak %.0f QPS, SLA "
+                "%.0f ms, compression %.0fx\n\n",
+                opt.horizon_hours, opt.interval_hours, load.peak_qps,
+                opt.sla_ms, opt.trace.time_compression);
+
+    std::vector<ComboResult> results;
+    for (cluster::Provisioner* prov : provisioners) {
+        for (sim::RouterPolicy rp : sim::allRouterPolicies()) {
+            opt.router = rp;
+            Clock::time_point t0 = Clock::now();
+            ComboResult c;
+            c.provisioner = prov->name();
+            c.router = sim::routerPolicyName(rp);
+            c.r = cluster::serveTrace(table, fleet, slots, model, load,
+                                      *prov, opt);
+            c.wall_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count();
+            results.push_back(std::move(c));
+        }
+    }
+
+    TablePrinter t({"Provisioner", "Router", "p50 (ms)", "p99 (ms)",
+                    "SLA viol", "Prov kW", "Cons kW", "Reprov",
+                    "Wall (ms)"});
+    for (const ComboResult& c : results) {
+        t.addRow({c.provisioner, c.router, fmtDouble(c.r.sim.p50_ms, 2),
+                  fmtDouble(c.r.sim.p99_ms, 2),
+                  fmtPercent(c.r.sim.sla_violation_rate, 2),
+                  fmtDouble(c.r.sim.avg_provisioned_power_w / 1e3, 3),
+                  fmtDouble(c.r.sim.avg_consumed_power_w / 1e3, 3),
+                  std::to_string(c.r.reprovisions),
+                  fmtDouble(c.wall_ms, 0)});
+    }
+    t.print();
+
+    // ---- the heterogeneity gate ---------------------------------------
+    // Under the Hercules provisioner, the tuple-weighted router must
+    // dominate round-robin on both tail latency and violation rate.
+    const ComboResult* rr = nullptr;
+    const ComboResult* hw_aware = nullptr;
+    for (const ComboResult& c : results) {
+        if (std::string(c.provisioner) != hercules.name())
+            continue;
+        if (std::string(c.router) == "rr")
+            rr = &c;
+        if (std::string(c.router) == "hercules")
+            hw_aware = &c;
+    }
+    bool ok = rr != nullptr && hw_aware != nullptr &&
+              hw_aware->r.sim.p99_ms <= rr->r.sim.p99_ms + 1e-9 &&
+              hw_aware->r.sim.sla_violation_rate <=
+                  rr->r.sim.sla_violation_rate + 1e-12;
+    std::printf("\nheterogeneity-aware router vs round-robin: %s (p99 "
+                "%.2f vs %.2f ms, violations %.2f%% vs %.2f%%)\n",
+                ok ? "DOMINATES" : "FAIL",
+                hw_aware ? hw_aware->r.sim.p99_ms : -1.0,
+                rr ? rr->r.sim.p99_ms : -1.0,
+                hw_aware ? hw_aware->r.sim.sla_violation_rate * 100 : -1.0,
+                rr ? rr->r.sim.sla_violation_rate * 100 : -1.0);
+
+    // ---- JSON trajectory ----------------------------------------------
+    FILE* f = std::fopen("BENCH_cluster.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n");
+        bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
+                     opt.horizon_hours);
+        std::fprintf(f, "  \"interval_hours\": %.2f,\n",
+                     opt.interval_hours);
+        std::fprintf(f, "  \"time_compression\": %.0f,\n",
+                     opt.trace.time_compression);
+        std::fprintf(f, "  \"sla_ms\": %.2f,\n", opt.sla_ms);
+        std::fprintf(f, "  \"peak_qps\": %.1f,\n", load.peak_qps);
+        std::fprintf(f, "  \"fleet_capacity_qps\": %.1f,\n", fleet_qps);
+        std::fprintf(f, "  \"hercules_router_dominates_rr\": %s,\n",
+                     ok ? "true" : "false");
+        std::fprintf(f, "  \"combos\": [\n");
+        for (size_t i = 0; i < results.size(); ++i) {
+            const ComboResult& c = results[i];
+            const sim::ClusterSimResult& s = c.r.sim;
+            std::fprintf(f, "    {\n");
+            std::fprintf(f, "      \"provisioner\": \"%s\",\n",
+                         c.provisioner);
+            std::fprintf(f, "      \"router\": \"%s\",\n", c.router);
+            std::fprintf(f, "      \"wall_ms\": %.1f,\n", c.wall_ms);
+            std::fprintf(f, "      \"queries\": %zu,\n",
+                         c.r.trace_queries);
+            std::fprintf(f, "      \"completed\": %zu,\n", s.completed);
+            std::fprintf(f, "      \"dropped\": %zu,\n", s.dropped);
+            std::fprintf(f, "      \"p50_ms\": %.4f,\n", s.p50_ms);
+            std::fprintf(f, "      \"p99_ms\": %.4f,\n", s.p99_ms);
+            std::fprintf(f, "      \"sla_violation_rate\": %.6f,\n",
+                         s.sla_violation_rate);
+            std::fprintf(f, "      \"avg_provisioned_power_w\": %.2f,\n",
+                         s.avg_provisioned_power_w);
+            std::fprintf(f, "      \"avg_consumed_power_w\": %.2f,\n",
+                         s.avg_consumed_power_w);
+            std::fprintf(f, "      \"reprovisions\": %d,\n",
+                         c.r.reprovisions);
+            auto arr = [&](const char* key, auto get, int prec,
+                           bool last) {
+                std::fprintf(f, "      \"%s\": [", key);
+                for (size_t k = 0; k < s.intervals.size(); ++k)
+                    std::fprintf(f, "%s%.*f", k ? ", " : "", prec,
+                                 get(s.intervals[k]));
+                std::fprintf(f, "]%s\n", last ? "" : ",");
+            };
+            arr("interval_p99_ms",
+                [](const sim::IntervalStats& iv) { return iv.p99_ms; },
+                3, false);
+            arr("interval_sla_violation_rate",
+                [](const sim::IntervalStats& iv) {
+                    return iv.sla_violation_rate;
+                },
+                5, false);
+            arr("interval_provisioned_power_w",
+                [](const sim::IntervalStats& iv) {
+                    return iv.provisioned_power_w;
+                },
+                1, false);
+            arr("interval_consumed_power_w",
+                [](const sim::IntervalStats& iv) {
+                    return iv.consumed_power_w;
+                },
+                1, true);
+            std::fprintf(f, "    }%s\n",
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote BENCH_cluster.json\n");
+    }
+
+    return ok ? 0 : 1;
+}

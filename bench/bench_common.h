@@ -10,12 +10,52 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 
 #include "core/eval_engine.h"
 #include "sched/gradient_search.h"
 
 namespace hercules::bench {
+
+/**
+ * @return the git SHA the benches were configured from (stamped by
+ * CMake at configure time; "unknown" outside a git checkout).
+ */
+inline const char*
+gitSha()
+{
+#ifdef HERCULES_GIT_SHA
+    return HERCULES_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+/** @return the current UTC time as ISO-8601 (2026-01-31T12:34:56Z). */
+inline std::string
+isoTimestampUtc()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/**
+ * Write the provenance preamble every emitted BENCH_*.json starts
+ * with, so the perf trajectory stays attributable across PRs. Call
+ * right after the opening '{'.
+ */
+inline void
+writeJsonProvenance(FILE* f)
+{
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", gitSha());
+    std::fprintf(f, "  \"generated_at\": \"%s\",\n",
+                 isoTimestampUtc().c_str());
+}
 
 /** @return true when HERCULES_BENCH_FAST=1 (reduced sweep sizes). */
 inline bool
@@ -75,10 +115,33 @@ banner(const char* experiment, const char* what)
 
 }  // namespace hercules::bench
 
+#include <filesystem>
+#include <optional>
+
 #include "cluster/evolution.h"
 #include "core/efficiency_table.h"
 
 namespace hercules::bench {
+
+/**
+ * Load a cached efficiency table if the file exists and parses
+ * (announcing reuse); a stale cache from an older build is announced
+ * and ignored so the caller falls back to re-profiling.
+ */
+inline std::optional<core::EfficiencyTable>
+tryLoadCachedTable(const std::string& path)
+{
+    if (!std::filesystem::exists(path))
+        return std::nullopt;
+    auto cached = core::EfficiencyTable::tryReadCsv(path);
+    if (cached.has_value())
+        std::printf("(reusing efficiency table from %s)\n\n",
+                    path.c_str());
+    else
+        std::printf("(cache %s is stale: re-profiling)\n\n",
+                    path.c_str());
+    return cached;
+}
 
 /**
  * Scale each evolution service's peak load to a fraction of the

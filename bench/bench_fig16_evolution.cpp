@@ -12,7 +12,6 @@
  * accelerated servers recovers 22-52% of peak provisioned power during
  * the evolution.
  */
-#include <filesystem>
 
 #include "bench/bench_common.h"
 #include "cluster/evolution.h"
@@ -26,13 +25,10 @@ namespace {
 core::EfficiencyTable
 loadOrProfile()
 {
-    if (std::filesystem::exists(bench::efficiencyCachePath())) {
-        std::printf("(reusing efficiency table from %s)\n\n",
-                    bench::efficiencyCachePath().c_str());
-        return core::EfficiencyTable::readCsv(
-            bench::efficiencyCachePath());
-    }
-    std::printf("(no cache found: running offline profiling — run "
+    if (auto cached =
+            bench::tryLoadCachedTable(bench::efficiencyCachePath()))
+        return *cached;
+    std::printf("(profiling the full catalog — run "
                 "bench_fig15_server_arch first to avoid this)\n\n");
     core::ProfilerOptions popt;
     popt.search = bench::benchSearchOptions();

@@ -9,7 +9,6 @@
  * capacity and 50.8% / 42.7% power over NH; Hercules saves a further
  * 47.7% / 22.8% capacity and 23.7% / 9.1% power over greedy.
  */
-#include <filesystem>
 
 #include "bench/bench_common.h"
 #include "cluster/evolution.h"
@@ -23,13 +22,10 @@ namespace {
 core::EfficiencyTable
 loadOrProfile()
 {
-    if (std::filesystem::exists(bench::efficiencyCachePath())) {
-        std::printf("(reusing efficiency table from %s)\n\n",
-                    bench::efficiencyCachePath().c_str());
-        return core::EfficiencyTable::readCsv(
-            bench::efficiencyCachePath());
-    }
-    std::printf("(no cache found: running offline profiling — run "
+    if (auto cached =
+            bench::tryLoadCachedTable(bench::efficiencyCachePath()))
+        return *cached;
+    std::printf("(profiling the full catalog — run "
                 "bench_fig15_server_arch first to avoid this)\n\n");
     core::ProfilerOptions popt;
     popt.search = bench::benchSearchOptions();

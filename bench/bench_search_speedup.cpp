@@ -184,6 +184,7 @@ main()
     FILE* f = std::fopen("BENCH_search.json", "w");
     if (f) {
         std::fprintf(f, "{\n");
+        bench::writeJsonProvenance(f);
         std::fprintf(f, "  \"hardware_threads\": %d,\n", hw_threads);
         std::fprintf(f, "  \"search\": {\n");
         std::fprintf(f,

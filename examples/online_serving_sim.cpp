@@ -1,51 +1,116 @@
 /**
  * @file
  * Online serving simulation: a heterogeneous cluster (CPU + NMP + GPU
- * servers) rides a full day of synchronized diurnal load for two
- * recommendation services, re-provisioned every 30 minutes by a choice
- * of cluster scheduler.
+ * servers) rides a day of synchronized diurnal load, re-provisioned
+ * every interval by a choice of cluster scheduler.
  *
- * Demonstrates the Hercules online-serving stage: efficiency-tuple
- * lookup, over-provision-rate estimation from the load history, and
- * interval-by-interval activation/release of servers.
+ * Two modes:
+ *  - analytic (default): the Fig 13 capacity view — efficiency-tuple
+ *    lookup, over-provision-rate estimation, interval-by-interval
+ *    activation/release, provisioned power;
+ *  - --trace: end-to-end serving — a timestamped diurnal arrival trace
+ *    flows through simulated server shards behind a query router, and
+ *    the run reports real tail latency and SLA violations instead of
+ *    only analytic capacity.
  *
- * Usage: online_serving_sim [hercules|greedy|nh]
+ * Usage: online_serving_sim [hercules|greedy|nh] [--trace]
+ *          [--horizon H] [--interval I] [--router rr|jsq|p2c|hercules]
  */
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "cluster/cluster_manager.h"
+#include "cluster/serving.h"
 #include "core/profiler.h"
 #include "util/table.h"
 
 using namespace hercules;
 
-int
-main(int argc, char** argv)
+namespace {
+
+struct Args
 {
-    const char* policy_name = argc > 1 ? argv[1] : "hercules";
-    std::unique_ptr<cluster::Provisioner> policy;
-    if (std::strcmp(policy_name, "greedy") == 0)
-        policy = std::make_unique<cluster::GreedyProvisioner>();
-    else if (std::strcmp(policy_name, "nh") == 0)
-        policy = std::make_unique<cluster::NhProvisioner>(17);
-    else
-        policy = std::make_unique<cluster::HerculesProvisioner>();
+    std::string policy = "hercules";
+    bool trace_mode = false;
+    double horizon_hours = 24.0;
+    double interval_hours = 0.5;
+    sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
+};
 
-    std::printf("== 24h online serving (%s scheduler) ==\n\n",
-                policy->name());
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [hercules|greedy|nh] [options]\n"
+        "  --trace         serve a diurnal arrival trace through\n"
+        "                  simulated server shards (reports tail\n"
+        "                  latency); default is the analytic view\n"
+        "  --horizon H     horizon in hours (default 24)\n"
+        "  --interval I    re-provisioning interval in hours (0.5)\n"
+        "  --router R      trace-mode query router: rr, jsq, p2c,\n"
+        "                  hercules (default hercules)\n"
+        "tip: --trace --horizon 6 finishes in seconds.\n",
+        argv0);
+}
 
-    const std::vector<hw::ServerType> fleet = {
-        hw::ServerType::T2, hw::ServerType::T3, hw::ServerType::T7};
-    const std::vector<model::ModelId> services = {
-        model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2};
+bool
+parseArgs(int argc, char** argv, Args& out)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "hercules" || a == "greedy" || a == "nh") {
+            out.policy = a;
+        } else if (a == "--trace") {
+            out.trace_mode = true;
+        } else if (a == "--horizon") {
+            const char* v = value();
+            if (v == nullptr || std::atof(v) <= 0.0)
+                return false;
+            out.horizon_hours = std::atof(v);
+        } else if (a == "--interval") {
+            const char* v = value();
+            if (v == nullptr || std::atof(v) <= 0.0)
+                return false;
+            out.interval_hours = std::atof(v);
+        } else if (a == "--router") {
+            const char* v = value();
+            if (v == nullptr)
+                return false;
+            auto p = sim::parseRouterPolicy(v);
+            if (!p.has_value())
+                return false;
+            out.router = *p;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
 
-    std::printf("profiling the fleet...\n");
-    core::ProfilerOptions popt;
-    popt.servers = fleet;
-    popt.models = services;
-    core::EfficiencyTable table = core::offlineProfile(popt);
+std::unique_ptr<cluster::Provisioner>
+makePolicy(const std::string& name)
+{
+    if (name == "greedy")
+        return std::make_unique<cluster::GreedyProvisioner>();
+    if (name == "nh")
+        return std::make_unique<cluster::NhProvisioner>(17);
+    return std::make_unique<cluster::HerculesProvisioner>();
+}
+
+int
+runAnalytic(const Args& args, cluster::Provisioner& policy,
+            const core::EfficiencyTable& table,
+            const std::vector<hw::ServerType>& fleet,
+            const std::vector<model::ModelId>& services)
+{
     cluster::ProvisionProblem problem =
         cluster::ProvisionProblem::fromTable(table, fleet, services);
 
@@ -60,14 +125,16 @@ main(int argc, char** argv)
     // The over-provision rate R comes from the load history (paper
     // §IV-C): the largest inter-interval increase.
     workload::DiurnalLoad probe(workloads[0].load);
-    double r = cluster::estimateOverprovisionRate(probe, 0.5);
+    double r = cluster::estimateOverprovisionRate(probe,
+                                                  args.interval_hours);
     std::printf("estimated over-provision rate R = %.1f%%\n\n", r * 100.0);
 
     cluster::ClusterManagerOptions opt;
-    opt.interval_hours = 0.5;
+    opt.horizon_hours = args.horizon_hours;
+    opt.interval_hours = args.interval_hours;
     opt.overprovision_rate = r;
     cluster::ClusterRunResult run =
-        cluster::runCluster(problem, workloads, *policy, opt);
+        cluster::runCluster(problem, workloads, policy, opt);
 
     TablePrinter t({"Hour", "RMC1 load", "RMC2 load", "T2 on", "T3 on",
                     "T7 on", "Power (kW)", "OK"});
@@ -88,6 +155,112 @@ main(int argc, char** argv)
                 run.peak_servers, run.peak_power_w / 1e3,
                 run.avg_servers, run.avg_power_w / 1e3,
                 run.unsatisfied_intervals);
-    std::printf("tip: run with 'greedy' or 'nh' to compare policies.\n");
+    std::printf("tip: run with 'greedy' or 'nh' to compare policies, or "
+                "--trace for end-to-end latency.\n");
     return 0;
+}
+
+int
+runTrace(const Args& args, cluster::Provisioner& policy,
+         const core::EfficiencyTable& table,
+         const std::vector<hw::ServerType>& fleet)
+{
+    const model::ModelId model = model::ModelId::DlrmRmc1;
+    const std::vector<int> slots = {2, 2, 1};
+
+    double capacity = 0.0;
+    for (size_t h = 0; h < fleet.size(); ++h) {
+        const core::EfficiencyEntry* e = table.get(fleet[h], model);
+        if (e != nullptr && e->feasible)
+            capacity += slots[h] * e->qps;
+    }
+
+    workload::DiurnalConfig load;
+    load.peak_qps = 0.6 * capacity;
+    load.trough_frac = 0.35;
+    load.seed = 5;
+
+    cluster::TraceServeOptions opt;
+    opt.horizon_hours = args.horizon_hours;
+    opt.interval_hours = args.interval_hours;
+    opt.sla_ms = model::buildModel(model).sla_ms;
+    opt.router = args.router;
+    // One simulated second stands for 480 wall-clock seconds:
+    // instantaneous QPS (and so all queueing dynamics) is unchanged,
+    // only the simulated span and query count shrink.
+    opt.trace.time_compression = 480.0;
+    opt.trace.seed = 42;
+
+    std::printf("shard fleet: T2 x%d + T3 x%d + T7 x%d (%.0f QPS), "
+                "peak %.0f QPS, SLA %.0f ms, router %s\n\n",
+                slots[0], slots[1], slots[2], capacity, load.peak_qps,
+                opt.sla_ms, sim::routerPolicyName(opt.router));
+
+    cluster::TraceServeResult r = cluster::serveTrace(
+        table, fleet, slots, model, load, policy, opt);
+
+    TablePrinter t({"Hour", "Offered QPS", "Shards", "p50 (ms)",
+                    "p99 (ms)", "SLA viol", "Prov kW", "Cons kW"});
+    size_t stride =
+        std::max<size_t>(1, r.sim.intervals.size() / 16);
+    for (size_t i = 0; i < r.sim.intervals.size(); i += stride) {
+        const sim::IntervalStats& iv = r.sim.intervals[i];
+        double hour = static_cast<double>(i) * args.interval_hours;
+        t.addRow({fmtDouble(hour, 1), fmtEng(iv.offered_qps, 1),
+                  std::to_string(iv.active_shards),
+                  fmtDouble(iv.p50_ms, 2), fmtDouble(iv.p99_ms, 2),
+                  fmtPercent(iv.sla_violation_rate, 1),
+                  fmtDouble(iv.provisioned_power_w / 1e3, 3),
+                  fmtDouble(iv.consumed_power_w / 1e3, 3)});
+    }
+    t.print();
+
+    std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 %.2f "
+                "ms, max %.1f ms\n",
+                r.sim.completed, r.sim.p50_ms, r.sim.p99_ms,
+                r.sim.max_ms);
+    std::printf("SLA violations: %.2f%%;  dropped: %zu;  re-provisions: "
+                "%d;  avg power: %.2f kW provisioned / %.2f kW "
+                "consumed\n",
+                r.sim.sla_violation_rate * 100.0, r.sim.dropped,
+                r.reprovisions, r.sim.avg_provisioned_power_w / 1e3,
+                r.sim.avg_consumed_power_w / 1e3);
+    std::printf("tip: compare '--router rr' with '--router hercules' to "
+                "see the heterogeneity effect.\n");
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args)) {
+        usage(argv[0]);
+        return 2;
+    }
+    std::unique_ptr<cluster::Provisioner> policy =
+        makePolicy(args.policy);
+
+    std::printf("== %.0fh online serving (%s scheduler, %s mode) ==\n\n",
+                args.horizon_hours, policy->name(),
+                args.trace_mode ? "trace" : "analytic");
+
+    const std::vector<hw::ServerType> fleet = {
+        hw::ServerType::T2, hw::ServerType::T3, hw::ServerType::T7};
+    const std::vector<model::ModelId> services = {
+        model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2};
+
+    std::printf("profiling the fleet...\n");
+    core::ProfilerOptions popt;
+    popt.servers = fleet;
+    popt.models = args.trace_mode
+                      ? std::vector<model::ModelId>{services[0]}
+                      : services;
+    core::EfficiencyTable table = core::offlineProfile(popt);
+
+    return args.trace_mode
+               ? runTrace(args, *policy, table, fleet)
+               : runAnalytic(args, *policy, table, fleet, services);
 }

@@ -1,0 +1,139 @@
+#include "cluster/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/cluster_manager.h"
+#include "sim/prepared.h"
+#include "util/logging.h"
+
+namespace hercules::cluster {
+
+TraceServeResult
+serveTrace(const core::EfficiencyTable& table,
+           const std::vector<hw::ServerType>& fleet,
+           const std::vector<int>& shard_slots, model::ModelId model_id,
+           const workload::DiurnalConfig& load_cfg, Provisioner& policy,
+           const TraceServeOptions& opt)
+{
+    if (fleet.size() != shard_slots.size())
+        fatal("serveTrace: %zu fleet types but %zu slot counts",
+              fleet.size(), shard_slots.size());
+    if (opt.horizon_hours <= 0.0 || opt.interval_hours <= 0.0)
+        fatal("serveTrace: non-positive horizon/interval");
+
+    model::Model m = model::buildModel(model_id);
+
+    // ---- build the shard fleet ----------------------------------------
+    // One prepared placement per feasible type (the tuple's optimal
+    // config), shared by that type's shards. The vector is sized up
+    // front: ServerInstance keeps a reference into it.
+    std::vector<sim::PreparedWorkload> prepared;
+    prepared.reserve(fleet.size());
+    std::vector<std::vector<int>> shards_by_type(fleet.size());
+
+    sim::ClusterSim::Options copt;
+    copt.router = opt.router;
+    copt.router_seed = opt.router_seed;
+    copt.sla_ms = opt.sla_ms;
+    sim::ClusterSim cluster(copt);
+
+    TraceServeResult out;
+    for (size_t h = 0; h < fleet.size(); ++h) {
+        const core::EfficiencyEntry* e = table.get(fleet[h], model_id);
+        if (e == nullptr || !e->feasible || shard_slots[h] <= 0)
+            continue;
+        prepared.push_back(
+            sim::prepare(hw::serverSpec(fleet[h]), m, e->config));
+        const sim::PreparedWorkload& w = prepared.back();
+        for (int i = 0; i < shard_slots[h]; ++i) {
+            int id = cluster.addShard(w, e->qps);
+            shards_by_type[h].push_back(id);
+            out.fleet_capacity_qps += e->qps;
+            ++out.shard_slots;
+        }
+    }
+
+    ProvisionProblem problem = ProvisionProblem::fromTable(
+        table, fleet, {model_id}, shard_slots);
+
+    // ---- load curve, over-provision rate, arrival trace ----------------
+    workload::DiurnalLoad load(load_cfg);
+    double r = opt.overprovision_rate;
+    if (r < 0.0)
+        r = estimateOverprovisionRate(load, opt.interval_hours,
+                                      opt.horizon_hours);
+    out.estimated_r = r;
+
+    workload::TraceOptions topt = opt.trace;
+    topt.horizon_hours = opt.horizon_hours;
+    workload::TraceGenerator gen(load, topt);
+    std::vector<workload::Query> trace = gen.generate();
+    out.trace_queries = trace.size();
+
+    const double interval_s =
+        opt.interval_hours * 3600.0 / topt.time_compression;
+
+    // ---- per-interval provisioning plan --------------------------------
+    std::vector<int> prev_active;
+    bool first_interval = true;
+    auto plan = [&](int k, double) -> sim::IntervalPlan {
+        double t_hours = static_cast<double>(k) * opt.interval_hours;
+        std::vector<double> loads = {load.loadAt(t_hours)};
+        Allocation alloc = policy.provision(problem, loads, r);
+
+        sim::IntervalPlan p;
+        std::vector<int> counts(fleet.size(), 0);
+        double power = 0.0;
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            const PairPerf& perf = problem.perf(static_cast<int>(h), 0);
+            if (!perf.feasible)
+                continue;
+            counts[h] = std::min(
+                alloc.n[h][0],
+                static_cast<int>(shards_by_type[h].size()));
+            power += counts[h] * perf.power_w;
+        }
+        // Enforce the global power cap: shed the least
+        // energy-efficient servers until the allocation fits.
+        while (power > opt.power_cap_w) {
+            int worst = -1;
+            double worst_qpw = 0.0;
+            for (size_t h = 0; h < fleet.size(); ++h) {
+                if (counts[h] <= 0)
+                    continue;
+                const PairPerf& perf =
+                    problem.perf(static_cast<int>(h), 0);
+                double qpw = perf.power_w > 0.0 ? perf.qps / perf.power_w
+                                                : 0.0;
+                if (worst < 0 || qpw < worst_qpw) {
+                    worst = static_cast<int>(h);
+                    worst_qpw = qpw;
+                }
+            }
+            if (worst < 0)
+                break;
+            --counts[static_cast<size_t>(worst)];
+            power -=
+                problem.perf(worst, 0).power_w;
+            p.power_capped = true;
+        }
+        for (size_t h = 0; h < fleet.size(); ++h)
+            for (int i = 0; i < counts[h]; ++i)
+                p.active.push_back(shards_by_type[h][static_cast<size_t>(i)]);
+        p.provisioned_power_w = power;
+        p.budget_power_w =
+            std::isfinite(opt.power_cap_w) ? opt.power_cap_w : power;
+
+        if (!first_interval && p.active != prev_active)
+            ++out.reprovisions;
+        first_interval = false;
+        prev_active = p.active;
+        return p;
+    };
+
+    out.sim = cluster.run(trace, interval_s, plan, gen.simSeconds());
+    return out;
+}
+
+}  // namespace hercules::cluster

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace-driven online serving (Fig 13, end to end): a heterogeneous
+ * shard fleet built from the efficiency table serves a diurnal arrival
+ * trace through a query router, while the chosen Provisioner
+ * re-provisions the active shard set every interval. Released shards
+ * drain their in-flight queries before going dark; the provisioned
+ * power budget of each interval is enforced (an optional global cap
+ * additionally trims the allocation).
+ *
+ * This replaces the purely analytic cluster::runCluster() scaling for
+ * experiments that need real tail latency: every query flows through a
+ * simulated ServerInstance shard.
+ */
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "cluster/provision.h"
+#include "core/efficiency_table.h"
+#include "sim/cluster_sim.h"
+#include "workload/diurnal.h"
+#include "workload/trace_gen.h"
+
+namespace hercules::cluster {
+
+/** Options of one trace-driven serving run. */
+struct TraceServeOptions
+{
+    double horizon_hours = 24.0;
+    /** Re-provisioning (and statistics) interval. */
+    double interval_hours = 0.5;
+    /** Latency SLA the violation rate is measured against. */
+    double sla_ms = 25.0;
+    /** Over-provision rate R; negative = estimate from the curve. */
+    double overprovision_rate = -1.0;
+    /** Global power cap (W); the allocation is trimmed to fit. */
+    double power_cap_w = std::numeric_limits<double>::infinity();
+    sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
+    uint64_t router_seed = 1;
+    /** Arrival-trace options; horizon is overridden by horizon_hours. */
+    workload::TraceOptions trace{};
+};
+
+/** Result of one trace-driven serving run. */
+struct TraceServeResult
+{
+    sim::ClusterSimResult sim;   ///< per-interval + aggregate serving
+    double estimated_r = 0.0;    ///< the over-provision rate used
+    size_t trace_queries = 0;    ///< arrivals in the generated trace
+    int reprovisions = 0;        ///< intervals that changed the fleet
+    int shard_slots = 0;         ///< shards built (feasible types only)
+    double fleet_capacity_qps = 0.0;  ///< sum of shard tuple QPS
+};
+
+/**
+ * Serve one model's diurnal trace on a sharded heterogeneous fleet.
+ *
+ * @param table       offline-profiled efficiency tuples (provides both
+ *                    the per-type optimal scheduling configs that the
+ *                    shards run and the QPS weights the router and
+ *                    provisioner use).
+ * @param fleet       server types in play.
+ * @param shard_slots simulated shards available per type (same order
+ *                    as `fleet`). These stand in for the availability
+ *                    Nh of a production fleet at simulation scale.
+ * @param model_id    the served workload.
+ * @param load_cfg    its diurnal curve (peak_qps should be sized
+ *                    against the shard fleet's aggregate capacity).
+ * @param policy      provisioning policy invoked every interval.
+ * @param opt         serving options.
+ */
+TraceServeResult serveTrace(const core::EfficiencyTable& table,
+                            const std::vector<hw::ServerType>& fleet,
+                            const std::vector<int>& shard_slots,
+                            model::ModelId model_id,
+                            const workload::DiurnalConfig& load_cfg,
+                            Provisioner& policy,
+                            const TraceServeOptions& opt);
+
+}  // namespace hercules::cluster

@@ -76,25 +76,27 @@ EfficiencyTable::writeCsv(const std::string& path) const
     CsvWriter w({"server", "model", "feasible", "qps", "power_w",
                  "avg_power_w", "qps_per_watt", "config"});
     for (const auto& e : entries_) {
+        // The config is persisted as its canonical key() so cached
+        // tuples can be re-prepared and actually simulated (the
+        // trace-driven serving path builds shards from it).
         w.addRow({hw::serverTypeName(e.server), model::modelName(e.model),
                   e.feasible ? "1" : "0", std::to_string(e.qps),
                   std::to_string(e.power_w),
                   std::to_string(e.avg_power_w),
-                  std::to_string(e.qps_per_watt), e.config.str()});
+                  std::to_string(e.qps_per_watt), e.config.key()});
     }
     w.write(path);
 }
 
-EfficiencyTable
-EfficiencyTable::readCsv(const std::string& path)
+std::optional<EfficiencyTable>
+EfficiencyTable::tryReadCsv(const std::string& path)
 {
     auto rows = readCsvFile(path);
     EfficiencyTable table;
     for (size_t i = 1; i < rows.size(); ++i) {
         const auto& r = rows[i];
         if (r.size() < 7)
-            fatal("EfficiencyTable::readCsv: malformed row %zu in %s", i,
-                  path.c_str());
+            return std::nullopt;
         EfficiencyEntry e;
         bool found_server = false;
         for (hw::ServerType t : hw::allServerTypes()) {
@@ -111,16 +113,40 @@ EfficiencyTable::readCsv(const std::string& path)
             }
         }
         if (!found_server || !found_model)
-            fatal("EfficiencyTable::readCsv: unknown pair %s/%s",
-                  r[0].c_str(), r[1].c_str());
+            return std::nullopt;
         e.feasible = r[2] == "1";
-        e.qps = std::stod(r[3]);
-        e.power_w = std::stod(r[4]);
-        e.avg_power_w = std::stod(r[5]);
-        e.qps_per_watt = std::stod(r[6]);
+        try {
+            e.qps = std::stod(r[3]);
+            e.power_w = std::stod(r[4]);
+            e.avg_power_w = std::stod(r[5]);
+            e.qps_per_watt = std::stod(r[6]);
+        } catch (...) {
+            return std::nullopt;
+        }
+        if (r.size() >= 8) {
+            auto cfg = sched::SchedulingConfig::fromKey(r[7]);
+            // A feasible row whose config cannot be parsed is a cache
+            // from an older build: the tuple could not be re-prepared
+            // and simulated, so the whole file is rejected.
+            if (!cfg.has_value() && e.feasible)
+                return std::nullopt;
+            if (cfg.has_value())
+                e.config = *cfg;
+        }
         table.set(e);
     }
     return table;
+}
+
+EfficiencyTable
+EfficiencyTable::readCsv(const std::string& path)
+{
+    auto table = tryReadCsv(path);
+    if (!table.has_value())
+        fatal("EfficiencyTable::readCsv: %s is malformed or written by "
+              "an older build (delete the file and re-profile)",
+              path.c_str());
+    return *table;
 }
 
 }  // namespace hercules::core

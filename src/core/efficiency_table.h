@@ -79,8 +79,16 @@ class EfficiencyTable
     /** Persist as CSV. */
     void writeCsv(const std::string& path) const;
 
-    /** Load a table written by writeCsv(). */
+    /** Load a table written by writeCsv(); fatal() on malformed data. */
     static EfficiencyTable readCsv(const std::string& path);
+
+    /**
+     * Load a table, returning std::nullopt instead of dying when the
+     * file is malformed or written by an older build (stale config
+     * encoding). Cache consumers use this to fall back to re-profiling.
+     */
+    static std::optional<EfficiencyTable> tryReadCsv(
+        const std::string& path);
 
   private:
     std::vector<EfficiencyEntry> entries_;

@@ -72,4 +72,67 @@ SchedulingConfig::key() const
     return s;
 }
 
+std::optional<SchedulingConfig>
+SchedulingConfig::fromKey(const std::string& k)
+{
+    SchedulingConfig cfg;
+    size_t pos = 0;
+    unsigned seen = 0;  // bitmask: each field exactly once
+    while (pos < k.size()) {
+        size_t eq = k.find('=', pos);
+        if (eq == std::string::npos)
+            return std::nullopt;
+        size_t end = k.find(';', eq);
+        if (end == std::string::npos)
+            end = k.size();
+        std::string name = k.substr(pos, eq - pos);
+        int value;
+        try {
+            value = std::stoi(k.substr(eq + 1, end - eq - 1));
+        } catch (...) {
+            return std::nullopt;
+        }
+        unsigned bit;
+        if (name == "m") {
+            if (value < 0 ||
+                value > static_cast<int>(Mapping::GpuSdPipeline))
+                return std::nullopt;
+            cfg.mapping = static_cast<Mapping>(value);
+            bit = 1u << 0;
+        } else if (name == "t") {
+            cfg.cpu_threads = value;
+            bit = 1u << 1;
+        } else if (name == "o") {
+            cfg.cores_per_thread = value;
+            bit = 1u << 2;
+        } else if (name == "dt") {
+            cfg.dense_threads = value;
+            bit = 1u << 3;
+        } else if (name == "b") {
+            cfg.batch = value;
+            bit = 1u << 4;
+        } else if (name == "g") {
+            cfg.gpu_threads = value;
+            bit = 1u << 5;
+        } else if (name == "f") {
+            cfg.fusion_limit = value;
+            bit = 1u << 6;
+        } else if (name == "fe") {
+            cfg.fuse_elementwise = value != 0;
+            bit = 1u << 7;
+        } else {
+            return std::nullopt;
+        }
+        if (name != "m" && name != "fe" && value < 0)
+            return std::nullopt;  // counts/limits are non-negative
+        if (seen & bit)
+            return std::nullopt;  // duplicate field
+        seen |= bit;
+        pos = end + 1;
+    }
+    if (seen != 0xffu)
+        return std::nullopt;
+    return cfg;
+}
+
 }  // namespace hercules::sched

@@ -15,6 +15,7 @@
  */
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "model/partition.h"
@@ -86,6 +87,15 @@ struct SchedulingConfig
      * (unlike str(), which omits fields irrelevant to display).
      */
     std::string key() const;
+
+    /**
+     * Parse a key() encoding back into a configuration (the efficiency
+     * table persists configs this way, so cached tuples can be
+     * re-prepared and simulated).
+     *
+     * @return std::nullopt when the string is not a valid key.
+     */
+    static std::optional<SchedulingConfig> fromKey(const std::string& k);
 };
 
 }  // namespace hercules::sched

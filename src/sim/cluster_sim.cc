@@ -1,0 +1,368 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hercules::sim {
+
+// ---- router policies -----------------------------------------------------
+
+const char*
+routerPolicyName(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::RoundRobin: return "rr";
+      case RouterPolicy::LeastOutstanding: return "jsq";
+      case RouterPolicy::PowerOfTwo: return "p2c";
+      case RouterPolicy::HerculesWeighted: return "hercules";
+    }
+    panic("routerPolicyName: bad policy %d", static_cast<int>(p));
+}
+
+std::optional<RouterPolicy>
+parseRouterPolicy(const std::string& name)
+{
+    for (RouterPolicy p : allRouterPolicies())
+        if (name == routerPolicyName(p))
+            return p;
+    return std::nullopt;
+}
+
+const std::vector<RouterPolicy>&
+allRouterPolicies()
+{
+    static const std::vector<RouterPolicy> all = {
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::PowerOfTwo,
+        RouterPolicy::HerculesWeighted,
+    };
+    return all;
+}
+
+Router::Router(RouterPolicy policy, uint64_t seed)
+    : policy_(policy), rng_(seed)
+{
+}
+
+void
+Router::onTopologyChange(size_t num_shards)
+{
+    credit_.assign(num_shards, 0.0);
+    rr_cursor_ = 0;
+}
+
+int
+Router::pick(const ClusterSim& cluster)
+{
+    const std::vector<int>& active = cluster.activeShards();
+    if (active.empty())
+        return -1;
+    const size_t n = active.size();
+    switch (policy_) {
+      case RouterPolicy::RoundRobin:
+        return active[rr_cursor_++ % n];
+
+      case RouterPolicy::LeastOutstanding: {
+        int best = active[0];
+        size_t best_q = cluster.outstanding(best);
+        for (size_t i = 1; i < n; ++i) {
+            size_t q = cluster.outstanding(active[i]);
+            if (q < best_q) {
+                best = active[i];
+                best_q = q;
+            }
+        }
+        return best;
+      }
+
+      case RouterPolicy::PowerOfTwo: {
+        int a = active[static_cast<size_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(n) - 1))];
+        int b = active[static_cast<size_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(n) - 1))];
+        size_t qa = cluster.outstanding(a);
+        size_t qb = cluster.outstanding(b);
+        if (qa != qb)
+            return qa < qb ? a : b;
+        return std::min(a, b);
+      }
+
+      case RouterPolicy::HerculesWeighted: {
+        // Smooth weighted round-robin over the efficiency-tuple QPS
+        // weights: deterministic, and the long-run share of shard i is
+        // weight_i / sum(weights).
+        if (credit_.size() < cluster.numShards())
+            credit_.resize(cluster.numShards(), 0.0);
+        double total = 0.0;
+        int best = active[0];
+        for (int id : active) {
+            credit_[static_cast<size_t>(id)] += cluster.weight(id);
+            total += cluster.weight(id);
+            if (credit_[static_cast<size_t>(id)] >
+                credit_[static_cast<size_t>(best)])
+                best = id;
+        }
+        credit_[static_cast<size_t>(best)] -= total;
+        return best;
+      }
+    }
+    panic("Router::pick: bad policy %d", static_cast<int>(policy_));
+}
+
+// ---- cluster -------------------------------------------------------------
+
+ClusterSim::ClusterSim(Options opt)
+    : opt_(opt),
+      shard_opt_(opt.shard_sim),
+      router_(opt.router, opt.router_seed)
+{
+    // The cluster layer owns warmup/measurement windows and needs the
+    // per-query completion log.
+    shard_opt_.warmup_queries = 0;
+    shard_opt_.record_completions = true;
+    shard_opt_.abort_tail_ms = 0.0;
+    shard_opt_.saturate = false;
+}
+
+int
+ClusterSim::addShard(const PreparedWorkload& w, double weight_qps)
+{
+    int id = static_cast<int>(shards_.size());
+    Shard s;
+    s.inst = std::make_unique<ServerInstance>(w, shard_opt_);
+    s.workload = &w;
+    s.weight = weight_qps;
+    shards_.push_back(std::move(s));
+    injected_per_shard_.push_back(0);
+    rebuildActive();
+    router_.onTopologyChange(shards_.size());
+    return id;
+}
+
+void
+ClusterSim::rebuildActive()
+{
+    active_.clear();
+    for (size_t i = 0; i < shards_.size(); ++i)
+        if (shards_[i].active)
+            active_.push_back(static_cast<int>(i));
+}
+
+void
+ClusterSim::setActive(int shard, bool active, double t_s)
+{
+    if (shard < 0 || static_cast<size_t>(shard) >= shards_.size())
+        panic("ClusterSim::setActive: bad shard %d", shard);
+    Shard& s = shards_[static_cast<size_t>(shard)];
+    if (s.active == active)
+        return;
+    s.active = active;
+    if (!active)
+        s.released_at = t_s;
+    rebuildActive();
+    router_.onTopologyChange(shards_.size());
+}
+
+bool
+ClusterSim::isActive(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)].active;
+}
+
+bool
+ClusterSim::drained(int shard) const
+{
+    const Shard& s = shards_[static_cast<size_t>(shard)];
+    return !s.active && s.inst->outstanding() == 0;
+}
+
+size_t
+ClusterSim::outstanding(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)].inst->outstanding();
+}
+
+double
+ClusterSim::weight(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)].weight;
+}
+
+void
+ClusterSim::advanceTo(double t_s)
+{
+    for (Shard& s : shards_)
+        s.inst->advanceTo(t_s);
+}
+
+int
+ClusterSim::route(const workload::Query& q)
+{
+    advanceTo(q.arrival_s);
+    int s = router_.pick(*this);
+    if (s < 0) {
+        ++dropped_;
+        return -1;
+    }
+    shards_[static_cast<size_t>(s)].inst->inject(q);
+    ++injected_;
+    ++injected_per_shard_[static_cast<size_t>(s)];
+    return s;
+}
+
+void
+ClusterSim::drainAll()
+{
+    for (Shard& s : shards_)
+        s.inst->drain();
+}
+
+IntervalStats
+ClusterSim::harvest(double t0_s, double t1_s)
+{
+    IntervalStats st;
+    st.t0_s = t0_s;
+    st.t1_s = t1_s;
+    st.arrivals = injected_ - arrivals_harvested_;
+    arrivals_harvested_ = injected_;
+    st.dropped = dropped_ - dropped_harvested_;
+    dropped_harvested_ = dropped_;
+    // Offered load includes dropped arrivals: an outage interval must
+    // still show the traffic it shed.
+    st.offered_qps =
+        t1_s > t0_s
+            ? static_cast<double>(st.arrivals + st.dropped) /
+                  (t1_s - t0_s)
+            : 0.0;
+    st.active_shards = static_cast<int>(active_.size());
+
+    PercentileTracker lat;
+    double consumed = 0.0;
+    for (Shard& s : shards_) {
+        const auto& done = s.inst->completions();
+        double last_finish_in_window = t0_s;
+        while (s.harvest_cursor < done.size() &&
+               done[s.harvest_cursor].finish_s <= t1_s) {
+            const auto& c = done[s.harvest_cursor++];
+            double ms = c.latencyMs();
+            lat.add(ms);
+            all_latency_ms_.add(ms);
+            if (ms > opt_.sla_ms) {
+                ++st.sla_violations;
+                ++all_violations_;
+            }
+            last_finish_in_window = std::max(last_finish_in_window,
+                                             c.finish_s);
+        }
+        // Power: an active shard burns (at least idle) power for the
+        // whole window; a released shard only while it still drains.
+        double span_end;
+        if (s.active)
+            span_end = t1_s;
+        else if (s.inst->outstanding() > 0)
+            span_end = t1_s;
+        else
+            span_end = std::clamp(
+                std::max(s.released_at, last_finish_in_window), t0_s,
+                t1_s);
+        if (span_end > t0_s && t1_s > t0_s)
+            consumed += s.inst->avgPowerBetween(t0_s, span_end) *
+                        (span_end - t0_s) / (t1_s - t0_s);
+    }
+    st.completions = lat.count();
+    st.p50_ms = lat.p50();
+    st.p99_ms = lat.p99();
+    st.max_ms = lat.max();
+    st.sla_violation_rate =
+        st.completions > 0 ? static_cast<double>(st.sla_violations) /
+                                 static_cast<double>(st.completions)
+                           : 0.0;
+    st.consumed_power_w = consumed;
+    return st;
+}
+
+ClusterSimResult
+ClusterSim::run(const std::vector<workload::Query>& trace,
+                double interval_s, const IntervalPlanFn& plan,
+                double horizon_s)
+{
+    if (interval_s <= 0.0)
+        fatal("ClusterSim::run: non-positive interval %f", interval_s);
+
+    ClusterSimResult r;
+    size_t cursor = 0;
+    int k = 0;
+    while (cursor < trace.size() ||
+           static_cast<double>(k) * interval_s < horizon_s - 1e-9) {
+        double t0 = static_cast<double>(k) * interval_s;
+        double t1 = t0 + interval_s;
+        IntervalPlan p;
+        if (plan) {
+            p = plan(k, t0);
+            std::vector<char> want(shards_.size(), 0);
+            for (int id : p.active) {
+                if (id < 0 || static_cast<size_t>(id) >= shards_.size())
+                    panic("ClusterSim::run: plan names bad shard %d", id);
+                want[static_cast<size_t>(id)] = 1;
+            }
+            for (size_t i = 0; i < shards_.size(); ++i)
+                setActive(static_cast<int>(i), want[i] != 0, t0);
+        }
+        while (cursor < trace.size() && trace[cursor].arrival_s < t1)
+            route(trace[cursor++]);
+        advanceTo(t1);
+        IntervalStats st = harvest(t0, t1);
+        if (plan) {
+            st.provisioned_power_w = p.provisioned_power_w;
+            st.budget_power_w = p.budget_power_w;
+            st.power_capped = p.power_capped;
+        }
+        r.intervals.push_back(st);
+        ++k;
+    }
+
+    // Tail: retire whatever is still in flight past the last interval.
+    const size_t planned_intervals = r.intervals.size();
+    drainAll();
+    double tail_start = static_cast<double>(k) * interval_s;
+    double tail_end = tail_start;
+    for (const Shard& s : shards_)
+        tail_end = std::max(tail_end, s.inst->now());
+    if (tail_end > tail_start) {
+        IntervalStats tail = harvest(tail_start, tail_end);
+        if (tail.completions > 0 || tail.arrivals > 0)
+            r.intervals.push_back(tail);
+    }
+
+    r.injected = injected_;
+    r.dropped = dropped_;
+    r.completed = all_latency_ms_.count();
+    r.mean_ms = all_latency_ms_.mean();
+    r.p50_ms = all_latency_ms_.p50();
+    r.p95_ms = all_latency_ms_.p95();
+    r.p99_ms = all_latency_ms_.p99();
+    r.max_ms = all_latency_ms_.max();
+    r.sla_violations = all_violations_;
+    r.sla_violation_rate =
+        r.completed > 0 ? static_cast<double>(all_violations_) /
+                              static_cast<double>(r.completed)
+                        : 0.0;
+    // Power aggregates skip the drain-tail pseudo-interval: it never
+    // went through the plan (provisioned power 0) and its span differs
+    // from interval_s, so averaging it in would bias the trajectory.
+    OnlineStats consumed, provisioned;
+    for (size_t i = 0; i < planned_intervals; ++i) {
+        consumed.add(r.intervals[i].consumed_power_w);
+        provisioned.add(r.intervals[i].provisioned_power_w);
+    }
+    r.avg_consumed_power_w = consumed.mean();
+    r.peak_consumed_power_w = consumed.count() ? consumed.max() : 0.0;
+    r.avg_provisioned_power_w = provisioned.mean();
+    r.peak_provisioned_power_w =
+        provisioned.count() ? provisioned.max() : 0.0;
+    return r;
+}
+
+}  // namespace hercules::sim

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Sharded multi-server serving: N steppable ServerInstance shards
+ * behind a query router, driven by a timestamped arrival trace on one
+ * global clock. This is the cluster-level discrete-event layer the
+ * online-serving experiments (Fig 13) run on — queries genuinely flow
+ * through heterogeneous simulated servers instead of being scaled
+ * analytically from per-server efficiency tuples.
+ *
+ * Router policies:
+ *  - RoundRobin:        arrivals cycle over the active shards;
+ *  - LeastOutstanding:  join-the-shortest-queue over in-flight queries;
+ *  - PowerOfTwo:        two random active shards, pick the shorter
+ *                       queue (seeded, deterministic);
+ *  - HerculesWeighted:  smooth weighted round-robin, each shard
+ *                       weighted by its efficiency-tuple QPS for the
+ *                       served model — the heterogeneity-aware policy.
+ *
+ * Shard lifecycle: addShard() creates an active shard; setActive(id,
+ * false, t) releases it — the router stops picking it immediately, but
+ * its in-flight queries keep draining as the clock advances, and only
+ * once drained() does the shard stop consuming power ("go dark").
+ * Re-activation resumes routing to the same instance.
+ */
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/server_instance.h"
+#include "util/rng.h"
+
+namespace hercules::sim {
+
+/** The query-routing policies. */
+enum class RouterPolicy {
+    RoundRobin,
+    LeastOutstanding,
+    PowerOfTwo,
+    HerculesWeighted,
+};
+
+/** @return display name ("rr", "jsq", "p2c", "hercules"). */
+const char* routerPolicyName(RouterPolicy p);
+
+/** Parse a policy name as printed by routerPolicyName(). */
+std::optional<RouterPolicy> parseRouterPolicy(const std::string& name);
+
+/** @return all four policies in declaration order. */
+const std::vector<RouterPolicy>& allRouterPolicies();
+
+class ClusterSim;
+
+/** Stateful shard picker (cursor / credits / RNG live here). */
+class Router
+{
+  public:
+    Router(RouterPolicy policy, uint64_t seed);
+
+    /** @return the picked active shard id, or -1 when none is active. */
+    int pick(const ClusterSim& cluster);
+
+    /** Reset per-topology state (called when the active set changes). */
+    void onTopologyChange(size_t num_shards);
+
+    RouterPolicy policy() const { return policy_; }
+
+  private:
+    RouterPolicy policy_;
+    Rng rng_;
+    uint64_t rr_cursor_ = 0;
+    std::vector<double> credit_;  ///< smooth-WRR credit, by shard id
+};
+
+/** Per-interval serving statistics of one cluster run. */
+struct IntervalStats
+{
+    double t0_s = 0.0, t1_s = 0.0;  ///< window (simulated seconds)
+    size_t arrivals = 0;            ///< queries routed in the window
+    size_t completions = 0;         ///< queries retired in the window
+    size_t dropped = 0;             ///< arrivals with no active shard
+    double offered_qps = 0.0;       ///< arrivals / window
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    size_t sla_violations = 0;      ///< completions above the SLA
+    double sla_violation_rate = 0.0;
+    int active_shards = 0;          ///< at window start (post-plan)
+    double consumed_power_w = 0.0;  ///< mean over active+draining shards
+    double provisioned_power_w = 0.0;  ///< from the interval plan
+    double budget_power_w = 0.0;       ///< enforced cap (plan)
+    bool power_capped = false;  ///< plan was trimmed to fit the budget
+};
+
+/** Whole-run aggregates. */
+struct ClusterSimResult
+{
+    std::vector<IntervalStats> intervals;
+    size_t injected = 0;
+    size_t completed = 0;
+    size_t dropped = 0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    size_t sla_violations = 0;
+    double sla_violation_rate = 0.0;  ///< violations / completed
+    double avg_consumed_power_w = 0.0;   ///< mean over intervals
+    double peak_consumed_power_w = 0.0;
+    double avg_provisioned_power_w = 0.0;
+    double peak_provisioned_power_w = 0.0;
+};
+
+/** What one provisioning interval activates. */
+struct IntervalPlan
+{
+    std::vector<int> active;  ///< shard ids routable this interval
+    double provisioned_power_w = 0.0;
+    double budget_power_w = std::numeric_limits<double>::infinity();
+    bool power_capped = false;
+};
+
+/**
+ * @param interval index (0-based) and window start in simulated
+ * seconds; returns the plan applied at the window start.
+ */
+using IntervalPlanFn = std::function<IntervalPlan(int, double)>;
+
+/** The sharded cluster simulator. */
+class ClusterSim
+{
+  public:
+    struct Options
+    {
+        RouterPolicy router = RouterPolicy::HerculesWeighted;
+        uint64_t router_seed = 1;
+        double sla_ms = 25.0;
+        /**
+         * Template for per-shard simulation options. Warmup is forced
+         * to zero and completion recording on: the cluster layer owns
+         * measurement windows.
+         */
+        SimOptions shard_sim{};
+    };
+
+    explicit ClusterSim(Options opt);
+
+    // Shard instances reference shard_opt_: the cluster must not move.
+    ClusterSim(const ClusterSim&) = delete;
+    ClusterSim& operator=(const ClusterSim&) = delete;
+
+    /**
+     * Add one (initially active) shard.
+     *
+     * @param w          prepared placement; must outlive the ClusterSim.
+     * @param weight_qps routing weight — the shard's efficiency-tuple
+     *                   QPS for the served model.
+     * @return the shard id.
+     */
+    int addShard(const PreparedWorkload& w, double weight_qps);
+
+    /** Activate / release a shard at simulated time t_s. */
+    void setActive(int shard, bool active, double t_s);
+
+    bool isActive(int shard) const;
+
+    /** @return true when inactive with no in-flight queries. */
+    bool drained(int shard) const;
+
+    size_t numShards() const { return shards_.size(); }
+    size_t outstanding(int shard) const;
+    double weight(int shard) const;
+    const std::vector<int>& activeShards() const { return active_; }
+
+    /** Advance every shard's event queue to t_s. */
+    void advanceTo(double t_s);
+
+    /**
+     * Route one arrival (shards are first advanced to its timestamp).
+     * @return the shard id, or -1 when no shard is active (dropped).
+     */
+    int route(const workload::Query& q);
+
+    /** Retire all in-flight work on every shard. */
+    void drainAll();
+
+    /**
+     * Collect the statistics of window [t0_s, t1_s): completions that
+     * retired inside it, power consumed by active/draining shards.
+     * Windows must be harvested in order, after advanceTo(t1_s).
+     */
+    IntervalStats harvest(double t0_s, double t1_s);
+
+    /**
+     * Replay a full trace: at each interval boundary apply `plan`
+     * (nullptr keeps every shard active), feed the interval's
+     * arrivals, advance, harvest. After the last interval all shards
+     * drain and a final tail window is harvested.
+     *
+     * @param horizon_s with a positive value, intervals (and the plan)
+     * keep running to this time even after the trace is exhausted —
+     * trailing low-traffic intervals still get provisioned and
+     * reported. 0 stops at the last arrival's interval.
+     */
+    ClusterSimResult run(const std::vector<workload::Query>& trace,
+                         double interval_s,
+                         const IntervalPlanFn& plan = nullptr,
+                         double horizon_s = 0.0);
+
+    /** Per-shard queries routed (diagnostics / tests). */
+    const std::vector<size_t>& injectedPerShard() const
+    { return injected_per_shard_; }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<ServerInstance> inst;
+        const PreparedWorkload* workload = nullptr;
+        double weight = 0.0;
+        bool active = true;
+        double released_at = 0.0;   ///< last release time
+        size_t harvest_cursor = 0;  ///< completions consumed so far
+    };
+
+    void rebuildActive();
+
+    Options opt_;
+    SimOptions shard_opt_;  ///< shared by all shard instances
+    Router router_;
+    std::vector<Shard> shards_;
+    std::vector<int> active_;
+    std::vector<size_t> injected_per_shard_;
+
+    size_t injected_ = 0;
+    size_t dropped_ = 0;
+    size_t dropped_harvested_ = 0;
+    size_t arrivals_harvested_ = 0;
+
+    // run() aggregates
+    PercentileTracker all_latency_ms_;
+    size_t all_violations_ = 0;
+};
+
+}  // namespace hercules::sim

@@ -37,6 +37,15 @@ class EventQueue
     /** @return current simulation time (of the last executed event). */
     double now() const { return now_; }
 
+    /** @return timestamp of the next pending event (panics when empty). */
+    double
+    nextTime() const
+    {
+        if (heap_.empty())
+            panic("EventQueue: nextTime on empty queue");
+        return heap_.top().t;
+    }
+
     /** Pop and run the next event; advances now(). */
     void
     runNext()

@@ -1,0 +1,563 @@
+#include "sim/server_instance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hercules::sim {
+
+using sched::Mapping;
+
+ServerInstance::ServerInstance(const PreparedWorkload& w,
+                               const SimOptions& opt)
+    : w_(w), opt_(opt), cost_(*w.server), power_(*w.server)
+{
+    // ---- set up pools -------------------------------------------------
+    const sched::SchedulingConfig& cfg = w_.config;
+    switch (mapping()) {
+      case Mapping::CpuModelBased:
+        cpu_pool_.total = cpu_pool_.idle = cfg.cpu_threads;
+        cpu_pool_.cores_each = cfg.cores_per_thread;
+        break;
+      case Mapping::CpuSdPipeline:
+        cpu_pool_.total = cpu_pool_.idle = cfg.cpu_threads;
+        cpu_pool_.cores_each = cfg.cores_per_thread;
+        dense_pool_.total = dense_pool_.idle = cfg.dense_threads;
+        dense_pool_.cores_each = 1;
+        break;
+      case Mapping::GpuSdPipeline:
+        cpu_pool_.total = cpu_pool_.idle = cfg.cpu_threads;
+        cpu_pool_.cores_each = cfg.cores_per_thread;
+        gpu_threads_.resize(static_cast<size_t>(cfg.gpu_threads));
+        break;
+      case Mapping::GpuModelBased:
+        gpu_threads_.resize(static_cast<size_t>(cfg.gpu_threads));
+        host_pool_.total = cfg.cpu_threads;
+        host_pool_.cores_each = cfg.cores_per_thread;
+        host_stage_idle_ = cfg.cpu_threads;
+        break;
+    }
+    // Tail statistics come from post-warmup queries only, so the abort
+    // predicate watches those.
+    abort_scan_ = static_cast<size_t>(std::max(opt_.warmup_queries, 0));
+}
+
+int
+ServerInstance::inject(const workload::Query& q)
+{
+    int idx = static_cast<int>(queries_.size());
+    QueryState st;
+    st.arrival = q.arrival_s;
+    st.size = q.size;
+    st.ps = q.pooling_scale;
+    if (idx == opt_.warmup_queries)
+        steady_start_ = st.arrival;
+    queries_.push_back(st);
+    eq_.schedule(st.arrival, [this, idx] { arrival(idx); });
+    return idx;
+}
+
+void
+ServerInstance::advanceTo(double t_s)
+{
+    while (!eq_.empty() && eq_.nextTime() <= t_s)
+        eq_.runNext();
+}
+
+void
+ServerInstance::drain()
+{
+    eq_.runAll();
+}
+
+void
+ServerInstance::step()
+{
+    if (!eq_.empty())
+        eq_.runNext();
+}
+
+/**
+ * The early-abort predicate: true once the oldest in-flight post-warmup
+ * query has been in the system longer than abort_tail_ms. Amortized
+ * O(1): the scan pointer only moves forward over completed queries.
+ */
+bool
+ServerInstance::abortTriggered()
+{
+    while (abort_scan_ < queries_.size() && queries_[abort_scan_].done)
+        ++abort_scan_;
+    if (abort_scan_ >= queries_.size())
+        return false;
+    const QueryState& q = queries_[abort_scan_];
+    return eq_.now() - q.arrival > opt_.abort_tail_ms * 1e-3;
+}
+
+const model::Graph&
+ServerInstance::poolGraph(int pool_id) const
+{
+    switch (pool_id) {
+      case 0: return w_.full;
+      case 1: return w_.sparse;
+      case 2: return w_.dense;
+      case 3: return w_.sparse;
+    }
+    panic("poolGraph: bad pool id %d", pool_id);
+}
+
+const hw::CpuExecContext&
+ServerInstance::poolContext(int pool_id) const
+{
+    return pool_id == 3 ? w_.cold_cx : w_.cpu_cx;
+}
+
+ServerInstance::ServiceSample
+ServerInstance::cpuService(int pool_id, int items, double query_ps)
+{
+    auto& memo = memo_[pool_id];
+    auto it = memo.find(items);
+    if (it == memo.end()) {
+        hw::CpuExecContext cx = poolContext(pool_id);
+        // DenseNet threads run with a single op worker (Fig 10(b)).
+        if (pool_id == 2)
+            cx.workers = 1;
+        double base_scale = cx.pooling_scale;
+        cx.pooling_scale = base_scale * 1.0;
+        hw::GraphTiming t1 =
+            cost_.cpuGraphTiming(poolGraph(pool_id), items, cx);
+        cx.pooling_scale = base_scale * 2.0;
+        hw::GraphTiming t2 =
+            cost_.cpuGraphTiming(poolGraph(pool_id), items, cx);
+        ServiceMemoEntry e;
+        e.lat1 = t1.latency_us;
+        e.lat2 = t2.latency_us;
+        e.bytes1 = t1.dram_bytes;
+        e.bytes2 = t2.dram_bytes;
+        e.nmp1 = t1.nmp_busy_us;
+        e.nmp2 = t2.nmp_busy_us;
+        e.idle_frac = t1.idle_frac;
+        it = memo.emplace(items, e).first;
+    }
+    const ServiceMemoEntry& e = it->second;
+    double f = query_ps - 1.0;
+    ServiceSample s;
+    s.latency_us = std::max(1e-3, e.lat1 + (e.lat2 - e.lat1) * f);
+    s.dram_bytes = std::max(0.0, e.bytes1 + (e.bytes2 - e.bytes1) * f);
+    s.nmp_busy_us = std::max(0.0, e.nmp1 + (e.nmp2 - e.nmp1) * f);
+    s.idle_frac = e.idle_frac;
+    return s;
+}
+
+void
+ServerInstance::chargeBins(std::vector<double>& bins, double start_s,
+                           double end_s, double weight)
+{
+    if (end_s <= start_s || weight <= 0.0)
+        return;
+    size_t first = binIndex(start_s);
+    size_t last = binIndex(end_s);
+    if (bins.size() <= last)
+        bins.resize(last + 1, 0.0);
+    for (size_t b = first; b <= last; ++b) {
+        double lo = std::max(start_s, static_cast<double>(b) * kBinSeconds);
+        double hi = std::min(end_s,
+                             static_cast<double>(b + 1) * kBinSeconds);
+        if (hi > lo)
+            bins[b] += (hi - lo) * weight;
+    }
+}
+
+void
+ServerInstance::splitToPool(int qidx, Pool& pool, int batch)
+{
+    QueryState& q = queries_[static_cast<size_t>(qidx)];
+    int remaining = q.size;
+    while (remaining > 0) {
+        int take = std::min(remaining, batch);
+        remaining -= take;
+        ++q.pending;
+        enqueue(pool, Chunk{qidx, take, q.ps});
+    }
+}
+
+void
+ServerInstance::enqueue(Pool& pool, Chunk c)
+{
+    if (pool.idle > 0) {
+        --pool.idle;
+        poolServe(pool, c);
+    } else {
+        pool.queue.push_back(c);
+    }
+}
+
+void
+ServerInstance::poolServe(Pool& pool, Chunk c)
+{
+    int pool_id = (&pool == &cpu_pool_)
+                      ? (mapping() == Mapping::CpuModelBased ? 0 : 1)
+                      : 2;
+    QueryState& q = queries_[static_cast<size_t>(c.query)];
+    if (!q.started) {
+        q.started = true;
+        q.enqueue_done = eq_.now();
+        if (c.query >= opt_.warmup_queries)
+            queue_ms_.add((eq_.now() - q.arrival) * 1e3);
+    }
+
+    ServiceSample s = cpuService(pool_id, c.items, c.ps);
+    double start = eq_.now();
+    double end = start + s.latency_us * 1e-6;
+    // Op-workers blocked on the dependency chain do not burn busy
+    // cycles (the Fig 4(c)/Fig 5 utilization effect).
+    chargeBins(cpu_busy_s_, start, end,
+               static_cast<double>(pool.cores_each) *
+                   (1.0 - s.idle_frac));
+    chargeBins(mem_bytes_, start, end,
+               s.dram_bytes / (s.latency_us * 1e-6));
+    if (s.nmp_busy_us > 0.0)
+        chargeBins(nmp_busy_s_, start, start + s.nmp_busy_us * 1e-6, 1.0);
+    if (c.query >= opt_.warmup_queries)
+        exec_ms_.add(s.latency_us * 1e-3);
+
+    eq_.schedule(end, [this, &pool, c] { poolDone(pool, c); });
+}
+
+void
+ServerInstance::poolDone(Pool& pool, Chunk c)
+{
+    // Hand the chunk to the next stage.
+    if (&pool == &cpu_pool_ && mapping() == Mapping::CpuSdPipeline) {
+        enqueue(dense_pool_, c);
+    } else if (&pool == &cpu_pool_ &&
+               mapping() == Mapping::GpuSdPipeline) {
+        fusion_queue_.push_back(c);
+        for (size_t t = 0; t < gpu_threads_.size(); ++t)
+            tryFormGpuBatch(t);
+    } else {
+        queryPartDone(c.query);
+    }
+    // Pull the next chunk.
+    if (!pool.queue.empty()) {
+        Chunk next = pool.queue.front();
+        pool.queue.pop_front();
+        poolServe(pool, next);
+    } else {
+        ++pool.idle;
+    }
+}
+
+void
+ServerInstance::queryPartDone(int qidx)
+{
+    QueryState& q = queries_[static_cast<size_t>(qidx)];
+    if (--q.pending > 0)
+        return;
+    q.done = true;
+    ++done_count_;
+    double now = eq_.now();
+    last_finish_ = now;
+    if (opt_.record_completions)
+        completions_.push_back(Completion{qidx, q.arrival, now});
+    if (qidx >= opt_.warmup_queries) {
+        latency_ms_.add((now - q.arrival) * 1e3);
+        completion_times_.push_back(now);
+        ++measured_completed_;
+    }
+}
+
+void
+ServerInstance::arrival(int qidx)
+{
+    QueryState& q = queries_[static_cast<size_t>(qidx)];
+    switch (mapping()) {
+      case Mapping::CpuModelBased:
+      case Mapping::CpuSdPipeline:
+      case Mapping::GpuSdPipeline:
+        splitToPool(qidx, cpu_pool_, w_.config.batch);
+        break;
+      case Mapping::GpuModelBased: {
+        // Queries enter the fusion queue whole; oversized queries are
+        // chunked at the fusion limit.
+        int limit = w_.config.fusion_limit > 0 ? w_.config.fusion_limit
+                                               : q.size;
+        int remaining = q.size;
+        while (remaining > 0) {
+            int take = std::min(remaining, limit);
+            remaining -= take;
+            ++q.pending;
+            fusion_queue_.push_back(Chunk{qidx, take, q.ps});
+        }
+        for (size_t t = 0; t < gpu_threads_.size(); ++t)
+            tryFormGpuBatch(t);
+        break;
+      }
+    }
+}
+
+void
+ServerInstance::tryFormGpuBatch(size_t tid)
+{
+    GpuThread& th = gpu_threads_[tid];
+    if (th.loading || th.has_loaded || fusion_queue_.empty())
+        return;
+
+    Batch b;
+    int limit = w_.config.fusion_limit;
+    while (!fusion_queue_.empty()) {
+        const Chunk& c = fusion_queue_.front();
+        if (!b.chunks.empty() &&
+            (limit <= 0 || b.items + c.items > limit))
+            break;
+        b.chunks.push_back(c);
+        b.items += c.items;
+        fusion_queue_.pop_front();
+        if (limit <= 0)
+            break;  // no fusion: one query chunk per batch
+    }
+    double ps_weighted = 0.0;
+    for (const Chunk& c : b.chunks) {
+        ps_weighted += c.ps * c.items;
+        QueryState& q = queries_[static_cast<size_t>(c.query)];
+        if (!q.started) {
+            q.started = true;
+            if (c.query >= opt_.warmup_queries)
+                queue_ms_.add((eq_.now() - q.arrival) * 1e3);
+        }
+    }
+    b.ps = b.items > 0 ? ps_weighted / b.items : 1.0;
+
+    th.loading = true;
+    bool needs_cold = mapping() == Mapping::GpuModelBased &&
+                      w_.gpu_cx.hot_hit_rate < 1.0;
+    if (needs_cold) {
+        // Host threads pre-reduce the cold embedding fraction.
+        if (host_stage_idle_ > 0) {
+            --host_stage_idle_;
+            Batch copy = b;
+            size_t t = tid;
+            ServiceSample s = cpuService(3, b.items, b.ps);
+            double end = eq_.now() + s.latency_us * 1e-6;
+            chargeBins(cpu_busy_s_, eq_.now(), end,
+                       static_cast<double>(host_pool_.cores_each) *
+                           (1.0 - s.idle_frac));
+            chargeBins(mem_bytes_, eq_.now(), end,
+                       s.dram_bytes / (s.latency_us * 1e-6));
+            if (s.nmp_busy_us > 0.0)
+                chargeBins(nmp_busy_s_, eq_.now(),
+                           eq_.now() + s.nmp_busy_us * 1e-6, 1.0);
+            for (const Chunk& c : b.chunks)
+                if (c.query >= opt_.warmup_queries) {
+                    host_ms_.add(s.latency_us * 1e-3);
+                    break;
+                }
+            eq_.schedule(end,
+                         [this, t, copy] { gpuHostStageDone(t, copy); });
+        } else {
+            host_stage_queue_.emplace_back(tid, std::move(b));
+        }
+    } else {
+        startTransfer(tid, std::move(b));
+    }
+}
+
+void
+ServerInstance::gpuHostStageDone(size_t tid, Batch b)
+{
+    startTransfer(tid, std::move(b));
+    // Free host helper; pull queued host-stage work.
+    if (!host_stage_queue_.empty()) {
+        auto [next_tid, next_b] = std::move(host_stage_queue_.front());
+        host_stage_queue_.pop_front();
+        size_t t = next_tid;
+        ServiceSample s = cpuService(3, next_b.items, next_b.ps);
+        double end = eq_.now() + s.latency_us * 1e-6;
+        chargeBins(cpu_busy_s_, eq_.now(), end,
+                   static_cast<double>(host_pool_.cores_each) *
+                       (1.0 - s.idle_frac));
+        chargeBins(mem_bytes_, eq_.now(), end,
+                   s.dram_bytes / (s.latency_us * 1e-6));
+        if (s.nmp_busy_us > 0.0)
+            chargeBins(nmp_busy_s_, eq_.now(),
+                       eq_.now() + s.nmp_busy_us * 1e-6, 1.0);
+        for (const Chunk& c : next_b.chunks)
+            if (c.query >= opt_.warmup_queries) {
+                host_ms_.add(s.latency_us * 1e-3);
+                break;
+            }
+        Batch copy = std::move(next_b);
+        eq_.schedule(end, [this, t, copy] { gpuHostStageDone(t, copy); });
+    } else {
+        ++host_stage_idle_;
+    }
+}
+
+void
+ServerInstance::startTransfer(size_t tid, Batch b)
+{
+    const model::Graph& g =
+        mapping() == Mapping::GpuModelBased ? w_.full : w_.dense;
+    hw::GpuExecContext cx = w_.gpu_cx;
+    cx.pooling_scale = b.ps;
+    double bytes = cost_.gpuInputBytes(g, b.items, cx);
+    // The PCIe link is a FIFO DMA engine shared by all loaders.
+    double dur_s = (hw::calib::kGpuHostPrepUs +
+                    cost_.pcieTransferUs(bytes, cost_.pcieBwGbps())) *
+                   1e-6;
+    double start = std::max(eq_.now(), pcie_free_);
+    double end = start + dur_s;
+    pcie_free_ = end;
+    chargeBins(pcie_busy_s_, start, end, 1.0);
+    for (const Chunk& c : b.chunks)
+        if (c.query >= opt_.warmup_queries) {
+            load_ms_.add((end - eq_.now()) * 1e3);
+            break;
+        }
+    Batch copy = std::move(b);
+    eq_.schedule(end, [this, tid, copy] { onLoaded(tid, copy); });
+}
+
+void
+ServerInstance::onLoaded(size_t tid, Batch b)
+{
+    GpuThread& th = gpu_threads_[tid];
+    th.loading = false;
+    if (th.executing) {
+        th.loaded = std::move(b);
+        th.has_loaded = true;
+    } else {
+        startExec(tid, std::move(b));
+        // Prefetch the next batch while this one executes.
+        tryFormGpuBatch(tid);
+    }
+}
+
+void
+ServerInstance::startExec(size_t tid, Batch b)
+{
+    GpuThread& th = gpu_threads_[tid];
+    th.executing = true;
+    const model::Graph& g =
+        mapping() == Mapping::GpuModelBased ? w_.full : w_.dense;
+    hw::GpuExecContext cx = w_.gpu_cx;
+    cx.pooling_scale = b.ps;
+    hw::GraphTiming t = cost_.gpuGraphTiming(g, b.items, cx);
+    double end = eq_.now() + t.latency_us * 1e-6;
+    chargeBins(gpu_busy_s_, eq_.now(), end, 1.0);
+    for (const Chunk& c : b.chunks)
+        if (c.query >= opt_.warmup_queries) {
+            exec_ms_.add(t.latency_us * 1e-3);
+            break;
+        }
+    Batch copy = std::move(b);
+    eq_.schedule(end, [this, tid, copy] { onExecDone(tid, copy); });
+}
+
+void
+ServerInstance::onExecDone(size_t tid, Batch b)
+{
+    GpuThread& th = gpu_threads_[tid];
+    th.executing = false;
+    for (const Chunk& c : b.chunks)
+        queryPartDone(c.query);
+    if (th.has_loaded) {
+        th.has_loaded = false;
+        Batch next = std::move(th.loaded);
+        startExec(tid, std::move(next));
+    }
+    tryFormGpuBatch(tid);
+}
+
+ServerInstance::BinUtil
+ServerInstance::binUtil(size_t b, double mem_denom) const
+{
+    auto binVal = [&](const std::vector<double>& bins, size_t i) {
+        return i < bins.size() ? bins[i] : 0.0;
+    };
+    int cores = w_.server->cpu.cores;
+    BinUtil u;
+    u.cpu = std::min(1.0, binVal(cpu_busy_s_, b) / (kBinSeconds * cores));
+    double mu = std::min(
+        1.0, binVal(mem_bytes_, b) / (kBinSeconds * mem_denom));
+    u.nmp = std::min(1.0, binVal(nmp_busy_s_, b) / kBinSeconds);
+    u.gpu = std::min(
+        1.0, binVal(gpu_busy_s_, b) /
+                 (kBinSeconds * std::max<size_t>(gpu_threads_.size(), 1)));
+    u.pcie = std::min(1.0, binVal(pcie_busy_s_, b) / kBinSeconds);
+    if (!w_.config.usesGpu())
+        u.gpu = 0.0;
+    u.mem = std::min(1.0, mu + u.nmp);
+    return u;
+}
+
+double
+ServerInstance::avgPowerBetween(double t0_s, double t1_s) const
+{
+    if (t1_s <= t0_s)
+        return 0.0;
+    double mem_denom = cost_.effectiveHostBwGbps(1) * 1e9;
+    size_t bin_lo = binIndex(t0_s);
+    size_t bin_hi = binIndex(std::nextafter(t1_s, t0_s));  // exclusive end
+    OnlineStats power;
+    for (size_t b = bin_lo; b <= bin_hi; ++b) {
+        BinUtil u = binUtil(b, mem_denom);
+        power.add(power_.serverPowerW(hw::Utilization{u.cpu, u.mem, u.gpu}));
+    }
+    return power.mean();
+}
+
+ServerSimResult
+ServerInstance::finalize() const
+{
+    ServerSimResult r;
+    r.aborted = aborted_;
+    r.offered_qps = opt_.saturate ? 0.0 : opt_.offered_qps;
+    r.completed = measured_completed_;
+    double t_begin = steady_start_;
+    double t_end = last_finish_;
+    r.duration_s = std::max(t_end - t_begin, 1e-9);
+    r.achieved_qps =
+        static_cast<double>(measured_completed_) / r.duration_s;
+
+    r.mean_ms = latency_ms_.mean();
+    r.p50_ms = latency_ms_.p50();
+    r.p95_ms = latency_ms_.p95();
+    r.p99_ms = latency_ms_.p99();
+    r.tail_ms = latency_ms_.percentile(opt_.tail_percentile);
+    r.max_ms = latency_ms_.max();
+    r.mean_queue_ms = queue_ms_.mean();
+    r.mean_host_ms = host_ms_.mean();
+    r.mean_load_ms = load_ms_.mean();
+    r.mean_exec_ms = exec_ms_.mean();
+
+    // ---- utilization + power over the steady window ---------------------
+    size_t bin_lo = binIndex(t_begin);
+    size_t bin_hi = binIndex(t_end);  // inclusive
+    double mem_denom = cost_.effectiveHostBwGbps(1) * 1e9;
+
+    OnlineStats power_stats;
+    OnlineStats cpu_u, mem_u, gpu_u, pcie_u, nmp_u;
+    for (size_t b = bin_lo; b <= bin_hi; ++b) {
+        BinUtil u = binUtil(b, mem_denom);
+        cpu_u.add(u.cpu);
+        mem_u.add(u.mem);
+        gpu_u.add(u.gpu);
+        pcie_u.add(u.pcie);
+        nmp_u.add(u.nmp);
+        power_stats.add(
+            power_.serverPowerW(hw::Utilization{u.cpu, u.mem, u.gpu}));
+    }
+    r.cpu_util = cpu_u.mean();
+    r.mem_bw_util = mem_u.mean();
+    r.gpu_util = gpu_u.mean();
+    r.pcie_util = pcie_u.mean();
+    r.nmp_util = nmp_u.mean();
+    r.avg_power_w = power_stats.mean();
+    r.peak_power_w = power_stats.max();
+    r.qps_per_watt =
+        r.avg_power_w > 0.0 ? r.achieved_qps / r.avg_power_w : 0.0;
+    return r;
+}
+
+}  // namespace hercules::sim

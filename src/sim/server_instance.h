@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The steppable single-server discrete-event simulator.
+ *
+ * ServerInstance is the engine behind simulateServer(), exposed as a
+ * construct → inject → advance → drain object so that higher layers
+ * (the sharded ClusterSim, trace-driven serving) can interleave many
+ * servers on one global clock. The contract:
+ *
+ *  - inject(query) schedules an arrival at query.arrival_s; arrivals
+ *    must be injected in non-decreasing time order, never earlier than
+ *    the instance's current clock (now());
+ *  - advanceTo(t) runs every pending event with timestamp <= t;
+ *  - drain() runs the event queue dry (all in-flight work retires);
+ *  - finalize() computes the ServerSimResult over the post-warmup
+ *    window exactly as the one-shot simulateServer() does.
+ *
+ * Determinism: given the same construction arguments and the same
+ * injection sequence, every event fires in the same order (the event
+ * queue breaks timestamp ties by scheduling order) and every statistic
+ * is bit-identical across runs. simulateServer() is a thin wrapper
+ * over this class and is pinned bit-identical to the pre-extraction
+ * engine by tests/test_sim_cluster.cc.
+ */
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/power.h"
+#include "sim/event_queue.h"
+#include "sim/server_sim.h"
+#include "util/stats.h"
+#include "workload/query.h"
+
+namespace hercules::sim {
+
+/** One steppable simulated server. */
+class ServerInstance
+{
+  public:
+    /**
+     * @param w   prepared workload placement; must outlive the instance.
+     * @param opt simulation options; must outlive the instance.
+     */
+    ServerInstance(const PreparedWorkload& w, const SimOptions& opt);
+
+    // Scheduled callbacks capture `this`: the instance must not move.
+    ServerInstance(const ServerInstance&) = delete;
+    ServerInstance& operator=(const ServerInstance&) = delete;
+
+    /** One retired query (recorded when opt.record_completions). */
+    struct Completion
+    {
+        int query = -1;        ///< injection index
+        double arrival_s = 0.0;
+        double finish_s = 0.0;
+
+        /** @return end-to-end latency in milliseconds. */
+        double latencyMs() const { return (finish_s - arrival_s) * 1e3; }
+    };
+
+    /**
+     * Inject one query; its arrival event fires at q.arrival_s.
+     * @return the query's index (injection order).
+     */
+    int inject(const workload::Query& q);
+
+    /** Run every pending event with timestamp <= t_s. */
+    void advanceTo(double t_s);
+
+    /** Run the event queue dry (retire all in-flight work). */
+    void drain();
+
+    /** Run the single next pending event (no-op when idle). */
+    void step();
+
+    /** @return true while events are pending. */
+    bool hasPending() const { return !eq_.empty(); }
+
+    /** @return simulation time of the last executed event. */
+    double now() const { return eq_.now(); }
+
+    /** @return total queries injected so far. */
+    size_t injected() const { return queries_.size(); }
+
+    /** @return queries fully retired (warmup included). */
+    size_t completedAll() const { return done_count_; }
+
+    /** @return queries injected but not yet retired. */
+    size_t outstanding() const { return queries_.size() - done_count_; }
+
+    /** @return the completion log (empty unless record_completions). */
+    const std::vector<Completion>& completions() const
+    { return completions_; }
+
+    /**
+     * The early-abort predicate of SimOptions::abort_tail_ms: true once
+     * the oldest in-flight post-warmup query has been in the system
+     * longer than the grace window. Amortized O(1).
+     */
+    bool abortTriggered();
+
+    /** Mark the run aborted (reflected in finalize()). */
+    void markAborted() { aborted_ = true; }
+
+    /**
+     * Mean server power (W) over [t0_s, t1_s), integrating the binned
+     * resource-utilization profile through the power model. Windows the
+     * server spent idle contribute idle power.
+     */
+    double avgPowerBetween(double t0_s, double t1_s) const;
+
+    /** Compute the post-warmup measurements (call after the run). */
+    ServerSimResult finalize() const;
+
+  private:
+    // ---- work units -----------------------------------------------------
+    /** One unit of schedulable work: a (sub-)query chunk. */
+    struct Chunk
+    {
+        int query = -1;
+        int items = 0;
+        double ps = 1.0;  ///< pooling scale of the owning query
+    };
+
+    /** A fused accelerator batch. */
+    struct Batch
+    {
+        std::vector<Chunk> chunks;
+        int items = 0;
+        double ps = 1.0;  ///< item-weighted pooling scale
+    };
+
+    /**
+     * Linear-in-pooling-scale service memo: CPU graph timings are
+     * computed at pooling scales 1 and 2 per batch size and
+     * interpolated, keeping cost-model calls out of the event loop.
+     */
+    struct ServiceMemoEntry
+    {
+        double lat1 = 0.0, lat2 = 0.0;
+        double bytes1 = 0.0, bytes2 = 0.0;
+        double nmp1 = 0.0, nmp2 = 0.0;
+        double idle_frac = 0.0;
+    };
+
+    struct ServiceSample
+    {
+        double latency_us = 0.0;
+        double dram_bytes = 0.0;
+        double nmp_busy_us = 0.0;
+        double idle_frac = 0.0;  ///< op-worker idle fraction (Fig 5)
+    };
+
+    // ---- configuration shortcuts ----------------------------------------
+    sched::Mapping mapping() const { return w_.config.mapping; }
+
+    // ---- query bookkeeping ----------------------------------------------
+    struct QueryState
+    {
+        double arrival = 0.0;
+        double enqueue_done = 0.0;  ///< first service start (queue wait)
+        int pending = 0;
+        int size = 0;
+        double ps = 1.0;
+        bool started = false;
+        bool done = false;  ///< all chunks completed
+    };
+
+    // ---- pools ----------------------------------------------------------
+    struct Pool
+    {
+        std::deque<Chunk> queue;
+        int idle = 0;
+        int total = 0;
+        int cores_each = 1;
+    };
+
+    // ---- GPU pipeline ----------------------------------------------------
+    struct GpuThread
+    {
+        bool loading = false;    ///< a batch is being staged/transferred
+        bool has_loaded = false; ///< a loaded batch waits for the executor
+        bool executing = false;
+        Batch loaded;
+    };
+
+    void arrival(int qidx);
+    void splitToPool(int qidx, Pool& pool, int batch);
+    void enqueue(Pool& pool, Chunk c);
+    void poolServe(Pool& pool, Chunk c);
+    void poolDone(Pool& pool, Chunk c);
+    void queryPartDone(int qidx);
+
+    void tryFormGpuBatch(size_t tid);
+    void gpuHostStageDone(size_t tid, Batch b);
+    void startTransfer(size_t tid, Batch b);
+    void onLoaded(size_t tid, Batch b);
+    void startExec(size_t tid, Batch b);
+    void onExecDone(size_t tid, Batch b);
+
+    ServiceSample cpuService(int pool_id, int items, double query_ps);
+    const model::Graph& poolGraph(int pool_id) const;
+    const hw::CpuExecContext& poolContext(int pool_id) const;
+
+    void chargeBins(std::vector<double>& bins, double start_s,
+                    double end_s, double weight);
+    size_t binIndex(double t) const
+    { return static_cast<size_t>(t / kBinSeconds); }
+
+    /** Per-bin resource utilizations (the finalize/power integrand). */
+    struct BinUtil
+    {
+        double cpu = 0.0;
+        double mem = 0.0;  ///< DRAM + NMP, clamped to 1
+        double gpu = 0.0;
+        double pcie = 0.0;
+        double nmp = 0.0;
+    };
+    BinUtil binUtil(size_t b, double mem_denom) const;
+
+    // ---- members --------------------------------------------------------
+    const PreparedWorkload& w_;
+    const SimOptions& opt_;
+    hw::CostModel cost_;
+    hw::PowerModel power_;
+    EventQueue eq_;
+
+    std::vector<QueryState> queries_;
+    std::vector<double> completion_times_;  ///< post-warmup, by finish
+    std::vector<Completion> completions_;   ///< all, when recording
+    size_t done_count_ = 0;                 ///< all retired queries
+
+    Pool cpu_pool_;    ///< model-based threads or SparseNet threads
+    Pool dense_pool_;  ///< CpuSdPipeline DenseNet threads
+    Pool host_pool_;   ///< hot-split cold-sparse helpers (batch level)
+
+    std::vector<GpuThread> gpu_threads_;
+    std::deque<Chunk> fusion_queue_;
+    std::deque<std::pair<size_t, Batch>> host_stage_queue_;
+    int host_stage_idle_ = 0;
+    double pcie_free_ = 0.0;
+
+    // pool_id: 0 = full graph, 1 = sparse, 2 = dense, 3 = cold sparse
+    std::unordered_map<int, ServiceMemoEntry> memo_[4];
+
+    // resource usage bins
+    static constexpr double kBinSeconds = 0.05;
+    std::vector<double> cpu_busy_s_;
+    std::vector<double> gpu_busy_s_;
+    std::vector<double> pcie_busy_s_;
+    std::vector<double> nmp_busy_s_;
+    std::vector<double> mem_bytes_;
+
+    PercentileTracker latency_ms_;
+    OnlineStats queue_ms_, host_ms_, load_ms_, exec_ms_;
+    double steady_start_ = 0.0;
+    double last_finish_ = 0.0;
+    size_t measured_completed_ = 0;
+
+    /** Oldest possibly-incomplete post-warmup query (abort check). */
+    size_t abort_scan_ = 0;
+    bool aborted_ = false;
+};
+
+}  // namespace hercules::sim

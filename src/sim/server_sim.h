@@ -41,6 +41,12 @@ struct SimOptions
      * result is returned with `aborted` set. 0 disables.
      */
     double abort_tail_ms = 0.0;
+    /**
+     * true: keep a per-query (arrival, finish) completion log on the
+     * ServerInstance. The cluster layer consumes it for per-interval
+     * tail statistics; the one-shot simulateServer() leaves it off.
+     */
+    bool record_completions = false;
 };
 
 /** Measurements of one simulation run (post-warmup steady window). */

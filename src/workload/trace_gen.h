@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timestamped arrival traces driven by a diurnal load curve: a
+ * non-homogeneous Poisson process whose instantaneous rate follows
+ * DiurnalLoad::loadAt, realized as piecewise-constant buckets (the
+ * Poisson process is memoryless, so re-drawing the rate at bucket
+ * boundaries is exact for a piecewise-constant intensity).
+ *
+ * Because a full day at production rates is billions of queries, the
+ * generator supports *time compression*: with compression factor c,
+ * one simulated second stands for c wall-clock seconds of the diurnal
+ * cycle. Instantaneous QPS — and therefore all queueing/latency
+ * dynamics — is unchanged; only the span of simulated time (and the
+ * query count) shrinks by c. Downstream interval lengths must be
+ * divided by the same factor (ClusterSim and cluster::serveTrace do
+ * this internally).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/diurnal.h"
+#include "workload/query.h"
+#include "workload/querygen.h"
+
+namespace hercules::workload {
+
+/** Options of one trace generation. */
+struct TraceOptions
+{
+    double horizon_hours = 24.0;   ///< wall-clock span of the trace
+    /** Rate-update granularity in wall-clock seconds. */
+    double bucket_seconds = 60.0;
+    /** Wall-clock seconds represented by one simulated second (>= 1). */
+    double time_compression = 1.0;
+    uint64_t seed = 42;            ///< equal seeds give identical traces
+    QuerySizeDist sizes{};
+    PoolingDist pooling{};
+};
+
+/**
+ * Generates one reproducible arrival trace over the configured horizon.
+ *
+ * Arrival timestamps are in *simulated* seconds: wall-clock time t maps
+ * to t / time_compression. Query sizes and pooling multipliers follow
+ * the same distributions as QueryGenerator.
+ */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param load the diurnal curve to follow (copied; the argument
+     *             need not outlive the generator).
+     * @param opt  trace options.
+     */
+    TraceGenerator(const DiurnalLoad& load, TraceOptions opt);
+
+    /** @return the full trace, sorted by arrival time. */
+    std::vector<Query> generate();
+
+    /** @return simulated span of the trace in seconds. */
+    double simSeconds() const;
+
+    /** @return the options. */
+    const TraceOptions& options() const { return opt_; }
+
+  private:
+    DiurnalLoad load_;
+    TraceOptions opt_;
+};
+
+}  // namespace hercules::workload

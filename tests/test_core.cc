@@ -95,8 +95,21 @@ TEST(EfficiencyTable, RankPerModelIndependent)
 TEST(EfficiencyTable, CsvRoundtrip)
 {
     EfficiencyTable t;
-    t.set(entry(ServerType::T2, ModelId::DlrmRmc1, 2500, 160));
-    t.set(entry(ServerType::T10, ModelId::Dien, 900, 380));
+    EfficiencyEntry a = entry(ServerType::T2, ModelId::DlrmRmc1, 2500,
+                              160);
+    a.config.mapping = sched::Mapping::CpuSdPipeline;
+    a.config.cpu_threads = 7;
+    a.config.cores_per_thread = 2;
+    a.config.dense_threads = 6;
+    a.config.batch = 64;
+    t.set(a);
+    EfficiencyEntry b = entry(ServerType::T10, ModelId::Dien, 900, 380);
+    b.config.mapping = sched::Mapping::GpuModelBased;
+    b.config.gpu_threads = 2;
+    b.config.fusion_limit = 4000;
+    b.config.cpu_threads = 1;
+    b.config.fuse_elementwise = false;
+    t.set(b);
     std::string path = ::testing::TempDir() + "/hercules_eff.csv";
     t.writeCsv(path);
     EfficiencyTable back = EfficiencyTable::readCsv(path);
@@ -106,7 +119,56 @@ TEST(EfficiencyTable, CsvRoundtrip)
     ASSERT_NE(e, nullptr);
     EXPECT_NEAR(e->qps, 900.0, 1e-6);
     EXPECT_NEAR(e->power_w, 380.0, 1e-6);
+    // The task-scheduling config must survive persistence: cached
+    // tuples are re-prepared and simulated by the serving layer.
+    EXPECT_EQ(e->config.key(), b.config.key());
+    EXPECT_EQ(back.get(ServerType::T2, ModelId::DlrmRmc1)->config.key(),
+              a.config.key());
     std::remove(path.c_str());
+}
+
+TEST(EfficiencyTable, StaleCacheIsRejectedNotMisread)
+{
+    // Caches from older builds stored config.str() ("cpu-model 10x2
+    // b128") instead of the canonical key; silently defaulting the
+    // config would under-provision every simulated shard.
+    std::string path = ::testing::TempDir() + "/hercules_stale.csv";
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fprintf(f, "server,model,feasible,qps,power_w,avg_power_w,"
+               "qps_per_watt,config\n");
+    fprintf(f, "T2,DLRM-RMC1,1,2500,160,128,19.5,cpu-model 10x2 b128\n");
+    fclose(f);
+    EXPECT_FALSE(EfficiencyTable::tryReadCsv(path).has_value());
+    EXPECT_DEATH(EfficiencyTable::readCsv(path), "older build");
+    std::remove(path.c_str());
+}
+
+TEST(EfficiencyTable, ConfigKeyRoundtrip)
+{
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::GpuSdPipeline;
+    cfg.cpu_threads = 9;
+    cfg.cores_per_thread = 3;
+    cfg.dense_threads = 0;
+    cfg.batch = 128;
+    cfg.gpu_threads = 4;
+    cfg.fusion_limit = 6000;
+    cfg.fuse_elementwise = false;
+    auto parsed = sched::SchedulingConfig::fromKey(cfg.key());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->key(), cfg.key());
+    EXPECT_FALSE(sched::SchedulingConfig::fromKey("").has_value());
+    EXPECT_FALSE(
+        sched::SchedulingConfig::fromKey("cpu-sd 7x2::6 b64").has_value());
+    EXPECT_FALSE(sched::SchedulingConfig::fromKey("m=1;t=4").has_value());
+    // Duplicate fields and negative counts are corruption, not configs.
+    EXPECT_FALSE(sched::SchedulingConfig::fromKey(
+                     "m=0;t=4;t=4;t=4;t=4;t=4;t=4;t=4")
+                     .has_value());
+    EXPECT_FALSE(sched::SchedulingConfig::fromKey(
+                     "m=0;t=-3;o=1;dt=0;b=64;g=0;f=0;fe=1")
+                     .has_value());
 }
 
 sched::SearchOptions

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Tests of the steppable ServerInstance extraction and the sharded
+ * ClusterSim layer: pinned bit-identity of simulateServer() against
+ * the pre-extraction engine, steppable == one-shot equivalence, the
+ * single-shard == single-server reduction, router policies, shard
+ * drain semantics and interval statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster_sim.h"
+#include "sim/server_instance.h"
+#include "sim/server_sim.h"
+#include "workload/trace_gen.h"
+
+namespace hercules::sim {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+using model::Variant;
+using sched::Mapping;
+using sched::SchedulingConfig;
+
+SchedulingConfig
+cpuConfig(int threads, int cores, int batch)
+{
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuModelBased;
+    cfg.cpu_threads = threads;
+    cfg.cores_per_thread = cores;
+    cfg.batch = batch;
+    return cfg;
+}
+
+SimOptions
+simOptions(double qps, int num = 300, int warmup = 60, uint64_t seed = 42)
+{
+    SimOptions opt;
+    opt.offered_qps = qps;
+    opt.num_queries = num;
+    opt.warmup_queries = warmup;
+    opt.seed = seed;
+    return opt;
+}
+
+/*
+ * Golden pins: the exact doubles the seed (pre-extraction) engine
+ * produced for these configurations, captured before the Engine ->
+ * ServerInstance refactor. simulateServer() must stay bit-identical.
+ */
+TEST(GoldenRegression, CpuModelBasedT2)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T2), m,
+                       cpuConfig(10, 2, 128), simOptions(900));
+    EXPECT_DOUBLE_EQ(r.p50_ms, 1.8006394491996285);
+    EXPECT_DOUBLE_EQ(r.p95_ms, 6.1824114217503006);
+    EXPECT_DOUBLE_EQ(r.p99_ms, 7.3477392831366171);
+    EXPECT_DOUBLE_EQ(r.mean_ms, 2.4701726061586564);
+    EXPECT_DOUBLE_EQ(r.max_ms, 9.6526226490849805);
+    EXPECT_DOUBLE_EQ(r.achieved_qps, 907.57325543601917);
+    EXPECT_DOUBLE_EQ(r.avg_power_w, 88.438990743100845);
+    EXPECT_DOUBLE_EQ(r.peak_power_w, 96.075934389152195);
+    EXPECT_DOUBLE_EQ(r.cpu_util, 0.22867826390913198);
+    EXPECT_DOUBLE_EQ(r.mem_bw_util, 0.23439906088237514);
+    EXPECT_DOUBLE_EQ(r.mean_exec_ms, 2.5469211491318027);
+    EXPECT_DOUBLE_EQ(r.duration_s, 0.2644414636091259);
+    EXPECT_EQ(r.completed, 240u);
+}
+
+TEST(GoldenRegression, CpuSdPipelineT3)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuSdPipeline;
+    cfg.cpu_threads = 6;
+    cfg.cores_per_thread = 2;
+    cfg.dense_threads = 4;
+    cfg.batch = 128;
+    ServerSimResult r = simulateServer(hw::serverSpec(ServerType::T3), m,
+                                       cfg, simOptions(800));
+    EXPECT_DOUBLE_EQ(r.p50_ms, 0.89373123135638721);
+    EXPECT_DOUBLE_EQ(r.p95_ms, 2.3668329380241993);
+    EXPECT_DOUBLE_EQ(r.p99_ms, 2.6818051606940507);
+    EXPECT_DOUBLE_EQ(r.achieved_qps, 819.75506953876788);
+    EXPECT_DOUBLE_EQ(r.avg_power_w, 97.681948174842432);
+    EXPECT_DOUBLE_EQ(r.nmp_util, 0.53207771947859461);
+}
+
+TEST(GoldenRegression, GpuModelBasedT7)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc3, Variant::Small);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuModelBased;
+    cfg.gpu_threads = 2;
+    cfg.fusion_limit = 2000;
+    cfg.cpu_threads = 2;
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T7), m, cfg,
+                       simOptions(2000, 300, 60, 7));
+    EXPECT_DOUBLE_EQ(r.p50_ms, 1.3190262719445685);
+    EXPECT_DOUBLE_EQ(r.p99_ms, 3.2457913951901842);
+    EXPECT_DOUBLE_EQ(r.achieved_qps, 1967.4381146015048);
+    EXPECT_DOUBLE_EQ(r.avg_power_w, 277.72357912608658);
+    EXPECT_DOUBLE_EQ(r.gpu_util, 0.63988257389371817);
+    EXPECT_DOUBLE_EQ(r.pcie_util, 0.71755661580941899);
+    EXPECT_DOUBLE_EQ(r.mean_load_ms, 0.58350784582252135);
+}
+
+TEST(GoldenRegression, GpuSdPipelineT7)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::GpuSdPipeline;
+    cfg.cpu_threads = 8;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    cfg.gpu_threads = 2;
+    cfg.fusion_limit = 2000;
+    ServerSimResult r =
+        simulateServer(hw::serverSpec(ServerType::T7), m, cfg,
+                       simOptions(1000, 300, 60, 11));
+    EXPECT_DOUBLE_EQ(r.p50_ms, 2.0196397176448224);
+    EXPECT_DOUBLE_EQ(r.p99_ms, 6.8220966668513512);
+    EXPECT_DOUBLE_EQ(r.achieved_qps, 979.77417776359505);
+    EXPECT_DOUBLE_EQ(r.avg_power_w, 175.665910699043);
+}
+
+TEST(GoldenRegression, SaturationAndAbortPaths)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg = cpuConfig(4, 1, 64);
+    SimOptions sat = simOptions(1.0, 250, 50);
+    sat.saturate = true;
+    ServerSimResult rs =
+        simulateServer(hw::serverSpec(ServerType::T2), m, cfg, sat);
+    EXPECT_DOUBLE_EQ(rs.p50_ms, 82.66321107067813);
+    EXPECT_DOUBLE_EQ(rs.achieved_qps, 1500.6867515350825);
+    EXPECT_EQ(rs.completed, 200u);
+
+    SimOptions ab = simOptions(5000.0, 250, 50);
+    ab.abort_tail_ms = 60.0;
+    ServerSimResult ra =
+        simulateServer(hw::serverSpec(ServerType::T2), m, cfg, ab);
+    EXPECT_TRUE(ra.aborted);
+    EXPECT_DOUBLE_EQ(ra.p50_ms, 30.041697998368313);
+    EXPECT_DOUBLE_EQ(ra.achieved_qps, 1506.9661807677887);
+    EXPECT_EQ(ra.completed, 130u);
+}
+
+/*
+ * The steppable contract: interleaving inject/advanceTo (the way a
+ * router drives a shard) produces exactly the one-shot results.
+ */
+TEST(ServerInstance, SteppableMatchesOneShot)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg = cpuConfig(10, 2, 128);
+    SimOptions opt = simOptions(900);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m, cfg);
+
+    ServerSimResult one_shot = simulateServer(w, opt);
+
+    workload::QueryGenerator gen(opt.offered_qps, opt.seed, opt.sizes,
+                                 opt.pooling);
+    ServerInstance inst(w, opt);
+    for (int i = 0; i < opt.num_queries; ++i) {
+        workload::Query q = gen.next();
+        inst.advanceTo(q.arrival_s);  // router-style interleaving
+        inst.inject(q);
+    }
+    inst.drain();
+    ServerSimResult stepped = inst.finalize();
+
+    EXPECT_DOUBLE_EQ(stepped.p50_ms, one_shot.p50_ms);
+    EXPECT_DOUBLE_EQ(stepped.p95_ms, one_shot.p95_ms);
+    EXPECT_DOUBLE_EQ(stepped.p99_ms, one_shot.p99_ms);
+    EXPECT_DOUBLE_EQ(stepped.mean_ms, one_shot.mean_ms);
+    EXPECT_DOUBLE_EQ(stepped.max_ms, one_shot.max_ms);
+    EXPECT_DOUBLE_EQ(stepped.achieved_qps, one_shot.achieved_qps);
+    EXPECT_DOUBLE_EQ(stepped.avg_power_w, one_shot.avg_power_w);
+    EXPECT_DOUBLE_EQ(stepped.peak_power_w, one_shot.peak_power_w);
+    EXPECT_DOUBLE_EQ(stepped.cpu_util, one_shot.cpu_util);
+    EXPECT_DOUBLE_EQ(stepped.mem_bw_util, one_shot.mem_bw_util);
+    EXPECT_EQ(stepped.completed, one_shot.completed);
+}
+
+TEST(ServerInstance, BookkeepingAndCompletions)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    SimOptions opt = simOptions(500, 100, 0);
+    opt.record_completions = true;
+    ServerInstance inst(w, opt);
+    workload::QueryGenerator gen(500, 3);
+    for (int i = 0; i < 100; ++i)
+        inst.inject(gen.next());
+    EXPECT_EQ(inst.injected(), 100u);
+    EXPECT_EQ(inst.outstanding(), 100u);
+    inst.drain();
+    EXPECT_EQ(inst.outstanding(), 0u);
+    EXPECT_EQ(inst.completedAll(), 100u);
+    ASSERT_EQ(inst.completions().size(), 100u);
+    double prev_finish = 0.0;
+    for (const auto& c : inst.completions()) {
+        EXPECT_GE(c.finish_s, c.arrival_s);
+        EXPECT_GE(c.finish_s, prev_finish);  // retired in finish order
+        prev_finish = c.finish_s;
+    }
+}
+
+/*
+ * Acceptance: a ClusterSim with one shard behind a round-robin router
+ * reproduces the single-server latency distribution for the same
+ * arrival trace, bit for bit.
+ */
+TEST(ClusterSim, OneShardRoundRobinMatchesSingleServer)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(10, 2, 128));
+
+    workload::DiurnalConfig dc;
+    dc.peak_qps = 600.0;
+    dc.trough_frac = 0.5;
+    dc.noise_frac = 0.0;
+    workload::DiurnalLoad load(dc);
+    workload::TraceOptions topt;
+    topt.horizon_hours = 0.004;  // ~14 simulated seconds
+    topt.bucket_seconds = 2.0;
+    topt.seed = 9;
+    std::vector<workload::Query> trace =
+        workload::TraceGenerator(load, topt).generate();
+    ASSERT_GT(trace.size(), 1000u);
+
+    SimOptions opt;
+    opt.warmup_queries = 0;
+    opt.record_completions = true;
+    ServerInstance solo(w, opt);
+    for (const workload::Query& q : trace)
+        solo.inject(q);
+    solo.drain();
+    ServerSimResult alone = solo.finalize();
+
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::RoundRobin;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    ClusterSimResult r = cluster.run(trace, 2.0);
+
+    EXPECT_EQ(r.injected, trace.size());
+    EXPECT_EQ(r.completed, static_cast<size_t>(alone.completed));
+    EXPECT_DOUBLE_EQ(r.p50_ms, alone.p50_ms);
+    EXPECT_DOUBLE_EQ(r.p95_ms, alone.p95_ms);
+    EXPECT_DOUBLE_EQ(r.p99_ms, alone.p99_ms);
+    EXPECT_DOUBLE_EQ(r.mean_ms, alone.mean_ms);
+    EXPECT_DOUBLE_EQ(r.max_ms, alone.max_ms);
+}
+
+std::vector<workload::Query>
+uniformTrace(size_t n, double gap_s, int size = 40)
+{
+    std::vector<workload::Query> trace(n);
+    for (size_t i = 0; i < n; ++i) {
+        trace[i].id = i;
+        trace[i].arrival_s = static_cast<double>(i + 1) * gap_s;
+        trace[i].size = size;
+        trace[i].pooling_scale = 1.0;
+    }
+    return trace;
+}
+
+TEST(Router, RoundRobinCyclesEvenly)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::RoundRobin;
+    ClusterSim cluster(copt);
+    for (int i = 0; i < 3; ++i)
+        cluster.addShard(w, 1000.0);
+    for (const auto& q : uniformTrace(30, 0.01))
+        cluster.route(q);
+    cluster.drainAll();
+    EXPECT_EQ(cluster.injectedPerShard(),
+              (std::vector<size_t>{10, 10, 10}));
+}
+
+TEST(Router, LeastOutstandingAvoidsBusyShard)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(1, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::LeastOutstanding;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    cluster.addShard(w, 1000.0);
+
+    workload::Query big;
+    big.arrival_s = 0.001;
+    big.size = 1000;  // long-running on a single thread
+    big.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(big), 0);  // ties break to the lowest id
+    workload::Query small;
+    small.arrival_s = 0.0011;
+    small.size = 10;
+    small.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(small), 1);  // shard 0 still busy
+    cluster.drainAll();
+}
+
+TEST(Router, HerculesWeightedFollowsTupleQps)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::HerculesWeighted;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 3000.0);
+    cluster.addShard(w, 1000.0);
+    for (const auto& q : uniformTrace(400, 0.002))
+        cluster.route(q);
+    cluster.drainAll();
+    const auto& per_shard = cluster.injectedPerShard();
+    // Smooth WRR: long-run share tracks weight / total (75% / 25%).
+    EXPECT_NEAR(static_cast<double>(per_shard[0]), 300.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(per_shard[1]), 100.0, 10.0);
+}
+
+TEST(Router, PowerOfTwoDeterministicPerSeed)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 1, 64));
+    auto run = [&](uint64_t seed) {
+        ClusterSim::Options copt;
+        copt.router = RouterPolicy::PowerOfTwo;
+        copt.router_seed = seed;
+        ClusterSim cluster(copt);
+        for (int i = 0; i < 4; ++i)
+            cluster.addShard(w, 1000.0);
+        for (const auto& q : uniformTrace(200, 0.005))
+            cluster.route(q);
+        cluster.drainAll();
+        return cluster.injectedPerShard();
+    };
+    auto a = run(21);
+    auto b = run(21);
+    EXPECT_EQ(a, b);
+    size_t used = 0;
+    for (size_t n : a)
+        if (n > 0)
+            ++used;
+    EXPECT_GE(used, 3u);  // spreads load across the fleet
+}
+
+TEST(ClusterSim, ReleasedShardDrainsBeforeGoingDark)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(2, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::RoundRobin;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    cluster.addShard(w, 1000.0);
+
+    for (const auto& q : uniformTrace(20, 0.001, 200))
+        cluster.route(q);
+    ASSERT_GT(cluster.outstanding(0), 0u);
+
+    cluster.setActive(0, false, 0.03);
+    EXPECT_FALSE(cluster.isActive(0));
+    EXPECT_FALSE(cluster.drained(0));  // still draining in-flight work
+
+    // New arrivals only reach the surviving shard.
+    size_t before = cluster.injectedPerShard()[0];
+    workload::Query late;
+    late.arrival_s = 0.031;
+    late.size = 10;
+    late.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(late), 1);
+    EXPECT_EQ(cluster.injectedPerShard()[0], before);
+
+    cluster.drainAll();
+    EXPECT_TRUE(cluster.drained(0));  // in-flight queries all retired
+    EXPECT_EQ(cluster.outstanding(0), 0u);
+}
+
+TEST(ClusterSim, DropsWhenNoShardActive)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(2, 1, 64));
+    ClusterSim cluster(ClusterSim::Options{});
+    cluster.addShard(w, 1000.0);
+    cluster.setActive(0, false, 0.0);
+    workload::Query q;
+    q.arrival_s = 0.001;
+    q.size = 10;
+    q.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(q), -1);
+    IntervalStats st = cluster.harvest(0.0, 0.01);
+    EXPECT_EQ(st.dropped, 1u);
+    EXPECT_EQ(st.arrivals, 0u);
+}
+
+TEST(ClusterSim, IntervalStatsAreConsistent)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::LeastOutstanding;
+    copt.sla_ms = 15.0;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    cluster.addShard(w, 1000.0);
+
+    std::vector<workload::Query> trace = uniformTrace(800, 0.002);
+    // Second half of the run keeps only shard 0 (exercises the plan
+    // path: release at an interval boundary, drain, stats continuity).
+    auto plan = [](int k, double) {
+        IntervalPlan p;
+        p.active = k < 2 ? std::vector<int>{0, 1} : std::vector<int>{0};
+        p.provisioned_power_w = k < 2 ? 300.0 : 150.0;
+        return p;
+    };
+    ClusterSimResult r = cluster.run(trace, 0.4, plan);
+
+    EXPECT_EQ(r.injected, 800u);
+    EXPECT_EQ(r.completed, 800u);
+    EXPECT_EQ(r.dropped, 0u);
+    size_t interval_completions = 0;
+    for (const IntervalStats& iv : r.intervals) {
+        interval_completions += iv.completions;
+        EXPECT_GE(iv.sla_violation_rate, 0.0);
+        EXPECT_LE(iv.sla_violation_rate, 1.0);
+        EXPECT_GE(iv.consumed_power_w, 0.0);
+        EXPECT_GE(iv.p99_ms, iv.p50_ms);
+    }
+    EXPECT_EQ(interval_completions, 800u);
+    ASSERT_GE(r.intervals.size(), 4u);
+    EXPECT_EQ(r.intervals[0].active_shards, 2);
+    EXPECT_EQ(r.intervals[2].active_shards, 1);
+    EXPECT_DOUBLE_EQ(r.intervals[0].provisioned_power_w, 300.0);
+    EXPECT_DOUBLE_EQ(r.intervals[2].provisioned_power_w, 150.0);
+    // Two active shards burn more power than one plus a drain tail.
+    EXPECT_GT(r.intervals[0].consumed_power_w, 0.0);
+    EXPECT_GT(r.peak_consumed_power_w,
+              r.intervals.back().consumed_power_w);
+}
+
+}  // namespace
+}  // namespace hercules::sim

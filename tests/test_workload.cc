@@ -14,6 +14,7 @@
 #include "workload/querygen.h"
 #include "model/partition.h"
 #include "workload/trace.h"
+#include "workload/trace_gen.h"
 
 namespace hercules::workload {
 namespace {
@@ -194,11 +195,157 @@ TEST(Diurnal, NoiseIsDeterministicPerSeed)
     EXPECT_DOUBLE_EQ(a.loadAt(3.21), b.loadAt(3.21));
 }
 
+TEST(Diurnal, SampleHorizonNotDivisibleByInterval)
+{
+    // 24h at 0.7h intervals: 34 full steps plus the 0.2h remainder's
+    // start point -> 35 samples, the last at t = 23.8h.
+    DiurnalLoad load(DiurnalConfig{});
+    auto s = load.sample(24.0, 0.7);
+    EXPECT_EQ(s.size(), 35u);
+    EXPECT_NEAR(s.back(), load.loadAt(23.8), load.loadAt(23.8) * 1e-9);
+}
+
+TEST(Diurnal, SampleZeroNoiseIsSeedIndependent)
+{
+    DiurnalConfig a, b;
+    a.noise_frac = b.noise_frac = 0.0;
+    a.seed = 1;
+    b.seed = 999;  // ripple phases differ but are multiplied by zero
+    auto sa = DiurnalLoad(a).sample(24.0, 0.25);
+    auto sb = DiurnalLoad(b).sample(24.0, 0.25);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i)
+        EXPECT_DOUBLE_EQ(sa[i], sb[i]) << "sample " << i;
+}
+
+TEST(Diurnal, SampleBeyondOneDayWrapsTheCycle)
+{
+    DiurnalLoad load(DiurnalConfig{});
+    auto s = load.sample(48.0, 0.5);
+    ASSERT_EQ(s.size(), 96u);
+    for (size_t i = 0; i < 48; ++i)
+        EXPECT_NEAR(s[i], s[i + 48], s[i] * 1e-9) << "sample " << i;
+}
+
 TEST(DiurnalDeath, BadConfig)
 {
     DiurnalConfig cfg;
     cfg.peak_qps = -1.0;
     EXPECT_DEATH(DiurnalLoad{cfg}, "non-positive");
+}
+
+TEST(TraceGen, FixedSeedGivesIdenticalTrace)
+{
+    DiurnalConfig dc;
+    dc.peak_qps = 2000.0;
+    DiurnalLoad load(dc);
+    TraceOptions opt;
+    opt.horizon_hours = 0.05;
+    opt.bucket_seconds = 10.0;
+    opt.seed = 13;
+    auto a = TraceGenerator(load, opt).generate();
+    auto b = TraceGenerator(load, opt).generate();
+    ASSERT_GT(a.size(), 100u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_DOUBLE_EQ(a[i].pooling_scale, b[i].pooling_scale);
+    }
+    opt.seed = 14;
+    auto c = TraceGenerator(load, opt).generate();
+    ASSERT_GT(c.size(), 0u);
+    // Different seed, different stream (counts may coincide; the
+    // continuous arrival times cannot).
+    EXPECT_NE(a[0].arrival_s, c[0].arrival_s);
+}
+
+TEST(TraceGen, ArrivalsMonotoneAndWithinHorizon)
+{
+    DiurnalConfig dc;
+    dc.peak_qps = 1500.0;
+    DiurnalLoad load(dc);
+    TraceOptions opt;
+    opt.horizon_hours = 0.1;
+    opt.seed = 17;
+    TraceGenerator gen(load, opt);
+    auto trace = gen.generate();
+    double prev = 0.0;
+    for (const Query& q : trace) {
+        EXPECT_GT(q.arrival_s, prev);
+        EXPECT_LT(q.arrival_s, gen.simSeconds());
+        EXPECT_GE(q.size, opt.sizes.min_size);
+        EXPECT_LE(q.size, opt.sizes.max_size);
+        prev = q.arrival_s;
+    }
+}
+
+TEST(TraceGen, ArrivalCountsTrackTheLoadCurve)
+{
+    // Per-window arrival counts must match loadAt within Poisson
+    // tolerance across a window where the curve swings substantially.
+    DiurnalConfig dc;
+    dc.peak_qps = 60.0;
+    dc.trough_frac = 0.3;
+    dc.peak_hour = 1.0;  // swing inside the sampled 2h
+    dc.noise_frac = 0.0;
+    DiurnalLoad load(dc);
+    TraceOptions opt;
+    opt.horizon_hours = 2.0;
+    opt.bucket_seconds = 60.0;
+    opt.seed = 29;
+    auto trace = TraceGenerator(load, opt).generate();
+
+    const double window_s = 720.0;  // 0.2h
+    std::vector<size_t> counts(10, 0);
+    for (const Query& q : trace)
+        ++counts[std::min<size_t>(
+            static_cast<size_t>(q.arrival_s / window_s), 9)];
+    for (size_t wdx = 0; wdx < counts.size(); ++wdx) {
+        double mid_hours = (wdx + 0.5) * window_s / 3600.0;
+        double expected = load.loadAt(mid_hours) * window_s;
+        EXPECT_NEAR(static_cast<double>(counts[wdx]), expected,
+                    5.0 * std::sqrt(expected) + 10.0)
+            << "window " << wdx;
+    }
+}
+
+TEST(TraceGen, TimeCompressionPreservesInstantaneousRate)
+{
+    DiurnalConfig dc;
+    dc.peak_qps = 1000.0;
+    dc.noise_frac = 0.0;
+    DiurnalLoad load(dc);
+    TraceOptions opt;
+    opt.horizon_hours = 1.0;
+    opt.seed = 31;
+    TraceGenerator plain(load, opt);
+    auto full = plain.generate();
+    opt.time_compression = 4.0;
+    TraceGenerator compressed(load, opt);
+    auto quarter = compressed.generate();
+    // A quarter of the simulated span and query count...
+    EXPECT_DOUBLE_EQ(compressed.simSeconds(), plain.simSeconds() / 4.0);
+    EXPECT_NEAR(static_cast<double>(quarter.size()),
+                static_cast<double>(full.size()) / 4.0,
+                static_cast<double>(full.size()) * 0.05);
+    // ...at an unchanged arrival rate.
+    double rate_full =
+        static_cast<double>(full.size()) / plain.simSeconds();
+    double rate_quarter =
+        static_cast<double>(quarter.size()) / compressed.simSeconds();
+    EXPECT_NEAR(rate_quarter, rate_full, rate_full * 0.05);
+}
+
+TEST(TraceGenDeath, BadOptions)
+{
+    DiurnalLoad load(DiurnalConfig{});
+    TraceOptions opt;
+    opt.horizon_hours = 0.0;
+    EXPECT_DEATH(TraceGenerator(load, opt), "horizon");
+    opt.horizon_hours = 1.0;
+    opt.time_compression = 0.5;
+    EXPECT_DEATH(TraceGenerator(load, opt), "compression");
 }
 
 TEST(Trace, GeneratesPerTableCounts)
