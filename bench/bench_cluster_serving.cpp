@@ -219,32 +219,7 @@ main()
                          s.avg_consumed_power_w);
             std::fprintf(f, "      \"reprovisions\": %d,\n",
                          c.r.reprovisions);
-            auto arr = [&](const char* key, auto get, int prec,
-                           bool last) {
-                std::fprintf(f, "      \"%s\": [", key);
-                for (size_t k = 0; k < s.intervals.size(); ++k)
-                    std::fprintf(f, "%s%.*f", k ? ", " : "", prec,
-                                 get(s.intervals[k]));
-                std::fprintf(f, "]%s\n", last ? "" : ",");
-            };
-            arr("interval_p99_ms",
-                [](const sim::IntervalStats& iv) { return iv.p99_ms; },
-                3, false);
-            arr("interval_sla_violation_rate",
-                [](const sim::IntervalStats& iv) {
-                    return iv.sla_violation_rate;
-                },
-                5, false);
-            arr("interval_provisioned_power_w",
-                [](const sim::IntervalStats& iv) {
-                    return iv.provisioned_power_w;
-                },
-                1, false);
-            arr("interval_consumed_power_w",
-                [](const sim::IntervalStats& iv) {
-                    return iv.consumed_power_w;
-                },
-                1, true);
+            bench::writeIntervalArrays(f, s.intervals);
             std::fprintf(f, "    }%s\n",
                          i + 1 < results.size() ? "," : "");
         }

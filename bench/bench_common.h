@@ -120,8 +120,49 @@ banner(const char* experiment, const char* what)
 
 #include "cluster/evolution.h"
 #include "core/efficiency_table.h"
+#include "sim/cluster_sim.h"
 
 namespace hercules::bench {
+
+/**
+ * Emit the per-interval trajectory arrays every serving bench's JSON
+ * carries (p99, SLA-violation rate, dropped arrivals, provisioned and
+ * consumed power), comma-terminated except the last. Keeps the
+ * BENCH_*.json schemas of the cluster benches in lockstep.
+ */
+inline void
+writeIntervalArrays(FILE* f, const std::vector<sim::IntervalStats>& ivs)
+{
+    auto arr = [&](const char* key, auto get, int prec, bool last) {
+        std::fprintf(f, "      \"%s\": [", key);
+        for (size_t k = 0; k < ivs.size(); ++k)
+            std::fprintf(f, "%s%.*f", k ? ", " : "", prec, get(ivs[k]));
+        std::fprintf(f, "]%s\n", last ? "" : ",");
+    };
+    arr("interval_p99_ms",
+        [](const sim::IntervalStats& iv) { return iv.p99_ms; }, 3,
+        false);
+    arr("interval_sla_violation_rate",
+        [](const sim::IntervalStats& iv) {
+            return iv.sla_violation_rate;
+        },
+        5, false);
+    arr("interval_dropped",
+        [](const sim::IntervalStats& iv) {
+            return static_cast<double>(iv.dropped);
+        },
+        0, false);
+    arr("interval_provisioned_power_w",
+        [](const sim::IntervalStats& iv) {
+            return iv.provisioned_power_w;
+        },
+        1, false);
+    arr("interval_consumed_power_w",
+        [](const sim::IntervalStats& iv) {
+            return iv.consumed_power_w;
+        },
+        1, true);
+}
 
 /**
  * Load a cached efficiency table if the file exists and parses

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Multi-service co-serving on a shared heterogeneous fleet: 2–3
+ * recommendation services with phase-shifted diurnal peaks replayed
+ * end to end (every query flows through a simulated shard) across a
+ * T2+T3+T7 fleet, comparing
+ *
+ *  - JOINT:     one shared fleet, the multi-model ProvisionProblem
+ *               solved jointly every interval (cluster::serveTraces);
+ *  - PARTITION: per-service static partitions — each service gets a
+ *               dedicated slice of the fleet sized for its own peak
+ *               (greedy best-QPS/W types first), always on, no
+ *               cross-service sharing.
+ *
+ * The gate: joint provisioning must use no more average provisioned
+ * power than the static partitions at an equal-or-lower SLA-violation
+ * rate — the Hercules premise that sharing a heterogeneity-aware
+ * fleet across phase-shifted services beats static silos.
+ *
+ * Results land in BENCH_multiservice.json (per-service aggregates and
+ * per-interval trajectories, dropped arrivals included).
+ *
+ * Fast mode (HERCULES_BENCH_FAST=1): 2 services on T2+T3, 3h horizon.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/serving.h"
+#include "core/profiler.h"
+#include "sim/prepared.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+core::EfficiencyTable
+loadOrProfile(const std::vector<hw::ServerType>& fleet,
+              const std::vector<model::ModelId>& models)
+{
+    std::string cache = bench::fastMode()
+                            ? "hercules_efficiency_multiservice_fast.csv"
+                            : "hercules_efficiency_multiservice.csv";
+    if (auto cached = bench::tryLoadCachedTable(cache))
+        return *cached;
+    std::printf("profiling the shard fleet (%zu types x %zu models)"
+                "...\n\n",
+                fleet.size(), models.size());
+    core::ProfilerOptions popt;
+    popt.search = bench::benchSearchOptions();
+    popt.servers = fleet;
+    popt.models = models;
+    core::EfficiencyTable t = core::offlineProfile(popt);
+    t.writeCsv(cache);
+    return t;
+}
+
+/** Aggregate view of one scenario (joint run or summed partitions). */
+struct ScenarioResult
+{
+    double avg_provisioned_w = 0.0;
+    double avg_consumed_w = 0.0;
+    size_t completed = 0;
+    size_t dropped = 0;
+    size_t sla_violations = 0;
+    double sla_violation_rate = 0.0;
+    double p99_ms = 0.0;
+    double wall_ms = 0.0;
+    std::vector<sim::ServiceRunStats> services;
+    std::vector<sim::IntervalStats> intervals;
+};
+
+void
+printScenario(const char* name, const ScenarioResult& r,
+              const std::vector<cluster::ServiceSpec>& services)
+{
+    std::printf("%s:\n", name);
+    TablePrinter t({"Service", "Completed", "Dropped", "p50 (ms)",
+                    "p99 (ms)", "SLA (ms)", "SLA viol"});
+    for (size_t s = 0; s < r.services.size(); ++s) {
+        const sim::ServiceRunStats& svc = r.services[s];
+        t.addRow({model::modelName(services[s].model),
+                  std::to_string(svc.completed),
+                  std::to_string(svc.dropped),
+                  fmtDouble(svc.p50_ms, 2), fmtDouble(svc.p99_ms, 2),
+                  fmtDouble(svc.sla_ms, 0),
+                  fmtPercent(svc.sla_violation_rate, 2)});
+    }
+    t.print();
+    std::printf("  avg power %.3f kW provisioned / %.3f kW consumed, "
+                "violation rate %.2f%%, p99 %.2f ms, wall %.0f ms\n\n",
+                r.avg_provisioned_w / 1e3, r.avg_consumed_w / 1e3,
+                r.sla_violation_rate * 100.0, r.p99_ms, r.wall_ms);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Multi-service co-serving",
+                  "Phase-shifted services on one shared heterogeneous "
+                  "fleet: joint provisioning vs static partitions");
+
+    const bool fast = bench::fastMode();
+    const std::vector<hw::ServerType> fleet =
+        fast ? std::vector<hw::ServerType>{hw::ServerType::T2,
+                                           hw::ServerType::T3}
+             : std::vector<hw::ServerType>{hw::ServerType::T2,
+                                           hw::ServerType::T3,
+                                           hw::ServerType::T7};
+    const std::vector<int> slots = fast ? std::vector<int>{2, 1}
+                                        : std::vector<int>{2, 2, 1};
+    std::vector<model::ModelId> model_ids =
+        fast ? std::vector<model::ModelId>{model::ModelId::DlrmRmc1,
+                                           model::ModelId::DlrmRmc2}
+             : std::vector<model::ModelId>{model::ModelId::DlrmRmc1,
+                                           model::ModelId::DlrmRmc2,
+                                           model::ModelId::DlrmRmc3};
+
+    core::EfficiencyTable table = loadOrProfile(fleet, model_ids);
+
+    // Per-service full-fleet capacity (every slot serving only it).
+    const size_t S = model_ids.size();
+    std::vector<double> capacity(S, 0.0);
+    for (size_t s = 0; s < S; ++s) {
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            const core::EfficiencyEntry* e =
+                table.get(fleet[h], model_ids[s]);
+            if (e != nullptr && e->feasible)
+                capacity[s] += slots[h] * e->qps;
+        }
+        std::printf("%s: %.0f QPS full-fleet capacity, SLA %.0f ms\n",
+                    model::modelName(model_ids[s]), capacity[s],
+                    model::buildModel(model_ids[s]).sla_ms);
+        if (capacity[s] <= 0.0) {
+            std::printf("service infeasible on this fleet — abort\n");
+            return 1;
+        }
+    }
+
+    // Phase-shifted diurnal peaks: the whole point of co-serving is
+    // that one service's peak rides the others' troughs. Peaks are
+    // sized so the *sum* of instantaneous loads stays within what the
+    // shared fleet can serve.
+    cluster::TraceServeOptions opt;
+    opt.horizon_hours = fast ? 3.0 : 24.0;
+    opt.interval_hours = 0.5;
+    opt.trace.time_compression = fast ? 960.0 : 480.0;
+    opt.trace.seed = 42;
+
+    // Peaks sized so static per-service partitions remain *feasible*
+    // on the 5-slot fleet (the baseline must not be a starved
+    // strawman): joint provisioning then wins on power by riding the
+    // phase offsets, not because a silo collapses.
+    std::vector<cluster::ServiceSpec> services(S);
+    for (size_t s = 0; s < S; ++s) {
+        // RMC2's full-fleet capacity is an order of magnitude below
+        // the others'; at an equal fraction its single-shard
+        // utilization runs hot and the tail comparison drowns in its
+        // queueing noise. Keep the small service lighter.
+        double peak_frac = fast ? 0.40 : 0.18;
+        if (!fast && model_ids[s] == model::ModelId::DlrmRmc2) {
+            peak_frac = 0.12;
+            // The small filtering-style service also ranks fewer
+            // candidates per query (per-service size spreads, Fig
+            // 2(b)): without this its rare giant queries exceed the
+            // 50 ms SLA on a weak shard by execution time alone, and
+            // no provisioning headroom can fix execution time.
+            services[s].sizes.sigma = 0.7;
+            services[s].sizes.max_size = 300;
+        }
+        services[s].model = model_ids[s];
+        services[s].load.peak_qps = peak_frac * capacity[s];
+        services[s].load.trough_frac = 0.35;
+        // Offset peaks evenly across the horizon (fast mode keeps all
+        // peaks inside its short window).
+        services[s].load.peak_hour =
+            fast ? 0.75 + 1.5 * static_cast<double>(s)
+                 : 20.0 - 8.0 * static_cast<double>(s);
+        services[s].load.seed = 5 + s;
+    }
+
+    std::printf("\nhorizon %.0fh, interval %.1fh, compression %.0fx, "
+                "%zu services, peaks at",
+                opt.horizon_hours, opt.interval_hours,
+                opt.trace.time_compression, S);
+    for (size_t s = 0; s < S; ++s)
+        std::printf(" %.1fh", services[s].load.peak_hour);
+    std::printf("\n\n");
+
+    cluster::HerculesProvisioner provisioner;
+
+    // Over-provision rate R: the curves' max inter-interval ramp plus
+    // tail headroom — the efficiency-tuple QPS is *latency-bounded*,
+    // so provisioning coverage at exactly load*(1+ramp) would run
+    // shards at the edge of their SLA. Both scenarios use the same R.
+    const double kTailHeadroom = 0.15;
+    double r_est = 0.0;
+    for (size_t s = 0; s < S; ++s)
+        r_est = std::max(
+            r_est, cluster::estimateOverprovisionRate(
+                       workload::DiurnalLoad(services[s].load),
+                       opt.interval_hours, opt.horizon_hours));
+    if (!fast) {
+        // The fast smoke's 3h window never leaves the peak region; the
+        // extra headroom only reshuffles its LP assignment. Keep the
+        // internal ramp estimate there.
+        opt.overprovision_rate = r_est + kTailHeadroom;
+        std::printf("over-provision rate R = %.1f%% (%.1f%% ramp + "
+                    "%.0f%% tail headroom)\n\n",
+                    opt.overprovision_rate * 100.0, r_est * 100.0,
+                    kTailHeadroom * 100.0);
+    }
+
+    // ---- scenario 1: shared fleet, joint provisioning -----------------
+    Clock::time_point t0 = Clock::now();
+    cluster::MultiServeResult joint = cluster::serveTraces(
+        table, fleet, slots, services, provisioner, opt);
+    ScenarioResult jr;
+    jr.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    jr.avg_provisioned_w = joint.sim.avg_provisioned_power_w;
+    jr.avg_consumed_w = joint.sim.avg_consumed_power_w;
+    jr.completed = joint.sim.completed;
+    jr.dropped = joint.sim.dropped;
+    jr.sla_violations = joint.sim.sla_violations;
+    jr.sla_violation_rate = joint.sim.sla_violation_rate;
+    jr.p99_ms = joint.sim.p99_ms;
+    jr.services = joint.sim.services;
+    jr.intervals = joint.sim.intervals;
+    printScenario("JOINT (shared fleet)", jr, services);
+
+    // ---- scenario 2: static per-service partitions --------------------
+    // Each service gets a dedicated, always-on slice sized for its own
+    // peak * (1 + R): greedily the best remaining QPS/W types. The
+    // merged trace is replayed per partition (each service sees exactly
+    // the arrivals it saw in the joint run).
+    workload::TraceOptions topt = opt.trace;
+    topt.horizon_hours = opt.horizon_hours;
+    std::vector<workload::ServiceTraceSpec> trace_specs(S);
+    for (size_t s = 0; s < S; ++s) {
+        trace_specs[s].load = services[s].load;
+        trace_specs[s].sizes = services[s].sizes;
+        trace_specs[s].pooling = services[s].pooling;
+    }
+    std::vector<workload::Query> merged =
+        workload::generateMultiServiceTrace(trace_specs, topt);
+    const double interval_s =
+        opt.interval_hours * 3600.0 / topt.time_compression;
+    const double horizon_s =
+        opt.horizon_hours * 3600.0 / topt.time_compression;
+
+    t0 = Clock::now();
+    std::vector<int> remaining = slots;
+    std::vector<model::Model> models;
+    models.reserve(S);
+    for (size_t s = 0; s < S; ++s)
+        models.push_back(model::buildModel(model_ids[s]));
+
+    ScenarioResult pr;
+    pr.services.resize(S);
+    double static_prov_w = 0.0;
+    size_t static_denom = 0;
+    OnlineStats static_p99;
+    // Partition sizing, two passes so a scarce fleet still gives every
+    // silo at least one server: (1) each service claims one server of
+    // its best QPS/W type; (2) greedy top-up, best types first, until
+    // the service's peak * (1 + R) is covered or slots run out.
+    std::vector<std::vector<size_t>> type_order(S);
+    std::vector<std::vector<int>> takes(S,
+                                        std::vector<int>(fleet.size(), 0));
+    for (size_t s = 0; s < S; ++s) {
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            const core::EfficiencyEntry* e =
+                table.get(fleet[h], model_ids[s]);
+            if (e != nullptr && e->feasible)
+                type_order[s].push_back(h);
+        }
+        std::stable_sort(type_order[s].begin(), type_order[s].end(),
+                         [&](size_t a, size_t b) {
+                             const auto* ea =
+                                 table.get(fleet[a], model_ids[s]);
+                             const auto* eb =
+                                 table.get(fleet[b], model_ids[s]);
+                             return ea->qps / std::max(ea->power_w, 1e-9) >
+                                    eb->qps / std::max(eb->power_w, 1e-9);
+                         });
+        for (size_t h : type_order[s]) {
+            if (remaining[h] > 0) {
+                ++takes[s][h];
+                --remaining[h];
+                break;
+            }
+        }
+    }
+    for (size_t s = 0; s < S; ++s) {
+        double part_r = opt.overprovision_rate >= 0.0
+                            ? opt.overprovision_rate
+                            : joint.service_r[s];
+        double target =
+            services[s].load.peak_qps * (1.0 + part_r);
+        std::vector<int>& take = takes[s];
+        double covered = 0.0, part_power = 0.0;
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            const auto* e = table.get(fleet[h], model_ids[s]);
+            if (take[h] > 0) {
+                covered += take[h] * e->qps;
+                part_power += take[h] * e->power_w;
+            }
+        }
+        for (size_t h : type_order[s]) {
+            const auto* e = table.get(fleet[h], model_ids[s]);
+            while (covered < target && remaining[h] > 0) {
+                ++take[h];
+                --remaining[h];
+                covered += e->qps;
+                part_power += e->power_w;
+            }
+        }
+
+        sim::ClusterSim::Options copt;
+        copt.router = opt.router;
+        copt.router_seed = opt.router_seed;
+        copt.sla_ms = opt.sla_ms;
+        copt.service_sla_ms.assign(s + 1, 0.0);
+        copt.service_sla_ms[s] = models[s].sla_ms;
+        sim::ClusterSim part(copt);
+        part.declareServices(static_cast<int>(s) + 1);
+        std::vector<sim::PreparedWorkload> prepared;
+        prepared.reserve(fleet.size());
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            if (take[h] <= 0)
+                continue;
+            const auto* e = table.get(fleet[h], model_ids[s]);
+            prepared.push_back(sim::prepare(hw::serverSpec(fleet[h]),
+                                            models[s], e->config));
+            for (int i = 0; i < take[h]; ++i)
+                part.addShard(prepared.back(), e->qps,
+                              static_cast<int>(s));
+        }
+
+        std::vector<workload::Query> sub;
+        for (const workload::Query& q : merged)
+            if (q.service_id == static_cast<int>(s))
+                sub.push_back(q);
+
+        // Static partition: every shard always on, constant power.
+        std::vector<int> all_ids(part.numShards());
+        for (size_t i = 0; i < all_ids.size(); ++i)
+            all_ids[i] = static_cast<int>(i);
+        auto static_plan = [&](int, double) {
+            sim::IntervalPlan pl;
+            pl.active = all_ids;
+            pl.provisioned_power_w = part_power;
+            return pl;
+        };
+        sim::ClusterSimResult rr =
+            part.run(sub, interval_s, static_plan, horizon_s);
+
+        // Fold this partition's trajectory into the combined one (the
+        // partitions share the interval grid; drain tails may differ).
+        if (pr.intervals.size() < rr.intervals.size())
+            pr.intervals.resize(rr.intervals.size());
+        for (size_t k = 0; k < rr.intervals.size(); ++k) {
+            sim::IntervalStats& acc = pr.intervals[k];
+            const sim::IntervalStats& iv = rr.intervals[k];
+            acc.t0_s = iv.t0_s;
+            acc.t1_s = std::max(acc.t1_s, iv.t1_s);
+            acc.arrivals += iv.arrivals;
+            acc.completions += iv.completions;
+            acc.dropped += iv.dropped;
+            acc.sla_violations += iv.sla_violations;
+            acc.p99_ms = std::max(acc.p99_ms, iv.p99_ms);
+            acc.provisioned_power_w += iv.provisioned_power_w;
+            acc.consumed_power_w += iv.consumed_power_w;
+            size_t d = acc.completions + acc.dropped;
+            acc.sla_violation_rate =
+                d > 0 ? static_cast<double>(acc.sla_violations) /
+                            static_cast<double>(d)
+                      : 0.0;
+        }
+
+        pr.services[s] = rr.services[static_cast<size_t>(s)];
+        pr.completed += rr.completed;
+        pr.dropped += rr.dropped;
+        pr.sla_violations += rr.sla_violations;
+        static_denom += rr.completed + rr.dropped;
+        static_prov_w += rr.avg_provisioned_power_w;
+        pr.avg_consumed_w += rr.avg_consumed_power_w;
+        static_p99.add(rr.p99_ms);
+        std::printf("  partition %s:", model::modelName(model_ids[s]));
+        for (size_t h = 0; h < fleet.size(); ++h)
+            if (take[h] > 0)
+                std::printf(" %s x%d", hw::serverTypeName(fleet[h]),
+                            take[h]);
+        std::printf("  (%.0f QPS for %.0f target, %.0f W)\n", covered,
+                    target, part_power);
+    }
+    std::printf("\n");
+    pr.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    pr.avg_provisioned_w = static_prov_w;
+    pr.sla_violation_rate =
+        static_denom > 0
+            ? static_cast<double>(pr.sla_violations) /
+                  static_cast<double>(static_denom)
+            : 0.0;
+    pr.p99_ms = static_p99.max();
+    printScenario("PARTITION (static per-service silos)", pr, services);
+
+    // ---- the co-serving gate ------------------------------------------
+    bool power_ok =
+        jr.avg_provisioned_w <= pr.avg_provisioned_w + 1e-6;
+    bool sla_ok =
+        jr.sla_violation_rate <= pr.sla_violation_rate + 1e-12;
+    bool ok = power_ok && sla_ok;
+    std::printf("joint vs static partitions: %s (power %.3f vs %.3f "
+                "kW, violations %.3f%% vs %.3f%%)\n",
+                ok ? "DOMINATES" : "FAIL",
+                jr.avg_provisioned_w / 1e3, pr.avg_provisioned_w / 1e3,
+                jr.sla_violation_rate * 100.0,
+                pr.sla_violation_rate * 100.0);
+
+    // ---- JSON trajectory ----------------------------------------------
+    FILE* f = std::fopen("BENCH_multiservice.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n");
+        bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
+                     opt.horizon_hours);
+        std::fprintf(f, "  \"interval_hours\": %.2f,\n",
+                     opt.interval_hours);
+        std::fprintf(f, "  \"time_compression\": %.0f,\n",
+                     opt.trace.time_compression);
+        std::fprintf(f, "  \"num_services\": %zu,\n", S);
+        std::fprintf(f, "  \"joint_dominates_partitions\": %s,\n",
+                     ok ? "true" : "false");
+        std::fprintf(f, "  \"services\": [\n");
+        for (size_t s = 0; s < S; ++s) {
+            std::fprintf(
+                f,
+                "    {\"model\": \"%s\", \"peak_qps\": %.1f, "
+                "\"peak_hour\": %.2f, \"sla_ms\": %.2f, "
+                "\"capacity_qps\": %.1f, \"estimated_r\": %.4f}%s\n",
+                model::modelName(model_ids[s]),
+                services[s].load.peak_qps, services[s].load.peak_hour,
+                joint.service_sla_ms[s], capacity[s],
+                joint.service_r[s], s + 1 < S ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        auto scenario = [&](const char* name, const ScenarioResult& r,
+                            bool last) {
+            std::fprintf(f, "  \"%s\": {\n", name);
+            std::fprintf(f, "      \"avg_provisioned_power_w\": %.2f,\n",
+                         r.avg_provisioned_w);
+            std::fprintf(f, "      \"avg_consumed_power_w\": %.2f,\n",
+                         r.avg_consumed_w);
+            std::fprintf(f, "      \"completed\": %zu,\n", r.completed);
+            std::fprintf(f, "      \"dropped\": %zu,\n", r.dropped);
+            std::fprintf(f, "      \"sla_violations\": %zu,\n",
+                         r.sla_violations);
+            std::fprintf(f, "      \"sla_violation_rate\": %.6f,\n",
+                         r.sla_violation_rate);
+            std::fprintf(f, "      \"p99_ms\": %.4f,\n", r.p99_ms);
+            std::fprintf(f, "      \"wall_ms\": %.1f,\n", r.wall_ms);
+            std::fprintf(f, "      \"per_service\": [\n");
+            for (size_t s = 0; s < r.services.size(); ++s) {
+                const sim::ServiceRunStats& svc = r.services[s];
+                std::fprintf(
+                    f,
+                    "        {\"model\": \"%s\", \"completed\": %zu, "
+                    "\"dropped\": %zu, \"p50_ms\": %.4f, "
+                    "\"p99_ms\": %.4f, \"sla_violation_rate\": "
+                    "%.6f}%s\n",
+                    model::modelName(model_ids[s]), svc.completed,
+                    svc.dropped, svc.p50_ms, svc.p99_ms,
+                    svc.sla_violation_rate,
+                    s + 1 < r.services.size() ? "," : "");
+            }
+            std::fprintf(f, "      ],\n");
+            bench::writeIntervalArrays(f, r.intervals);
+            std::fprintf(f, "  }%s\n", last ? "" : ",");
+        };
+        scenario("joint", jr, false);
+        scenario("partition", pr, true);
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("\nwrote BENCH_multiservice.json\n");
+    }
+
+    return ok ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "cluster/cluster_manager.h"
 #include "sim/prepared.h"
@@ -9,118 +10,228 @@
 
 namespace hercules::cluster {
 
-TraceServeResult
-serveTrace(const core::EfficiencyTable& table,
-           const std::vector<hw::ServerType>& fleet,
-           const std::vector<int>& shard_slots, model::ModelId model_id,
-           const workload::DiurnalConfig& load_cfg, Provisioner& policy,
-           const TraceServeOptions& opt)
+namespace {
+
+/**
+ * The least energy-efficient still-active (type, service) pair in
+ * `counts` — the next shedding victim — optionally restricted to one
+ * server type. A zero-power pair reclaims nothing when shed: it is
+ * treated as infinitely efficient, never the victim. Returns
+ * {-1, -1} when nothing is active.
+ */
+std::pair<int, int>
+worstActivePair(const ProvisionProblem& problem,
+                const std::vector<std::vector<int>>& counts,
+                int only_h = -1)
+{
+    int worst_h = -1, worst_m = -1;
+    double worst_qpw = 0.0;
+    for (int h = 0; h < problem.numServers(); ++h) {
+        if (only_h >= 0 && h != only_h)
+            continue;
+        for (int m = 0; m < problem.numModels(); ++m) {
+            if (counts[static_cast<size_t>(h)]
+                      [static_cast<size_t>(m)] <= 0)
+                continue;
+            const PairPerf& perf = problem.perf(h, m);
+            double qpw = perf.power_w > 0.0
+                             ? perf.qps / perf.power_w
+                             : std::numeric_limits<double>::infinity();
+            if (worst_h < 0 || qpw < worst_qpw) {
+                worst_h = h;
+                worst_m = m;
+                worst_qpw = qpw;
+            }
+        }
+    }
+    return {worst_h, worst_m};
+}
+
+}  // namespace
+
+bool
+shedToPowerCap(const ProvisionProblem& problem,
+               std::vector<std::vector<int>>& counts, double cap_w,
+               double* power_w)
+{
+    double power = 0.0;
+    for (int h = 0; h < problem.numServers(); ++h)
+        for (int m = 0; m < problem.numModels(); ++m)
+            power += counts[static_cast<size_t>(h)]
+                           [static_cast<size_t>(m)] *
+                     problem.perf(h, m).power_w;
+
+    bool shed = false;
+    // Shed the least energy-efficient (type, service) pair first: it
+    // contributes the fewest queries per watt reclaimed.
+    while (power > cap_w) {
+        auto [worst_h, worst_m] = worstActivePair(problem, counts);
+        if (worst_h < 0)
+            break;
+        --counts[static_cast<size_t>(worst_h)]
+                [static_cast<size_t>(worst_m)];
+        power -= problem.perf(worst_h, worst_m).power_w;
+        shed = true;
+    }
+    if (power_w != nullptr)
+        *power_w = power;
+    return shed;
+}
+
+MultiServeResult
+serveTraces(const core::EfficiencyTable& table,
+            const std::vector<hw::ServerType>& fleet,
+            const std::vector<int>& shard_slots,
+            const std::vector<ServiceSpec>& services, Provisioner& policy,
+            const TraceServeOptions& opt)
 {
     if (fleet.size() != shard_slots.size())
-        fatal("serveTrace: %zu fleet types but %zu slot counts",
+        fatal("serveTraces: %zu fleet types but %zu slot counts",
               fleet.size(), shard_slots.size());
+    if (services.empty())
+        fatal("serveTraces: no services");
     if (opt.horizon_hours <= 0.0 || opt.interval_hours <= 0.0)
-        fatal("serveTrace: non-positive horizon/interval");
+        fatal("serveTraces: non-positive horizon/interval");
 
-    model::Model m = model::buildModel(model_id);
+    const size_t S = services.size();
+    // Shard instances keep pointers into these: both vectors are sized
+    // up front and must not reallocate once shards exist.
+    std::vector<model::Model> models;
+    models.reserve(S);
+    std::vector<model::ModelId> model_ids;
+    for (const ServiceSpec& spec : services) {
+        models.push_back(model::buildModel(spec.model));
+        model_ids.push_back(spec.model);
+    }
 
-    // ---- build the shard fleet ----------------------------------------
-    // One prepared placement per feasible type (the tuple's optimal
-    // config), shared by that type's shards. The vector is sized up
-    // front: ServerInstance keeps a reference into it.
-    std::vector<sim::PreparedWorkload> prepared;
-    prepared.reserve(fleet.size());
-    std::vector<std::vector<int>> shards_by_type(fleet.size());
+    MultiServeResult out;
+    out.service_capacity_qps.assign(S, 0.0);
+    out.service_sla_ms.reserve(S);
 
     sim::ClusterSim::Options copt;
     copt.router = opt.router;
     copt.router_seed = opt.router_seed;
     copt.sla_ms = opt.sla_ms;
+    for (size_t s = 0; s < S; ++s)
+        copt.service_sla_ms.push_back(services[s].sla_ms > 0.0
+                                          ? services[s].sla_ms
+                                          : models[s].sla_ms);
+    out.service_sla_ms = copt.service_sla_ms;
     sim::ClusterSim cluster(copt);
+    // A service with no feasible (type, slots) pair still exists: its
+    // queries drop (and count as SLA violations) instead of erroring.
+    cluster.declareServices(static_cast<int>(S));
 
-    TraceServeResult out;
+    // ---- build the shard fleet ----------------------------------------
+    // One prepared placement per feasible (type, service) pair (the
+    // tuple's optimal config), shared by that pair's shards; every
+    // physical slot of a type gets one shard *per service* — its
+    // per-service personalities — and the provisioner's availability
+    // constraint keeps the active ones within the physical count.
+    std::vector<sim::PreparedWorkload> prepared;
+    prepared.reserve(fleet.size() * S);
+    std::vector<std::vector<std::vector<int>>> shards_by(
+        fleet.size(), std::vector<std::vector<int>>(S));
+
     for (size_t h = 0; h < fleet.size(); ++h) {
-        const core::EfficiencyEntry* e = table.get(fleet[h], model_id);
-        if (e == nullptr || !e->feasible || shard_slots[h] <= 0)
+        if (shard_slots[h] <= 0)
             continue;
-        prepared.push_back(
-            sim::prepare(hw::serverSpec(fleet[h]), m, e->config));
-        const sim::PreparedWorkload& w = prepared.back();
-        for (int i = 0; i < shard_slots[h]; ++i) {
-            int id = cluster.addShard(w, e->qps);
-            shards_by_type[h].push_back(id);
-            out.fleet_capacity_qps += e->qps;
-            ++out.shard_slots;
+        for (size_t s = 0; s < S; ++s) {
+            const core::EfficiencyEntry* e =
+                table.get(fleet[h], services[s].model);
+            if (e == nullptr || !e->feasible)
+                continue;
+            prepared.push_back(sim::prepare(hw::serverSpec(fleet[h]),
+                                            models[s], e->config));
+            const sim::PreparedWorkload& w = prepared.back();
+            for (int i = 0; i < shard_slots[h]; ++i) {
+                int id = cluster.addShard(w, e->qps,
+                                          static_cast<int>(s));
+                shards_by[h][s].push_back(id);
+                out.service_capacity_qps[s] += e->qps;
+                ++out.shard_slots;
+            }
         }
     }
 
     ProvisionProblem problem = ProvisionProblem::fromTable(
-        table, fleet, {model_id}, shard_slots);
+        table, fleet, model_ids, shard_slots);
 
-    // ---- load curve, over-provision rate, arrival trace ----------------
-    workload::DiurnalLoad load(load_cfg);
+    // ---- load curves, over-provision rate, merged arrival trace -------
+    std::vector<workload::DiurnalLoad> loads;
+    std::vector<workload::ServiceTraceSpec> trace_specs;
+    for (const ServiceSpec& spec : services) {
+        loads.emplace_back(spec.load);
+        workload::ServiceTraceSpec ts;
+        ts.load = spec.load;
+        ts.sizes = spec.sizes;
+        ts.pooling = spec.pooling;
+        trace_specs.push_back(ts);
+    }
     double r = opt.overprovision_rate;
+    for (size_t s = 0; s < S; ++s)
+        out.service_r.push_back(estimateOverprovisionRate(
+            loads[s], opt.interval_hours, opt.horizon_hours));
     if (r < 0.0)
-        r = estimateOverprovisionRate(load, opt.interval_hours,
-                                      opt.horizon_hours);
+        r = *std::max_element(out.service_r.begin(),
+                              out.service_r.end());
     out.estimated_r = r;
 
     workload::TraceOptions topt = opt.trace;
     topt.horizon_hours = opt.horizon_hours;
-    workload::TraceGenerator gen(load, topt);
-    std::vector<workload::Query> trace = gen.generate();
+    std::vector<workload::Query> trace =
+        workload::generateMultiServiceTrace(trace_specs, topt);
     out.trace_queries = trace.size();
 
     const double interval_s =
         opt.interval_hours * 3600.0 / topt.time_compression;
+    const double horizon_s =
+        opt.horizon_hours * 3600.0 / topt.time_compression;
 
-    // ---- per-interval provisioning plan --------------------------------
+    // ---- per-interval joint provisioning plan --------------------------
     std::vector<int> prev_active;
     bool first_interval = true;
     auto plan = [&](int k, double) -> sim::IntervalPlan {
         double t_hours = static_cast<double>(k) * opt.interval_hours;
-        std::vector<double> loads = {load.loadAt(t_hours)};
-        Allocation alloc = policy.provision(problem, loads, r);
+        std::vector<double> interval_loads;
+        for (size_t s = 0; s < S; ++s)
+            interval_loads.push_back(loads[s].loadAt(t_hours));
+        Allocation alloc = policy.provision(problem, interval_loads, r);
 
         sim::IntervalPlan p;
-        std::vector<int> counts(fleet.size(), 0);
-        double power = 0.0;
-        for (size_t h = 0; h < fleet.size(); ++h) {
-            const PairPerf& perf = problem.perf(static_cast<int>(h), 0);
-            if (!perf.feasible)
-                continue;
-            counts[h] = std::min(
-                alloc.n[h][0],
-                static_cast<int>(shards_by_type[h].size()));
-            power += counts[h] * perf.power_w;
-        }
-        // Enforce the global power cap: shed the least
-        // energy-efficient servers until the allocation fits.
-        while (power > opt.power_cap_w) {
-            int worst = -1;
-            double worst_qpw = 0.0;
-            for (size_t h = 0; h < fleet.size(); ++h) {
-                if (counts[h] <= 0)
-                    continue;
-                const PairPerf& perf =
-                    problem.perf(static_cast<int>(h), 0);
-                double qpw = perf.power_w > 0.0 ? perf.qps / perf.power_w
-                                                : 0.0;
-                if (worst < 0 || qpw < worst_qpw) {
-                    worst = static_cast<int>(h);
-                    worst_qpw = qpw;
-                }
-            }
-            if (worst < 0)
-                break;
-            --counts[static_cast<size_t>(worst)];
-            power -=
-                problem.perf(worst, 0).power_w;
-            p.power_capped = true;
-        }
+        std::vector<std::vector<int>> counts(
+            fleet.size(), std::vector<int>(S, 0));
         for (size_t h = 0; h < fleet.size(); ++h)
-            for (int i = 0; i < counts[h]; ++i)
-                p.active.push_back(shards_by_type[h][static_cast<size_t>(i)]);
+            for (size_t s = 0; s < S; ++s)
+                counts[h][s] = std::min(
+                    alloc.n[h][s],
+                    static_cast<int>(shards_by[h][s].size()));
+        // Enforce the physical per-type availability: Provisioner is
+        // an open interface, so an over-allocating policy must not
+        // activate more shard personalities than physical servers.
+        // Trim the least energy-efficient pair of the type first.
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            int total = 0;
+            for (size_t s = 0; s < S; ++s)
+                total += counts[h][s];
+            while (total > shard_slots[h]) {
+                auto [worst_h, worst_m] = worstActivePair(
+                    problem, counts, static_cast<int>(h));
+                if (worst_h < 0)
+                    break;
+                --counts[h][static_cast<size_t>(worst_m)];
+                --total;
+            }
+        }
+        // Enforce the global power cap across all services.
+        double power = 0.0;
+        p.power_capped =
+            shedToPowerCap(problem, counts, opt.power_cap_w, &power);
+        for (size_t h = 0; h < fleet.size(); ++h)
+            for (size_t s = 0; s < S; ++s)
+                for (int i = 0; i < counts[h][s]; ++i)
+                    p.active.push_back(
+                        shards_by[h][s][static_cast<size_t>(i)]);
         p.provisioned_power_w = power;
         p.budget_power_w =
             std::isfinite(opt.power_cap_w) ? opt.power_cap_w : power;
@@ -132,7 +243,34 @@ serveTrace(const core::EfficiencyTable& table,
         return p;
     };
 
-    out.sim = cluster.run(trace, interval_s, plan, gen.simSeconds());
+    out.sim = cluster.run(trace, interval_s, plan, horizon_s);
+    return out;
+}
+
+TraceServeResult
+serveTrace(const core::EfficiencyTable& table,
+           const std::vector<hw::ServerType>& fleet,
+           const std::vector<int>& shard_slots, model::ModelId model_id,
+           const workload::DiurnalConfig& load_cfg, Provisioner& policy,
+           const TraceServeOptions& opt)
+{
+    ServiceSpec spec;
+    spec.model = model_id;
+    spec.load = load_cfg;
+    spec.sla_ms = opt.sla_ms;
+    spec.sizes = opt.trace.sizes;
+    spec.pooling = opt.trace.pooling;
+
+    MultiServeResult multi =
+        serveTraces(table, fleet, shard_slots, {spec}, policy, opt);
+
+    TraceServeResult out;
+    out.sim = std::move(multi.sim);
+    out.estimated_r = multi.estimated_r;
+    out.trace_queries = multi.trace_queries;
+    out.reprovisions = multi.reprovisions;
+    out.shard_slots = multi.shard_slots;
+    out.fleet_capacity_qps = multi.service_capacity_qps[0];
     return out;
 }
 

@@ -1,12 +1,22 @@
 /**
  * @file
  * Trace-driven online serving (Fig 13, end to end): a heterogeneous
- * shard fleet built from the efficiency table serves a diurnal arrival
- * trace through a query router, while the chosen Provisioner
- * re-provisions the active shard set every interval. Released shards
- * drain their in-flight queries before going dark; the provisioned
- * power budget of each interval is enforced (an optional global cap
- * additionally trims the allocation).
+ * shard fleet built from the efficiency table serves diurnal arrival
+ * traces through per-service query routers, while the chosen
+ * Provisioner re-provisions the active shard set every interval.
+ * Released shards drain their in-flight queries before going dark; the
+ * provisioned power budget of each interval is enforced (an optional
+ * global cap additionally trims the allocation).
+ *
+ * Two entry points:
+ *  - serveTrace():  one service on the shard fleet (the original
+ *    single-tenant replay; now a thin wrapper over serveTraces);
+ *  - serveTraces(): N services co-served on one *shared* heterogeneous
+ *    fleet — per-service diurnal curves with (typically) phase-shifted
+ *    peaks merged into one tagged arrival stream, the multi-model
+ *    ProvisionProblem solved jointly every interval, and one
+ *    cross-service power cap shedding the least energy-efficient
+ *    (server type, service) pair first.
  *
  * This replaces the purely analytic cluster::runCluster() scaling for
  * experiments that need real tail latency: every query flows through a
@@ -43,7 +53,19 @@ struct TraceServeOptions
     workload::TraceOptions trace{};
 };
 
-/** Result of one trace-driven serving run. */
+/** One co-served service of a multi-service run. */
+struct ServiceSpec
+{
+    model::ModelId model = model::ModelId::DlrmRmc1;
+    /** Its diurnal curve (phase-shift peak_hour between services). */
+    workload::DiurnalConfig load{};
+    /** Per-service SLA (ms); <= 0 uses the model-zoo default. */
+    double sla_ms = 0.0;
+    workload::QuerySizeDist sizes{};
+    workload::PoolingDist pooling{};
+};
+
+/** Result of one single-service trace-driven serving run. */
 struct TraceServeResult
 {
     sim::ClusterSimResult sim;   ///< per-interval + aggregate serving
@@ -53,6 +75,37 @@ struct TraceServeResult
     int shard_slots = 0;         ///< shards built (feasible types only)
     double fleet_capacity_qps = 0.0;  ///< sum of shard tuple QPS
 };
+
+/** Result of one multi-service co-serving run. */
+struct MultiServeResult
+{
+    sim::ClusterSimResult sim;  ///< aggregates + per-service stats
+    double estimated_r = 0.0;   ///< the over-provision rate used (max)
+    std::vector<double> service_r;  ///< per-service curve estimate
+    size_t trace_queries = 0;   ///< arrivals in the merged trace
+    int reprovisions = 0;       ///< intervals that changed the fleet
+    int shard_slots = 0;        ///< shard instances built, all services
+    /** Full-fleet capacity per service (every slot on that service). */
+    std::vector<double> service_capacity_qps;
+    /** The SLA each service was held to (resolved from spec / zoo). */
+    std::vector<double> service_sla_ms;
+};
+
+/**
+ * Shed whole servers from a (server type x service) activation-count
+ * matrix until its provisioned power fits `cap_w`: repeatedly drop one
+ * server from the least energy-efficient (QPS/W) still-active pair —
+ * the cross-service shedding policy of the global power cap.
+ *
+ * @param problem    supplies PairPerf for every (type, service) pair.
+ * @param counts     counts[h][m], mutated in place.
+ * @param cap_w      the cap; +inf disables shedding.
+ * @param power_w    out: provisioned power of the final counts.
+ * @return true when at least one server was shed.
+ */
+bool shedToPowerCap(const ProvisionProblem& problem,
+                    std::vector<std::vector<int>>& counts, double cap_w,
+                    double* power_w);
 
 /**
  * Serve one model's diurnal trace on a sharded heterogeneous fleet.
@@ -78,5 +131,34 @@ TraceServeResult serveTrace(const core::EfficiencyTable& table,
                             const workload::DiurnalConfig& load_cfg,
                             Provisioner& policy,
                             const TraceServeOptions& opt);
+
+/**
+ * Co-serve N services' merged diurnal traces on one shared
+ * heterogeneous fleet.
+ *
+ * The fleet is materialized as one shard instance per (server type,
+ * service) pair and slot — the per-service "personalities" of the
+ * physical pool. Each interval the multi-model ProvisionProblem is
+ * solved jointly over the current per-service loads; the resulting
+ * N_{h,m} activation (which never exceeds shard_slots[h] per type
+ * across services, so the physical availability is honoured) picks
+ * which personalities route. A finite opt.power_cap_w is enforced
+ * across all services via shedToPowerCap().
+ *
+ * Queries are routed per service (each service has its own router over
+ * its own active shards) and accounted against the service's SLA
+ * (ServiceSpec::sla_ms, or the model-zoo default); dropped arrivals
+ * count as violations. opt.sla_ms is only the fallback for services
+ * without either.
+ *
+ * @param services at least one service; Query::service_id values in
+ *                 the merged trace index this vector.
+ */
+MultiServeResult serveTraces(const core::EfficiencyTable& table,
+                             const std::vector<hw::ServerType>& fleet,
+                             const std::vector<int>& shard_slots,
+                             const std::vector<ServiceSpec>& services,
+                             Provisioner& policy,
+                             const TraceServeOptions& opt);
 
 }  // namespace hercules::cluster

@@ -49,14 +49,17 @@ Router::Router(RouterPolicy policy, uint64_t seed)
 void
 Router::onTopologyChange(size_t num_shards)
 {
-    credit_.assign(num_shards, 0.0);
-    rr_cursor_ = 0;
+    // Cursor and credits deliberately survive: re-provisioning must
+    // not restart round-robin at the lowest-index shard or forget the
+    // smooth-WRR fairness debt accumulated before the boundary. Only
+    // newly added shards get a fresh zero credit.
+    if (credit_.size() < num_shards)
+        credit_.resize(num_shards, 0.0);
 }
 
 int
-Router::pick(const ClusterSim& cluster)
+Router::pick(const ClusterSim& cluster, const std::vector<int>& active)
 {
-    const std::vector<int>& active = cluster.activeShards();
     if (active.empty())
         return -1;
     const size_t n = active.size();
@@ -78,10 +81,21 @@ Router::pick(const ClusterSim& cluster)
       }
 
       case RouterPolicy::PowerOfTwo: {
-        int a = active[static_cast<size_t>(
-            rng_.uniformInt(0, static_cast<int64_t>(n) - 1))];
-        int b = active[static_cast<size_t>(
-            rng_.uniformInt(0, static_cast<int64_t>(n) - 1))];
+        // Two *distinct* candidates whenever possible: sampling with
+        // replacement would compare a shard against itself with
+        // probability 1/n and degenerate toward random routing on
+        // small fleets.
+        size_t ia = static_cast<size_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(n) - 1));
+        size_t ib = ia;
+        if (n >= 2) {
+            ib = static_cast<size_t>(
+                rng_.uniformInt(0, static_cast<int64_t>(n) - 2));
+            if (ib >= ia)
+                ++ib;
+        }
+        int a = active[ia];
+        int b = active[ib];
         size_t qa = cluster.outstanding(a);
         size_t qb = cluster.outstanding(b);
         if (qa != qb)
@@ -114,9 +128,7 @@ Router::pick(const ClusterSim& cluster)
 // ---- cluster -------------------------------------------------------------
 
 ClusterSim::ClusterSim(Options opt)
-    : opt_(opt),
-      shard_opt_(opt.shard_sim),
-      router_(opt.router, opt.router_seed)
+    : opt_(std::move(opt)), shard_opt_(opt_.shard_sim)
 {
     // The cluster layer owns warmup/measurement windows and needs the
     // per-query completion log.
@@ -126,18 +138,43 @@ ClusterSim::ClusterSim(Options opt)
     shard_opt_.saturate = false;
 }
 
-int
-ClusterSim::addShard(const PreparedWorkload& w, double weight_qps)
+void
+ClusterSim::ensureService(int service)
 {
+    if (service < 0)
+        panic("ClusterSim: negative service %d", service);
+    while (static_cast<int>(active_by_service_.size()) <= service) {
+        uint64_t seed = opt_.router_seed +
+                        static_cast<uint64_t>(active_by_service_.size());
+        routers_.emplace_back(opt_.router, seed);
+        active_by_service_.emplace_back();
+        service_state_.emplace_back();
+    }
+}
+
+void
+ClusterSim::declareServices(int count)
+{
+    if (count > 0)
+        ensureService(count - 1);
+}
+
+int
+ClusterSim::addShard(const PreparedWorkload& w, double weight_qps,
+                     int service)
+{
+    ensureService(service);
     int id = static_cast<int>(shards_.size());
     Shard s;
     s.inst = std::make_unique<ServerInstance>(w, shard_opt_);
     s.workload = &w;
     s.weight = weight_qps;
+    s.service = service;
     shards_.push_back(std::move(s));
     injected_per_shard_.push_back(0);
     rebuildActive();
-    router_.onTopologyChange(shards_.size());
+    for (Router& r : routers_)
+        r.onTopologyChange(shards_.size());
     return id;
 }
 
@@ -145,9 +182,15 @@ void
 ClusterSim::rebuildActive()
 {
     active_.clear();
-    for (size_t i = 0; i < shards_.size(); ++i)
-        if (shards_[i].active)
-            active_.push_back(static_cast<int>(i));
+    for (auto& per_service : active_by_service_)
+        per_service.clear();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        if (!shards_[i].active)
+            continue;
+        active_.push_back(static_cast<int>(i));
+        active_by_service_[static_cast<size_t>(shards_[i].service)]
+            .push_back(static_cast<int>(i));
+    }
 }
 
 void
@@ -162,7 +205,8 @@ ClusterSim::setActive(int shard, bool active, double t_s)
     if (!active)
         s.released_at = t_s;
     rebuildActive();
-    router_.onTopologyChange(shards_.size());
+    for (Router& r : routers_)
+        r.onTopologyChange(shards_.size());
 }
 
 bool
@@ -190,6 +234,30 @@ ClusterSim::weight(int shard) const
     return shards_[static_cast<size_t>(shard)].weight;
 }
 
+int
+ClusterSim::shardService(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)].service;
+}
+
+double
+ClusterSim::slaMs(int service) const
+{
+    if (service >= 0 &&
+        static_cast<size_t>(service) < opt_.service_sla_ms.size() &&
+        opt_.service_sla_ms[static_cast<size_t>(service)] > 0.0)
+        return opt_.service_sla_ms[static_cast<size_t>(service)];
+    return opt_.sla_ms;
+}
+
+const std::vector<int>&
+ClusterSim::activeShards(int service) const
+{
+    if (service < 0 || service >= numServices())
+        panic("ClusterSim::activeShards: bad service %d", service);
+    return active_by_service_[static_cast<size_t>(service)];
+}
+
 void
 ClusterSim::advanceTo(double t_s)
 {
@@ -201,13 +269,21 @@ int
 ClusterSim::route(const workload::Query& q)
 {
     advanceTo(q.arrival_s);
-    int s = router_.pick(*this);
+    const int svc = q.service_id;
+    if (svc < 0 || svc >= numServices())
+        panic("ClusterSim::route: query for service %d but shards exist "
+              "for %d services",
+              svc, numServices());
+    int s = routers_[static_cast<size_t>(svc)].pick(
+        *this, active_by_service_[static_cast<size_t>(svc)]);
     if (s < 0) {
         ++dropped_;
+        ++service_state_[static_cast<size_t>(svc)].dropped;
         return -1;
     }
     shards_[static_cast<size_t>(s)].inst->inject(q);
     ++injected_;
+    ++service_state_[static_cast<size_t>(svc)].injected;
     ++injected_per_shard_[static_cast<size_t>(s)];
     return s;
 }
@@ -225,10 +301,19 @@ ClusterSim::harvest(double t0_s, double t1_s)
     IntervalStats st;
     st.t0_s = t0_s;
     st.t1_s = t1_s;
-    st.arrivals = injected_ - arrivals_harvested_;
-    arrivals_harvested_ = injected_;
-    st.dropped = dropped_ - dropped_harvested_;
-    dropped_harvested_ = dropped_;
+    const size_t num_services = active_by_service_.size();
+    st.services.resize(num_services);
+    for (size_t v = 0; v < num_services; ++v) {
+        ServiceState& ss = service_state_[v];
+        ServiceIntervalStats& svc = st.services[v];
+        svc.arrivals = ss.injected - ss.injected_harvested;
+        ss.injected_harvested = ss.injected;
+        svc.dropped = ss.dropped - ss.dropped_harvested;
+        ss.dropped_harvested = ss.dropped;
+        svc.active_shards = static_cast<int>(active_by_service_[v].size());
+        st.arrivals += svc.arrivals;
+        st.dropped += svc.dropped;
+    }
     // Offered load includes dropped arrivals: an outage interval must
     // still show the traffic it shed.
     st.offered_qps =
@@ -239,8 +324,11 @@ ClusterSim::harvest(double t0_s, double t1_s)
     st.active_shards = static_cast<int>(active_.size());
 
     PercentileTracker lat;
+    std::vector<PercentileTracker> svc_lat(num_services);
     double consumed = 0.0;
     for (Shard& s : shards_) {
+        const size_t v = static_cast<size_t>(s.service);
+        const double sla = slaMs(s.service);
         const auto& done = s.inst->completions();
         double last_finish_in_window = t0_s;
         while (s.harvest_cursor < done.size() &&
@@ -248,9 +336,12 @@ ClusterSim::harvest(double t0_s, double t1_s)
             const auto& c = done[s.harvest_cursor++];
             double ms = c.latencyMs();
             lat.add(ms);
+            svc_lat[v].add(ms);
             all_latency_ms_.add(ms);
-            if (ms > opt_.sla_ms) {
-                ++st.sla_violations;
+            service_state_[v].latency_ms.add(ms);
+            if (ms > sla) {
+                ++st.services[v].sla_violations;
+                ++service_state_[v].violations;
                 ++all_violations_;
             }
             last_finish_in_window = std::max(last_finish_in_window,
@@ -275,10 +366,25 @@ ClusterSim::harvest(double t0_s, double t1_s)
     st.p50_ms = lat.p50();
     st.p99_ms = lat.p99();
     st.max_ms = lat.max();
+    for (size_t v = 0; v < num_services; ++v) {
+        ServiceIntervalStats& svc = st.services[v];
+        svc.completions = svc_lat[v].count();
+        svc.p50_ms = svc_lat[v].p50();
+        svc.p99_ms = svc_lat[v].p99();
+        // A dropped arrival missed its SLA by definition.
+        svc.sla_violations += svc.dropped;
+        size_t denom = svc.completions + svc.dropped;
+        svc.sla_violation_rate =
+            denom > 0 ? static_cast<double>(svc.sla_violations) /
+                            static_cast<double>(denom)
+                      : 0.0;
+        st.sla_violations += svc.sla_violations;
+    }
+    size_t denom = st.completions + st.dropped;
     st.sla_violation_rate =
-        st.completions > 0 ? static_cast<double>(st.sla_violations) /
-                                 static_cast<double>(st.completions)
-                           : 0.0;
+        denom > 0 ? static_cast<double>(st.sla_violations) /
+                        static_cast<double>(denom)
+                  : 0.0;
     st.consumed_power_w = consumed;
     return st;
 }
@@ -344,11 +450,32 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.p95_ms = all_latency_ms_.p95();
     r.p99_ms = all_latency_ms_.p99();
     r.max_ms = all_latency_ms_.max();
-    r.sla_violations = all_violations_;
+    // Dropped arrivals are SLA violations: an outage shows up in the
+    // run-level rate instead of silently vanishing from the denominator.
+    r.sla_violations = all_violations_ + dropped_;
+    size_t denom = r.completed + r.dropped;
     r.sla_violation_rate =
-        r.completed > 0 ? static_cast<double>(all_violations_) /
-                              static_cast<double>(r.completed)
-                        : 0.0;
+        denom > 0 ? static_cast<double>(r.sla_violations) /
+                        static_cast<double>(denom)
+                  : 0.0;
+    r.services.resize(service_state_.size());
+    for (size_t v = 0; v < service_state_.size(); ++v) {
+        ServiceState& ss = service_state_[v];
+        ServiceRunStats& out = r.services[v];
+        out.injected = ss.injected;
+        out.completed = ss.latency_ms.count();
+        out.dropped = ss.dropped;
+        out.p50_ms = ss.latency_ms.p50();
+        out.p99_ms = ss.latency_ms.p99();
+        out.max_ms = ss.latency_ms.max();
+        out.sla_ms = slaMs(static_cast<int>(v));
+        out.sla_violations = ss.violations + ss.dropped;
+        size_t sdenom = out.completed + out.dropped;
+        out.sla_violation_rate =
+            sdenom > 0 ? static_cast<double>(out.sla_violations) /
+                             static_cast<double>(sdenom)
+                       : 0.0;
+    }
     // Power aggregates skip the drain-tail pseudo-interval: it never
     // went through the plan (provisioned power 0) and its span differs
     // from interval_s, so averaging it in would bias the trajectory.

@@ -1,7 +1,7 @@
 /**
  * @file
  * Sharded multi-server serving: N steppable ServerInstance shards
- * behind a query router, driven by a timestamped arrival trace on one
+ * behind query routers, driven by a timestamped arrival trace on one
  * global clock. This is the cluster-level discrete-event layer the
  * online-serving experiments (Fig 13) run on — queries genuinely flow
  * through heterogeneous simulated servers instead of being scaled
@@ -10,17 +10,28 @@
  * Router policies:
  *  - RoundRobin:        arrivals cycle over the active shards;
  *  - LeastOutstanding:  join-the-shortest-queue over in-flight queries;
- *  - PowerOfTwo:        two random active shards, pick the shorter
- *                       queue (seeded, deterministic);
+ *  - PowerOfTwo:        two distinct random active shards, pick the
+ *                       shorter queue (seeded, deterministic);
  *  - HerculesWeighted:  smooth weighted round-robin, each shard
  *                       weighted by its efficiency-tuple QPS for the
  *                       served model — the heterogeneity-aware policy.
+ *
+ * Multi-service co-serving: each shard belongs to one service (the
+ * index a query carries in Query::service_id). Every service gets its
+ * own Router instance routing over that service's active shards, its
+ * own SLA, and its own per-interval / run-level statistics — the
+ * shared fleet serves several models at once, as the Hercules cluster
+ * provisioner assumes. Single-service callers leave service ids at 0
+ * and see the original behaviour.
  *
  * Shard lifecycle: addShard() creates an active shard; setActive(id,
  * false, t) releases it — the router stops picking it immediately, but
  * its in-flight queries keep draining as the clock advances, and only
  * once drained() does the shard stop consuming power ("go dark").
- * Re-activation resumes routing to the same instance.
+ * Re-activation resumes routing to the same instance. Router state
+ * (round-robin cursor, smooth-WRR credits) survives these topology
+ * changes, so fairness debt accumulated before a re-provision carries
+ * across interval boundaries.
  */
 #pragma once
 
@@ -61,10 +72,19 @@ class Router
   public:
     Router(RouterPolicy policy, uint64_t seed);
 
-    /** @return the picked active shard id, or -1 when none is active. */
-    int pick(const ClusterSim& cluster);
+    /**
+     * @param active the shard ids this router may pick from (one
+     *               service's active set).
+     * @return the picked shard id, or -1 when `active` is empty.
+     */
+    int pick(const ClusterSim& cluster, const std::vector<int>& active);
 
-    /** Reset per-topology state (called when the active set changes). */
+    /**
+     * Called when the shard set changes. Cursor and credits are
+     * preserved — a re-provision must not restart round-robin at shard
+     * 0 or erase accumulated smooth-WRR fairness debt — only the
+     * credit vector is grown for newly added shards.
+     */
     void onTopologyChange(size_t num_shards);
 
     RouterPolicy policy() const { return policy_; }
@@ -76,6 +96,21 @@ class Router
     std::vector<double> credit_;  ///< smooth-WRR credit, by shard id
 };
 
+/** Per-interval serving statistics of one service. */
+struct ServiceIntervalStats
+{
+    size_t arrivals = 0;     ///< queries routed in the window
+    size_t completions = 0;  ///< queries retired in the window
+    size_t dropped = 0;      ///< arrivals with no active shard
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    /** SLA-breaching completions plus dropped arrivals. */
+    size_t sla_violations = 0;
+    /** sla_violations / (completions + dropped). */
+    double sla_violation_rate = 0.0;
+    int active_shards = 0;  ///< serving this service, at window start
+};
+
 /** Per-interval serving statistics of one cluster run. */
 struct IntervalStats
 {
@@ -83,17 +118,40 @@ struct IntervalStats
     size_t arrivals = 0;            ///< queries routed in the window
     size_t completions = 0;         ///< queries retired in the window
     size_t dropped = 0;             ///< arrivals with no active shard
-    double offered_qps = 0.0;       ///< arrivals / window
+    double offered_qps = 0.0;       ///< (arrivals + dropped) / window
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
-    size_t sla_violations = 0;      ///< completions above the SLA
+    /**
+     * SLA-breaching completions plus dropped arrivals: a query shed
+     * because no shard was active missed its SLA by definition, so a
+     * fully-dark outage interval reports a 100% violation rate instead
+     * of a vacuous 0%.
+     */
+    size_t sla_violations = 0;
+    /** sla_violations / (completions + dropped). */
     double sla_violation_rate = 0.0;
     int active_shards = 0;          ///< at window start (post-plan)
     double consumed_power_w = 0.0;  ///< mean over active+draining shards
     double provisioned_power_w = 0.0;  ///< from the interval plan
     double budget_power_w = 0.0;       ///< enforced cap (plan)
     bool power_capped = false;  ///< plan was trimmed to fit the budget
+    /** Per-service slice of this window (index = service id). */
+    std::vector<ServiceIntervalStats> services;
+};
+
+/** Whole-run aggregates of one service. */
+struct ServiceRunStats
+{
+    size_t injected = 0;
+    size_t completed = 0;
+    size_t dropped = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    double sla_ms = 0.0;       ///< the SLA the service was held to
+    size_t sla_violations = 0;  ///< late completions + drops
+    double sla_violation_rate = 0.0;  ///< violations / (completed + dropped)
 };
 
 /** Whole-run aggregates. */
@@ -108,12 +166,14 @@ struct ClusterSimResult
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
-    size_t sla_violations = 0;
-    double sla_violation_rate = 0.0;  ///< violations / completed
+    size_t sla_violations = 0;  ///< late completions + drops
+    double sla_violation_rate = 0.0;  ///< violations / (completed + dropped)
     double avg_consumed_power_w = 0.0;   ///< mean over intervals
     double peak_consumed_power_w = 0.0;
     double avg_provisioned_power_w = 0.0;
     double peak_provisioned_power_w = 0.0;
+    /** Per-service aggregates (index = service id). */
+    std::vector<ServiceRunStats> services;
 };
 
 /** What one provisioning interval activates. */
@@ -138,8 +198,16 @@ class ClusterSim
     struct Options
     {
         RouterPolicy router = RouterPolicy::HerculesWeighted;
+        /** Service s's router draws from seed router_seed + s. */
         uint64_t router_seed = 1;
+        /** Default latency SLA (ms), used when a service has no own. */
         double sla_ms = 25.0;
+        /**
+         * Per-service SLA overrides, indexed by service id. Services
+         * beyond the vector (and non-positive entries) fall back to
+         * sla_ms.
+         */
+        std::vector<double> service_sla_ms;
         /**
          * Template for per-shard simulation options. Warmup is forced
          * to zero and completion recording on: the cluster layer owns
@@ -155,14 +223,26 @@ class ClusterSim
     ClusterSim& operator=(const ClusterSim&) = delete;
 
     /**
-     * Add one (initially active) shard.
+     * Add one (initially active) shard serving `service`.
      *
      * @param w          prepared placement; must outlive the ClusterSim.
      * @param weight_qps routing weight — the shard's efficiency-tuple
      *                   QPS for the served model.
+     * @param service    the service this shard serves (Query::service_id
+     *                   values it accepts).
      * @return the shard id.
      */
-    int addShard(const PreparedWorkload& w, double weight_qps);
+    int addShard(const PreparedWorkload& w, double weight_qps,
+                 int service = 0);
+
+    /**
+     * Pre-declare services 0..count-1 (routers + accounting state).
+     * addShard() declares its service implicitly; declaring up front
+     * lets a service with no shards at all (no feasible capacity)
+     * *drop* its queries — counted as SLA violations — instead of
+     * being treated as an unknown-service routing error.
+     */
+    void declareServices(int count);
 
     /** Activate / release a shard at simulated time t_s. */
     void setActive(int shard, bool active, double t_s);
@@ -173,16 +253,28 @@ class ClusterSim
     bool drained(int shard) const;
 
     size_t numShards() const { return shards_.size(); }
+    /** @return number of services (max service id + 1). */
+    int numServices() const
+    { return static_cast<int>(active_by_service_.size()); }
     size_t outstanding(int shard) const;
     double weight(int shard) const;
+    /** @return the service a shard serves. */
+    int shardService(int shard) const;
+    /** @return the SLA (ms) service `service` is held to. */
+    double slaMs(int service) const;
+    /** All active shards, across services. */
     const std::vector<int>& activeShards() const { return active_; }
+    /** Active shards of one service. */
+    const std::vector<int>& activeShards(int service) const;
 
     /** Advance every shard's event queue to t_s. */
     void advanceTo(double t_s);
 
     /**
-     * Route one arrival (shards are first advanced to its timestamp).
-     * @return the shard id, or -1 when no shard is active (dropped).
+     * Route one arrival (shards are first advanced to its timestamp)
+     * via its service's router to that service's active shards.
+     * @return the shard id, or -1 when the service has no active shard
+     * (dropped). Panics when no shard was ever added for the service.
      */
     int route(const workload::Query& q);
 
@@ -222,28 +314,41 @@ class ClusterSim
         std::unique_ptr<ServerInstance> inst;
         const PreparedWorkload* workload = nullptr;
         double weight = 0.0;
+        int service = 0;
         bool active = true;
         double released_at = 0.0;   ///< last release time
         size_t harvest_cursor = 0;  ///< completions consumed so far
     };
 
+    /** Per-service routing + accounting state. */
+    struct ServiceState
+    {
+        size_t injected = 0;
+        size_t dropped = 0;
+        size_t injected_harvested = 0;
+        size_t dropped_harvested = 0;
+        PercentileTracker latency_ms;  ///< whole-run latencies
+        size_t violations = 0;         ///< whole-run late completions
+    };
+
+    void ensureService(int service);
     void rebuildActive();
 
     Options opt_;
     SimOptions shard_opt_;  ///< shared by all shard instances
-    Router router_;
+    std::vector<Router> routers_;  ///< one per service
     std::vector<Shard> shards_;
-    std::vector<int> active_;
+    std::vector<int> active_;  ///< all active shards
+    std::vector<std::vector<int>> active_by_service_;
+    std::vector<ServiceState> service_state_;
     std::vector<size_t> injected_per_shard_;
 
     size_t injected_ = 0;
     size_t dropped_ = 0;
-    size_t dropped_harvested_ = 0;
-    size_t arrivals_harvested_ = 0;
 
     // run() aggregates
     PercentileTracker all_latency_ms_;
-    size_t all_violations_ = 0;
+    size_t all_violations_ = 0;  ///< late completions (drops added later)
 };
 
 }  // namespace hercules::sim

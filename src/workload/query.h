@@ -18,6 +18,13 @@ struct Query
     double arrival_s = 0.0;      ///< arrival time (seconds)
     int size = 0;                ///< number of candidate items to rank
     double pooling_scale = 1.0;  ///< per-query pooling multiplier
+    /**
+     * The service (co-served model) this query belongs to. Single-
+     * service traces leave it 0; multi-service traces tag each query
+     * with the index of its service so the cluster layer can route it
+     * to that service's shards and account its SLA separately.
+     */
+    int service_id = 0;
 };
 
 }  // namespace hercules::workload

@@ -87,4 +87,46 @@ TraceGenerator::generate()
     return trace;
 }
 
+uint64_t
+serviceTraceSeed(uint64_t base_seed, size_t service)
+{
+    // Golden-ratio stride keeps the per-service streams well separated;
+    // service 0 keeps the base seed so single-service merged traces
+    // reproduce the plain TraceGenerator stream exactly.
+    return base_seed +
+           0x9E3779B97F4A7C15ull * static_cast<uint64_t>(service);
+}
+
+std::vector<Query>
+generateMultiServiceTrace(const std::vector<ServiceTraceSpec>& services,
+                          const TraceOptions& opt)
+{
+    if (services.empty())
+        fatal("generateMultiServiceTrace: no services");
+
+    std::vector<Query> merged;
+    for (size_t s = 0; s < services.size(); ++s) {
+        TraceOptions o = opt;
+        o.seed = serviceTraceSeed(opt.seed, s);
+        o.sizes = services[s].sizes;
+        o.pooling = services[s].pooling;
+        DiurnalLoad load(services[s].load);
+        std::vector<Query> stream = TraceGenerator(load, o).generate();
+        merged.reserve(merged.size() + stream.size());
+        for (Query& q : stream) {
+            q.service_id = static_cast<int>(s);
+            merged.push_back(q);
+        }
+    }
+    // Merge by arrival; the stable sort breaks (measure-zero) timestamp
+    // ties by service index, keeping the merge deterministic.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Query& a, const Query& b) {
+                         return a.arrival_s < b.arrival_s;
+                     });
+    for (size_t i = 0; i < merged.size(); ++i)
+        merged[i].id = i;
+    return merged;
+}
+
 }  // namespace hercules::workload

@@ -70,4 +70,41 @@ class TraceGenerator
     TraceOptions opt_;
 };
 
+// ---- multi-service mode --------------------------------------------------
+
+/**
+ * One co-served service's arrival stream in a merged trace: its own
+ * diurnal curve (typically phase-shifted against the other services)
+ * and its own query-size / pooling distributions.
+ */
+struct ServiceTraceSpec
+{
+    DiurnalConfig load{};
+    QuerySizeDist sizes{};
+    PoolingDist pooling{};
+};
+
+/**
+ * The seed service `service`'s sub-stream is drawn with in a merged
+ * trace. Service 0 uses `base_seed` unchanged, so a one-service merged
+ * trace is arrival-for-arrival identical to the single-service
+ * TraceGenerator with the same options; later services get
+ * deterministic, well-separated derived seeds.
+ */
+uint64_t serviceTraceSeed(uint64_t base_seed, size_t service);
+
+/**
+ * Generate one merged multi-service arrival trace: each service's
+ * stream is an independent NHPP over its own diurnal curve (seeded
+ * with serviceTraceSeed(opt.seed, s), sizes/pooling from its spec,
+ * all other options — horizon, buckets, compression — shared), tagged
+ * with `service_id = s`, then merged by arrival time (ties break by
+ * service index) with globally renumbered query ids.
+ *
+ * Fixed options + specs give a bitwise-identical merged trace.
+ */
+std::vector<Query> generateMultiServiceTrace(
+    const std::vector<ServiceTraceSpec>& services,
+    const TraceOptions& opt);
+
 }  // namespace hercules::workload

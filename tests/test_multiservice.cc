@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of multi-service co-serving on a shared fleet: the
+ * cross-service power-cap shedding order (least energy-efficient
+ * (type, service) pair first) as a unit, and cluster::serveTraces end
+ * to end on a hand-built efficiency table — joint provisioning, the
+ * global power cap, per-service SLA resolution and drop accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/serving.h"
+#include "model/model_zoo.h"
+
+namespace hercules::cluster {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+
+ProvisionProblem
+twoByTwoProblem()
+{
+    // (type, service) efficiencies, QPS/W:
+    //   T2/RMC1: 2000/100 = 20    T2/RMC2: 1000/200 = 5   <- worst
+    //   T3/RMC1: 3000/150 = 20    T3/RMC2: 1200/120 = 10
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {2, 2},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    p.setPerf(0, 0, {true, 2000.0, 100.0});
+    p.setPerf(0, 1, {true, 1000.0, 200.0});
+    p.setPerf(1, 0, {true, 3000.0, 150.0});
+    p.setPerf(1, 1, {true, 1200.0, 120.0});
+    return p;
+}
+
+TEST(ShedToPowerCap, DropsLeastEfficientPairFirst)
+{
+    ProvisionProblem p = twoByTwoProblem();
+    // One server on every pair: 100 + 200 + 150 + 120 = 570 W.
+    std::vector<std::vector<int>> counts = {{1, 1}, {1, 1}};
+
+    double power = 0.0;
+    // No shedding needed: counts untouched.
+    EXPECT_FALSE(shedToPowerCap(p, counts, 600.0, &power));
+    EXPECT_DOUBLE_EQ(power, 570.0);
+
+    // Cap 400: sheds exactly the worst pair (T2/RMC2, 5 QPS/W).
+    EXPECT_TRUE(shedToPowerCap(p, counts, 400.0, &power));
+    EXPECT_EQ(counts[0][1], 0);
+    EXPECT_DOUBLE_EQ(power, 370.0);
+    EXPECT_EQ(counts[0][0] + counts[1][0] + counts[1][1], 3);
+
+    // Cap 300: next to go is T3/RMC2 (10 QPS/W); the two equally
+    // efficient RMC1 pairs survive.
+    EXPECT_TRUE(shedToPowerCap(p, counts, 300.0, &power));
+    EXPECT_EQ(counts[1][1], 0);
+    EXPECT_DOUBLE_EQ(power, 250.0);
+    EXPECT_EQ(counts[0][0], 1);
+    EXPECT_EQ(counts[1][0], 1);
+
+    // An impossible cap sheds everything and reports zero power.
+    EXPECT_TRUE(shedToPowerCap(p, counts, -1.0, &power));
+    EXPECT_DOUBLE_EQ(power, 0.0);
+}
+
+/** A valid CPU config for the hand-built efficiency entries. */
+sched::SchedulingConfig
+cpuConfig()
+{
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::CpuModelBased;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 1;
+    cfg.batch = 64;
+    return cfg;
+}
+
+core::EfficiencyTable
+handBuiltTable()
+{
+    core::EfficiencyTable t;
+    core::EfficiencyEntry e1;
+    e1.server = ServerType::T2;
+    e1.model = ModelId::DlrmRmc1;
+    e1.feasible = true;
+    e1.qps = 2000.0;
+    e1.power_w = 100.0;  // 20 QPS/W
+    e1.config = cpuConfig();
+    t.set(e1);
+    core::EfficiencyEntry e2 = e1;
+    e2.model = ModelId::DlrmRmc2;
+    e2.qps = 1000.0;
+    e2.power_w = 200.0;  // 5 QPS/W: first to shed
+    t.set(e2);
+    return t;
+}
+
+std::vector<ServiceSpec>
+twoServices()
+{
+    std::vector<ServiceSpec> services(2);
+    services[0].model = ModelId::DlrmRmc1;
+    services[0].load.peak_qps = 400.0;
+    services[0].load.trough_frac = 0.9;  // near-constant load
+    services[0].load.noise_frac = 0.0;
+    services[1].model = ModelId::DlrmRmc2;
+    services[1].load.peak_qps = 150.0;
+    services[1].load.trough_frac = 0.9;
+    services[1].load.noise_frac = 0.0;
+    services[1].load.peak_hour = 8.0;
+    return services;
+}
+
+TraceServeOptions
+shortOptions()
+{
+    TraceServeOptions opt;
+    opt.horizon_hours = 0.01;    // ~36 simulated seconds
+    opt.interval_hours = 0.002;  // 5 intervals
+    opt.overprovision_rate = 0.1;
+    opt.trace.seed = 7;
+    opt.trace.bucket_seconds = 5.0;
+    return opt;
+}
+
+TEST(ServeTraces, CoServesTwoServicesOnSharedFleet)
+{
+    core::EfficiencyTable table = handBuiltTable();
+    HerculesProvisioner policy;
+    MultiServeResult r =
+        serveTraces(table, {ServerType::T2}, {2}, twoServices(), policy,
+                    shortOptions());
+
+    // Two shard personalities per physical slot (one per service).
+    EXPECT_EQ(r.shard_slots, 4);
+    EXPECT_DOUBLE_EQ(r.service_capacity_qps[0], 4000.0);
+    EXPECT_DOUBLE_EQ(r.service_capacity_qps[1], 2000.0);
+    // SLA resolution falls back to the model zoo.
+    ASSERT_EQ(r.service_sla_ms.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.service_sla_ms[0],
+                     model::buildModel(ModelId::DlrmRmc1).sla_ms);
+    EXPECT_DOUBLE_EQ(r.service_sla_ms[1],
+                     model::buildModel(ModelId::DlrmRmc2).sla_ms);
+
+    // Both services served, nothing dropped, per-service slices add up.
+    ASSERT_EQ(r.sim.services.size(), 2u);
+    EXPECT_GT(r.sim.services[0].completed, 0u);
+    EXPECT_GT(r.sim.services[1].completed, 0u);
+    EXPECT_EQ(r.sim.dropped, 0u);
+    EXPECT_EQ(r.sim.services[0].completed + r.sim.services[1].completed,
+              r.sim.completed);
+    // One server per service fits the (1 + R)-scaled loads: 300 W.
+    for (size_t k = 0; k + 1 < r.sim.intervals.size(); ++k) {
+        EXPECT_FALSE(r.sim.intervals[k].power_capped);
+        EXPECT_DOUBLE_EQ(r.sim.intervals[k].provisioned_power_w, 300.0);
+    }
+}
+
+TEST(ServeTraces, GlobalPowerCapShedsWorstServiceAndCountsDrops)
+{
+    core::EfficiencyTable table = handBuiltTable();
+    HerculesProvisioner policy;
+    TraceServeOptions opt = shortOptions();
+    // 300 W needed; 150 W cap sheds T2/RMC2 (5 QPS/W) and keeps
+    // T2/RMC1 (20 QPS/W): service 1 goes dark and drops everything.
+    opt.power_cap_w = 150.0;
+    MultiServeResult r = serveTraces(table, {ServerType::T2}, {2},
+                                     twoServices(), policy, opt);
+
+    ASSERT_EQ(r.sim.services.size(), 2u);
+    EXPECT_EQ(r.sim.services[0].dropped, 0u);
+    EXPECT_GT(r.sim.services[0].completed, 0u);
+    EXPECT_EQ(r.sim.services[1].completed, 0u);
+    EXPECT_GT(r.sim.services[1].dropped, 0u);
+    // Dropped arrivals are SLA violations, per service and overall.
+    EXPECT_DOUBLE_EQ(r.sim.services[1].sla_violation_rate, 1.0);
+    EXPECT_EQ(r.sim.sla_violations, r.sim.services[1].dropped +
+                                        r.sim.services[0].sla_violations);
+    for (size_t k = 0; k + 1 < r.sim.intervals.size(); ++k) {
+        const sim::IntervalStats& iv = r.sim.intervals[k];
+        EXPECT_TRUE(iv.power_capped);
+        EXPECT_LE(iv.provisioned_power_w, opt.power_cap_w + 1e-9);
+        EXPECT_DOUBLE_EQ(iv.budget_power_w, opt.power_cap_w);
+        EXPECT_EQ(iv.services[1].dropped, iv.services[1].sla_violations);
+    }
+}
+
+}  // namespace
+}  // namespace hercules::cluster

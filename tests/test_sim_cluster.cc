@@ -395,6 +395,95 @@ TEST(ClusterSim, ReleasedShardDrainsBeforeGoingDark)
     EXPECT_EQ(cluster.outstanding(0), 0u);
 }
 
+/*
+ * Bugfix pins: router state must survive topology changes. A
+ * re-provision used to zero the round-robin cursor and all smooth-WRR
+ * credits, biasing load toward low-index shards across a long replay.
+ */
+TEST(Router, RoundRobinCursorSurvivesReprovision)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::RoundRobin;
+    ClusterSim cluster(copt);
+    for (int i = 0; i < 3; ++i)
+        cluster.addShard(w, 1000.0);
+
+    auto trace = uniformTrace(3, 0.01);
+    EXPECT_EQ(cluster.route(trace[0]), 0);
+    EXPECT_EQ(cluster.route(trace[1]), 1);
+    // A release + re-activation (two topology changes, same active
+    // set) must not restart the cycle at shard 0.
+    cluster.setActive(2, false, 0.025);
+    cluster.setActive(2, true, 0.026);
+    EXPECT_EQ(cluster.route(trace[2]), 2);
+    cluster.drainAll();
+    EXPECT_EQ(cluster.injectedPerShard(),
+              (std::vector<size_t>{1, 1, 1}));
+}
+
+TEST(Router, HerculesCreditsSurviveReprovision)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 1, 64));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::HerculesWeighted;
+    ClusterSim cluster(copt);
+    for (int i = 0; i < 3; ++i)
+        cluster.addShard(w, 1000.0);
+
+    // Equal weights: smooth WRR cycles 0, 1, 2. After shard 0's pick
+    // its credit is deeply negative; zeroing the credits at the
+    // topology change would hand the next query to shard 0 again.
+    auto trace = uniformTrace(2, 0.01);
+    EXPECT_EQ(cluster.route(trace[0]), 0);
+    cluster.setActive(2, false, 0.015);
+    cluster.setActive(2, true, 0.016);
+    EXPECT_EQ(cluster.route(trace[1]), 1);
+    cluster.drainAll();
+}
+
+/*
+ * Bugfix pin: power-of-two-choices must sample two *distinct* shards.
+ * With n = 2 that makes every pick a deterministic better-queue
+ * choice; sampling with replacement would sometimes "compare" the
+ * busy shard with itself and route into the longer queue.
+ */
+TEST(Router, PowerOfTwoSamplesDistinctShards)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload slow = prepare(hw::serverSpec(ServerType::T2), m,
+                                    cpuConfig(1, 1, 64));
+    PreparedWorkload fast = prepare(hw::serverSpec(ServerType::T2), m,
+                                    cpuConfig(10, 2, 128));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::PowerOfTwo;
+    copt.router_seed = 21;
+    ClusterSim cluster(copt);
+    cluster.addShard(slow, 500.0);
+    cluster.addShard(fast, 3000.0);
+
+    // Big queries arriving faster than the single-threaded shard can
+    // retire them: whenever it is picked it stays busy across several
+    // arrivals, so the distinct-sampling pick must route those to the
+    // idle fast shard.
+    for (const auto& q : uniformTrace(200, 0.002, 300)) {
+        cluster.advanceTo(q.arrival_s);
+        size_t q0 = cluster.outstanding(0);
+        size_t q1 = cluster.outstanding(1);
+        int expected = q0 > q1 ? 1 : 0;  // ties break to shard 0
+        EXPECT_EQ(cluster.route(q), expected)
+            << "queues were " << q0 << " vs " << q1;
+    }
+    cluster.drainAll();
+    const auto& per_shard = cluster.injectedPerShard();
+    EXPECT_GT(per_shard[0], 0u);
+    EXPECT_GT(per_shard[1], per_shard[0]);
+}
+
 TEST(ClusterSim, DropsWhenNoShardActive)
 {
     model::Model m = model::buildModel(ModelId::DlrmRmc1);
@@ -411,6 +500,146 @@ TEST(ClusterSim, DropsWhenNoShardActive)
     IntervalStats st = cluster.harvest(0.0, 0.01);
     EXPECT_EQ(st.dropped, 1u);
     EXPECT_EQ(st.arrivals, 0u);
+    // Bugfix pin: a dropped query missed its SLA by definition — a
+    // fully-dark interval reports a 100% violation rate, not 0%.
+    EXPECT_EQ(st.sla_violations, 1u);
+    EXPECT_DOUBLE_EQ(st.sla_violation_rate, 1.0);
+}
+
+TEST(ClusterSim, DroppedArrivalsCountAsSlaViolationsInAggregates)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim cluster(ClusterSim::Options{});
+    cluster.addShard(w, 1000.0);
+
+    // Interval 0 is a full outage (nothing active); interval 1 serves.
+    std::vector<workload::Query> trace = uniformTrace(40, 0.01);
+    auto plan = [](int k, double) {
+        IntervalPlan p;
+        if (k > 0)
+            p.active = {0};
+        return p;
+    };
+    ClusterSimResult r = cluster.run(trace, 0.2, plan);
+
+    ASSERT_GT(r.dropped, 0u);
+    ASSERT_GT(r.completed, 0u);
+    EXPECT_EQ(r.injected + r.dropped, 40u);
+    // Run-level rate counts the drops in numerator and denominator.
+    EXPECT_EQ(r.sla_violations, r.dropped);  // served ones are fast
+    EXPECT_DOUBLE_EQ(r.sla_violation_rate,
+                     static_cast<double>(r.sla_violations) /
+                         static_cast<double>(r.completed + r.dropped));
+    EXPECT_DOUBLE_EQ(r.intervals[0].sla_violation_rate, 1.0);
+    EXPECT_EQ(r.intervals[0].dropped, r.dropped);
+    // Per-service view agrees with the aggregate.
+    ASSERT_EQ(r.services.size(), 1u);
+    EXPECT_EQ(r.services[0].dropped, r.dropped);
+    EXPECT_EQ(r.services[0].sla_violations, r.sla_violations);
+}
+
+/*
+ * Multi-service co-serving: shards belong to services, queries route
+ * via their service's router to that service's shards only, and both
+ * interval and run statistics keep per-service slices that add up to
+ * the aggregate.
+ */
+TEST(ClusterSim, PerServiceRoutingAndStatsIsolation)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim::Options copt;
+    copt.router = RouterPolicy::RoundRobin;
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0, 0);
+    cluster.addShard(w, 1000.0, 1);
+    cluster.addShard(w, 1000.0, 1);
+    EXPECT_EQ(cluster.numServices(), 2);
+    EXPECT_EQ(cluster.activeShards(0), (std::vector<int>{0}));
+    EXPECT_EQ(cluster.activeShards(1), (std::vector<int>{1, 2}));
+
+    std::vector<workload::Query> trace = uniformTrace(60, 0.005);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].service_id = i % 3 == 0 ? 0 : 1;  // 20 / 40 split
+    for (const auto& q : trace)
+        cluster.route(q);
+    cluster.drainAll();
+    // Service 0's queries only reach shard 0; service 1's round-robin
+    // cycles its own two shards.
+    EXPECT_EQ(cluster.injectedPerShard(),
+              (std::vector<size_t>{20, 20, 20}));
+
+    IntervalStats st = cluster.harvest(0.0, 10.0);
+    ASSERT_EQ(st.services.size(), 2u);
+    EXPECT_EQ(st.services[0].arrivals, 20u);
+    EXPECT_EQ(st.services[1].arrivals, 40u);
+    EXPECT_EQ(st.services[0].completions +
+                  st.services[1].completions,
+              st.completions);
+    EXPECT_EQ(st.services[0].active_shards, 1);
+    EXPECT_EQ(st.services[1].active_shards, 2);
+}
+
+TEST(ClusterSim, PerServiceSlaAccounting)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim::Options copt;
+    copt.sla_ms = 15.0;
+    // Service 0 can never violate, service 1 always does.
+    copt.service_sla_ms = {1e9, 1e-6};
+    ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0, 0);
+    cluster.addShard(w, 1000.0, 1);
+    EXPECT_DOUBLE_EQ(cluster.slaMs(0), 1e9);
+    EXPECT_DOUBLE_EQ(cluster.slaMs(1), 1e-6);
+    EXPECT_DOUBLE_EQ(cluster.slaMs(7), 15.0);  // fallback
+
+    std::vector<workload::Query> trace = uniformTrace(40, 0.005);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].service_id = static_cast<int>(i % 2);
+    ClusterSimResult r = cluster.run(trace, 0.05);
+
+    ASSERT_EQ(r.services.size(), 2u);
+    EXPECT_EQ(r.services[0].completed, 20u);
+    EXPECT_EQ(r.services[1].completed, 20u);
+    EXPECT_EQ(r.services[0].sla_violations, 0u);
+    EXPECT_EQ(r.services[1].sla_violations, 20u);
+    EXPECT_DOUBLE_EQ(r.services[0].sla_violation_rate, 0.0);
+    EXPECT_DOUBLE_EQ(r.services[1].sla_violation_rate, 1.0);
+    EXPECT_DOUBLE_EQ(r.services[0].sla_ms, 1e9);
+    // The aggregate is the union of the per-service verdicts.
+    EXPECT_EQ(r.sla_violations, 20u);
+}
+
+TEST(ClusterSim, ServiceDropIsolation)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim cluster(ClusterSim::Options{});
+    cluster.addShard(w, 1000.0, 0);
+    cluster.addShard(w, 1000.0, 1);
+    cluster.setActive(1, false, 0.0);  // service 1 goes dark
+
+    std::vector<workload::Query> trace = uniformTrace(20, 0.005);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].service_id = static_cast<int>(i % 2);
+    for (const auto& q : trace)
+        cluster.route(q);
+    cluster.drainAll();
+
+    IntervalStats st = cluster.harvest(0.0, 10.0);
+    EXPECT_EQ(st.services[0].dropped, 0u);
+    EXPECT_EQ(st.services[1].dropped, 10u);
+    EXPECT_EQ(st.services[1].arrivals, 0u);
+    EXPECT_DOUBLE_EQ(st.services[1].sla_violation_rate, 1.0);
+    EXPECT_EQ(st.services[0].sla_violations, 0u);
+    EXPECT_EQ(st.dropped, 10u);
 }
 
 TEST(ClusterSim, IntervalStatsAreConsistent)

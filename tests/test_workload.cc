@@ -337,6 +337,89 @@ TEST(TraceGen, TimeCompressionPreservesInstantaneousRate)
     EXPECT_NEAR(rate_quarter, rate_full, rate_full * 0.05);
 }
 
+TEST(MultiTrace, FixedSeedGivesIdenticalMergedTrace)
+{
+    std::vector<ServiceTraceSpec> specs(2);
+    specs[0].load.peak_qps = 1500.0;
+    specs[0].load.peak_hour = 20.0;
+    specs[1].load.peak_qps = 900.0;
+    specs[1].load.peak_hour = 8.0;  // phase-shifted
+    specs[1].load.seed = 2;
+    TraceOptions opt;
+    opt.horizon_hours = 0.05;
+    opt.bucket_seconds = 10.0;
+    opt.seed = 13;
+
+    auto a = generateMultiServiceTrace(specs, opt);
+    auto b = generateMultiServiceTrace(specs, opt);
+    ASSERT_GT(a.size(), 100u);
+    ASSERT_EQ(a.size(), b.size());
+    size_t per_service[2] = {0, 0};
+    double prev = -1.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].service_id, b[i].service_id);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_DOUBLE_EQ(a[i].pooling_scale, b[i].pooling_scale);
+        EXPECT_EQ(a[i].id, i);           // globally renumbered
+        EXPECT_GE(a[i].arrival_s, prev);  // merged in time order
+        prev = a[i].arrival_s;
+        ASSERT_GE(a[i].service_id, 0);
+        ASSERT_LT(a[i].service_id, 2);
+        ++per_service[a[i].service_id];
+    }
+    EXPECT_GT(per_service[0], 0u);
+    EXPECT_GT(per_service[1], 0u);
+    // The heavier curve contributes more arrivals.
+    EXPECT_GT(per_service[0], per_service[1]);
+}
+
+TEST(MultiTrace, ServiceStreamsMatchSoloGenerators)
+{
+    // The per-service sub-streams of a merged trace are exactly what a
+    // solo TraceGenerator produces with the derived seed — service 0
+    // with the base seed itself. Single-service callers (and the
+    // partition baselines of bench_multiservice) rely on this.
+    std::vector<ServiceTraceSpec> specs(2);
+    specs[0].load.peak_qps = 1200.0;
+    specs[1].load.peak_qps = 700.0;
+    specs[1].load.peak_hour = 5.0;
+    specs[1].load.seed = 3;
+    specs[1].sizes.median = 30.0;  // per-service size distribution
+    TraceOptions opt;
+    opt.horizon_hours = 0.04;
+    opt.seed = 29;
+
+    auto merged = generateMultiServiceTrace(specs, opt);
+    EXPECT_EQ(serviceTraceSeed(opt.seed, 0), opt.seed);
+
+    for (int s = 0; s < 2; ++s) {
+        TraceOptions solo_opt = opt;
+        solo_opt.seed = serviceTraceSeed(opt.seed, static_cast<size_t>(s));
+        solo_opt.sizes = specs[static_cast<size_t>(s)].sizes;
+        DiurnalLoad load(specs[static_cast<size_t>(s)].load);
+        auto solo = TraceGenerator(load, solo_opt).generate();
+
+        std::vector<Query> sub;
+        for (const Query& q : merged)
+            if (q.service_id == s)
+                sub.push_back(q);
+        ASSERT_EQ(sub.size(), solo.size()) << "service " << s;
+        for (size_t i = 0; i < sub.size(); ++i) {
+            EXPECT_DOUBLE_EQ(sub[i].arrival_s, solo[i].arrival_s);
+            EXPECT_EQ(sub[i].size, solo[i].size);
+            EXPECT_DOUBLE_EQ(sub[i].pooling_scale,
+                             solo[i].pooling_scale);
+        }
+    }
+}
+
+TEST(MultiTraceDeath, NoServices)
+{
+    TraceOptions opt;
+    EXPECT_DEATH(generateMultiServiceTrace({}, opt), "no services");
+}
+
 TEST(TraceGenDeath, BadOptions)
 {
     DiurnalLoad load(DiurnalConfig{});
