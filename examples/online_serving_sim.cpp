@@ -14,24 +14,37 @@
  *    only analytic capacity.
  *
  * Usage: online_serving_sim [hercules|greedy|nh] [--trace]
- *          [--horizon H] [--interval I] [--router rr|jsq|p2c|hercules]
- *          [--services N]
+ *          [--horizon H] [--interval I]
+ *          [--router rr|jsq|p2c|hercules|latency-feedback]
+ *          [--services N] [--admission none|queue_cap|deadline]
+ *          [--priorities p0,p1,...] [--power-cap W]
  *
  * With --services N >= 2, trace mode co-serves N services (RMC1,
  * RMC2, RMC3 prefix) with phase-shifted diurnal peaks on the shared
  * fleet via cluster::serveTraces, reporting per-service tail latency
  * and SLA violations next to the cluster aggregate.
+ *
+ * QoS: --admission picks the per-shard admission policy (src/qos/),
+ * --priorities assigns per-service shedding priorities (higher keeps
+ * capacity longer when --power-cap forces shedding), and --router
+ * latency-feedback routes on p99-feedback-adjusted weights.
+ * Per-service admit / reject / drop / violation lines are printed for
+ * every trace run.
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+
+#include <vector>
 
 #include "cluster/cluster_manager.h"
 #include "cluster/serving.h"
 #include "core/profiler.h"
+#include "qos/qos.h"
 #include "util/table.h"
 
 using namespace hercules;
@@ -46,6 +59,10 @@ struct Args
     double interval_hours = 0.5;
     int num_services = 1;
     sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
+    qos::AdmissionPolicy admission = qos::AdmissionPolicy::None;
+    std::vector<int> priorities;  ///< per service; empty = all equal
+    /** Global power cap (W); infinity = uncapped. */
+    double power_cap_w = std::numeric_limits<double>::infinity();
 };
 
 void
@@ -60,10 +77,20 @@ usage(const char* argv0)
         "  --horizon H     horizon in hours (default 24)\n"
         "  --interval I    re-provisioning interval in hours (0.5)\n"
         "  --router R      trace-mode query router: rr, jsq, p2c,\n"
-        "                  hercules (default hercules)\n"
+        "                  hercules, latency-feedback (default\n"
+        "                  hercules)\n"
         "  --services N    co-serve N services (1-3) in trace mode:\n"
         "                  phase-shifted diurnal peaks on one shared\n"
         "                  fleet, per-service SLA accounting\n"
+        "  --admission A   per-shard admission policy: none,\n"
+        "                  queue_cap, deadline (default none)\n"
+        "  --priorities P  comma-separated per-service shedding\n"
+        "                  priorities, e.g. 2,1,0 (higher keeps\n"
+        "                  capacity longer; only bites under\n"
+        "                  --power-cap)\n"
+        "  --power-cap W   global power cap in watts: the interval\n"
+        "                  allocation is shed (lowest priority, then\n"
+        "                  worst QPS/W first) until it fits\n"
         "tip: --trace --horizon 6 finishes in seconds.\n",
         argv0);
 }
@@ -103,11 +130,61 @@ parseArgs(int argc, char** argv, Args& out)
             if (v == nullptr || std::atoi(v) < 1 || std::atoi(v) > 3)
                 return false;
             out.num_services = std::atoi(v);
+        } else if (a == "--admission") {
+            const char* v = value();
+            if (v == nullptr)
+                return false;
+            auto p = qos::parseAdmissionPolicy(v);
+            if (!p.has_value())
+                return false;
+            out.admission = *p;
+        } else if (a == "--power-cap") {
+            const char* v = value();
+            if (v == nullptr || std::atof(v) <= 0.0)
+                return false;
+            out.power_cap_w = std::atof(v);
+        } else if (a == "--priorities") {
+            const char* v = value();
+            if (v == nullptr)
+                return false;
+            out.priorities.clear();
+            std::string list = v;
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma == pos)
+                    return false;
+                out.priorities.push_back(
+                    std::atoi(list.substr(pos, comma - pos).c_str()));
+                pos = comma + 1;
+            }
         } else {
             return false;
         }
     }
     return true;
+}
+
+/**
+ * The per-service QoS accounting lines every trace run prints:
+ * admitted vs rejected (admission control) vs dropped (no capacity),
+ * and the violation count behind the rate.
+ */
+void
+printQosLines(const std::vector<sim::ServiceRunStats>& services,
+              const std::vector<model::ModelId>& models)
+{
+    for (size_t s = 0; s < services.size(); ++s) {
+        const sim::ServiceRunStats& svc = services[s];
+        size_t offered = svc.injected + svc.dropped + svc.rejected;
+        std::printf("  qos %-12s admitted %zu/%zu, rejected %zu, "
+                    "dropped %zu, violations %zu (%.2f%%)\n",
+                    model::modelName(models[s]), svc.injected, offered,
+                    svc.rejected, svc.dropped, svc.sla_violations,
+                    svc.sla_violation_rate * 100.0);
+    }
 }
 
 std::unique_ptr<cluster::Provisioner>
@@ -200,19 +277,24 @@ runMultiTrace(const Args& args, cluster::Provisioner& policy,
         specs[s].load.peak_hour =
             20.0 - 8.0 * static_cast<double>(s);
         specs[s].load.seed = 5 + s;
+        if (s < args.priorities.size())
+            specs[s].qos.priority = args.priorities[s];
     }
 
     cluster::TraceServeOptions opt;
     opt.horizon_hours = args.horizon_hours;
     opt.interval_hours = args.interval_hours;
     opt.router = args.router;
+    opt.admission.policy = args.admission;
+    opt.power_cap_w = args.power_cap_w;
     opt.trace.time_compression = 480.0;
     opt.trace.seed = 42;
 
     std::printf("co-serving %zu services on T2 x%d + T3 x%d + T7 x%d, "
-                "router %s\n\n",
+                "router %s, admission %s\n\n",
                 S, slots[0], slots[1], slots[2],
-                sim::routerPolicyName(opt.router));
+                sim::routerPolicyName(opt.router),
+                qos::admissionPolicyName(args.admission));
 
     cluster::MultiServeResult r = cluster::serveTraces(
         table, fleet, slots, specs, policy, opt);
@@ -230,6 +312,8 @@ runMultiTrace(const Args& args, cluster::Provisioner& policy,
                   fmtPercent(svc.sla_violation_rate, 2)});
     }
     t.print();
+    std::printf("\n");
+    printQosLines(r.sim.services, services);
 
     std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 "
                 "%.2f ms;  violations %.2f%%;  re-provisions: %d;  avg "
@@ -268,6 +352,8 @@ runTrace(const Args& args, cluster::Provisioner& policy,
     opt.interval_hours = args.interval_hours;
     opt.sla_ms = model::buildModel(model).sla_ms;
     opt.router = args.router;
+    opt.admission.policy = args.admission;
+    opt.power_cap_w = args.power_cap_w;
     // One simulated second stands for 480 wall-clock seconds:
     // instantaneous QPS (and so all queueing dynamics) is unchanged,
     // only the simulated span and query count shrink.
@@ -275,9 +361,10 @@ runTrace(const Args& args, cluster::Provisioner& policy,
     opt.trace.seed = 42;
 
     std::printf("shard fleet: T2 x%d + T3 x%d + T7 x%d (%.0f QPS), "
-                "peak %.0f QPS, SLA %.0f ms, router %s\n\n",
+                "peak %.0f QPS, SLA %.0f ms, router %s, admission %s\n\n",
                 slots[0], slots[1], slots[2], capacity, load.peak_qps,
-                opt.sla_ms, sim::routerPolicyName(opt.router));
+                opt.sla_ms, sim::routerPolicyName(opt.router),
+                qos::admissionPolicyName(args.admission));
 
     cluster::TraceServeResult r = cluster::serveTrace(
         table, fleet, slots, model, load, policy, opt);
@@ -298,15 +385,19 @@ runTrace(const Args& args, cluster::Provisioner& policy,
     }
     t.print();
 
+    std::printf("\n");
+    printQosLines(r.sim.services, {model});
+
     std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 %.2f "
                 "ms, max %.1f ms\n",
                 r.sim.completed, r.sim.p50_ms, r.sim.p99_ms,
                 r.sim.max_ms);
-    std::printf("SLA violations: %.2f%%;  dropped: %zu;  re-provisions: "
-                "%d;  avg power: %.2f kW provisioned / %.2f kW "
-                "consumed\n",
-                r.sim.sla_violation_rate * 100.0, r.sim.dropped,
-                r.reprovisions, r.sim.avg_provisioned_power_w / 1e3,
+    std::printf("SLA violations: %.2f%%;  rejected: %zu;  dropped: %zu;"
+                "  re-provisions: %d;  avg power: %.2f kW provisioned / "
+                "%.2f kW consumed\n",
+                r.sim.sla_violation_rate * 100.0, r.sim.rejected,
+                r.sim.dropped, r.reprovisions,
+                r.sim.avg_provisioned_power_w / 1e3,
                 r.sim.avg_consumed_power_w / 1e3);
     std::printf("tip: compare '--router rr' with '--router hercules' to "
                 "see the heterogeneity effect.\n");

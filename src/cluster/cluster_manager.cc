@@ -11,10 +11,12 @@ estimateOverprovisionRate(const workload::DiurnalLoad& load,
                           double interval_hours, double horizon_hours)
 {
     double worst = 0.0;
+    // Forecast view: the rate is estimated from load *history*, so an
+    // unforecast surge window must not leak into it.
     for (double t = 0.0; t + interval_hours <= horizon_hours;
          t += interval_hours / 4.0) {
-        double now = load.loadAt(t);
-        double next = load.loadAt(t + interval_hours);
+        double now = load.forecastAt(t);
+        double next = load.forecastAt(t + interval_hours);
         if (now > 1e-9)
             worst = std::max(worst, (next - now) / now);
     }

@@ -13,19 +13,29 @@ namespace hercules::cluster {
 namespace {
 
 /**
- * The least energy-efficient still-active (type, service) pair in
- * `counts` — the next shedding victim — optionally restricted to one
- * server type. A zero-power pair reclaims nothing when shed: it is
- * treated as infinitely efficient, never the victim. Returns
- * {-1, -1} when nothing is active.
+ * The next shedding victim among the still-active (type, service)
+ * pairs in `counts`: the pair of the lowest-priority service (with
+ * `priorities` empty, all services tie), and within that priority the
+ * least energy-efficient (QPS/W) pair — optionally restricted to one
+ * server type. Exact QPS/W ties keep the first pair in (h, m) scan
+ * order, so the victim is deterministic. A zero-power pair reclaims
+ * nothing when shed: it is treated as infinitely efficient, never the
+ * victim. Returns {-1, -1} when nothing is active.
  */
 std::pair<int, int>
 worstActivePair(const ProvisionProblem& problem,
                 const std::vector<std::vector<int>>& counts,
-                int only_h = -1)
+                int only_h = -1,
+                const std::vector<int>& priorities = {})
 {
+    auto priorityOf = [&](int m) {
+        return static_cast<size_t>(m) < priorities.size()
+                   ? priorities[static_cast<size_t>(m)]
+                   : 0;
+    };
     int worst_h = -1, worst_m = -1;
     double worst_qpw = 0.0;
+    bool worst_zero = true;
     for (int h = 0; h < problem.numServers(); ++h) {
         if (only_h >= 0 && h != only_h)
             continue;
@@ -34,13 +44,28 @@ worstActivePair(const ProvisionProblem& problem,
                       [static_cast<size_t>(m)] <= 0)
                 continue;
             const PairPerf& perf = problem.perf(h, m);
-            double qpw = perf.power_w > 0.0
-                             ? perf.qps / perf.power_w
-                             : std::numeric_limits<double>::infinity();
-            if (worst_h < 0 || qpw < worst_qpw) {
+            bool zero = perf.power_w <= 0.0;
+            double qpw = zero
+                             ? std::numeric_limits<double>::infinity()
+                             : perf.qps / perf.power_w;
+            // Victim order: any power-reclaiming pair before every
+            // zero-power one (shedding the latter frees nothing, no
+            // matter how low its priority); then priority ascending;
+            // then QPS/W within the priority level.
+            bool better;
+            if (worst_h < 0)
+                better = true;
+            else if (zero != worst_zero)
+                better = worst_zero;
+            else
+                better = priorityOf(m) < priorityOf(worst_m) ||
+                         (priorityOf(m) == priorityOf(worst_m) &&
+                          qpw < worst_qpw);
+            if (better) {
                 worst_h = h;
                 worst_m = m;
                 worst_qpw = qpw;
+                worst_zero = zero;
             }
         }
     }
@@ -52,7 +77,7 @@ worstActivePair(const ProvisionProblem& problem,
 bool
 shedToPowerCap(const ProvisionProblem& problem,
                std::vector<std::vector<int>>& counts, double cap_w,
-               double* power_w)
+               double* power_w, const std::vector<int>& priorities)
 {
     double power = 0.0;
     for (int h = 0; h < problem.numServers(); ++h)
@@ -62,16 +87,29 @@ shedToPowerCap(const ProvisionProblem& problem,
                      problem.perf(h, m).power_w;
 
     bool shed = false;
-    // Shed the least energy-efficient (type, service) pair first: it
-    // contributes the fewest queries per watt reclaimed.
+    // Shed the lowest-priority service first, and within a priority
+    // the least energy-efficient (type, service) pair: it contributes
+    // the fewest queries per watt reclaimed.
     while (power > cap_w) {
-        auto [worst_h, worst_m] = worstActivePair(problem, counts);
+        auto [worst_h, worst_m] =
+            worstActivePair(problem, counts, -1, priorities);
         if (worst_h < 0)
             break;
         --counts[static_cast<size_t>(worst_h)]
                 [static_cast<size_t>(worst_m)];
         power -= problem.perf(worst_h, worst_m).power_w;
         shed = true;
+    }
+    if (shed) {
+        // Re-sum from the final counts: the repeated subtraction above
+        // leaves floating-point residue (an empty matrix must report
+        // exactly 0 W, not -0.000).
+        power = 0.0;
+        for (int h = 0; h < problem.numServers(); ++h)
+            for (int m = 0; m < problem.numModels(); ++m)
+                power += counts[static_cast<size_t>(h)]
+                               [static_cast<size_t>(m)] *
+                         problem.perf(h, m).power_w;
     }
     if (power_w != nullptr)
         *power_w = power;
@@ -112,10 +150,17 @@ serveTraces(const core::EfficiencyTable& table,
     copt.router = opt.router;
     copt.router_seed = opt.router_seed;
     copt.sla_ms = opt.sla_ms;
-    for (size_t s = 0; s < S; ++s)
-        copt.service_sla_ms.push_back(services[s].sla_ms > 0.0
-                                          ? services[s].sla_ms
-                                          : models[s].sla_ms);
+    copt.admission = opt.admission;
+    copt.feedback = opt.feedback;
+    // SLA resolution: QoS-class override, then the spec, then the
+    // model-zoo default.
+    for (size_t s = 0; s < S; ++s) {
+        double sla = services[s].qos.sla_ms > 0.0 ? services[s].qos.sla_ms
+                     : services[s].sla_ms > 0.0  ? services[s].sla_ms
+                                                 : models[s].sla_ms;
+        copt.service_sla_ms.push_back(sla);
+        copt.service_class.push_back(services[s].qos);
+    }
     out.service_sla_ms = copt.service_sla_ms;
     sim::ClusterSim cluster(copt);
     // A service with no feasible (type, slots) pair still exists: its
@@ -189,13 +234,44 @@ serveTraces(const core::EfficiencyTable& table,
         opt.horizon_hours * 3600.0 / topt.time_compression;
 
     // ---- per-interval joint provisioning plan --------------------------
+    // Per-service shedding priorities (QoS classes) and, for
+    // throughput-tier services, the horizon-mean forecast demand they
+    // are provisioned to instead of the instantaneous curve.
+    std::vector<int> priorities;
+    bool any_priority = false;
+    for (const ServiceSpec& spec : services) {
+        priorities.push_back(spec.qos.priority);
+        any_priority = any_priority || spec.qos.priority != 0;
+    }
+    if (!any_priority)
+        priorities.clear();  // pure-QPS/W shedding, the pre-QoS order
+    std::vector<double> mean_forecast(S, 0.0);
+    for (size_t s = 0; s < S; ++s) {
+        OnlineStats acc;
+        for (double t = 0.0; t < opt.horizon_hours;
+             t += opt.interval_hours)
+            acc.add(loads[s].forecastAt(t));
+        mean_forecast[s] = acc.mean();
+    }
+
     std::vector<int> prev_active;
     bool first_interval = true;
     auto plan = [&](int k, double) -> sim::IntervalPlan {
         double t_hours = static_cast<double>(k) * opt.interval_hours;
         std::vector<double> interval_loads;
-        for (size_t s = 0; s < S; ++s)
-            interval_loads.push_back(loads[s].loadAt(t_hours));
+        for (size_t s = 0; s < S; ++s) {
+            // The provisioner plans on the *forecast* curve (an
+            // unforecast surge window is invisible to it). Throughput-
+            // tier services are deadline-relaxed: provisioned to the
+            // horizon-mean demand with the ramp headroom cancelled —
+            // their peak backlog rides through the adjacent troughs —
+            // while latency-tier services keep the full (1 + R)
+            // headroom on the instantaneous forecast.
+            double fl = services[s].qos.tier == qos::Tier::Throughput
+                            ? mean_forecast[s] / (1.0 + r)
+                            : loads[s].forecastAt(t_hours);
+            interval_loads.push_back(fl);
+        }
         Allocation alloc = policy.provision(problem, interval_loads, r);
 
         sim::IntervalPlan p;
@@ -216,17 +292,19 @@ serveTraces(const core::EfficiencyTable& table,
                 total += counts[h][s];
             while (total > shard_slots[h]) {
                 auto [worst_h, worst_m] = worstActivePair(
-                    problem, counts, static_cast<int>(h));
+                    problem, counts, static_cast<int>(h), priorities);
                 if (worst_h < 0)
                     break;
                 --counts[h][static_cast<size_t>(worst_m)];
                 --total;
             }
         }
-        // Enforce the global power cap across all services.
+        // Enforce the global power cap across all services: lowest
+        // priority shed first, then least QPS/W.
         double power = 0.0;
-        p.power_capped =
-            shedToPowerCap(problem, counts, opt.power_cap_w, &power);
+        p.power_capped = shedToPowerCap(problem, counts,
+                                        opt.power_cap_w, &power,
+                                        priorities);
         for (size_t h = 0; h < fleet.size(); ++h)
             for (size_t s = 0; s < S; ++s)
                 for (int i = 0; i < counts[h][s]; ++i)

@@ -29,6 +29,7 @@
 
 #include "cluster/provision.h"
 #include "core/efficiency_table.h"
+#include "qos/qos.h"
 #include "sim/cluster_sim.h"
 #include "workload/diurnal.h"
 #include "workload/trace_gen.h"
@@ -49,6 +50,13 @@ struct TraceServeOptions
     double power_cap_w = std::numeric_limits<double>::infinity();
     sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
     uint64_t router_seed = 1;
+    /**
+     * Per-shard admission control (src/qos/): default policy `none`
+     * keeps today's unbounded queues, bit-identical.
+     */
+    qos::AdmissionConfig admission{};
+    /** Weight-update knobs of the latency-feedback router. */
+    qos::FeedbackConfig feedback{};
     /** Arrival-trace options; horizon is overridden by horizon_hours. */
     workload::TraceOptions trace{};
 };
@@ -61,6 +69,14 @@ struct ServiceSpec
     workload::DiurnalConfig load{};
     /** Per-service SLA (ms); <= 0 uses the model-zoo default. */
     double sla_ms = 0.0;
+    /**
+     * QoS class: priority steers the power-cap shedding order (higher
+     * keeps capacity longer), tier steers provisioning (throughput-
+     * tier services are provisioned to horizon-mean demand, not peak),
+     * and a positive qos.sla_ms overrides sla_ms. Defaults are
+     * behaviour-preserving.
+     */
+    qos::ServiceClass qos{};
     workload::QuerySizeDist sizes{};
     workload::PoolingDist pooling{};
 };
@@ -93,19 +109,30 @@ struct MultiServeResult
 
 /**
  * Shed whole servers from a (server type x service) activation-count
- * matrix until its provisioned power fits `cap_w`: repeatedly drop one
- * server from the least energy-efficient (QPS/W) still-active pair —
- * the cross-service shedding policy of the global power cap.
+ * matrix until its provisioned power fits `cap_w` — the cross-service
+ * shedding policy of the global power cap.
+ *
+ * Victim order: strictly ascending service priority first (every
+ * server of a lower-priority service is shed before any higher-
+ * priority pair loses one), then least energy-efficient (QPS/W) pair
+ * within the priority level. Exact QPS/W ties break deterministically
+ * by (type, service) scan order — the lowest (h, m) pair wins. With
+ * `priorities` empty (or all equal) the order is pure QPS/W, the
+ * pre-QoS behaviour.
  *
  * @param problem    supplies PairPerf for every (type, service) pair.
  * @param counts     counts[h][m], mutated in place.
  * @param cap_w      the cap; +inf disables shedding.
  * @param power_w    out: provisioned power of the final counts.
+ * @param priorities per-service shedding priority (higher keeps
+ *                   capacity longer), indexed like the problem's
+ *                   models; empty = all equal.
  * @return true when at least one server was shed.
  */
 bool shedToPowerCap(const ProvisionProblem& problem,
                     std::vector<std::vector<int>>& counts, double cap_w,
-                    double* power_w);
+                    double* power_w,
+                    const std::vector<int>& priorities = {});
 
 /**
  * Serve one model's diurnal trace on a sharded heterogeneous fleet.

@@ -227,4 +227,153 @@ EvalEngine::clearCache()
     cache_.clear();
 }
 
+// ---- cross-process memo persistence --------------------------------------
+//
+// One line per entry:  <key>\t<valid> <has_point> [<point numbers...>]
+// The key is the canonical cacheKey() string (never contains tabs or
+// newlines); numbers are %.17g so doubles round-trip bit-exactly. The
+// header pins a format version — a mismatched file loads nothing
+// rather than poisoning the memo with misparsed results.
+
+namespace {
+
+constexpr const char* kCacheMagic = "HERCULES_EVAL_CACHE v1";
+
+void
+writePoint(FILE* f, const sim::OperatingPoint& p)
+{
+    const sim::ServerSimResult& r = p.result;
+    std::fprintf(
+        f,
+        " %.17g %.17g %.17g %.17g %d"
+        " %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g"
+        " %.17g %.17g %.17g %.17g %.17g"
+        " %.17g %.17g %.17g"
+        " %.17g %.17g %.17g %.17g"
+        " %zu %.17g %d",
+        p.qps, p.capacity, p.bracket_lo, p.bracket_hi, p.sims,
+        r.offered_qps, r.achieved_qps, r.mean_ms, r.p50_ms, r.p95_ms,
+        r.p99_ms, r.tail_ms, r.max_ms,
+        r.cpu_util, r.mem_bw_util, r.gpu_util, r.pcie_util, r.nmp_util,
+        r.avg_power_w, r.peak_power_w, r.qps_per_watt,
+        r.mean_queue_ms, r.mean_host_ms, r.mean_load_ms, r.mean_exec_ms,
+        r.completed, r.duration_s, r.aborted ? 1 : 0);
+}
+
+bool
+readPoint(const char* s, sim::OperatingPoint* p)
+{
+    sim::ServerSimResult& r = p->result;
+    int aborted = 0;
+    int n = std::sscanf(
+        s,
+        " %lg %lg %lg %lg %d"
+        " %lg %lg %lg %lg %lg %lg %lg %lg"
+        " %lg %lg %lg %lg %lg"
+        " %lg %lg %lg"
+        " %lg %lg %lg %lg"
+        " %zu %lg %d",
+        &p->qps, &p->capacity, &p->bracket_lo, &p->bracket_hi, &p->sims,
+        &r.offered_qps, &r.achieved_qps, &r.mean_ms, &r.p50_ms,
+        &r.p95_ms, &r.p99_ms, &r.tail_ms, &r.max_ms,
+        &r.cpu_util, &r.mem_bw_util, &r.gpu_util, &r.pcie_util,
+        &r.nmp_util,
+        &r.avg_power_w, &r.peak_power_w, &r.qps_per_watt,
+        &r.mean_queue_ms, &r.mean_host_ms, &r.mean_load_ms,
+        &r.mean_exec_ms,
+        &r.completed, &r.duration_s, &aborted);
+    if (n != 28)
+        return false;
+    r.aborted = aborted != 0;
+    return true;
+}
+
+}  // namespace
+
+size_t
+EvalEngine::saveCache(const std::string& path) const
+{
+    // Snapshot the ready cells under the lock, write outside it.
+    std::vector<std::pair<std::string, EvalResult>> entries;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries.reserve(cache_.size());
+        for (const auto& [key, cell] : cache_) {
+            std::lock_guard<std::mutex> cell_lock(cell->m);
+            if (cell->ready)
+                entries.emplace_back(key, cell->result);
+        }
+    }
+
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("EvalEngine::saveCache: cannot open %s", path.c_str());
+        return 0;
+    }
+    std::fprintf(f, "%s\n", kCacheMagic);
+    for (const auto& [key, result] : entries) {
+        std::fprintf(f, "%s\t%d %d", key.c_str(),
+                     result.valid ? 1 : 0,
+                     result.point.has_value() ? 1 : 0);
+        if (result.point.has_value())
+            writePoint(f, *result.point);
+        std::fputc('\n', f);
+    }
+    std::fclose(f);
+    return entries.size();
+}
+
+size_t
+EvalEngine::loadCache(const std::string& path)
+{
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return 0;
+
+    std::string line;
+    auto readLine = [&]() -> bool {
+        line.clear();
+        int c;
+        while ((c = std::fgetc(f)) != EOF && c != '\n')
+            line.push_back(static_cast<char>(c));
+        return !(line.empty() && c == EOF);
+    };
+
+    if (!readLine() || line != kCacheMagic) {
+        warn("EvalEngine::loadCache: %s is not a v1 cache file",
+             path.c_str());
+        std::fclose(f);
+        return 0;
+    }
+
+    size_t loaded = 0;
+    while (readLine()) {
+        size_t tab = line.find('\t');
+        if (tab == std::string::npos || tab == 0)
+            continue;  // malformed line: skip, keep loading the rest
+        std::string key = line.substr(0, tab);
+        const char* payload = line.c_str() + tab + 1;
+        int valid = 0, has_point = 0, consumed = 0;
+        if (std::sscanf(payload, "%d %d%n", &valid, &has_point,
+                        &consumed) != 2)
+            continue;
+        EvalResult result;
+        result.valid = valid != 0;
+        if (has_point != 0) {
+            sim::OperatingPoint p;
+            if (!readPoint(payload + consumed, &p))
+                continue;
+            result.point = p;
+        }
+        auto cell = std::make_shared<Cell>();
+        cell->result = std::move(result);
+        cell->ready = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cache_.emplace(std::move(key), std::move(cell)).second)
+            ++loaded;
+    }
+    std::fclose(f);
+    return loaded;
+}
+
 }  // namespace hercules::core

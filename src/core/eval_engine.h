@@ -131,6 +131,24 @@ class EvalEngine
     void clearCache();
 
     /**
+     * Spill the memo to disk: every *computed* entry (in-flight cells
+     * are skipped) is written as one line of a versioned text file,
+     * keyed by the canonical cache key. Repeated bench/CI runs load
+     * the file to warm-start instead of re-simulating.
+     * @return entries written; 0 when the file cannot be opened.
+     */
+    size_t saveCache(const std::string& path) const;
+
+    /**
+     * Merge a saveCache() file into the memo. Entries whose key is
+     * already cached are skipped (the in-memory result wins);
+     * malformed or version-mismatched files load nothing. Results
+     * served from loaded entries report cache_hit like any memo hit.
+     * @return entries inserted.
+     */
+    size_t loadCache(const std::string& path);
+
+    /**
      * The canonical cache key: every result-affecting input — server
      * signature, model signature, full scheduling config, SLA, and the
      * measurement options (seed, query counts, bisection knobs, power

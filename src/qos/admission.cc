@@ -1,0 +1,32 @@
+#include "qos/admission.h"
+
+#include <limits>
+
+namespace hercules::qos {
+
+double
+AdmissionController::estimatedCompletionMs(size_t outstanding,
+                                           double weight_qps)
+{
+    if (weight_qps <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1000.0 * static_cast<double>(outstanding + 1) / weight_qps;
+}
+
+bool
+AdmissionController::admit(const ShardLoad& shard, double sla_ms) const
+{
+    switch (cfg_.policy) {
+      case AdmissionPolicy::None:
+        return true;
+      case AdmissionPolicy::QueueCap:
+        return shard.outstanding < cfg_.queue_cap;
+      case AdmissionPolicy::Deadline:
+        return estimatedCompletionMs(shard.outstanding,
+                                     shard.weight_qps) <=
+               sla_ms * cfg_.deadline_slack;
+    }
+    return true;
+}
+
+}  // namespace hercules::qos

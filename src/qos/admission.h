@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-shard admission control: the dispatch-time decision whether a
+ * routed query may join its shard's queue, consulted by
+ * sim::ClusterSim on every dispatch.
+ *
+ * The controller sees the shard exactly as the router does — its
+ * outstanding query count and its efficiency-tuple QPS weight — so the
+ * deadline estimator needs no extra per-shard instrumentation:
+ *
+ *   estimated completion (ms) = 1000 * (outstanding + 1) / weight_qps
+ *
+ * i.e. the new query retires after the shard works through the backlog
+ * ahead of it, at the shard's latency-bounded throughput. The tuple
+ * QPS is what the provisioner sized the shard by, so the estimate is
+ * consistent with the capacity the plan promised; an overloaded shard
+ * (backlog beyond SLA * slack worth of work) rejects instead of
+ * growing an unbounded queue that would make *every* queued query
+ * late.
+ *
+ * A rejected query counts as an SLA violation everywhere a dropped or
+ * late query does (see qos/qos.h) — admission control re-shapes *who*
+ * violates under overload, it never hides violations.
+ */
+#pragma once
+
+#include "qos/qos.h"
+
+namespace hercules::qos {
+
+/** The router's view of one shard, as the controller needs it. */
+struct ShardLoad
+{
+    size_t outstanding = 0;   ///< queries injected but not retired
+    double weight_qps = 0.0;  ///< efficiency-tuple QPS of the shard
+};
+
+/**
+ * One shard's admission controller. Stateless beyond its config:
+ * every decision is a pure function of the shard's current load, so
+ * replays are deterministic.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionConfig& cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    /**
+     * @param shard  the candidate shard's current load.
+     * @param sla_ms the SLA of the query's service.
+     * @return true when the query may be injected.
+     */
+    bool admit(const ShardLoad& shard, double sla_ms) const;
+
+    const AdmissionConfig& config() const { return cfg_; }
+
+    /**
+     * The deadline estimator: predicted end-to-end completion time of
+     * a query joining a shard with `outstanding` queries ahead of it.
+     * @return +infinity when the shard has no usable weight.
+     */
+    static double estimatedCompletionMs(size_t outstanding,
+                                        double weight_qps);
+
+  private:
+    AdmissionConfig cfg_;
+};
+
+}  // namespace hercules::qos

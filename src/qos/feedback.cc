@@ -1,0 +1,25 @@
+#include "qos/feedback.h"
+
+#include <algorithm>
+
+namespace hercules::qos {
+
+double
+updateFeedbackWeight(double weight, double base, double p99_ms,
+                     double sla_ms, const FeedbackConfig& cfg)
+{
+    if (base <= 0.0)
+        return weight;
+    double factor;
+    if (p99_ms <= 0.0 || sla_ms <= 0.0) {
+        // Dark window: bounded recovery toward the tuple weight.
+        factor = 1.0 + cfg.gain;
+    } else {
+        factor = std::clamp(sla_ms / p99_ms, 1.0 - cfg.gain,
+                            1.0 + cfg.gain);
+    }
+    double floor = cfg.floor_frac * base;
+    return std::clamp(weight * factor, floor, base);
+}
+
+}  // namespace hercules::qos

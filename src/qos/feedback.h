@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Feedback-driven routing weights: the update rule behind the
+ * `latency-feedback` router policy (sim::RouterPolicy::LatencyFeedback).
+ *
+ * The static hercules-weighted router splits traffic by offline
+ * efficiency-tuple QPS — right on average, blind to what actually
+ * happens. The feedback router starts from the same tuple weights and,
+ * once per harvest interval, multiplicatively adjusts each shard's
+ * weight from its *observed* window p99 against the served service's
+ * SLA:
+ *
+ *   factor = clamp(sla / p99, 1 - gain, 1 + gain)
+ *   w'     = clamp(w * factor, floor_frac * base, base)
+ *
+ * A shard running hot (p99 > sla) loses weight — its share shrinks
+ * until its tail recovers; a shard with headroom regains weight toward
+ * (never beyond) its tuple base, so the long-run split converges back
+ * to the heterogeneity-aware weights when everything is healthy. A
+ * window with no completions is ambiguous, and the caller (ClusterSim)
+ * disambiguates by the shard's backlog: *drained* and dark passes
+ * p99 <= 0 — bounded recovery toward base, so a shard is not condemned
+ * forever by one bad interval — while *stalled* (work in flight,
+ * nothing finishing) passes an infinite p99 and takes the full penalty
+ * step, since a shard too backlogged to complete anything is the most
+ * overloaded of all. The floor keeps every shard probed — a zero
+ * weight would blind the controller to a recovered shard forever.
+ */
+#pragma once
+
+#include "qos/qos.h"
+
+namespace hercules::qos {
+
+/**
+ * One interval's multiplicative weight update for one shard.
+ *
+ * @param weight  the shard's current feedback weight.
+ * @param base    its tuple (efficiency) weight — the upper bound.
+ * @param p99_ms  observed window p99; <= 0 means no completions.
+ * @param sla_ms  SLA of the shard's service.
+ * @param cfg     gain / floor knobs.
+ * @return the updated weight.
+ */
+double updateFeedbackWeight(double weight, double base, double p99_ms,
+                            double sla_ms, const FeedbackConfig& cfg);
+
+}  // namespace hercules::qos

@@ -1,0 +1,50 @@
+#include "qos/qos.h"
+
+#include "util/logging.h"
+
+namespace hercules::qos {
+
+const char*
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Latency: return "latency";
+      case Tier::Throughput: return "throughput";
+    }
+    panic("tierName: bad tier %d", static_cast<int>(t));
+}
+
+std::optional<Tier>
+parseTier(const std::string& name)
+{
+    if (name == "latency")
+        return Tier::Latency;
+    if (name == "throughput")
+        return Tier::Throughput;
+    return std::nullopt;
+}
+
+const char*
+admissionPolicyName(AdmissionPolicy p)
+{
+    switch (p) {
+      case AdmissionPolicy::None: return "none";
+      case AdmissionPolicy::QueueCap: return "queue_cap";
+      case AdmissionPolicy::Deadline: return "deadline";
+    }
+    panic("admissionPolicyName: bad policy %d", static_cast<int>(p));
+}
+
+std::optional<AdmissionPolicy>
+parseAdmissionPolicy(const std::string& name)
+{
+    if (name == "none")
+        return AdmissionPolicy::None;
+    if (name == "queue_cap")
+        return AdmissionPolicy::QueueCap;
+    if (name == "deadline")
+        return AdmissionPolicy::Deadline;
+    return std::nullopt;
+}
+
+}  // namespace hercules::qos

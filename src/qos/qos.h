@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Quality-of-service policy for online serving: the vocabulary the
+ * whole QoS subsystem shares.
+ *
+ * Hercules provisions the cluster for the diurnal valley-to-peak swing,
+ * but *between* those operating points the serving stack needs policy:
+ * what to do with a query that cannot meet its deadline (admission
+ * control, qos/admission.h), which service loses capacity first when
+ * the power cap bites (ServiceClass::priority, threaded into
+ * cluster::shedToPowerCap), and how routing weights react to observed
+ * tail latency (qos/feedback.h, the latency-feedback router policy).
+ *
+ * Accounting contract (see src/qos/README.md):
+ *  - *dropped*   — no active shard existed for the query's service;
+ *  - *rejected*  — a shard existed but its admission controller refused
+ *                  the query (queue full / deadline unmeetable);
+ *  - *violated*  — the query completed later than its service's SLA.
+ * All three count as SLA violations in every rate: a query turned away
+ * missed its deadline by definition, so enabling admission control can
+ * never hide load in the accounting — it can only convert late
+ * completions (which also poison the queue behind them) into early,
+ * cheap rejections.
+ */
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace hercules::qos {
+
+/** How a service trades latency against throughput. */
+enum class Tier {
+    /**
+     * User-facing ranking: provisioned with peak/ramp headroom, held
+     * to its latency SLA every interval.
+     */
+    Latency,
+    /**
+     * Deadline-relaxed batch-ish serving (feature logging, candidate
+     * pre-scoring): provisioned to *mean* demand over the horizon —
+     * its peak backlog rides through the adjacent troughs instead of
+     * claiming peak capacity.
+     */
+    Throughput,
+};
+
+/** @return display name ("latency", "throughput"). */
+const char* tierName(Tier t);
+
+/** Parse a tier name as printed by tierName(). */
+std::optional<Tier> parseTier(const std::string& name);
+
+/**
+ * The QoS class of one co-served service. Default-constructed classes
+ * (priority 0, latency tier, no SLA override) reproduce the pre-QoS
+ * behaviour exactly.
+ */
+struct ServiceClass
+{
+    /**
+     * Shedding priority: *higher keeps capacity longer*. When the
+     * power cap forces shedding, all servers of strictly lower-priority
+     * services are shed before any higher-priority pair loses one
+     * (cluster::shedToPowerCap).
+     */
+    int priority = 0;
+    Tier tier = Tier::Latency;
+    /**
+     * Latency SLA override (ms); <= 0 defers to the service's own
+     * SLA resolution (spec / model-zoo default).
+     */
+    double sla_ms = 0.0;
+};
+
+/** The per-shard admission policies (qos/admission.h). */
+enum class AdmissionPolicy {
+    /** Admit everything — today's unbounded queue (the default). */
+    None,
+    /** Bounded queue: reject once the shard's backlog hits the cap. */
+    QueueCap,
+    /**
+     * Deadline-aware: estimate the query's completion time from the
+     * shard's in-flight work and reject when it cannot meet the SLA.
+     */
+    Deadline,
+};
+
+/** @return display name ("none", "queue_cap", "deadline"). */
+const char* admissionPolicyName(AdmissionPolicy p);
+
+/** Parse a policy name as printed by admissionPolicyName(). */
+std::optional<AdmissionPolicy> parseAdmissionPolicy(
+    const std::string& name);
+
+/** Configuration of the admission controller. */
+struct AdmissionConfig
+{
+    AdmissionPolicy policy = AdmissionPolicy::None;
+    /** QueueCap: max queries outstanding on one shard. */
+    size_t queue_cap = 64;
+    /**
+     * Deadline: admit while the estimated completion time stays within
+     * `deadline_slack * sla_ms`. 1.0 drops exactly the queries the
+     * estimator predicts late; > 1 tolerates estimator optimism.
+     */
+    double deadline_slack = 1.0;
+};
+
+/**
+ * Configuration of the latency-feedback router's weight update
+ * (qos/feedback.h).
+ */
+struct FeedbackConfig
+{
+    /**
+     * Max fractional weight step per interval: the multiplicative
+     * factor applied each update is clamped to [1 - gain, 1 + gain].
+     */
+    double gain = 0.3;
+    /** Weight floor as a fraction of the shard's base (tuple) weight. */
+    double floor_frac = 0.05;
+};
+
+}  // namespace hercules::qos

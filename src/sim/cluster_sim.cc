@@ -1,7 +1,9 @@
 #include "sim/cluster_sim.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "qos/feedback.h"
 #include "util/logging.h"
 
 namespace hercules::sim {
@@ -16,6 +18,7 @@ routerPolicyName(RouterPolicy p)
       case RouterPolicy::LeastOutstanding: return "jsq";
       case RouterPolicy::PowerOfTwo: return "p2c";
       case RouterPolicy::HerculesWeighted: return "hercules";
+      case RouterPolicy::LatencyFeedback: return "latency-feedback";
     }
     panic("routerPolicyName: bad policy %d", static_cast<int>(p));
 }
@@ -26,6 +29,9 @@ parseRouterPolicy(const std::string& name)
     for (RouterPolicy p : allRouterPolicies())
         if (name == routerPolicyName(p))
             return p;
+    // Not part of the static-policy sweep, but parseable by name.
+    if (name == routerPolicyName(RouterPolicy::LatencyFeedback))
+        return RouterPolicy::LatencyFeedback;
     return std::nullopt;
 }
 
@@ -103,17 +109,22 @@ Router::pick(const ClusterSim& cluster, const std::vector<int>& active)
         return std::min(a, b);
       }
 
-      case RouterPolicy::HerculesWeighted: {
-        // Smooth weighted round-robin over the efficiency-tuple QPS
-        // weights: deterministic, and the long-run share of shard i is
-        // weight_i / sum(weights).
+      case RouterPolicy::HerculesWeighted:
+      case RouterPolicy::LatencyFeedback: {
+        // Smooth weighted round-robin: deterministic, and the long-run
+        // share of shard i is weight_i / sum(weights). The weights are
+        // the static efficiency-tuple QPS (HerculesWeighted) or the
+        // per-interval feedback-adjusted weights (LatencyFeedback).
+        const bool fb = policy_ == RouterPolicy::LatencyFeedback;
         if (credit_.size() < cluster.numShards())
             credit_.resize(cluster.numShards(), 0.0);
         double total = 0.0;
         int best = active[0];
         for (int id : active) {
-            credit_[static_cast<size_t>(id)] += cluster.weight(id);
-            total += cluster.weight(id);
+            double w = fb ? cluster.feedbackWeight(id)
+                          : cluster.weight(id);
+            credit_[static_cast<size_t>(id)] += w;
+            total += w;
             if (credit_[static_cast<size_t>(id)] >
                 credit_[static_cast<size_t>(best)])
                 best = id;
@@ -169,7 +180,9 @@ ClusterSim::addShard(const PreparedWorkload& w, double weight_qps,
     s.inst = std::make_unique<ServerInstance>(w, shard_opt_);
     s.workload = &w;
     s.weight = weight_qps;
+    s.fb_weight = weight_qps;  // feedback starts from the tuple weight
     s.service = service;
+    s.admit = qos::AdmissionController(opt_.admission);
     shards_.push_back(std::move(s));
     injected_per_shard_.push_back(0);
     rebuildActive();
@@ -234,6 +247,21 @@ ClusterSim::weight(int shard) const
     return shards_[static_cast<size_t>(shard)].weight;
 }
 
+double
+ClusterSim::feedbackWeight(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)].fb_weight;
+}
+
+qos::ServiceClass
+ClusterSim::serviceClass(int service) const
+{
+    if (service >= 0 &&
+        static_cast<size_t>(service) < opt_.service_class.size())
+        return opt_.service_class[static_cast<size_t>(service)];
+    return qos::ServiceClass{};
+}
+
 int
 ClusterSim::shardService(int shard) const
 {
@@ -247,6 +275,11 @@ ClusterSim::slaMs(int service) const
         static_cast<size_t>(service) < opt_.service_sla_ms.size() &&
         opt_.service_sla_ms[static_cast<size_t>(service)] > 0.0)
         return opt_.service_sla_ms[static_cast<size_t>(service)];
+    // QoS-class fallback for direct ClusterSim users; serveTraces has
+    // already folded its class SLAs into service_sla_ms.
+    qos::ServiceClass sc = serviceClass(service);
+    if (sc.sla_ms > 0.0)
+        return sc.sla_ms;
     return opt_.sla_ms;
 }
 
@@ -281,7 +314,17 @@ ClusterSim::route(const workload::Query& q)
         ++service_state_[static_cast<size_t>(svc)].dropped;
         return -1;
     }
-    shards_[static_cast<size_t>(s)].inst->inject(q);
+    Shard& sh = shards_[static_cast<size_t>(s)];
+    // Admission control on the picked shard: a refused query is
+    // *rejected* (distinct from dropped) and, like a drop, counts as
+    // an SLA violation in every rate. Policy `none` admits everything.
+    if (!sh.admit.admit({sh.inst->outstanding(), sh.weight},
+                        slaMs(svc))) {
+        ++rejected_;
+        ++service_state_[static_cast<size_t>(svc)].rejected;
+        return -2;
+    }
+    sh.inst->inject(q);
     ++injected_;
     ++service_state_[static_cast<size_t>(svc)].injected;
     ++injected_per_shard_[static_cast<size_t>(s)];
@@ -310,15 +353,20 @@ ClusterSim::harvest(double t0_s, double t1_s)
         ss.injected_harvested = ss.injected;
         svc.dropped = ss.dropped - ss.dropped_harvested;
         ss.dropped_harvested = ss.dropped;
+        svc.rejected = ss.rejected - ss.rejected_harvested;
+        ss.rejected_harvested = ss.rejected;
         svc.active_shards = static_cast<int>(active_by_service_[v].size());
         st.arrivals += svc.arrivals;
         st.dropped += svc.dropped;
+        st.rejected += svc.rejected;
     }
-    // Offered load includes dropped arrivals: an outage interval must
-    // still show the traffic it shed.
+    // Offered load includes dropped and rejected arrivals: an outage
+    // (or admission-throttled) interval must still show the traffic it
+    // shed.
     st.offered_qps =
         t1_s > t0_s
-            ? static_cast<double>(st.arrivals + st.dropped) /
+            ? static_cast<double>(st.arrivals + st.dropped +
+                                  st.rejected) /
                   (t1_s - t0_s)
             : 0.0;
     st.active_shards = static_cast<int>(active_.size());
@@ -331,12 +379,14 @@ ClusterSim::harvest(double t0_s, double t1_s)
         const double sla = slaMs(s.service);
         const auto& done = s.inst->completions();
         double last_finish_in_window = t0_s;
+        PercentileTracker shard_lat;  ///< this shard, this window
         while (s.harvest_cursor < done.size() &&
                done[s.harvest_cursor].finish_s <= t1_s) {
             const auto& c = done[s.harvest_cursor++];
             double ms = c.latencyMs();
             lat.add(ms);
             svc_lat[v].add(ms);
+            shard_lat.add(ms);
             all_latency_ms_.add(ms);
             service_state_[v].latency_ms.add(ms);
             if (ms > sla) {
@@ -346,6 +396,25 @@ ClusterSim::harvest(double t0_s, double t1_s)
             }
             last_finish_in_window = std::max(last_finish_in_window,
                                              c.finish_s);
+        }
+        // Latency feedback: fold this window's observed p99 into the
+        // shard's routing weight (multiplicative, bounded by the tuple
+        // weight above and the configured floor below). A window with
+        // no completions is ambiguous: a *drained* shard is genuinely
+        // dark (p99 <= 0, bounded recovery toward base), but a shard
+        // with work still in flight is stalled — the most overloaded
+        // shard of all — and must be penalized at the full step, not
+        // rewarded with recovery.
+        if (opt_.router == RouterPolicy::LatencyFeedback) {
+            double p99;
+            if (shard_lat.count() > 0)
+                p99 = shard_lat.p99();
+            else if (s.inst->outstanding() > 0)
+                p99 = std::numeric_limits<double>::infinity();
+            else
+                p99 = 0.0;
+            s.fb_weight = qos::updateFeedbackWeight(
+                s.fb_weight, s.weight, p99, sla, opt_.feedback);
         }
         // Power: an active shard burns (at least idle) power for the
         // whole window; a released shard only while it still drains.
@@ -371,16 +440,16 @@ ClusterSim::harvest(double t0_s, double t1_s)
         svc.completions = svc_lat[v].count();
         svc.p50_ms = svc_lat[v].p50();
         svc.p99_ms = svc_lat[v].p99();
-        // A dropped arrival missed its SLA by definition.
-        svc.sla_violations += svc.dropped;
-        size_t denom = svc.completions + svc.dropped;
+        // A dropped or rejected arrival missed its SLA by definition.
+        svc.sla_violations += svc.dropped + svc.rejected;
+        size_t denom = svc.completions + svc.dropped + svc.rejected;
         svc.sla_violation_rate =
             denom > 0 ? static_cast<double>(svc.sla_violations) /
                             static_cast<double>(denom)
                       : 0.0;
         st.sla_violations += svc.sla_violations;
     }
-    size_t denom = st.completions + st.dropped;
+    size_t denom = st.completions + st.dropped + st.rejected;
     st.sla_violation_rate =
         denom > 0 ? static_cast<double>(st.sla_violations) /
                         static_cast<double>(denom)
@@ -444,16 +513,18 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
 
     r.injected = injected_;
     r.dropped = dropped_;
+    r.rejected = rejected_;
     r.completed = all_latency_ms_.count();
     r.mean_ms = all_latency_ms_.mean();
     r.p50_ms = all_latency_ms_.p50();
     r.p95_ms = all_latency_ms_.p95();
     r.p99_ms = all_latency_ms_.p99();
     r.max_ms = all_latency_ms_.max();
-    // Dropped arrivals are SLA violations: an outage shows up in the
-    // run-level rate instead of silently vanishing from the denominator.
-    r.sla_violations = all_violations_ + dropped_;
-    size_t denom = r.completed + r.dropped;
+    // Dropped and rejected arrivals are SLA violations: an outage (or
+    // admission throttling) shows up in the run-level rate instead of
+    // silently vanishing from the denominator.
+    r.sla_violations = all_violations_ + dropped_ + rejected_;
+    size_t denom = r.completed + r.dropped + r.rejected;
     r.sla_violation_rate =
         denom > 0 ? static_cast<double>(r.sla_violations) /
                         static_cast<double>(denom)
@@ -465,12 +536,13 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
         out.injected = ss.injected;
         out.completed = ss.latency_ms.count();
         out.dropped = ss.dropped;
+        out.rejected = ss.rejected;
         out.p50_ms = ss.latency_ms.p50();
         out.p99_ms = ss.latency_ms.p99();
         out.max_ms = ss.latency_ms.max();
         out.sla_ms = slaMs(static_cast<int>(v));
-        out.sla_violations = ss.violations + ss.dropped;
-        size_t sdenom = out.completed + out.dropped;
+        out.sla_violations = ss.violations + ss.dropped + ss.rejected;
+        size_t sdenom = out.completed + out.dropped + out.rejected;
         out.sla_violation_rate =
             sdenom > 0 ? static_cast<double>(out.sla_violations) /
                              static_cast<double>(sdenom)

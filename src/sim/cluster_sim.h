@@ -14,7 +14,19 @@
  *                       shorter queue (seeded, deterministic);
  *  - HerculesWeighted:  smooth weighted round-robin, each shard
  *                       weighted by its efficiency-tuple QPS for the
- *                       served model — the heterogeneity-aware policy.
+ *                       served model — the heterogeneity-aware policy;
+ *  - LatencyFeedback:   smooth weighted round-robin over *dynamic*
+ *                       weights, re-derived each harvest interval from
+ *                       the shard's observed window p99 against its
+ *                       service's SLA (qos/feedback.h), starting from
+ *                       the tuple weights.
+ *
+ * QoS (src/qos/): every dispatch consults the picked shard's
+ * AdmissionController (Options::admission); a refused query is
+ * *rejected* — counted separately from *dropped* (no active shard) but,
+ * like a drop, it is an SLA violation in every interval / run / service
+ * rate. With the default policy (none) every query is admitted and all
+ * statistics are bit-identical to the pre-QoS engine.
  *
  * Multi-service co-serving: each shard belongs to one service (the
  * index a query carries in Query::service_id). Every service gets its
@@ -42,6 +54,8 @@
 #include <string>
 #include <vector>
 
+#include "qos/admission.h"
+#include "qos/qos.h"
 #include "sim/server_instance.h"
 #include "util/rng.h"
 
@@ -53,15 +67,22 @@ enum class RouterPolicy {
     LeastOutstanding,
     PowerOfTwo,
     HerculesWeighted,
+    LatencyFeedback,
 };
 
-/** @return display name ("rr", "jsq", "p2c", "hercules"). */
+/** @return display name ("rr", "jsq", "p2c", "hercules",
+ *  "latency-feedback"). */
 const char* routerPolicyName(RouterPolicy p);
 
 /** Parse a policy name as printed by routerPolicyName(). */
 std::optional<RouterPolicy> parseRouterPolicy(const std::string& name);
 
-/** @return all four policies in declaration order. */
+/**
+ * The four *static* policies in declaration order — the router sweep
+ * the cluster benches iterate. LatencyFeedback is deliberately not
+ * included: its weights depend on harvest feedback, so it is compared
+ * explicitly (bench_qos) rather than silently added to every sweep.
+ */
 const std::vector<RouterPolicy>& allRouterPolicies();
 
 class ClusterSim;
@@ -102,11 +123,12 @@ struct ServiceIntervalStats
     size_t arrivals = 0;     ///< queries routed in the window
     size_t completions = 0;  ///< queries retired in the window
     size_t dropped = 0;      ///< arrivals with no active shard
+    size_t rejected = 0;     ///< arrivals refused by admission control
     double p50_ms = 0.0;
     double p99_ms = 0.0;
-    /** SLA-breaching completions plus dropped arrivals. */
+    /** SLA-breaching completions plus dropped + rejected arrivals. */
     size_t sla_violations = 0;
-    /** sla_violations / (completions + dropped). */
+    /** sla_violations / (completions + dropped + rejected). */
     double sla_violation_rate = 0.0;
     int active_shards = 0;  ///< serving this service, at window start
 };
@@ -118,18 +140,20 @@ struct IntervalStats
     size_t arrivals = 0;            ///< queries routed in the window
     size_t completions = 0;         ///< queries retired in the window
     size_t dropped = 0;             ///< arrivals with no active shard
-    double offered_qps = 0.0;       ///< (arrivals + dropped) / window
+    size_t rejected = 0;  ///< arrivals refused by admission control
+    /** (arrivals + dropped + rejected) / window. */
+    double offered_qps = 0.0;
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
     /**
-     * SLA-breaching completions plus dropped arrivals: a query shed
-     * because no shard was active missed its SLA by definition, so a
-     * fully-dark outage interval reports a 100% violation rate instead
-     * of a vacuous 0%.
+     * SLA-breaching completions plus dropped and rejected arrivals: a
+     * query shed because no shard was active — or refused by admission
+     * control — missed its SLA by definition, so a fully-dark outage
+     * interval reports a 100% violation rate instead of a vacuous 0%.
      */
     size_t sla_violations = 0;
-    /** sla_violations / (completions + dropped). */
+    /** sla_violations / (completions + dropped + rejected). */
     double sla_violation_rate = 0.0;
     int active_shards = 0;          ///< at window start (post-plan)
     double consumed_power_w = 0.0;  ///< mean over active+draining shards
@@ -146,12 +170,14 @@ struct ServiceRunStats
     size_t injected = 0;
     size_t completed = 0;
     size_t dropped = 0;
+    size_t rejected = 0;  ///< refused by admission control
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
     double sla_ms = 0.0;       ///< the SLA the service was held to
-    size_t sla_violations = 0;  ///< late completions + drops
-    double sla_violation_rate = 0.0;  ///< violations / (completed + dropped)
+    size_t sla_violations = 0;  ///< late completions + drops + rejects
+    /** violations / (completed + dropped + rejected). */
+    double sla_violation_rate = 0.0;
 };
 
 /** Whole-run aggregates. */
@@ -161,13 +187,15 @@ struct ClusterSimResult
     size_t injected = 0;
     size_t completed = 0;
     size_t dropped = 0;
+    size_t rejected = 0;  ///< refused by admission control
     double mean_ms = 0.0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
-    size_t sla_violations = 0;  ///< late completions + drops
-    double sla_violation_rate = 0.0;  ///< violations / (completed + dropped)
+    size_t sla_violations = 0;  ///< late completions + drops + rejects
+    /** violations / (completed + dropped + rejected). */
+    double sla_violation_rate = 0.0;
     double avg_consumed_power_w = 0.0;   ///< mean over intervals
     double peak_consumed_power_w = 0.0;
     double avg_provisioned_power_w = 0.0;
@@ -208,6 +236,22 @@ class ClusterSim
          * sla_ms.
          */
         std::vector<double> service_sla_ms;
+        /**
+         * Per-shard admission control (every shard gets a controller
+         * with this config). Default policy `none` admits everything —
+         * the pre-QoS unbounded-queue behaviour, bit-identical.
+         */
+        qos::AdmissionConfig admission{};
+        /**
+         * QoS classes per service id; services beyond the vector get
+         * a default class. At this layer a class's positive sla_ms is
+         * the fallback SLA when service_sla_ms doesn't cover the
+         * service; priority/tier steer shedding and provisioning one
+         * layer up in cluster::serveTraces.
+         */
+        std::vector<qos::ServiceClass> service_class;
+        /** Weight-update knobs of the LatencyFeedback router. */
+        qos::FeedbackConfig feedback{};
         /**
          * Template for per-shard simulation options. Warmup is forced
          * to zero and completion recording on: the cluster layer owns
@@ -258,10 +302,19 @@ class ClusterSim
     { return static_cast<int>(active_by_service_.size()); }
     size_t outstanding(int shard) const;
     double weight(int shard) const;
+    /**
+     * The shard's current routing weight under latency feedback:
+     * starts at weight(shard), multiplicatively adjusted every
+     * harvest from the observed window p99 (qos/feedback.h). Only the
+     * LatencyFeedback policy consults it.
+     */
+    double feedbackWeight(int shard) const;
     /** @return the service a shard serves. */
     int shardService(int shard) const;
     /** @return the SLA (ms) service `service` is held to. */
     double slaMs(int service) const;
+    /** @return the QoS class of service `service` (default if unset). */
+    qos::ServiceClass serviceClass(int service) const;
     /** All active shards, across services. */
     const std::vector<int>& activeShards() const { return active_; }
     /** Active shards of one service. */
@@ -272,9 +325,12 @@ class ClusterSim
 
     /**
      * Route one arrival (shards are first advanced to its timestamp)
-     * via its service's router to that service's active shards.
-     * @return the shard id, or -1 when the service has no active shard
-     * (dropped). Panics when no shard was ever added for the service.
+     * via its service's router to that service's active shards, then
+     * through the picked shard's admission controller.
+     * @return the shard id; -1 when the service has no active shard
+     * (dropped); -2 when the picked shard's admission controller
+     * refused the query (rejected). Panics when no shard was ever
+     * added for the service.
      */
     int route(const workload::Query& q);
 
@@ -314,10 +370,13 @@ class ClusterSim
         std::unique_ptr<ServerInstance> inst;
         const PreparedWorkload* workload = nullptr;
         double weight = 0.0;
+        double fb_weight = 0.0;  ///< latency-feedback routing weight
         int service = 0;
         bool active = true;
         double released_at = 0.0;   ///< last release time
         size_t harvest_cursor = 0;  ///< completions consumed so far
+        /** Dispatch-time admission decision (Options::admission). */
+        qos::AdmissionController admit;
     };
 
     /** Per-service routing + accounting state. */
@@ -325,8 +384,10 @@ class ClusterSim
     {
         size_t injected = 0;
         size_t dropped = 0;
+        size_t rejected = 0;
         size_t injected_harvested = 0;
         size_t dropped_harvested = 0;
+        size_t rejected_harvested = 0;
         PercentileTracker latency_ms;  ///< whole-run latencies
         size_t violations = 0;         ///< whole-run late completions
     };
@@ -345,6 +406,7 @@ class ClusterSim
 
     size_t injected_ = 0;
     size_t dropped_ = 0;
+    size_t rejected_ = 0;
 
     // run() aggregates
     PercentileTracker all_latency_ms_;

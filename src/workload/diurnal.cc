@@ -15,6 +15,9 @@ DiurnalLoad::DiurnalLoad(DiurnalConfig cfg) : cfg_(cfg)
     if (cfg_.trough_frac < 0.0 || cfg_.trough_frac > 1.0)
         fatal("DiurnalLoad: trough fraction %f outside [0,1]",
               cfg_.trough_frac);
+    if (cfg_.surge_hours < 0.0 || cfg_.surge_factor < 0.0)
+        fatal("DiurnalLoad: negative surge window/factor (%f h, x%f)",
+              cfg_.surge_hours, cfg_.surge_factor);
     Rng rng(cfg_.seed);
     ripple_phase1_ = rng.uniform(0.0, 2.0 * M_PI);
     ripple_phase2_ = rng.uniform(0.0, 2.0 * M_PI);
@@ -22,6 +25,16 @@ DiurnalLoad::DiurnalLoad(DiurnalConfig cfg) : cfg_(cfg)
 
 double
 DiurnalLoad::loadAt(double t_hours) const
+{
+    double load = forecastAt(t_hours);
+    if (cfg_.surge_hours > 0.0 && t_hours >= cfg_.surge_hour &&
+        t_hours < cfg_.surge_hour + cfg_.surge_hours)
+        load *= cfg_.surge_factor;
+    return load;
+}
+
+double
+DiurnalLoad::forecastAt(double t_hours) const
 {
     const double w = 2.0 * M_PI / 24.0;
     double x = w * (t_hours - cfg_.peak_hour);

@@ -20,6 +20,20 @@ struct DiurnalConfig
     double peak_hour = 20.0;     ///< local hour of the daily peak
     double noise_frac = 0.03;    ///< ripple amplitude (fraction of peak)
     uint64_t seed = 1;           ///< ripple phase seed
+
+    /**
+     * Unforecast overload window (flash crowd): inside
+     * [surge_hour, surge_hour + surge_hours) the *actual* demand —
+     * loadAt(), and therefore the generated arrival trace — is
+     * multiplied by surge_factor, while forecastAt() (what the
+     * provisioner plans against) stays on the base curve. The defaults
+     * (factor 1, zero span) are behaviour-preserving: loadAt ==
+     * forecastAt. A surge timed at peak_hour with factor 1.5 produces
+     * the "1.5x over-peak" overload interval the QoS bench stresses.
+     */
+    double surge_hour = 0.0;    ///< window start (hours, not cyclic)
+    double surge_hours = 0.0;   ///< window length (0 disables)
+    double surge_factor = 1.0;  ///< demand multiplier inside the window
 };
 
 /**
@@ -35,8 +49,19 @@ class DiurnalLoad
     /** @param cfg curve parameters. */
     explicit DiurnalLoad(DiurnalConfig cfg);
 
-    /** @return load in QPS at time `t_hours` (any horizon; 24h cycle). */
+    /**
+     * @return actual demand in QPS at time `t_hours` (any horizon; 24h
+     * cycle), including any configured surge window.
+     */
     double loadAt(double t_hours) const;
+
+    /**
+     * @return forecast demand at `t_hours`: the base diurnal curve
+     * *without* the surge multiplier — what a provisioner planning
+     * from load history would predict. Equal to loadAt() when no surge
+     * is configured.
+     */
+    double forecastAt(double t_hours) const;
 
     /** Sample the curve every `interval_hours` over `horizon_hours`. */
     std::vector<double> sample(double horizon_hours,

@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/eval_engine.h"
 #include "core/profiler.h"
 #include "sched/gradient_search.h"
@@ -250,6 +252,89 @@ TEST(EvalEngine, WarmStartAndAbortCutSimulationsNotFeasibility)
     ASSERT_TRUE(shortcut.best.has_value());
     EXPECT_GE(shortcut.best_qps, 0.90 * reference.best_qps);
     EXPECT_LE(shortcut.best_point.result.tail_ms, 20.0);
+}
+
+/*
+ * Cross-process memo persistence: a saved cache file warm-starts a
+ * fresh engine — the replayed request is a pure memo hit (no new
+ * simulations) and every measurement round-trips bit-exactly.
+ */
+TEST(EvalEngine, CacheRoundTripsThroughDisk)
+{
+    const char* path = "test_eval_engine_cache.tmp";
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    const hw::ServerSpec& t2 = hw::serverSpec(ServerType::T2);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuModelBased;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    sim::MeasureOptions mo;
+    mo.sim.num_queries = 250;
+    mo.sim.warmup_queries = 50;
+    mo.bisect_iters = 4;
+    EvalRequest req = request(t2, m, cfg, 20.0, mo);
+
+    // Also persist an invalid-config verdict: the cache must round-
+    // trip pointless entries too, not only operating points.
+    SchedulingConfig bad = cfg;
+    bad.cpu_threads = 10000;
+
+    EvalEngine first(EvalOptions{});
+    EvalResult computed = first.evaluate(req);
+    ASSERT_TRUE(computed.valid);
+    ASSERT_TRUE(computed.point.has_value());
+    EvalResult invalid = first.evaluate(
+        request(t2, m, bad, 20.0, mo));
+    ASSERT_FALSE(invalid.valid);
+    EXPECT_EQ(first.saveCache(path), 2u);
+
+    EvalEngine second(EvalOptions{});
+    EXPECT_EQ(second.loadCache(path), 2u);
+    EvalResult replayed = second.evaluate(req);
+    EXPECT_TRUE(replayed.cache_hit);
+    EXPECT_EQ(second.stats().misses, 0u);
+    EXPECT_EQ(second.stats().simulations, 0u);
+    ASSERT_TRUE(replayed.valid);
+    ASSERT_TRUE(replayed.point.has_value());
+    // Bit-exact round-trip of the operating point.
+    EXPECT_EQ(replayed.point->qps, computed.point->qps);
+    EXPECT_EQ(replayed.point->capacity, computed.point->capacity);
+    EXPECT_EQ(replayed.point->bracket_lo, computed.point->bracket_lo);
+    EXPECT_EQ(replayed.point->bracket_hi, computed.point->bracket_hi);
+    EXPECT_EQ(replayed.point->sims, computed.point->sims);
+    const sim::ServerSimResult& a = replayed.point->result;
+    const sim::ServerSimResult& b = computed.point->result;
+    EXPECT_EQ(a.p50_ms, b.p50_ms);
+    EXPECT_EQ(a.p99_ms, b.p99_ms);
+    EXPECT_EQ(a.tail_ms, b.tail_ms);
+    EXPECT_EQ(a.achieved_qps, b.achieved_qps);
+    EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+    EXPECT_EQ(a.peak_power_w, b.peak_power_w);
+    EXPECT_EQ(a.qps_per_watt, b.qps_per_watt);
+    EXPECT_EQ(a.cpu_util, b.cpu_util);
+    EXPECT_EQ(a.mem_bw_util, b.mem_bw_util);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.duration_s, b.duration_s);
+    EvalResult bad_replayed =
+        second.evaluate(request(t2, m, bad, 20.0, mo));
+    EXPECT_TRUE(bad_replayed.cache_hit);
+    EXPECT_FALSE(bad_replayed.valid);
+    std::remove(path);
+}
+
+TEST(EvalEngine, LoadCacheRejectsMissingOrForeignFiles)
+{
+    EvalEngine engine(EvalOptions{});
+    EXPECT_EQ(engine.loadCache("no_such_eval_cache.tmp"), 0u);
+
+    const char* path = "test_eval_engine_bogus.tmp";
+    FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "SOME OTHER FORMAT\nkey\t1 0\n");
+    std::fclose(f);
+    EXPECT_EQ(engine.loadCache(path), 0u);
+    std::remove(path);
 }
 
 TEST(EvalEngine, AbortedProbeIsInfeasibleVerdict)

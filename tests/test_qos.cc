@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Tests of the QoS subsystem: admission-control policies (deadline
+ * estimator math, queue caps, reject accounting through ClusterSim),
+ * priority-ordered power-cap shedding (priority before QPS/W,
+ * deterministic tie-breaks, shed-to-empty termination), and the
+ * latency-feedback router's multiplicative weight updates.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/serving.h"
+#include "qos/admission.h"
+#include "qos/feedback.h"
+#include "qos/qos.h"
+#include "sim/cluster_sim.h"
+#include "sim/prepared.h"
+
+namespace hercules {
+namespace {
+
+using cluster::PairPerf;
+using cluster::ProvisionProblem;
+using cluster::shedToPowerCap;
+using hw::ServerType;
+using model::ModelId;
+using sched::Mapping;
+using sched::SchedulingConfig;
+
+// ---- vocabulary ----------------------------------------------------------
+
+TEST(Qos, NamesRoundTrip)
+{
+    for (auto p : {qos::AdmissionPolicy::None,
+                   qos::AdmissionPolicy::QueueCap,
+                   qos::AdmissionPolicy::Deadline})
+        EXPECT_EQ(qos::parseAdmissionPolicy(qos::admissionPolicyName(p)),
+                  p);
+    EXPECT_FALSE(qos::parseAdmissionPolicy("bogus").has_value());
+    for (auto t : {qos::Tier::Latency, qos::Tier::Throughput})
+        EXPECT_EQ(qos::parseTier(qos::tierName(t)), t);
+    EXPECT_FALSE(qos::parseTier("bogus").has_value());
+    // The feedback policy parses by name but stays out of the static
+    // sweep the cluster benches iterate.
+    EXPECT_EQ(sim::parseRouterPolicy("latency-feedback"),
+              sim::RouterPolicy::LatencyFeedback);
+    for (sim::RouterPolicy p : sim::allRouterPolicies())
+        EXPECT_NE(p, sim::RouterPolicy::LatencyFeedback);
+}
+
+// ---- admission controller ------------------------------------------------
+
+TEST(Admission, DeadlineEstimatorMath)
+{
+    using qos::AdmissionController;
+    // A shard retiring 1000 QPS clears its backlog at 1 ms per query:
+    // the (outstanding + 1)-th query completes that many ms out.
+    EXPECT_DOUBLE_EQ(AdmissionController::estimatedCompletionMs(0, 1000.0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(AdmissionController::estimatedCompletionMs(9, 1000.0),
+                     10.0);
+    EXPECT_DOUBLE_EQ(AdmissionController::estimatedCompletionMs(49, 500.0),
+                     100.0);
+    // No usable weight: never admissible under a deadline.
+    EXPECT_TRUE(std::isinf(
+        AdmissionController::estimatedCompletionMs(0, 0.0)));
+}
+
+TEST(Admission, PolicyDecisions)
+{
+    qos::AdmissionConfig none;
+    EXPECT_TRUE(qos::AdmissionController(none).admit({1000000, 1.0},
+                                                     0.001));
+
+    qos::AdmissionConfig cap;
+    cap.policy = qos::AdmissionPolicy::QueueCap;
+    cap.queue_cap = 4;
+    qos::AdmissionController cap_ctl(cap);
+    EXPECT_TRUE(cap_ctl.admit({3, 1000.0}, 25.0));
+    EXPECT_FALSE(cap_ctl.admit({4, 1000.0}, 25.0));
+    EXPECT_FALSE(cap_ctl.admit({5, 1000.0}, 25.0));
+
+    qos::AdmissionConfig dl;
+    dl.policy = qos::AdmissionPolicy::Deadline;
+    dl.deadline_slack = 1.0;
+    qos::AdmissionController dl_ctl(dl);
+    // 1000 QPS, 25 ms SLA: backlog 24 completes at exactly 25 ms
+    // (admitted), backlog 25 at 26 ms (rejected).
+    EXPECT_TRUE(dl_ctl.admit({24, 1000.0}, 25.0));
+    EXPECT_FALSE(dl_ctl.admit({25, 1000.0}, 25.0));
+    // Slack widens the bar multiplicatively.
+    dl.deadline_slack = 2.0;
+    EXPECT_TRUE(qos::AdmissionController(dl).admit({25, 1000.0}, 25.0));
+}
+
+// ---- admission through ClusterSim ---------------------------------------
+
+sim::PreparedWorkload
+preparedT2()
+{
+    static model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig cfg;
+    cfg.mapping = Mapping::CpuModelBased;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 2;
+    cfg.batch = 128;
+    return sim::prepare(hw::serverSpec(ServerType::T2), m, cfg);
+}
+
+std::vector<workload::Query>
+uniformTrace(size_t n, double gap_s, int size = 40)
+{
+    std::vector<workload::Query> trace(n);
+    for (size_t i = 0; i < n; ++i) {
+        trace[i].id = i;
+        trace[i].arrival_s = static_cast<double>(i + 1) * gap_s;
+        trace[i].size = size;
+        trace[i].pooling_scale = 1.0;
+    }
+    return trace;
+}
+
+TEST(Admission, QueueCapRejectsAndAccounts)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.admission.policy = qos::AdmissionPolicy::QueueCap;
+    copt.admission.queue_cap = 5;
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+
+    // A burst far faster than the shard drains: exactly queue_cap
+    // queries enter, the rest are rejected (route() returns -2).
+    std::vector<workload::Query> burst = uniformTrace(20, 1e-6, 200);
+    size_t admitted = 0, rejected = 0;
+    for (const auto& q : burst) {
+        int s = cluster.route(q);
+        if (s >= 0)
+            ++admitted;
+        else if (s == -2)
+            ++rejected;
+    }
+    EXPECT_EQ(admitted, 5u);
+    EXPECT_EQ(rejected, 15u);
+    cluster.drainAll();
+
+    sim::IntervalStats st = cluster.harvest(0.0, 10.0);
+    EXPECT_EQ(st.rejected, 15u);
+    EXPECT_EQ(st.arrivals, 5u);
+    EXPECT_EQ(st.dropped, 0u);
+    ASSERT_EQ(st.services.size(), 1u);
+    EXPECT_EQ(st.services[0].rejected, 15u);
+    // Every rejected query is an SLA violation; the denominator holds
+    // completions + dropped + rejected.
+    EXPECT_GE(st.sla_violations, 15u);
+    EXPECT_EQ(st.completions, 5u);
+    EXPECT_DOUBLE_EQ(
+        st.sla_violation_rate,
+        static_cast<double>(st.sla_violations) /
+            static_cast<double>(st.completions + st.rejected));
+}
+
+TEST(Admission, DeadlineRejectsOnlyUnmeetableQueries)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.sla_ms = 25.0;
+    copt.admission.policy = qos::AdmissionPolicy::Deadline;
+    copt.admission.deadline_slack = 1.0;
+    sim::ClusterSim cluster(copt);
+    // Weight 400 QPS: estimated completion (out + 1) * 2.5 ms, so the
+    // 10th outstanding query is the first unmeetable one.
+    cluster.addShard(w, 400.0);
+
+    std::vector<workload::Query> burst = uniformTrace(30, 1e-6, 200);
+    size_t admitted = 0;
+    for (const auto& q : burst)
+        if (cluster.route(q) >= 0)
+            ++admitted;
+    // Admit while (outstanding + 1) * 1000/400 <= 25, i.e. the first
+    // 10 queries; the 11th sees a 10-deep backlog (27.5 ms estimate).
+    EXPECT_EQ(admitted, 10u);
+    cluster.drainAll();
+
+    sim::ClusterSimResult r = cluster.run({}, 1.0);
+    EXPECT_EQ(r.rejected, 20u);
+    ASSERT_EQ(r.services.size(), 1u);
+    EXPECT_EQ(r.services[0].rejected, 20u);
+    EXPECT_GE(r.services[0].sla_violations, 20u);
+}
+
+TEST(Admission, NonePolicyKeepsLegacyBehaviour)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim cluster(sim::ClusterSim::Options{});
+    cluster.addShard(w, 1000.0);
+    for (const auto& q : uniformTrace(50, 1e-6, 200))
+        EXPECT_GE(cluster.route(q), 0);  // unbounded queue admits all
+    cluster.drainAll();
+    sim::IntervalStats st = cluster.harvest(0.0, 10.0);
+    EXPECT_EQ(st.rejected, 0u);
+    EXPECT_EQ(st.arrivals, 50u);
+}
+
+// ---- priority shedding ---------------------------------------------------
+
+ProvisionProblem
+twoByTwoProblem()
+{
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {2, 2},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    p.setPerf(0, 0, {true, 2000.0, 100.0});  // 20 QPS/W
+    p.setPerf(0, 1, {true, 1000.0, 200.0});  // 5  QPS/W
+    p.setPerf(1, 0, {true, 3000.0, 150.0});  // 20 QPS/W
+    p.setPerf(1, 1, {true, 1200.0, 120.0});  // 10 QPS/W
+    return p;
+}
+
+TEST(PriorityShed, HigherPriorityKeepsCapacityLonger)
+{
+    ProvisionProblem p = twoByTwoProblem();
+    // Model 1 is the QPS/W-worst (5 QPS/W on T2) but carries the
+    // higher priority: shedding must eat every model-0 server first.
+    std::vector<std::vector<int>> counts = {{1, 1}, {1, 1}};
+    double power = 0.0;
+    EXPECT_TRUE(
+        shedToPowerCap(p, counts, 330.0, &power, {0, 1}));
+    // Model-0 pairs (100 + 150 W) go first even though they are the
+    // most efficient; the cap is met with model 1 untouched.
+    EXPECT_EQ(counts[0][0], 0);
+    EXPECT_EQ(counts[1][0], 0);
+    EXPECT_EQ(counts[0][1], 1);
+    EXPECT_EQ(counts[1][1], 1);
+    EXPECT_DOUBLE_EQ(power, 320.0);
+
+    // Priority-blind control: the same cap sheds by pure QPS/W, which
+    // eats the high-priority model's capacity instead.
+    std::vector<std::vector<int>> blind = {{1, 1}, {1, 1}};
+    EXPECT_TRUE(shedToPowerCap(p, blind, 330.0, &power));
+    EXPECT_EQ(blind[0][1], 0);  // 5 QPS/W shed first
+    EXPECT_EQ(blind[1][1], 0);  // 10 QPS/W next
+    EXPECT_EQ(blind[0][0] + blind[1][0], 2);
+}
+
+TEST(PriorityShed, EqualPrioritiesReduceToPureQpsPerWatt)
+{
+    ProvisionProblem p = twoByTwoProblem();
+    std::vector<std::vector<int>> a = {{2, 2}, {2, 2}};
+    std::vector<std::vector<int>> b = a;
+    double pa = 0.0, pb = 0.0;
+    shedToPowerCap(p, a, 500.0, &pa);
+    shedToPowerCap(p, b, 500.0, &pb, {3, 3});  // equal priorities
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(pa, pb);
+}
+
+TEST(PriorityShed, ExactQpsPerWattTiesBreakByTypeServiceOrder)
+{
+    // All four pairs at exactly 10 QPS/W: the victim must always be
+    // the lowest (type, service) pair still active — scan order, fully
+    // deterministic.
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {1, 1},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    p.setPerf(0, 0, {true, 1000.0, 100.0});
+    p.setPerf(0, 1, {true, 1000.0, 100.0});
+    p.setPerf(1, 0, {true, 1000.0, 100.0});
+    p.setPerf(1, 1, {true, 1000.0, 100.0});
+    std::vector<std::vector<int>> counts = {{1, 1}, {1, 1}};
+    double power = 0.0;
+    EXPECT_TRUE(shedToPowerCap(p, counts, 250.0, &power));
+    // 400 W -> shed (0,0), then (0,1): 200 W fits.
+    EXPECT_EQ(counts, (std::vector<std::vector<int>>{{0, 0}, {1, 1}}));
+    EXPECT_DOUBLE_EQ(power, 200.0);
+}
+
+TEST(PriorityShed, CapBelowCheapestServerShedsToEmptyAndTerminates)
+{
+    ProvisionProblem p = twoByTwoProblem();
+    std::vector<std::vector<int>> counts = {{2, 1}, {1, 2}};
+    double power = 0.0;
+    // 100 W cap below the cheapest single server (100 W pair exists
+    // but two of them exceed the cap anyway once others shed): with a
+    // 50 W cap nothing can stay. Must terminate with an empty matrix
+    // and *exactly* zero power, not loop or report -0.000 residue.
+    EXPECT_TRUE(shedToPowerCap(p, counts, 50.0, &power));
+    for (const auto& row : counts)
+        for (int c : row)
+            EXPECT_EQ(c, 0);
+    EXPECT_EQ(power, 0.0);
+    EXPECT_FALSE(std::signbit(power));
+}
+
+TEST(PriorityShed, ZeroPowerPairIsNeverTheVictimEvenAtLowPriority)
+{
+    // A zero-power pair reclaims nothing when shed: it must rank after
+    // every power-consuming pair no matter how low its priority, or
+    // the shed loop wipes out a service for free without getting any
+    // closer to the cap.
+    ProvisionProblem p({ServerType::T2, ServerType::T3}, {2, 2},
+                       {ModelId::DlrmRmc1, ModelId::DlrmRmc2});
+    p.setPerf(0, 0, {true, 2000.0, 0.0});    // model 0: free pair
+    p.setPerf(0, 1, {true, 1000.0, 200.0});
+    p.setPerf(1, 0, {true, 3000.0, 150.0});
+    p.setPerf(1, 1, {true, 1200.0, 120.0});
+    // Model 0 carries the *lowest* priority, but its T2 pair is free:
+    // shedding starts from model 0's power-consuming T3 pair, and the
+    // free pair survives untouched.
+    std::vector<std::vector<int>> counts = {{1, 1}, {1, 1}};
+    double power = 0.0;
+    EXPECT_TRUE(shedToPowerCap(p, counts, 350.0, &power, {0, 1}));
+    EXPECT_EQ(counts[0][0], 1);  // free pair kept
+    EXPECT_EQ(counts[1][0], 0);  // model 0's real power shed first
+    EXPECT_DOUBLE_EQ(power, 320.0);
+}
+
+// ---- feedback weights ----------------------------------------------------
+
+TEST(Feedback, MultiplicativeUpdateRules)
+{
+    qos::FeedbackConfig cfg;  // gain 0.3, floor 0.05
+    const double base = 1000.0;
+
+    // Hot shard (p99 over SLA) loses weight, clamped to the max step.
+    double w = qos::updateFeedbackWeight(base, base, 50.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, base * 0.7);  // 25/50 = 0.5 clamps to 1 - gain
+    // Mildly hot: exact multiplicative factor sla / p99.
+    w = qos::updateFeedbackWeight(base, base, 30.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, base * 25.0 / 30.0);
+    // Healthy shard recovers toward — but never beyond — the base.
+    w = qos::updateFeedbackWeight(700.0, base, 10.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, 700.0 * 1.3);
+    w = qos::updateFeedbackWeight(900.0, base, 10.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, base);  // 900 * 1.3 clamps at base
+    // Dark window (no completions) also recovers at the bounded rate.
+    w = qos::updateFeedbackWeight(500.0, base, 0.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, 650.0);
+    // The floor keeps a condemned shard probe-able.
+    w = base;
+    for (int i = 0; i < 100; ++i)
+        w = qos::updateFeedbackWeight(w, base, 1000.0, 25.0, cfg);
+    EXPECT_DOUBLE_EQ(w, cfg.floor_frac * base);
+}
+
+TEST(Feedback, RouterShiftsShareAwayFromSlowShard)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    SchedulingConfig slow_cfg;
+    slow_cfg.mapping = Mapping::CpuModelBased;
+    slow_cfg.cpu_threads = 1;
+    slow_cfg.cores_per_thread = 1;
+    slow_cfg.batch = 64;
+    SchedulingConfig fast_cfg;
+    fast_cfg.mapping = Mapping::CpuModelBased;
+    fast_cfg.cpu_threads = 10;
+    fast_cfg.cores_per_thread = 2;
+    fast_cfg.batch = 128;
+    sim::PreparedWorkload slow =
+        sim::prepare(hw::serverSpec(ServerType::T2), m, slow_cfg);
+    sim::PreparedWorkload fast =
+        sim::prepare(hw::serverSpec(ServerType::T2), m, fast_cfg);
+
+    // Both shards claim the same tuple weight, but shard 0 is actually
+    // far slower: its window p99 blows the SLA, feedback cuts its
+    // weight each interval, and the second half of the run routes
+    // measurably less traffic to it. The static hercules router, blind
+    // to observed latency, keeps the 50/50 split forever.
+    auto runShare = [&](sim::RouterPolicy policy) {
+        sim::ClusterSim::Options copt;
+        copt.router = policy;
+        copt.sla_ms = 10.0;
+        sim::ClusterSim cluster(copt);
+        cluster.addShard(slow, 1000.0);
+        cluster.addShard(fast, 1000.0);
+        cluster.run(uniformTrace(1200, 0.00125, 400), 0.25);
+        const auto& per_shard = cluster.injectedPerShard();
+        return static_cast<double>(per_shard[0]) /
+               static_cast<double>(per_shard[0] + per_shard[1]);
+    };
+    double fb_share = runShare(sim::RouterPolicy::LatencyFeedback);
+    double static_share = runShare(sim::RouterPolicy::HerculesWeighted);
+    EXPECT_NEAR(static_share, 0.5, 0.01);  // blind to the slowness
+    EXPECT_LT(fb_share, 0.4);              // feedback sheds the slow shard
+    EXPECT_GT(fb_share, 0.0);              // floor keeps probing it
+}
+
+TEST(Feedback, StalledShardIsPenalizedNotRecovered)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.router = sim::RouterPolicy::LatencyFeedback;
+    copt.sla_ms = 25.0;
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+
+    // A backlog so deep that nothing completes inside the first
+    // window: the shard is *stalled*, the very opposite of dark. Its
+    // weight must take the full penalty step — rewarding it with the
+    // dark-window recovery would route the stalled shard its full
+    // share exactly when it is drowning.
+    for (const auto& q : uniformTrace(2000, 1e-7, 500))
+        cluster.route(q);
+    cluster.advanceTo(0.001);  // far before the backlog drains
+    sim::IntervalStats st = cluster.harvest(0.0, 0.001);
+    ASSERT_EQ(st.completions, 0u);
+    ASSERT_GT(cluster.outstanding(0), 0u);
+    EXPECT_DOUBLE_EQ(cluster.feedbackWeight(0), 700.0);  // 1 - gain
+    cluster.drainAll();
+}
+
+TEST(ClusterSim, ServiceClassSlaFallback)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.sla_ms = 25.0;
+    copt.service_sla_ms = {40.0};  // covers service 0 only
+    qos::ServiceClass hi;
+    hi.priority = 3;
+    hi.sla_ms = 10.0;
+    copt.service_class = {hi, hi};  // services 0 and 1
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0, 0);
+    cluster.addShard(w, 1000.0, 1);
+
+    // Resolution order: explicit service_sla_ms, then the QoS class's
+    // sla_ms, then the cluster-wide default.
+    EXPECT_DOUBLE_EQ(cluster.slaMs(0), 40.0);
+    EXPECT_DOUBLE_EQ(cluster.slaMs(1), 10.0);
+    EXPECT_DOUBLE_EQ(cluster.slaMs(7), 25.0);
+    EXPECT_EQ(cluster.serviceClass(1).priority, 3);
+    EXPECT_EQ(cluster.serviceClass(7).priority, 0);  // default class
+}
+
+TEST(Feedback, WeightsRecoverAfterLoadSubsides)
+{
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.router = sim::RouterPolicy::LatencyFeedback;
+    copt.sla_ms = 5.0;
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+
+    // Overload one interval to crush the weight...
+    for (const auto& q : uniformTrace(400, 0.0002, 200))
+        cluster.route(q);
+    cluster.advanceTo(1.0);
+    cluster.harvest(0.0, 1.0);
+    double crushed = cluster.feedbackWeight(0);
+    EXPECT_LT(crushed, 1000.0);
+
+    // ...then harvest idle windows: bounded recovery back to base.
+    cluster.drainAll();
+    double t = 2.0;
+    for (int i = 0; i < 20; ++i, t += 1.0) {
+        cluster.advanceTo(t);
+        cluster.harvest(t - 1.0, t);
+    }
+    EXPECT_DOUBLE_EQ(cluster.feedbackWeight(0), 1000.0);
+}
+
+}  // namespace
+}  // namespace hercules

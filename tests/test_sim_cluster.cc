@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "sim/cluster_sim.h"
@@ -640,6 +641,58 @@ TEST(ClusterSim, ServiceDropIsolation)
     EXPECT_DOUBLE_EQ(st.services[1].sla_violation_rate, 1.0);
     EXPECT_EQ(st.services[0].sla_violations, 0u);
     EXPECT_EQ(st.dropped, 10u);
+}
+
+/*
+ * Hardening pin: an interval (or service slice) with zero completions
+ * — a dark outage window, a trailing idle interval past the last
+ * arrival — must report well-defined statistics. Every percentile of
+ * an empty set is 0.0 by contract (util/stats.h), never NaN, and the
+ * violation rate stays finite in [0, 1].
+ */
+TEST(ClusterSim, DarkIntervalStatsAreWellDefined)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(4, 2, 128));
+    ClusterSim cluster(ClusterSim::Options{});
+    cluster.addShard(w, 1000.0, 0);
+    cluster.addShard(w, 1000.0, 1);
+
+    // 20 early queries for service 0 only; the horizon then runs far
+    // past the last arrival, so the trailing intervals are completely
+    // dark and service 1 never sees a single query.
+    std::vector<workload::Query> trace = uniformTrace(20, 0.001);
+    ClusterSimResult r = cluster.run(trace, 0.5, nullptr, 5.0);
+
+    ASSERT_GE(r.intervals.size(), 10u);
+    for (const IntervalStats& iv : r.intervals) {
+        EXPECT_TRUE(std::isfinite(iv.p50_ms));
+        EXPECT_TRUE(std::isfinite(iv.p99_ms));
+        EXPECT_TRUE(std::isfinite(iv.max_ms));
+        EXPECT_TRUE(std::isfinite(iv.sla_violation_rate));
+        EXPECT_GE(iv.sla_violation_rate, 0.0);
+        EXPECT_LE(iv.sla_violation_rate, 1.0);
+        for (const ServiceIntervalStats& svc : iv.services) {
+            EXPECT_TRUE(std::isfinite(svc.p50_ms));
+            EXPECT_TRUE(std::isfinite(svc.p99_ms));
+            EXPECT_TRUE(std::isfinite(svc.sla_violation_rate));
+        }
+    }
+    // A dark interval reports the empty-percentile contract exactly.
+    const IntervalStats& dark = r.intervals.back();
+    EXPECT_EQ(dark.completions, 0u);
+    EXPECT_DOUBLE_EQ(dark.p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(dark.p99_ms, 0.0);
+    EXPECT_DOUBLE_EQ(dark.sla_violation_rate, 0.0);
+    // The never-used service slice is equally well-defined at run
+    // level (0/0 rates are 0, not NaN).
+    ASSERT_EQ(r.services.size(), 2u);
+    EXPECT_EQ(r.services[1].completed, 0u);
+    EXPECT_DOUBLE_EQ(r.services[1].p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(r.services[1].p99_ms, 0.0);
+    EXPECT_TRUE(std::isfinite(r.services[1].sla_violation_rate));
+    EXPECT_DOUBLE_EQ(r.services[1].sla_violation_rate, 0.0);
 }
 
 TEST(ClusterSim, IntervalStatsAreConsistent)

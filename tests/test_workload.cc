@@ -234,6 +234,82 @@ TEST(DiurnalDeath, BadConfig)
     EXPECT_DEATH(DiurnalLoad{cfg}, "non-positive");
 }
 
+/*
+ * The unforecast surge window: loadAt() (actual demand, what the
+ * trace generator draws from) is multiplied inside the window while
+ * forecastAt() (what the provisioner plans on) never sees it. Without
+ * a surge configured the two are identical — behaviour-preserving.
+ */
+TEST(Diurnal, SurgeMultipliesActualButNotForecast)
+{
+    DiurnalConfig cfg;
+    cfg.peak_qps = 1000.0;
+    cfg.noise_frac = 0.0;
+    cfg.surge_hour = 10.0;
+    cfg.surge_hours = 2.0;
+    cfg.surge_factor = 1.5;
+    DiurnalLoad load(cfg);
+
+    DiurnalConfig plain = cfg;
+    plain.surge_hours = 0.0;
+    plain.surge_factor = 1.0;
+    DiurnalLoad base(plain);
+
+    for (double t = 0.0; t < 24.0; t += 0.25) {
+        EXPECT_DOUBLE_EQ(load.forecastAt(t), base.loadAt(t)) << t;
+        bool inside = t >= 10.0 && t < 12.0;
+        EXPECT_DOUBLE_EQ(load.loadAt(t),
+                         inside ? 1.5 * base.loadAt(t)
+                                : base.loadAt(t))
+            << t;
+    }
+}
+
+TEST(Diurnal, NoSurgeKeepsLoadEqualToForecast)
+{
+    DiurnalLoad load(DiurnalConfig{});
+    for (double t = 0.0; t < 24.0; t += 0.5)
+        EXPECT_DOUBLE_EQ(load.loadAt(t), load.forecastAt(t)) << t;
+}
+
+TEST(Diurnal, SurgedTraceCarriesMoreArrivalsInTheWindow)
+{
+    DiurnalConfig cfg;
+    cfg.peak_qps = 3000.0;
+    cfg.trough_frac = 1.0;  // flat curve isolates the surge effect
+    cfg.noise_frac = 0.0;
+    cfg.surge_hour = 0.02;
+    cfg.surge_hours = 0.02;
+    cfg.surge_factor = 2.0;
+    TraceOptions opt;
+    opt.horizon_hours = 0.06;
+    opt.bucket_seconds = 10.0;
+    opt.seed = 17;
+    auto surged = TraceGenerator(DiurnalLoad(cfg), opt).generate();
+    double t0 = 0.02 * 3600.0, t1 = 0.04 * 3600.0;
+    size_t inside = 0, before = 0;
+    for (const Query& q : surged) {
+        if (q.arrival_s >= t0 && q.arrival_s < t1)
+            ++inside;
+        else if (q.arrival_s < t0)
+            ++before;
+    }
+    // Equal-length windows of a flat curve: the surged one must carry
+    // roughly 2x the arrivals (Poisson noise stays far below 25%).
+    ASSERT_GT(before, 100u);
+    EXPECT_GT(static_cast<double>(inside),
+              1.5 * static_cast<double>(before));
+    EXPECT_LT(static_cast<double>(inside),
+              2.5 * static_cast<double>(before));
+}
+
+TEST(DiurnalDeath, NegativeSurge)
+{
+    DiurnalConfig cfg;
+    cfg.surge_hours = -1.0;
+    EXPECT_DEATH(DiurnalLoad{cfg}, "surge");
+}
+
 TEST(TraceGen, FixedSeedGivesIdenticalTrace)
 {
     DiurnalConfig dc;
