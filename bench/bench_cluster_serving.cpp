@@ -3,18 +3,23 @@
  * Sharded online serving: router policies × cluster provisioners over
  * a 24h diurnal replay on a heterogeneous (T2+T3+T7) shard fleet.
  *
- * Every query flows through a steppable ServerInstance shard behind
- * the chosen Router; the chosen Provisioner re-provisions the active
- * shard set every interval (released shards drain before going dark).
- * Reported per combination: end-to-end p50/p99, SLA-violation rate,
- * provisioned vs consumed power, and re-provision count. The
- * heterogeneity-aware (efficiency-tuple-weighted) router must dominate
- * round-robin on this fleet — that gate is the bench's exit status.
+ * The experiment is declared, not wired: the base spec is
+ * scenarios/single_service.scn and this bench only applies deltas —
+ * the full-mode fleet/horizon, then one (provisioner, router) override
+ * per combo — before handing everything to scenario::run(). Every
+ * query flows through a steppable ServerInstance shard behind the
+ * chosen Router; the chosen Provisioner re-provisions the active shard
+ * set every interval. Reported per combination: end-to-end p50/p99,
+ * SLA-violation rate, provisioned vs consumed power, and re-provision
+ * count. The heterogeneity-aware (efficiency-tuple-weighted) router
+ * must dominate round-robin on this fleet — that gate is the bench's
+ * exit status.
  *
  * Results land in BENCH_cluster.json next to the binary (per-interval
  * p99 / violation-rate / power arrays included for the trajectory).
  *
- * Fast mode (HERCULES_BENCH_FAST=1): 2 shards (T2+T3), short horizon.
+ * Fast mode (HERCULES_BENCH_FAST=1): the base spec unchanged — 2
+ * shards (T2+T3), short horizon.
  */
 #include <chrono>
 #include <cstdio>
@@ -22,41 +27,37 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "cluster/serving.h"
-#include "core/profiler.h"
+#include "scenario/scenario.h"
 #include "util/table.h"
 
 using namespace hercules;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 struct ComboResult
 {
     const char* provisioner;
     const char* router;
     double wall_ms = 0.0;
-    cluster::TraceServeResult r;
+    scenario::ScenarioResult r;
 };
 
-core::EfficiencyTable
-loadOrProfile(const std::vector<hw::ServerType>& fleet,
-              model::ModelId model)
+/**
+ * The Provisioner::name() display strings the pre-scenario bench
+ * emitted — kept so the "provisioner" values in BENCH_cluster.json
+ * stay comparable across the PR trajectory.
+ */
+const char*
+provisionerDisplayName(scenario::ProvisionerKind k)
 {
-    std::string cache = bench::fastMode()
-                            ? "hercules_efficiency_serving_fast.csv"
-                            : "hercules_efficiency_serving.csv";
-    if (auto cached = bench::tryLoadCachedTable(cache))
-        return *cached;
-    std::printf("profiling the shard fleet...\n\n");
-    core::ProfilerOptions popt;
-    popt.search = bench::benchSearchOptions();
-    popt.servers = fleet;
-    popt.models = {model};
-    core::EfficiencyTable t = core::offlineProfile(popt);
-    t.writeCsv(cache);
-    return t;
+    switch (k) {
+      case scenario::ProvisionerKind::Hercules: return "Hercules";
+      case scenario::ProvisionerKind::Greedy: return "Greedy";
+      case scenario::ProvisionerKind::PriorityAware:
+        return "Priority-aware";
+      case scenario::ProvisionerKind::Nh: return "NH";
+    }
+    return "?";
 }
 
 }  // namespace
@@ -69,71 +70,65 @@ main()
                   "on a sharded heterogeneous fleet");
 
     const bool fast = bench::fastMode();
-    const model::ModelId model = model::ModelId::DlrmRmc1;
-    const std::vector<hw::ServerType> fleet =
-        fast ? std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3}
-             : std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3,
-                                           hw::ServerType::T7};
-    const std::vector<int> slots = fast ? std::vector<int>{1, 1}
-                                        : std::vector<int>{2, 2, 1};
+    scenario::ScenarioSpec spec =
+        bench::loadScenario("single_service.scn");
+    if (!fast) {
+        // Full-experiment deltas on the smoke base: the three-type
+        // fleet, the whole day, production compression and the
+        // standard bench profiling knobs.
+        spec.fleet = {{hw::ServerType::T2, 2},
+                      {hw::ServerType::T3, 2},
+                      {hw::ServerType::T7, 1}};
+        spec.services[0].peak_qps_frac = 0.60;
+        spec.services[0].spec.load.peak_hour = 20.0;
+        spec.serve.horizon_hours = 24.0;
+        spec.serve.trace.time_compression = 480.0;
+        spec.profile.table_cache = "hercules_efficiency_serving.csv";
+        spec.profile.num_queries = 400;
+        spec.profile.warmup_queries = 80;
+        spec.profile.bisect_iters = 5;
+    }
 
-    core::EfficiencyTable table = loadOrProfile(fleet, model);
+    core::EfficiencyTable table = scenario::profileTable(spec);
+    const model::ModelId model = spec.services[0].spec.model;
     double fleet_qps = 0.0;
-    for (size_t h = 0; h < fleet.size(); ++h) {
-        const core::EfficiencyEntry* e = table.get(fleet[h], model);
-        if (e != nullptr && e->feasible) {
-            fleet_qps += slots[h] * e->qps;
+    for (const scenario::FleetEntry& e : spec.fleet) {
+        const core::EfficiencyEntry* ent = table.get(e.type, model);
+        if (ent != nullptr && ent->feasible) {
+            fleet_qps += e.shard_slots * ent->qps;
             std::printf("%s x%d: %.0f QPS / %.0f W  (%s)\n",
-                        hw::serverTypeName(fleet[h]), slots[h], e->qps,
-                        e->power_w, e->config.str().c_str());
+                        hw::serverTypeName(e.type), e.shard_slots,
+                        ent->qps, ent->power_w,
+                        ent->config.str().c_str());
         }
     }
     std::printf("shard fleet capacity: %.0f QPS\n\n", fleet_qps);
 
-    cluster::TraceServeOptions opt;
-    opt.horizon_hours = fast ? 3.0 : 24.0;
-    opt.interval_hours = 0.5;
-    opt.sla_ms = model::buildModel(model).sla_ms;
-    // Time compression: one simulated second stands for this many
-    // wall-clock seconds (instantaneous QPS — and so all queueing
-    // dynamics — is unchanged; only the query count shrinks).
-    opt.trace.time_compression = fast ? 960.0 : 480.0;
-    opt.trace.seed = 42;
-
-    workload::DiurnalConfig load;
-    // Sized so the peak needs most of the fleet: the provisioners must
-    // activate heterogeneous shard mixes and the routers are exposed
-    // to shards of very different capacity. The fast smoke puts the
-    // diurnal peak inside its short horizon for the same reason.
-    load.peak_qps = (fast ? 0.80 : 0.60) * fleet_qps;
-    load.trough_frac = 0.35;
-    if (fast)
-        load.peak_hour = 1.5;
-    load.seed = 5;
-
-    cluster::HerculesProvisioner hercules;
-    cluster::GreedyProvisioner greedy;
-    cluster::NhProvisioner nh(11);
-    std::vector<cluster::Provisioner*> provisioners = {&hercules,
-                                                       &greedy, &nh};
-
+    scenario::resolvePeaks(spec, table);
+    const double sla_ms = model::buildModel(model).sla_ms;
     std::printf("horizon %.0fh, interval %.1fh, peak %.0f QPS, SLA "
                 "%.0f ms, compression %.0fx\n\n",
-                opt.horizon_hours, opt.interval_hours, load.peak_qps,
-                opt.sla_ms, opt.trace.time_compression);
+                spec.serve.horizon_hours, spec.serve.interval_hours,
+                spec.services[0].spec.load.peak_qps, sla_ms,
+                spec.serve.trace.time_compression);
 
+    const std::vector<scenario::ProvisionerKind> provisioners = {
+        scenario::ProvisionerKind::Hercules,
+        scenario::ProvisionerKind::Greedy,
+        scenario::ProvisionerKind::Nh};
+    spec.nh_seed = 11;
+
+    using Clock = std::chrono::steady_clock;
     std::vector<ComboResult> results;
-    for (cluster::Provisioner* prov : provisioners) {
+    for (scenario::ProvisionerKind prov : provisioners) {
         for (sim::RouterPolicy rp : sim::allRouterPolicies()) {
-            opt.router = rp;
+            spec.provisioner = prov;
+            spec.serve.router = rp;
             Clock::time_point t0 = Clock::now();
             ComboResult c;
-            c.provisioner = prov->name();
+            c.provisioner = provisionerDisplayName(prov);
             c.router = sim::routerPolicyName(rp);
-            c.r = cluster::serveTrace(table, fleet, slots, model, load,
-                                      *prov, opt);
+            c.r = scenario::run(spec, &table);
             c.wall_ms = std::chrono::duration<double, std::milli>(
                             Clock::now() - t0)
                             .count();
@@ -145,12 +140,13 @@ main()
                     "SLA viol", "Prov kW", "Cons kW", "Reprov",
                     "Wall (ms)"});
     for (const ComboResult& c : results) {
-        t.addRow({c.provisioner, c.router, fmtDouble(c.r.sim.p50_ms, 2),
-                  fmtDouble(c.r.sim.p99_ms, 2),
-                  fmtPercent(c.r.sim.sla_violation_rate, 2),
-                  fmtDouble(c.r.sim.avg_provisioned_power_w / 1e3, 3),
-                  fmtDouble(c.r.sim.avg_consumed_power_w / 1e3, 3),
-                  std::to_string(c.r.reprovisions),
+        const sim::ClusterSimResult& s = c.r.serve.sim;
+        t.addRow({c.provisioner, c.router, fmtDouble(s.p50_ms, 2),
+                  fmtDouble(s.p99_ms, 2),
+                  fmtPercent(s.sla_violation_rate, 2),
+                  fmtDouble(s.avg_provisioned_power_w / 1e3, 3),
+                  fmtDouble(s.avg_consumed_power_w / 1e3, 3),
+                  std::to_string(c.r.serve.reprovisions),
                   fmtDouble(c.wall_ms, 0)});
     }
     t.print();
@@ -161,52 +157,59 @@ main()
     const ComboResult* rr = nullptr;
     const ComboResult* hw_aware = nullptr;
     for (const ComboResult& c : results) {
-        if (std::string(c.provisioner) != hercules.name())
+        if (std::string(c.provisioner) != "Hercules")
             continue;
         if (std::string(c.router) == "rr")
             rr = &c;
         if (std::string(c.router) == "hercules")
             hw_aware = &c;
     }
-    bool ok = rr != nullptr && hw_aware != nullptr &&
-              hw_aware->r.sim.p99_ms <= rr->r.sim.p99_ms + 1e-9 &&
-              hw_aware->r.sim.sla_violation_rate <=
-                  rr->r.sim.sla_violation_rate + 1e-12;
+    bool ok =
+        rr != nullptr && hw_aware != nullptr &&
+        hw_aware->r.serve.sim.p99_ms <= rr->r.serve.sim.p99_ms + 1e-9 &&
+        hw_aware->r.serve.sim.sla_violation_rate <=
+            rr->r.serve.sim.sla_violation_rate + 1e-12;
     std::printf("\nheterogeneity-aware router vs round-robin: %s (p99 "
                 "%.2f vs %.2f ms, violations %.2f%% vs %.2f%%)\n",
                 ok ? "DOMINATES" : "FAIL",
-                hw_aware ? hw_aware->r.sim.p99_ms : -1.0,
-                rr ? rr->r.sim.p99_ms : -1.0,
-                hw_aware ? hw_aware->r.sim.sla_violation_rate * 100 : -1.0,
-                rr ? rr->r.sim.sla_violation_rate * 100 : -1.0);
+                hw_aware ? hw_aware->r.serve.sim.p99_ms : -1.0,
+                rr ? rr->r.serve.sim.p99_ms : -1.0,
+                hw_aware
+                    ? hw_aware->r.serve.sim.sla_violation_rate * 100
+                    : -1.0,
+                rr ? rr->r.serve.sim.sla_violation_rate * 100 : -1.0);
 
     // ---- JSON trajectory ----------------------------------------------
     FILE* f = std::fopen("BENCH_cluster.json", "w");
     if (f) {
         std::fprintf(f, "{\n");
         bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"scenario\": \"%s\",\n",
+                     spec.name.c_str());
         std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
-                     opt.horizon_hours);
+                     spec.serve.horizon_hours);
         std::fprintf(f, "  \"interval_hours\": %.2f,\n",
-                     opt.interval_hours);
+                     spec.serve.interval_hours);
         std::fprintf(f, "  \"time_compression\": %.0f,\n",
-                     opt.trace.time_compression);
-        std::fprintf(f, "  \"sla_ms\": %.2f,\n", opt.sla_ms);
-        std::fprintf(f, "  \"peak_qps\": %.1f,\n", load.peak_qps);
-        std::fprintf(f, "  \"fleet_capacity_qps\": %.1f,\n", fleet_qps);
+                     spec.serve.trace.time_compression);
+        std::fprintf(f, "  \"sla_ms\": %.2f,\n", sla_ms);
+        std::fprintf(f, "  \"peak_qps\": %.1f,\n",
+                     spec.services[0].spec.load.peak_qps);
+        std::fprintf(f, "  \"fleet_capacity_qps\": %.1f,\n",
+                     fleet_qps);
         std::fprintf(f, "  \"hercules_router_dominates_rr\": %s,\n",
                      ok ? "true" : "false");
         std::fprintf(f, "  \"combos\": [\n");
         for (size_t i = 0; i < results.size(); ++i) {
             const ComboResult& c = results[i];
-            const sim::ClusterSimResult& s = c.r.sim;
+            const sim::ClusterSimResult& s = c.r.serve.sim;
             std::fprintf(f, "    {\n");
             std::fprintf(f, "      \"provisioner\": \"%s\",\n",
                          c.provisioner);
             std::fprintf(f, "      \"router\": \"%s\",\n", c.router);
             std::fprintf(f, "      \"wall_ms\": %.1f,\n", c.wall_ms);
             std::fprintf(f, "      \"queries\": %zu,\n",
-                         c.r.trace_queries);
+                         c.r.serve.trace_queries);
             std::fprintf(f, "      \"completed\": %zu,\n", s.completed);
             std::fprintf(f, "      \"dropped\": %zu,\n", s.dropped);
             std::fprintf(f, "      \"p50_ms\": %.4f,\n", s.p50_ms);
@@ -218,7 +221,7 @@ main()
             std::fprintf(f, "      \"avg_consumed_power_w\": %.2f,\n",
                          s.avg_consumed_power_w);
             std::fprintf(f, "      \"reprovisions\": %d,\n",
-                         c.r.reprovisions);
+                         c.r.serve.reprovisions);
             bench::writeIntervalArrays(f, s.intervals);
             std::fprintf(f, "    }%s\n",
                          i + 1 < results.size() ? "," : "");

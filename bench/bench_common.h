@@ -10,11 +10,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <string>
 
 #include "core/eval_engine.h"
 #include "sched/gradient_search.h"
+#include "util/logging.h"
 
 namespace hercules::bench {
 
@@ -36,12 +36,7 @@ gitSha()
 inline std::string
 isoTimestampUtc()
 {
-    std::time_t t = std::time(nullptr);
-    std::tm tm{};
-    gmtime_r(&t, &tm);
-    char buf[32];
-    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
-    return buf;
+    return isoUtcTimestamp();
 }
 
 /**
@@ -120,48 +115,50 @@ banner(const char* experiment, const char* what)
 
 #include "cluster/evolution.h"
 #include "core/efficiency_table.h"
+#include "scenario/spec_io.h"
 #include "sim/cluster_sim.h"
 
 namespace hercules::bench {
 
+/** The shipped scenario library (stamped by CMake). */
+inline std::string
+scenarioDir()
+{
+#ifdef HERCULES_SCENARIO_DIR
+    return HERCULES_SCENARIO_DIR;
+#else
+    return "../scenarios";
+#endif
+}
+
+/**
+ * Load one shipped scenario file by name ("flash_crowd_surge.scn") —
+ * the serving benches start from these specs and apply their deltas.
+ * Parse failures are fatal: a bench must not silently diverge from
+ * the spec it claims to run.
+ */
+inline scenario::ScenarioSpec
+loadScenario(const std::string& file)
+{
+    std::string path = scenarioDir() + "/" + file;
+    std::string err;
+    auto spec = scenario::loadSpecFile(path, &err);
+    if (!spec.has_value()) {
+        std::fprintf(stderr, "bench: %s\n", err.c_str());
+        std::exit(1);
+    }
+    return *spec;
+}
+
 /**
  * Emit the per-interval trajectory arrays every serving bench's JSON
- * carries (p99, SLA-violation rate, dropped arrivals, provisioned and
- * consumed power), comma-terminated except the last. Keeps the
- * BENCH_*.json schemas of the cluster benches in lockstep.
+ * carries, comma-terminated except the last — the shared
+ * sim::writeIntervalArraysJson emitter at the benches' indent depth.
  */
 inline void
 writeIntervalArrays(FILE* f, const std::vector<sim::IntervalStats>& ivs)
 {
-    auto arr = [&](const char* key, auto get, int prec, bool last) {
-        std::fprintf(f, "      \"%s\": [", key);
-        for (size_t k = 0; k < ivs.size(); ++k)
-            std::fprintf(f, "%s%.*f", k ? ", " : "", prec, get(ivs[k]));
-        std::fprintf(f, "]%s\n", last ? "" : ",");
-    };
-    arr("interval_p99_ms",
-        [](const sim::IntervalStats& iv) { return iv.p99_ms; }, 3,
-        false);
-    arr("interval_sla_violation_rate",
-        [](const sim::IntervalStats& iv) {
-            return iv.sla_violation_rate;
-        },
-        5, false);
-    arr("interval_dropped",
-        [](const sim::IntervalStats& iv) {
-            return static_cast<double>(iv.dropped);
-        },
-        0, false);
-    arr("interval_provisioned_power_w",
-        [](const sim::IntervalStats& iv) {
-            return iv.provisioned_power_w;
-        },
-        1, false);
-    arr("interval_consumed_power_w",
-        [](const sim::IntervalStats& iv) {
-            return iv.consumed_power_w;
-        },
-        1, true);
+    sim::writeIntervalArraysJson(f, ivs, "      ");
 }
 
 /**

@@ -6,7 +6,9 @@
  * T2+T3+T7 fleet, comparing
  *
  *  - JOINT:     one shared fleet, the multi-model ProvisionProblem
- *               solved jointly every interval (cluster::serveTraces);
+ *               solved jointly every interval — declared by
+ *               scenarios/three_service_phase_shift.scn and executed
+ *               through scenario::run();
  *  - PARTITION: per-service static partitions — each service gets a
  *               dedicated slice of the fleet sized for its own peak
  *               (greedy best-QPS/W types first), always on, no
@@ -30,8 +32,7 @@
 
 #include "bench/bench_common.h"
 #include "cluster/cluster_manager.h"
-#include "cluster/serving.h"
-#include "core/profiler.h"
+#include "scenario/scenario.h"
 #include "sim/prepared.h"
 #include "util/table.h"
 
@@ -41,29 +42,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-core::EfficiencyTable
-loadOrProfile(const std::vector<hw::ServerType>& fleet,
-              const std::vector<model::ModelId>& models)
-{
-    std::string cache = bench::fastMode()
-                            ? "hercules_efficiency_multiservice_fast.csv"
-                            : "hercules_efficiency_multiservice.csv";
-    if (auto cached = bench::tryLoadCachedTable(cache))
-        return *cached;
-    std::printf("profiling the shard fleet (%zu types x %zu models)"
-                "...\n\n",
-                fleet.size(), models.size());
-    core::ProfilerOptions popt;
-    popt.search = bench::benchSearchOptions();
-    popt.servers = fleet;
-    popt.models = models;
-    core::EfficiencyTable t = core::offlineProfile(popt);
-    t.writeCsv(cache);
-    return t;
-}
-
 /** Aggregate view of one scenario (joint run or summed partitions). */
-struct ScenarioResult
+struct ScenarioView
 {
     double avg_provisioned_w = 0.0;
     double avg_consumed_w = 0.0;
@@ -78,15 +58,15 @@ struct ScenarioResult
 };
 
 void
-printScenario(const char* name, const ScenarioResult& r,
-              const std::vector<cluster::ServiceSpec>& services)
+printScenario(const char* name, const ScenarioView& r,
+              const std::vector<model::ModelId>& models)
 {
     std::printf("%s:\n", name);
     TablePrinter t({"Service", "Completed", "Dropped", "p50 (ms)",
                     "p99 (ms)", "SLA (ms)", "SLA viol"});
     for (size_t s = 0; s < r.services.size(); ++s) {
         const sim::ServiceRunStats& svc = r.services[s];
-        t.addRow({model::modelName(services[s].model),
+        t.addRow({model::modelName(models[s]),
                   std::to_string(svc.completed),
                   std::to_string(svc.dropped),
                   fmtDouble(svc.p50_ms, 2), fmtDouble(svc.p99_ms, 2),
@@ -110,32 +90,50 @@ main()
                   "fleet: joint provisioning vs static partitions");
 
     const bool fast = bench::fastMode();
-    const std::vector<hw::ServerType> fleet =
-        fast ? std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3}
-             : std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3,
-                                           hw::ServerType::T7};
-    const std::vector<int> slots = fast ? std::vector<int>{2, 1}
-                                        : std::vector<int>{2, 2, 1};
-    std::vector<model::ModelId> model_ids =
-        fast ? std::vector<model::ModelId>{model::ModelId::DlrmRmc1,
-                                           model::ModelId::DlrmRmc2}
-             : std::vector<model::ModelId>{model::ModelId::DlrmRmc1,
-                                           model::ModelId::DlrmRmc2,
-                                           model::ModelId::DlrmRmc3};
+    scenario::ScenarioSpec spec =
+        bench::loadScenario("three_service_phase_shift.scn");
+    if (fast) {
+        // Smoke deltas: 2 services on a 3-slot T2+T3 fleet, peaks
+        // inside a 3h window, cheap profiling into the fast cache.
+        spec.fleet = {{hw::ServerType::T2, 2},
+                      {hw::ServerType::T3, 1}};
+        spec.services.resize(2);
+        for (size_t s = 0; s < spec.services.size(); ++s) {
+            scenario::ServiceScenario svc;
+            svc.spec.model = s == 0 ? model::ModelId::DlrmRmc1
+                                    : model::ModelId::DlrmRmc2;
+            svc.peak_qps_frac = 0.40;
+            svc.spec.load.trough_frac = 0.35;
+            svc.spec.load.peak_hour =
+                0.75 + 1.5 * static_cast<double>(s);
+            svc.spec.load.seed = 5 + s;
+            spec.services[s] = svc;
+        }
+        spec.serve.horizon_hours = 3.0;
+        spec.serve.trace.time_compression = 960.0;
+        spec.profile.table_cache =
+            "hercules_efficiency_multiservice_fast.csv";
+        spec.profile.num_queries = 250;
+        spec.profile.warmup_queries = 50;
+        spec.profile.bisect_iters = 4;
+    }
 
-    core::EfficiencyTable table = loadOrProfile(fleet, model_ids);
+    core::EfficiencyTable table = scenario::profileTable(spec);
+    scenario::resolvePeaks(spec, table);
+
+    const size_t S = spec.services.size();
+    std::vector<model::ModelId> model_ids;
+    for (const scenario::ServiceScenario& s : spec.services)
+        model_ids.push_back(s.spec.model);
 
     // Per-service full-fleet capacity (every slot serving only it).
-    const size_t S = model_ids.size();
     std::vector<double> capacity(S, 0.0);
     for (size_t s = 0; s < S; ++s) {
-        for (size_t h = 0; h < fleet.size(); ++h) {
-            const core::EfficiencyEntry* e =
-                table.get(fleet[h], model_ids[s]);
-            if (e != nullptr && e->feasible)
-                capacity[s] += slots[h] * e->qps;
+        for (const scenario::FleetEntry& e : spec.fleet) {
+            const core::EfficiencyEntry* ent =
+                table.get(e.type, model_ids[s]);
+            if (ent != nullptr && ent->feasible)
+                capacity[s] += e.shard_slots * ent->qps;
         }
         std::printf("%s: %.0f QPS full-fleet capacity, SLA %.0f ms\n",
                     model::modelName(model_ids[s]), capacity[s],
@@ -146,57 +144,13 @@ main()
         }
     }
 
-    // Phase-shifted diurnal peaks: the whole point of co-serving is
-    // that one service's peak rides the others' troughs. Peaks are
-    // sized so the *sum* of instantaneous loads stays within what the
-    // shared fleet can serve.
-    cluster::TraceServeOptions opt;
-    opt.horizon_hours = fast ? 3.0 : 24.0;
-    opt.interval_hours = 0.5;
-    opt.trace.time_compression = fast ? 960.0 : 480.0;
-    opt.trace.seed = 42;
-
-    // Peaks sized so static per-service partitions remain *feasible*
-    // on the 5-slot fleet (the baseline must not be a starved
-    // strawman): joint provisioning then wins on power by riding the
-    // phase offsets, not because a silo collapses.
-    std::vector<cluster::ServiceSpec> services(S);
-    for (size_t s = 0; s < S; ++s) {
-        // RMC2's full-fleet capacity is an order of magnitude below
-        // the others'; at an equal fraction its single-shard
-        // utilization runs hot and the tail comparison drowns in its
-        // queueing noise. Keep the small service lighter.
-        double peak_frac = fast ? 0.40 : 0.18;
-        if (!fast && model_ids[s] == model::ModelId::DlrmRmc2) {
-            peak_frac = 0.12;
-            // The small filtering-style service also ranks fewer
-            // candidates per query (per-service size spreads, Fig
-            // 2(b)): without this its rare giant queries exceed the
-            // 50 ms SLA on a weak shard by execution time alone, and
-            // no provisioning headroom can fix execution time.
-            services[s].sizes.sigma = 0.7;
-            services[s].sizes.max_size = 300;
-        }
-        services[s].model = model_ids[s];
-        services[s].load.peak_qps = peak_frac * capacity[s];
-        services[s].load.trough_frac = 0.35;
-        // Offset peaks evenly across the horizon (fast mode keeps all
-        // peaks inside its short window).
-        services[s].load.peak_hour =
-            fast ? 0.75 + 1.5 * static_cast<double>(s)
-                 : 20.0 - 8.0 * static_cast<double>(s);
-        services[s].load.seed = 5 + s;
-    }
-
     std::printf("\nhorizon %.0fh, interval %.1fh, compression %.0fx, "
                 "%zu services, peaks at",
-                opt.horizon_hours, opt.interval_hours,
-                opt.trace.time_compression, S);
+                spec.serve.horizon_hours, spec.serve.interval_hours,
+                spec.serve.trace.time_compression, S);
     for (size_t s = 0; s < S; ++s)
-        std::printf(" %.1fh", services[s].load.peak_hour);
+        std::printf(" %.1fh", spec.services[s].spec.load.peak_hour);
     std::printf("\n\n");
-
-    cluster::HerculesProvisioner provisioner;
 
     // Over-provision rate R: the curves' max inter-interval ramp plus
     // tail headroom — the efficiency-tuple QPS is *latency-bounded*,
@@ -206,28 +160,26 @@ main()
     double r_est = 0.0;
     for (size_t s = 0; s < S; ++s)
         r_est = std::max(
-            r_est, cluster::estimateOverprovisionRate(
-                       workload::DiurnalLoad(services[s].load),
-                       opt.interval_hours, opt.horizon_hours));
+            r_est,
+            cluster::estimateOverprovisionRate(
+                workload::DiurnalLoad(spec.services[s].spec.load),
+                spec.serve.interval_hours, spec.serve.horizon_hours));
     if (!fast) {
         // The fast smoke's 3h window never leaves the peak region; the
         // extra headroom only reshuffles its LP assignment. Keep the
         // internal ramp estimate there.
-        opt.overprovision_rate = r_est + kTailHeadroom;
+        spec.serve.overprovision_rate = r_est + kTailHeadroom;
         std::printf("over-provision rate R = %.1f%% (%.1f%% ramp + "
                     "%.0f%% tail headroom)\n\n",
-                    opt.overprovision_rate * 100.0, r_est * 100.0,
-                    kTailHeadroom * 100.0);
+                    spec.serve.overprovision_rate * 100.0,
+                    r_est * 100.0, kTailHeadroom * 100.0);
     }
 
     // ---- scenario 1: shared fleet, joint provisioning -----------------
-    Clock::time_point t0 = Clock::now();
-    cluster::MultiServeResult joint = cluster::serveTraces(
-        table, fleet, slots, services, provisioner, opt);
-    ScenarioResult jr;
-    jr.wall_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0)
-            .count();
+    scenario::ScenarioResult joint_run = scenario::run(spec, &table);
+    const cluster::MultiServeResult& joint = joint_run.serve;
+    ScenarioView jr;
+    jr.wall_ms = joint_run.serve_wall_ms;
     jr.avg_provisioned_w = joint.sim.avg_provisioned_power_w;
     jr.avg_consumed_w = joint.sim.avg_consumed_power_w;
     jr.completed = joint.sim.completed;
@@ -237,20 +189,27 @@ main()
     jr.p99_ms = joint.sim.p99_ms;
     jr.services = joint.sim.services;
     jr.intervals = joint.sim.intervals;
-    printScenario("JOINT (shared fleet)", jr, services);
+    printScenario("JOINT (shared fleet)", jr, model_ids);
 
     // ---- scenario 2: static per-service partitions --------------------
     // Each service gets a dedicated, always-on slice sized for its own
     // peak * (1 + R): greedily the best remaining QPS/W types. The
     // merged trace is replayed per partition (each service sees exactly
     // the arrivals it saw in the joint run).
+    std::vector<hw::ServerType> fleet;
+    std::vector<int> slots;
+    for (const scenario::FleetEntry& e : spec.fleet) {
+        fleet.push_back(e.type);
+        slots.push_back(e.shard_slots);
+    }
+    const cluster::TraceServeOptions& opt = spec.serve;
     workload::TraceOptions topt = opt.trace;
     topt.horizon_hours = opt.horizon_hours;
     std::vector<workload::ServiceTraceSpec> trace_specs(S);
     for (size_t s = 0; s < S; ++s) {
-        trace_specs[s].load = services[s].load;
-        trace_specs[s].sizes = services[s].sizes;
-        trace_specs[s].pooling = services[s].pooling;
+        trace_specs[s].load = spec.services[s].spec.load;
+        trace_specs[s].sizes = spec.services[s].spec.sizes;
+        trace_specs[s].pooling = spec.services[s].spec.pooling;
     }
     std::vector<workload::Query> merged =
         workload::generateMultiServiceTrace(trace_specs, topt);
@@ -259,14 +218,14 @@ main()
     const double horizon_s =
         opt.horizon_hours * 3600.0 / topt.time_compression;
 
-    t0 = Clock::now();
+    Clock::time_point t0 = Clock::now();
     std::vector<int> remaining = slots;
     std::vector<model::Model> models;
     models.reserve(S);
     for (size_t s = 0; s < S; ++s)
         models.push_back(model::buildModel(model_ids[s]));
 
-    ScenarioResult pr;
+    ScenarioView pr;
     pr.services.resize(S);
     double static_prov_w = 0.0;
     size_t static_denom = 0;
@@ -307,7 +266,7 @@ main()
                             ? opt.overprovision_rate
                             : joint.service_r[s];
         double target =
-            services[s].load.peak_qps * (1.0 + part_r);
+            spec.services[s].spec.load.peak_qps * (1.0 + part_r);
         std::vector<int>& take = takes[s];
         double covered = 0.0, part_power = 0.0;
         for (size_t h = 0; h < fleet.size(); ++h) {
@@ -416,7 +375,7 @@ main()
                   static_cast<double>(static_denom)
             : 0.0;
     pr.p99_ms = static_p99.max();
-    printScenario("PARTITION (static per-service silos)", pr, services);
+    printScenario("PARTITION (static per-service silos)", pr, model_ids);
 
     // ---- the co-serving gate ------------------------------------------
     bool power_ok =
@@ -436,6 +395,8 @@ main()
     if (f) {
         std::fprintf(f, "{\n");
         bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"scenario\": \"%s\",\n",
+                     spec.name.c_str());
         std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
                      opt.horizon_hours);
         std::fprintf(f, "  \"interval_hours\": %.2f,\n",
@@ -453,13 +414,14 @@ main()
                 "\"peak_hour\": %.2f, \"sla_ms\": %.2f, "
                 "\"capacity_qps\": %.1f, \"estimated_r\": %.4f}%s\n",
                 model::modelName(model_ids[s]),
-                services[s].load.peak_qps, services[s].load.peak_hour,
+                spec.services[s].spec.load.peak_qps,
+                spec.services[s].spec.load.peak_hour,
                 joint.service_sla_ms[s], capacity[s],
                 joint.service_r[s], s + 1 < S ? "," : "");
         }
         std::fprintf(f, "  ],\n");
-        auto scenario = [&](const char* name, const ScenarioResult& r,
-                            bool last) {
+        auto scenario_json = [&](const char* name,
+                                 const ScenarioView& r, bool last) {
             std::fprintf(f, "  \"%s\": {\n", name);
             std::fprintf(f, "      \"avg_provisioned_power_w\": %.2f,\n",
                          r.avg_provisioned_w);
@@ -491,8 +453,8 @@ main()
             bench::writeIntervalArrays(f, r.intervals);
             std::fprintf(f, "  }%s\n", last ? "" : ",");
         };
-        scenario("joint", jr, false);
-        scenario("partition", pr, true);
+        scenario_json("joint", jr, false);
+        scenario_json("partition", pr, true);
         std::fprintf(f, "}\n");
         std::fclose(f);
         std::printf("\nwrote BENCH_multiservice.json\n");

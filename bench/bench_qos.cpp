@@ -2,18 +2,20 @@
  * @file
  * QoS under overload: a 3-service co-serving replay with a deliberate
  * 1.5x over-peak flash-crowd window (unforecast surge) and an
- * aggressive global power cap, comparing
+ * aggressive global power cap. The three arms are the shipped
+ * scenario specs — this bench only computes the power cap (a function
+ * of the profiled table) and applies it as a delta:
  *
- *  - BASELINE: the pre-QoS stack — unbounded queues (admission none),
- *    priority-blind QPS/W power-cap shedding, every service
- *    provisioned to its instantaneous forecast;
- *  - QOS:      the qos subsystem on — deadline admission control,
- *    priority-ordered shedding (the high-priority service keeps
- *    capacity longest), and the throughput-tier low-priority service
- *    provisioned to mean demand instead of peak;
- *  - QOS+FB:   the QoS run with the latency-feedback router instead of
- *    the static tuple-weighted one — the head-to-head router
- *    comparison.
+ *  - BASELINE: scenarios/flash_crowd_surge.scn — the pre-QoS stack:
+ *    unbounded queues (admission none), priority-blind QPS/W power-cap
+ *    shedding, every service provisioned to its instantaneous
+ *    forecast;
+ *  - QOS:      scenarios/priority_tiered_qos.scn — deadline admission
+ *    control (with cross-shard retry), priority-ordered shedding (the
+ *    high-priority service keeps capacity longest), and the
+ *    throughput-tier low-priority service provisioned to mean demand;
+ *  - QOS+FB:   scenarios/feedback_router.scn — the QoS arm with the
+ *    latency-feedback router instead of the static tuple-weighted one.
  *
  * The gate: with QoS enabled, the high-priority service's
  * violation+drop+reject rate must be strictly lower than the no-QoS
@@ -26,53 +28,26 @@
  * All three scenarios replay bitwise-identical merged traces (same
  * specs, seeds and surge). Results land in BENCH_qos.json.
  *
- * Fast mode (HERCULES_BENCH_FAST=1): 2 services on T2+T3, 6h horizon.
+ * Fast mode (HERCULES_BENCH_FAST=1): 2 services on T2+T3, 18h horizon.
  */
 #include <algorithm>
 #include <chrono>
-#include <limits>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "cluster/cluster_manager.h"
-#include "cluster/serving.h"
-#include "core/profiler.h"
-#include "qos/qos.h"
+#include "scenario/scenario.h"
 #include "util/table.h"
 
 using namespace hercules;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-core::EfficiencyTable
-loadOrProfile(const std::vector<hw::ServerType>& fleet,
-              const std::vector<model::ModelId>& models)
-{
-    // Same fleet x model grid as bench_multiservice: share its cache
-    // so a CI run that already profiled it warm-starts here.
-    std::string cache = bench::fastMode()
-                            ? "hercules_efficiency_multiservice_fast.csv"
-                            : "hercules_efficiency_multiservice.csv";
-    if (auto cached = bench::tryLoadCachedTable(cache))
-        return *cached;
-    std::printf("profiling the shard fleet (%zu types x %zu models)"
-                "...\n\n",
-                fleet.size(), models.size());
-    core::ProfilerOptions popt;
-    popt.search = bench::benchSearchOptions();
-    popt.servers = fleet;
-    popt.models = models;
-    core::EfficiencyTable t = core::offlineProfile(popt);
-    t.writeCsv(cache);
-    return t;
-}
-
-/** One scenario's aggregate view. */
-struct ScenarioResult
+/** One scenario arm's aggregate view. */
+struct ArmResult
 {
     std::string name;
     double avg_provisioned_w = 0.0;
@@ -80,6 +55,7 @@ struct ScenarioResult
     size_t completed = 0;
     size_t dropped = 0;
     size_t rejected = 0;
+    size_t admission_retries = 0;
     size_t sla_violations = 0;
     double sla_violation_rate = 0.0;
     double p99_ms = 0.0;
@@ -88,38 +64,30 @@ struct ScenarioResult
     std::vector<sim::IntervalStats> intervals;
 };
 
-ScenarioResult
-runScenario(const std::string& name, const core::EfficiencyTable& table,
-            const std::vector<hw::ServerType>& fleet,
-            const std::vector<int>& slots,
-            const std::vector<cluster::ServiceSpec>& services,
-            const cluster::TraceServeOptions& opt)
+ArmResult
+runArm(const std::string& name, const scenario::ScenarioSpec& spec,
+       const core::EfficiencyTable& table)
 {
-    cluster::HerculesProvisioner provisioner;
-    Clock::time_point t0 = Clock::now();
-    cluster::MultiServeResult r = cluster::serveTraces(
-        table, fleet, slots, services, provisioner, opt);
-    ScenarioResult out;
+    scenario::ScenarioResult r = scenario::run(spec, &table);
+    ArmResult out;
     out.name = name;
-    out.wall_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0)
-            .count();
-    out.avg_provisioned_w = r.sim.avg_provisioned_power_w;
-    out.avg_consumed_w = r.sim.avg_consumed_power_w;
-    out.completed = r.sim.completed;
-    out.dropped = r.sim.dropped;
-    out.rejected = r.sim.rejected;
-    out.sla_violations = r.sim.sla_violations;
-    out.sla_violation_rate = r.sim.sla_violation_rate;
-    out.p99_ms = r.sim.p99_ms;
-    out.services = r.sim.services;
-    out.intervals = r.sim.intervals;
+    out.wall_ms = r.serve_wall_ms;
+    out.avg_provisioned_w = r.serve.sim.avg_provisioned_power_w;
+    out.avg_consumed_w = r.serve.sim.avg_consumed_power_w;
+    out.completed = r.serve.sim.completed;
+    out.dropped = r.serve.sim.dropped;
+    out.rejected = r.serve.sim.rejected;
+    out.admission_retries = r.serve.sim.admission_retries;
+    out.sla_violations = r.serve.sim.sla_violations;
+    out.sla_violation_rate = r.serve.sim.sla_violation_rate;
+    out.p99_ms = r.serve.sim.p99_ms;
+    out.services = r.serve.sim.services;
+    out.intervals = r.serve.sim.intervals;
     return out;
 }
 
 void
-printScenario(const ScenarioResult& r,
-              const std::vector<model::ModelId>& models)
+printArm(const ArmResult& r, const std::vector<model::ModelId>& models)
 {
     std::printf("%s:\n", r.name.c_str());
     TablePrinter t({"Service", "Completed", "Rejected", "Dropped",
@@ -135,14 +103,16 @@ printScenario(const ScenarioResult& r,
     }
     t.print();
     std::printf("  avg power %.3f kW provisioned / %.3f kW consumed, "
-                "violation rate %.2f%%, p99 %.2f ms, wall %.0f ms\n\n",
+                "violation rate %.2f%%, p99 %.2f ms, retries %zu, "
+                "wall %.0f ms\n\n",
                 r.avg_provisioned_w / 1e3, r.avg_consumed_w / 1e3,
-                r.sla_violation_rate * 100.0, r.p99_ms, r.wall_ms);
+                r.sla_violation_rate * 100.0, r.p99_ms,
+                r.admission_retries, r.wall_ms);
 }
 
 void
-writeScenarioJson(FILE* f, const ScenarioResult& r,
-                  const std::vector<model::ModelId>& models, bool last)
+writeArmJson(FILE* f, const ArmResult& r,
+             const std::vector<model::ModelId>& models, bool last)
 {
     std::fprintf(f, "  \"%s\": {\n", r.name.c_str());
     std::fprintf(f, "      \"avg_provisioned_power_w\": %.2f,\n",
@@ -151,6 +121,8 @@ writeScenarioJson(FILE* f, const ScenarioResult& r,
                  r.avg_consumed_w);
     std::fprintf(f, "      \"completed\": %zu,\n", r.completed);
     std::fprintf(f, "      \"rejected\": %zu,\n", r.rejected);
+    std::fprintf(f, "      \"admission_retries\": %zu,\n",
+                 r.admission_retries);
     std::fprintf(f, "      \"dropped\": %zu,\n", r.dropped);
     std::fprintf(f, "      \"sla_violations\": %zu,\n",
                  r.sla_violations);
@@ -177,6 +149,49 @@ writeScenarioJson(FILE* f, const ScenarioResult& r,
     std::fprintf(f, "  }%s\n", last ? "" : ",");
 }
 
+/**
+ * Fast-mode deltas, applied identically to every arm so the three
+ * scenarios keep replaying the same merged trace: 2 services on a
+ * 5-slot T2+T3 fleet, 18h horizon (the throughput tier's
+ * mean-provisioning only saves power when the horizon contains the
+ * diurnal troughs), surge at 1.5h. The arm's router/admission settings
+ * — the deltas between the shipped files — are preserved.
+ */
+void
+applyFastDeltas(scenario::ScenarioSpec& spec, bool qos_on)
+{
+    spec.fleet = {{hw::ServerType::T2, 3}, {hw::ServerType::T3, 2}};
+    const std::vector<model::ModelId> ids = {model::ModelId::DlrmRmc2,
+                                             model::ModelId::DlrmRmc1};
+    spec.services.clear();
+    for (size_t s = 0; s < ids.size(); ++s) {
+        scenario::ServiceScenario svc;
+        svc.spec.model = ids[s];
+        svc.peak_qps_frac = 0.25;
+        svc.spec.load.trough_frac = 0.35;
+        svc.spec.load.peak_hour = 2.0 + 8.0 * static_cast<double>(s);
+        svc.spec.load.seed = 5 + s;
+        svc.spec.load.surge_hour = 1.5;
+        svc.spec.load.surge_hours = 2.0;
+        svc.spec.load.surge_factor = 1.5;
+        if (qos_on) {
+            svc.spec.qos.priority =
+                static_cast<int>(ids.size() - 1 - s);
+            svc.spec.qos.tier = s + 1 == ids.size()
+                                    ? qos::Tier::Throughput
+                                    : qos::Tier::Latency;
+        }
+        spec.services.push_back(svc);
+    }
+    spec.serve.horizon_hours = 18.0;
+    spec.serve.trace.time_compression = 960.0;
+    spec.profile.table_cache =
+        "hercules_efficiency_multiservice_fast.csv";
+    spec.profile.num_queries = 250;
+    spec.profile.warmup_queries = 50;
+    spec.profile.bisect_iters = 4;
+}
+
 }  // namespace
 
 int
@@ -187,102 +202,52 @@ main()
                   "routing vs the pre-QoS stack on a surge + power cap");
 
     const bool fast = bench::fastMode();
-    const std::vector<hw::ServerType> fleet =
-        fast ? std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3}
-             : std::vector<hw::ServerType>{hw::ServerType::T2,
-                                           hw::ServerType::T3,
-                                           hw::ServerType::T7};
-    // Fast mode keeps the 2-type fleet (cheap profiling) but enough
-    // servers that whole-server shedding is a graded decision rather
-    // than an all-or-nothing cliff.
-    const std::vector<int> slots = fast ? std::vector<int>{3, 2}
-                                        : std::vector<int>{2, 2, 1};
-    // Service 0 is the high-priority user-facing one — deliberately
-    // RMC2, the *least* power-efficient model on this fleet, so the
-    // baseline's priority-blind QPS/W shedding victimizes exactly the
-    // service that matters most. The big efficient RMC1 rides last as
-    // the low-priority throughput-tier service.
-    std::vector<model::ModelId> model_ids =
-        fast ? std::vector<model::ModelId>{model::ModelId::DlrmRmc2,
-                                           model::ModelId::DlrmRmc1}
-             : std::vector<model::ModelId>{model::ModelId::DlrmRmc2,
-                                           model::ModelId::DlrmRmc3,
-                                           model::ModelId::DlrmRmc1};
+    scenario::ScenarioSpec base =
+        bench::loadScenario("flash_crowd_surge.scn");
+    scenario::ScenarioSpec qos_spec =
+        bench::loadScenario("priority_tiered_qos.scn");
+    scenario::ScenarioSpec fb_spec =
+        bench::loadScenario("feedback_router.scn");
+    if (fast) {
+        applyFastDeltas(base, false);
+        applyFastDeltas(qos_spec, true);
+        applyFastDeltas(fb_spec, true);
+    }
 
-    core::EfficiencyTable table = loadOrProfile(fleet, model_ids);
+    core::EfficiencyTable table = scenario::profileTable(base);
+    scenario::resolvePeaks(base, table);
+    scenario::resolvePeaks(qos_spec, table);
+    scenario::resolvePeaks(fb_spec, table);
 
-    const size_t S = model_ids.size();
-    std::vector<double> capacity(S, 0.0);
+    const size_t S = base.services.size();
+    std::vector<model::ModelId> model_ids;
+    std::vector<hw::ServerType> fleet;
+    std::vector<int> slots;
+    for (const scenario::ServiceScenario& s : base.services)
+        model_ids.push_back(s.spec.model);
+    for (const scenario::FleetEntry& e : base.fleet) {
+        fleet.push_back(e.type);
+        slots.push_back(e.shard_slots);
+    }
     for (size_t s = 0; s < S; ++s) {
-        for (size_t h = 0; h < fleet.size(); ++h) {
-            const core::EfficiencyEntry* e =
-                table.get(fleet[h], model_ids[s]);
-            if (e != nullptr && e->feasible)
-                capacity[s] += slots[h] * e->qps;
-        }
-        if (capacity[s] <= 0.0) {
+        if (base.services[s].spec.load.peak_qps <= 0.0) {
             std::printf("%s infeasible on this fleet — abort\n",
                         model::modelName(model_ids[s]));
             return 1;
         }
     }
 
-    cluster::TraceServeOptions opt;
-    // Even fast mode keeps a near-full day: the throughput tier's
-    // mean-provisioning only saves power when the horizon actually
-    // contains the diurnal troughs, not just the near-peak slice.
-    opt.horizon_hours = fast ? 18.0 : 24.0;
-    opt.interval_hours = 0.5;
-    opt.trace.time_compression = fast ? 960.0 : 480.0;
-    opt.trace.seed = 42;
-
-    // Phase-shifted services; service 0 is the high-priority
-    // user-facing one. The flash crowd hits a 2h window around service
-    // 0's peak: inside it the *actual* demand of every service is
-    // 1.5x its curve (1.5x over-peak for service 0), while the
-    // provisioner keeps planning on the un-surged forecast.
-    const double surge_hour = fast ? 1.5 : 19.0;
-    const double surge_hours = 2.0;
-    const double surge_factor = 1.5;
-    std::vector<cluster::ServiceSpec> base(S);
-    for (size_t s = 0; s < S; ++s) {
-        // Sized so the joint *forecast* provisioning stays feasible at
-        // every hour (the baseline must not be a starved strawman):
-        // overload comes from the unforecast surge and the power cap.
-        double peak_frac = fast ? 0.25 : 0.18;
-        if (!fast && model_ids[s] == model::ModelId::DlrmRmc2) {
-            // Same shaping as bench_multiservice: the small service
-            // ranks fewer candidates so its rare giant queries stay
-            // servable within SLA at all.
-            peak_frac = 0.12;
-            base[s].sizes.sigma = 0.7;
-            base[s].sizes.max_size = 300;
-        }
-        base[s].model = model_ids[s];
-        base[s].load.peak_qps = peak_frac * capacity[s];
-        base[s].load.trough_frac = 0.35;
-        // Service 0 peaks inside the surge window; later services are
-        // phase-shifted away from it (co-serving rides the offsets).
-        base[s].load.peak_hour =
-            fast ? 2.0 + 8.0 * static_cast<double>(s)
-                 : 20.0 - 8.0 * static_cast<double>(s);
-        base[s].load.seed = 5 + s;
-        base[s].load.surge_hour = surge_hour;
-        base[s].load.surge_hours = surge_hours;
-        base[s].load.surge_factor = surge_factor;
-    }
-
     // Over-provision rate (forecast ramp + tail headroom, as in
-    // bench_multiservice) — shared by all scenarios.
+    // bench_multiservice) — shared by all arms.
     const double kTailHeadroom = 0.15;
     double r_est = 0.0;
     for (size_t s = 0; s < S; ++s)
         r_est = std::max(
-            r_est, cluster::estimateOverprovisionRate(
-                       workload::DiurnalLoad(base[s].load),
-                       opt.interval_hours, opt.horizon_hours));
-    opt.overprovision_rate = r_est + kTailHeadroom;
+            r_est,
+            cluster::estimateOverprovisionRate(
+                workload::DiurnalLoad(base.services[s].spec.load),
+                base.serve.interval_hours, base.serve.horizon_hours));
+    const double r_shared = r_est + kTailHeadroom;
 
     // The aggressive power cap: sweep the forecast interval grid with
     // the same provisioner, find the hungriest interval's requested
@@ -297,17 +262,17 @@ main()
     cluster::HerculesProvisioner capref;
     std::vector<workload::DiurnalLoad> cap_curves;
     for (size_t s = 0; s < S; ++s)
-        cap_curves.emplace_back(base[s].load);
+        cap_curves.emplace_back(base.services[s].spec.load);
     double peak_power = 0.0;
     double cheapest_at_peak =
         std::numeric_limits<double>::infinity();
-    for (double t = 0.0; t < opt.horizon_hours;
-         t += opt.interval_hours) {
+    for (double t = 0.0; t < base.serve.horizon_hours;
+         t += base.serve.interval_hours) {
         std::vector<double> loads_t;
         for (size_t s = 0; s < S; ++s)
             loads_t.push_back(cap_curves[s].forecastAt(t));
         cluster::Allocation alloc =
-            capref.provision(problem, loads_t, opt.overprovision_rate);
+            capref.provision(problem, loads_t, r_shared);
         double p = alloc.provisionedPowerW(problem);
         if (p > peak_power) {
             peak_power = p;
@@ -322,42 +287,31 @@ main()
                             problem.perf(h, m).power_w);
         }
     }
-    opt.power_cap_w = peak_power - 0.5 * cheapest_at_peak;
+    const double cap_w = peak_power - 0.5 * cheapest_at_peak;
 
+    // The computed knobs are the only non-file deltas, shared by all
+    // arms so the comparison isolates the QoS policies themselves.
+    for (scenario::ScenarioSpec* spec : {&base, &qos_spec, &fb_spec}) {
+        spec->serve.overprovision_rate = r_shared;
+        spec->serve.power_cap_w = cap_w;
+    }
+
+    const double surge_hour = base.services[0].spec.load.surge_hour;
+    const double surge_hours = base.services[0].spec.load.surge_hours;
     std::printf("horizon %.0fh, surge %.1fx in [%.1fh, %.1fh), power "
                 "cap %.3f kW, R %.1f%%\n\n",
-                opt.horizon_hours, surge_factor, surge_hour,
-                surge_hour + surge_hours, opt.power_cap_w / 1e3,
-                opt.overprovision_rate * 100.0);
+                base.serve.horizon_hours,
+                base.services[0].spec.load.surge_factor, surge_hour,
+                surge_hour + surge_hours, cap_w / 1e3,
+                r_shared * 100.0);
 
-    // ---- scenario 1: the pre-QoS stack --------------------------------
-    ScenarioResult baseline =
-        runScenario("baseline", table, fleet, slots, base, opt);
-    printScenario(baseline, model_ids);
-
-    // ---- scenario 2: QoS on -------------------------------------------
-    // Service 0 is high-priority latency-tier; the last service is the
-    // deadline-relaxed throughput-tier one (provisioned to mean
-    // demand); priorities descend with the service index.
-    std::vector<cluster::ServiceSpec> qos_specs = base;
-    for (size_t s = 0; s < S; ++s) {
-        qos_specs[s].qos.priority = static_cast<int>(S - 1 - s);
-        qos_specs[s].qos.tier = s + 1 == S ? qos::Tier::Throughput
-                                           : qos::Tier::Latency;
-    }
-    cluster::TraceServeOptions qopt = opt;
-    qopt.admission.policy = qos::AdmissionPolicy::Deadline;
-    qopt.admission.deadline_slack = 1.0;
-    ScenarioResult qos_run =
-        runScenario("qos", table, fleet, slots, qos_specs, qopt);
-    printScenario(qos_run, model_ids);
-
-    // ---- scenario 3: QoS + latency-feedback router --------------------
-    cluster::TraceServeOptions fopt = qopt;
-    fopt.router = sim::RouterPolicy::LatencyFeedback;
-    ScenarioResult fb_run = runScenario("qos_feedback", table, fleet,
-                                        slots, qos_specs, fopt);
-    printScenario(fb_run, model_ids);
+    // ---- the three arms -----------------------------------------------
+    ArmResult baseline = runArm("baseline", base, table);
+    printArm(baseline, model_ids);
+    ArmResult qos_run = runArm("qos", qos_spec, table);
+    printArm(qos_run, model_ids);
+    ArmResult fb_run = runArm("qos_feedback", fb_spec, table);
+    printArm(fb_run, model_ids);
 
     // ---- the QoS gate --------------------------------------------------
     const sim::ServiceRunStats& hi_base = baseline.services[0];
@@ -387,35 +341,41 @@ main()
     if (f) {
         std::fprintf(f, "{\n");
         bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"scenarios\": [\"%s\", \"%s\", \"%s\"],\n",
+                     base.name.c_str(), qos_spec.name.c_str(),
+                     fb_spec.name.c_str());
         std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
-                     opt.horizon_hours);
+                     base.serve.horizon_hours);
         std::fprintf(f, "  \"interval_hours\": %.2f,\n",
-                     opt.interval_hours);
+                     base.serve.interval_hours);
         std::fprintf(f, "  \"time_compression\": %.0f,\n",
-                     opt.trace.time_compression);
+                     base.serve.trace.time_compression);
         std::fprintf(f, "  \"num_services\": %zu,\n", S);
         std::fprintf(f, "  \"surge_hour\": %.2f,\n", surge_hour);
         std::fprintf(f, "  \"surge_hours\": %.2f,\n", surge_hours);
-        std::fprintf(f, "  \"surge_factor\": %.2f,\n", surge_factor);
-        std::fprintf(f, "  \"power_cap_w\": %.2f,\n", opt.power_cap_w);
+        std::fprintf(f, "  \"surge_factor\": %.2f,\n",
+                     base.services[0].spec.load.surge_factor);
+        std::fprintf(f, "  \"power_cap_w\": %.2f,\n", cap_w);
         std::fprintf(f, "  \"qos_beats_baseline\": %s,\n",
                      ok ? "true" : "false");
         std::fprintf(f, "  \"services\": [\n");
         for (size_t s = 0; s < S; ++s) {
+            const scenario::ServiceScenario& qs = qos_spec.services[s];
             std::fprintf(
                 f,
                 "    {\"model\": \"%s\", \"peak_qps\": %.1f, "
                 "\"peak_hour\": %.2f, \"priority\": %d, "
                 "\"tier\": \"%s\"}%s\n",
-                model::modelName(model_ids[s]), base[s].load.peak_qps,
-                base[s].load.peak_hour, qos_specs[s].qos.priority,
-                qos::tierName(qos_specs[s].qos.tier),
+                model::modelName(model_ids[s]),
+                base.services[s].spec.load.peak_qps,
+                base.services[s].spec.load.peak_hour,
+                qs.spec.qos.priority, qos::tierName(qs.spec.qos.tier),
                 s + 1 < S ? "," : "");
         }
         std::fprintf(f, "  ],\n");
-        writeScenarioJson(f, baseline, model_ids, false);
-        writeScenarioJson(f, qos_run, model_ids, false);
-        writeScenarioJson(f, fb_run, model_ids, true);
+        writeArmJson(f, baseline, model_ids, false);
+        writeArmJson(f, qos_run, model_ids, false);
+        writeArmJson(f, fb_run, model_ids, true);
         std::fprintf(f, "}\n");
         std::fclose(f);
         std::printf("\nwrote BENCH_qos.json\n");

@@ -4,25 +4,35 @@
  * servers) rides a day of synchronized diurnal load, re-provisioned
  * every interval by a choice of cluster scheduler.
  *
- * Two modes:
+ * Three modes:
  *  - analytic (default): the Fig 13 capacity view — efficiency-tuple
  *    lookup, over-provision-rate estimation, interval-by-interval
  *    activation/release, provisioned power;
  *  - --trace: end-to-end serving — a timestamped diurnal arrival trace
  *    flows through simulated server shards behind a query router, and
  *    the run reports real tail latency and SLA violations instead of
- *    only analytic capacity.
+ *    only analytic capacity. The legacy flags below are a spec
+ *    builder: they assemble a scenario::ScenarioSpec and hand it to
+ *    scenario::run(), the same entry point every serving experiment
+ *    uses;
+ *  - --scenario FILE: run a declarative scenario file (scenarios/
+ *    *.scn, grammar in src/scenario/README.md) end to end and write
+ *    its result to BENCH_scenario.json. All other experiment flags are
+ *    ignored — the file is the whole experiment. With --parse-only the
+ *    file is only parsed and validated (CI lints the shipped library
+ *    this way).
  *
  * Usage: online_serving_sim [hercules|greedy|nh] [--trace]
  *          [--horizon H] [--interval I]
  *          [--router rr|jsq|p2c|hercules|latency-feedback]
  *          [--services N] [--admission none|queue_cap|deadline]
  *          [--priorities p0,p1,...] [--power-cap W]
+ *          [--scenario FILE] [--parse-only]
  *
  * With --services N >= 2, trace mode co-serves N services (RMC1,
  * RMC2, RMC3 prefix) with phase-shifted diurnal peaks on the shared
- * fleet via cluster::serveTraces, reporting per-service tail latency
- * and SLA violations next to the cluster aggregate.
+ * fleet, reporting per-service tail latency and SLA violations next
+ * to the cluster aggregate.
  *
  * QoS: --admission picks the per-shard admission policy (src/qos/),
  * --priorities assigns per-service shedding priorities (higher keeps
@@ -30,6 +40,8 @@
  * latency-feedback routes on p99-feedback-adjusted weights.
  * Per-service admit / reject / drop / violation lines are printed for
  * every trace run.
+ *
+ * Unknown or malformed flags are named on stderr and exit non-zero.
  */
 #include <algorithm>
 #include <cstdio>
@@ -38,13 +50,14 @@
 #include <limits>
 #include <memory>
 #include <string>
-
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cluster/cluster_manager.h"
-#include "cluster/serving.h"
 #include "core/profiler.h"
 #include "qos/qos.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_io.h"
 #include "util/table.h"
 
 using namespace hercules;
@@ -63,6 +76,8 @@ struct Args
     std::vector<int> priorities;  ///< per service; empty = all equal
     /** Global power cap (W); infinity = uncapped. */
     double power_cap_w = std::numeric_limits<double>::infinity();
+    std::string scenario_file;  ///< --scenario: run this spec file
+    bool parse_only = false;    ///< with --scenario: parse, don't run
 };
 
 void
@@ -91,6 +106,11 @@ usage(const char* argv0)
         "  --power-cap W   global power cap in watts: the interval\n"
         "                  allocation is shed (lowest priority, then\n"
         "                  worst QPS/W first) until it fits\n"
+        "  --scenario F    run scenario file F end to end (writes\n"
+        "                  BENCH_scenario.json); every other\n"
+        "                  experiment flag is ignored\n"
+        "  --parse-only    with --scenario: parse + validate the\n"
+        "                  file, print its summary, don't run\n"
         "tip: --trace --horizon 6 finishes in seconds.\n",
         argv0);
 }
@@ -98,6 +118,10 @@ usage(const char* argv0)
 bool
 parseArgs(int argc, char** argv, Args& out)
 {
+    auto reject = [&](const char* what, const std::string& a) {
+        std::fprintf(stderr, "error: %s '%s'\n", what, a.c_str());
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto value = [&]() -> const char* {
@@ -107,46 +131,50 @@ parseArgs(int argc, char** argv, Args& out)
             out.policy = a;
         } else if (a == "--trace") {
             out.trace_mode = true;
+        } else if (a == "--parse-only") {
+            out.parse_only = true;
+        } else if (a == "--scenario") {
+            const char* v = value();
+            if (v == nullptr)
+                return reject("missing file after", a);
+            out.scenario_file = v;
         } else if (a == "--horizon") {
             const char* v = value();
             if (v == nullptr || std::atof(v) <= 0.0)
-                return false;
+                return reject("missing or non-positive value for", a);
             out.horizon_hours = std::atof(v);
         } else if (a == "--interval") {
             const char* v = value();
             if (v == nullptr || std::atof(v) <= 0.0)
-                return false;
+                return reject("missing or non-positive value for", a);
             out.interval_hours = std::atof(v);
         } else if (a == "--router") {
             const char* v = value();
-            if (v == nullptr)
-                return false;
-            auto p = sim::parseRouterPolicy(v);
+            auto p = v ? sim::parseRouterPolicy(v) : std::nullopt;
             if (!p.has_value())
-                return false;
+                return reject("unknown router for", a);
             out.router = *p;
         } else if (a == "--services") {
             const char* v = value();
             if (v == nullptr || std::atoi(v) < 1 || std::atoi(v) > 3)
-                return false;
+                return reject("--services expects 1-3, got",
+                              v ? v : "(none)");
             out.num_services = std::atoi(v);
         } else if (a == "--admission") {
             const char* v = value();
-            if (v == nullptr)
-                return false;
-            auto p = qos::parseAdmissionPolicy(v);
+            auto p = v ? qos::parseAdmissionPolicy(v) : std::nullopt;
             if (!p.has_value())
-                return false;
+                return reject("unknown admission policy for", a);
             out.admission = *p;
         } else if (a == "--power-cap") {
             const char* v = value();
             if (v == nullptr || std::atof(v) <= 0.0)
-                return false;
+                return reject("missing or non-positive value for", a);
             out.power_cap_w = std::atof(v);
         } else if (a == "--priorities") {
             const char* v = value();
             if (v == nullptr)
-                return false;
+                return reject("missing value for", a);
             out.priorities.clear();
             std::string list = v;
             size_t pos = 0;
@@ -154,16 +182,25 @@ parseArgs(int argc, char** argv, Args& out)
                 size_t comma = list.find(',', pos);
                 if (comma == std::string::npos)
                     comma = list.size();
-                if (comma == pos)
-                    return false;
-                out.priorities.push_back(
-                    std::atoi(list.substr(pos, comma - pos).c_str()));
+                std::string tok = list.substr(pos, comma - pos);
+                // Digits only (optional sign): atoi would silently
+                // read "high" as 0 and flatten the shedding order.
+                size_t d = tok.empty() ? 0
+                           : (tok[0] == '-' || tok[0] == '+') ? 1
+                                                              : 0;
+                if (d >= tok.size() ||
+                    tok.find_first_not_of("0123456789", d) !=
+                        std::string::npos)
+                    return reject("malformed priority list", list);
+                out.priorities.push_back(std::atoi(tok.c_str()));
                 pos = comma + 1;
             }
         } else {
-            return false;
+            return reject("unknown flag", a);
         }
     }
+    if (out.parse_only && out.scenario_file.empty())
+        return reject("--parse-only requires", "--scenario");
     return true;
 }
 
@@ -174,27 +211,180 @@ parseArgs(int argc, char** argv, Args& out)
  */
 void
 printQosLines(const std::vector<sim::ServiceRunStats>& services,
-              const std::vector<model::ModelId>& models)
+              const scenario::ScenarioSpec& spec)
 {
     for (size_t s = 0; s < services.size(); ++s) {
         const sim::ServiceRunStats& svc = services[s];
         size_t offered = svc.injected + svc.dropped + svc.rejected;
         std::printf("  qos %-12s admitted %zu/%zu, rejected %zu, "
                     "dropped %zu, violations %zu (%.2f%%)\n",
-                    model::modelName(models[s]), svc.injected, offered,
-                    svc.rejected, svc.dropped, svc.sla_violations,
+                    spec.services[s].name.c_str(), svc.injected,
+                    offered, svc.rejected, svc.dropped,
+                    svc.sla_violations,
                     svc.sla_violation_rate * 100.0);
     }
 }
 
-std::unique_ptr<cluster::Provisioner>
-makePolicy(const std::string& name)
+/** The legacy --trace flags, assembled into a scenario spec. */
+scenario::ScenarioSpec
+buildTraceSpec(const Args& args)
 {
-    if (name == "greedy")
-        return std::make_unique<cluster::GreedyProvisioner>();
-    if (name == "nh")
-        return std::make_unique<cluster::NhProvisioner>(17);
-    return std::make_unique<cluster::HerculesProvisioner>();
+    scenario::ScenarioSpec spec;
+    spec.name = args.num_services > 1 ? "online_serving_multi"
+                                      : "online_serving";
+    spec.fleet = {{hw::ServerType::T2, 2},
+                  {hw::ServerType::T3, 2},
+                  {hw::ServerType::T7, 1}};
+    const std::vector<model::ModelId> all_models = {
+        model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2,
+        model::ModelId::DlrmRmc3};
+    const size_t S = static_cast<size_t>(args.num_services);
+    for (size_t s = 0; s < S; ++s) {
+        scenario::ServiceScenario svc;
+        svc.spec.model = all_models[s];
+        svc.spec.load.trough_frac = 0.35;
+        svc.spec.load.seed = 5 + s;
+        if (S == 1) {
+            svc.peak_qps_frac = 0.6;
+        } else {
+            svc.peak_qps_frac = 0.5 / static_cast<double>(S);
+            // Spread the daily peaks: co-serving rides the offsets.
+            svc.spec.load.peak_hour =
+                20.0 - 8.0 * static_cast<double>(s);
+            if (s < args.priorities.size())
+                svc.spec.qos.priority = args.priorities[s];
+        }
+        spec.services.push_back(std::move(svc));
+    }
+    auto kind = scenario::parseProvisionerKind(args.policy);
+    spec.provisioner = kind.value_or(scenario::ProvisionerKind::Hercules);
+    spec.serve.horizon_hours = args.horizon_hours;
+    spec.serve.interval_hours = args.interval_hours;
+    spec.serve.router = args.router;
+    spec.serve.admission.policy = args.admission;
+    spec.serve.power_cap_w = args.power_cap_w;
+    // One simulated second stands for 480 wall-clock seconds:
+    // instantaneous QPS (and so all queueing dynamics) is unchanged,
+    // only the simulated span and query count shrink.
+    spec.serve.trace.time_compression = 480.0;
+    spec.serve.trace.seed = 42;
+    return spec;
+}
+
+/** Run one spec end to end and print the trace-mode report. */
+int
+runSpec(scenario::ScenarioSpec spec, bool write_json)
+{
+    std::printf("profiling the fleet...\n");
+    core::EfficiencyTable table = scenario::profileTable(spec);
+
+    const size_t S = spec.services.size();
+    std::printf("scenario '%s': fleet", spec.name.c_str());
+    for (const scenario::FleetEntry& e : spec.fleet)
+        std::printf(" %s x%d", hw::serverTypeName(e.type),
+                    e.shard_slots);
+    std::printf(", %zu service%s, router %s, admission %s, "
+                "provisioner %s\n\n",
+                S, S == 1 ? "" : "s",
+                sim::routerPolicyName(spec.serve.router),
+                qos::admissionPolicyName(spec.serve.admission.policy),
+                scenario::provisionerKindName(spec.provisioner));
+
+    scenario::ScenarioResult r = scenario::run(spec, &table);
+    const sim::ClusterSimResult& sim = r.serve.sim;
+    const scenario::ScenarioSpec& rs = r.resolved;
+
+    TablePrinter t({"Service", "Peak QPS", "SLA (ms)", "Completed",
+                    "Dropped", "p50 (ms)", "p99 (ms)", "SLA viol"});
+    for (size_t s = 0; s < S; ++s) {
+        const sim::ServiceRunStats& svc = sim.services[s];
+        t.addRow({rs.services[s].name,
+                  fmtEng(rs.services[s].spec.load.peak_qps, 1),
+                  fmtDouble(r.serve.service_sla_ms[s], 0),
+                  std::to_string(svc.completed),
+                  std::to_string(svc.dropped),
+                  fmtDouble(svc.p50_ms, 2), fmtDouble(svc.p99_ms, 2),
+                  fmtPercent(svc.sla_violation_rate, 2)});
+    }
+    t.print();
+    std::printf("\n");
+
+    if (S == 1) {
+        // Single-service runs keep the per-interval trajectory view.
+        TablePrinter iv_t({"Hour", "Offered QPS", "Shards", "p50 (ms)",
+                           "p99 (ms)", "SLA viol", "Prov kW",
+                           "Cons kW"});
+        size_t stride =
+            std::max<size_t>(1, sim.intervals.size() / 16);
+        for (size_t i = 0; i < sim.intervals.size(); i += stride) {
+            const sim::IntervalStats& iv = sim.intervals[i];
+            double hour =
+                static_cast<double>(i) * spec.serve.interval_hours;
+            iv_t.addRow({fmtDouble(hour, 1), fmtEng(iv.offered_qps, 1),
+                         std::to_string(iv.active_shards),
+                         fmtDouble(iv.p50_ms, 2),
+                         fmtDouble(iv.p99_ms, 2),
+                         fmtPercent(iv.sla_violation_rate, 1),
+                         fmtDouble(iv.provisioned_power_w / 1e3, 3),
+                         fmtDouble(iv.consumed_power_w / 1e3, 3)});
+        }
+        iv_t.print();
+        std::printf("\n");
+    }
+    printQosLines(sim.services, rs);
+
+    std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 "
+                "%.2f ms, max %.1f ms\n",
+                sim.completed, sim.p50_ms, sim.p99_ms, sim.max_ms);
+    std::printf("SLA violations: %.2f%%;  rejected: %zu (retries "
+                "%zu);  dropped: %zu;  re-provisions: %d;  avg power: "
+                "%.2f kW provisioned / %.2f kW consumed\n",
+                sim.sla_violation_rate * 100.0, sim.rejected,
+                sim.admission_retries, sim.dropped,
+                r.serve.reprovisions,
+                sim.avg_provisioned_power_w / 1e3,
+                sim.avg_consumed_power_w / 1e3);
+    if (write_json) {
+        if (scenario::writeResultJson("BENCH_scenario.json", r,
+                                      bench::gitSha()))
+            std::printf("wrote BENCH_scenario.json\n");
+    } else {
+        std::printf("tip: put this experiment in a file — see "
+                    "scenarios/*.scn and --scenario.\n");
+    }
+    return 0;
+}
+
+int
+runScenarioFile(const Args& args)
+{
+    std::string err;
+    auto spec = scenario::loadSpecFile(args.scenario_file, &err);
+    if (!spec.has_value()) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+    }
+    // Parsing alone accepts specs that cannot run (empty fleet,
+    // unsorted cap schedule, ...): lint with the same semantic checks
+    // run() enforces, so --parse-only catches them at exit 1 instead
+    // of CI discovering a fatal() later.
+    if (!scenario::validateSpec(*spec, &err)) {
+        std::fprintf(stderr, "error: %s: %s\n",
+                     args.scenario_file.c_str(), err.c_str());
+        return 1;
+    }
+    if (args.parse_only) {
+        std::printf("%s: ok — scenario '%s' (%zu fleet type%s, %zu "
+                    "service%s, %.0fh horizon)\n",
+                    args.scenario_file.c_str(), spec->name.c_str(),
+                    spec->fleet.size(),
+                    spec->fleet.size() == 1 ? "" : "s",
+                    spec->services.size(),
+                    spec->services.size() == 1 ? "" : "s",
+                    spec->serve.horizon_hours);
+        return 0;
+    }
+    return runSpec(std::move(*spec), /*write_json=*/true);
 }
 
 int
@@ -252,156 +442,14 @@ runAnalytic(const Args& args, cluster::Provisioner& policy,
     return 0;
 }
 
-int
-runMultiTrace(const Args& args, cluster::Provisioner& policy,
-              const core::EfficiencyTable& table,
-              const std::vector<hw::ServerType>& fleet,
-              const std::vector<model::ModelId>& services)
+std::unique_ptr<cluster::Provisioner>
+makePolicy(const std::string& name)
 {
-    const std::vector<int> slots = {2, 2, 1};
-    const size_t S = services.size();
-
-    std::vector<cluster::ServiceSpec> specs(S);
-    for (size_t s = 0; s < S; ++s) {
-        double capacity = 0.0;
-        for (size_t h = 0; h < fleet.size(); ++h) {
-            const core::EfficiencyEntry* e =
-                table.get(fleet[h], services[s]);
-            if (e != nullptr && e->feasible)
-                capacity += slots[h] * e->qps;
-        }
-        specs[s].model = services[s];
-        specs[s].load.peak_qps = 0.5 / static_cast<double>(S) * capacity;
-        specs[s].load.trough_frac = 0.35;
-        // Spread the daily peaks: co-serving rides the phase offsets.
-        specs[s].load.peak_hour =
-            20.0 - 8.0 * static_cast<double>(s);
-        specs[s].load.seed = 5 + s;
-        if (s < args.priorities.size())
-            specs[s].qos.priority = args.priorities[s];
-    }
-
-    cluster::TraceServeOptions opt;
-    opt.horizon_hours = args.horizon_hours;
-    opt.interval_hours = args.interval_hours;
-    opt.router = args.router;
-    opt.admission.policy = args.admission;
-    opt.power_cap_w = args.power_cap_w;
-    opt.trace.time_compression = 480.0;
-    opt.trace.seed = 42;
-
-    std::printf("co-serving %zu services on T2 x%d + T3 x%d + T7 x%d, "
-                "router %s, admission %s\n\n",
-                S, slots[0], slots[1], slots[2],
-                sim::routerPolicyName(opt.router),
-                qos::admissionPolicyName(args.admission));
-
-    cluster::MultiServeResult r = cluster::serveTraces(
-        table, fleet, slots, specs, policy, opt);
-
-    TablePrinter t({"Service", "Peak QPS", "SLA (ms)", "Completed",
-                    "Dropped", "p50 (ms)", "p99 (ms)", "SLA viol"});
-    for (size_t s = 0; s < S; ++s) {
-        const sim::ServiceRunStats& svc = r.sim.services[s];
-        t.addRow({model::modelName(services[s]),
-                  fmtEng(specs[s].load.peak_qps, 1),
-                  fmtDouble(r.service_sla_ms[s], 0),
-                  std::to_string(svc.completed),
-                  std::to_string(svc.dropped),
-                  fmtDouble(svc.p50_ms, 2), fmtDouble(svc.p99_ms, 2),
-                  fmtPercent(svc.sla_violation_rate, 2)});
-    }
-    t.print();
-    std::printf("\n");
-    printQosLines(r.sim.services, services);
-
-    std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 "
-                "%.2f ms;  violations %.2f%%;  re-provisions: %d;  avg "
-                "power %.2f kW provisioned / %.2f kW consumed\n",
-                r.sim.completed, r.sim.p50_ms, r.sim.p99_ms,
-                r.sim.sla_violation_rate * 100.0, r.reprovisions,
-                r.sim.avg_provisioned_power_w / 1e3,
-                r.sim.avg_consumed_power_w / 1e3);
-    std::printf("tip: compare '--services 1' to see what co-serving "
-                "changes.\n");
-    return 0;
-}
-
-int
-runTrace(const Args& args, cluster::Provisioner& policy,
-         const core::EfficiencyTable& table,
-         const std::vector<hw::ServerType>& fleet)
-{
-    const model::ModelId model = model::ModelId::DlrmRmc1;
-    const std::vector<int> slots = {2, 2, 1};
-
-    double capacity = 0.0;
-    for (size_t h = 0; h < fleet.size(); ++h) {
-        const core::EfficiencyEntry* e = table.get(fleet[h], model);
-        if (e != nullptr && e->feasible)
-            capacity += slots[h] * e->qps;
-    }
-
-    workload::DiurnalConfig load;
-    load.peak_qps = 0.6 * capacity;
-    load.trough_frac = 0.35;
-    load.seed = 5;
-
-    cluster::TraceServeOptions opt;
-    opt.horizon_hours = args.horizon_hours;
-    opt.interval_hours = args.interval_hours;
-    opt.sla_ms = model::buildModel(model).sla_ms;
-    opt.router = args.router;
-    opt.admission.policy = args.admission;
-    opt.power_cap_w = args.power_cap_w;
-    // One simulated second stands for 480 wall-clock seconds:
-    // instantaneous QPS (and so all queueing dynamics) is unchanged,
-    // only the simulated span and query count shrink.
-    opt.trace.time_compression = 480.0;
-    opt.trace.seed = 42;
-
-    std::printf("shard fleet: T2 x%d + T3 x%d + T7 x%d (%.0f QPS), "
-                "peak %.0f QPS, SLA %.0f ms, router %s, admission %s\n\n",
-                slots[0], slots[1], slots[2], capacity, load.peak_qps,
-                opt.sla_ms, sim::routerPolicyName(opt.router),
-                qos::admissionPolicyName(args.admission));
-
-    cluster::TraceServeResult r = cluster::serveTrace(
-        table, fleet, slots, model, load, policy, opt);
-
-    TablePrinter t({"Hour", "Offered QPS", "Shards", "p50 (ms)",
-                    "p99 (ms)", "SLA viol", "Prov kW", "Cons kW"});
-    size_t stride =
-        std::max<size_t>(1, r.sim.intervals.size() / 16);
-    for (size_t i = 0; i < r.sim.intervals.size(); i += stride) {
-        const sim::IntervalStats& iv = r.sim.intervals[i];
-        double hour = static_cast<double>(i) * args.interval_hours;
-        t.addRow({fmtDouble(hour, 1), fmtEng(iv.offered_qps, 1),
-                  std::to_string(iv.active_shards),
-                  fmtDouble(iv.p50_ms, 2), fmtDouble(iv.p99_ms, 2),
-                  fmtPercent(iv.sla_violation_rate, 1),
-                  fmtDouble(iv.provisioned_power_w / 1e3, 3),
-                  fmtDouble(iv.consumed_power_w / 1e3, 3)});
-    }
-    t.print();
-
-    std::printf("\n");
-    printQosLines(r.sim.services, {model});
-
-    std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 %.2f "
-                "ms, max %.1f ms\n",
-                r.sim.completed, r.sim.p50_ms, r.sim.p99_ms,
-                r.sim.max_ms);
-    std::printf("SLA violations: %.2f%%;  rejected: %zu;  dropped: %zu;"
-                "  re-provisions: %d;  avg power: %.2f kW provisioned / "
-                "%.2f kW consumed\n",
-                r.sim.sla_violation_rate * 100.0, r.sim.rejected,
-                r.sim.dropped, r.reprovisions,
-                r.sim.avg_provisioned_power_w / 1e3,
-                r.sim.avg_consumed_power_w / 1e3);
-    std::printf("tip: compare '--router rr' with '--router hercules' to "
-                "see the heterogeneity effect.\n");
-    return 0;
+    if (name == "greedy")
+        return std::make_unique<cluster::GreedyProvisioner>();
+    if (name == "nh")
+        return std::make_unique<cluster::NhProvisioner>(17);
+    return std::make_unique<cluster::HerculesProvisioner>();
 }
 
 }  // namespace
@@ -414,37 +462,32 @@ main(int argc, char** argv)
         usage(argv[0]);
         return 2;
     }
+
+    if (!args.scenario_file.empty())
+        return runScenarioFile(args);
+
+    if (args.trace_mode) {
+        std::printf("== %.0fh online serving (%s scheduler, trace "
+                    "mode) ==\n\n",
+                    args.horizon_hours, args.policy.c_str());
+        return runSpec(buildTraceSpec(args), /*write_json=*/false);
+    }
+
     std::unique_ptr<cluster::Provisioner> policy =
         makePolicy(args.policy);
-
-    std::printf("== %.0fh online serving (%s scheduler, %s mode) ==\n\n",
-                args.horizon_hours, policy->name(),
-                args.trace_mode ? "trace" : "analytic");
+    std::printf("== %.0fh online serving (%s scheduler, analytic mode) "
+                "==\n\n",
+                args.horizon_hours, policy->name());
 
     const std::vector<hw::ServerType> fleet = {
         hw::ServerType::T2, hw::ServerType::T3, hw::ServerType::T7};
     const std::vector<model::ModelId> services = {
         model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2};
-    const std::vector<model::ModelId> all_services = {
-        model::ModelId::DlrmRmc1, model::ModelId::DlrmRmc2,
-        model::ModelId::DlrmRmc3};
-    std::vector<model::ModelId> co_served(
-        all_services.begin(),
-        all_services.begin() + args.num_services);
 
     std::printf("profiling the fleet...\n");
     core::ProfilerOptions popt;
     popt.servers = fleet;
-    popt.models = args.trace_mode
-                      ? (args.num_services > 1
-                             ? co_served
-                             : std::vector<model::ModelId>{services[0]})
-                      : services;
+    popt.models = services;
     core::EfficiencyTable table = core::offlineProfile(popt);
-
-    if (args.trace_mode && args.num_services > 1)
-        return runMultiTrace(args, *policy, table, fleet, co_served);
-    return args.trace_mode
-               ? runTrace(args, *policy, table, fleet)
-               : runAnalytic(args, *policy, table, fleet, services);
+    return runAnalytic(args, *policy, table, fleet, services);
 }

@@ -74,6 +74,19 @@ worstActivePair(const ProvisionProblem& problem,
 
 }  // namespace
 
+double
+powerCapAt(const std::vector<PowerCapPoint>& schedule, double cap_w,
+           double t_hours)
+{
+    double cap = cap_w;
+    for (const PowerCapPoint& p : schedule) {
+        if (p.from_hour > t_hours)
+            break;
+        cap = std::min(cap_w, p.cap_w);
+    }
+    return cap;
+}
+
 bool
 shedToPowerCap(const ProvisionProblem& problem,
                std::vector<std::vector<int>>& counts, double cap_w,
@@ -130,6 +143,12 @@ serveTraces(const core::EfficiencyTable& table,
         fatal("serveTraces: no services");
     if (opt.horizon_hours <= 0.0 || opt.interval_hours <= 0.0)
         fatal("serveTraces: non-positive horizon/interval");
+    for (size_t i = 1; i < opt.power_cap_schedule.size(); ++i)
+        if (opt.power_cap_schedule[i].from_hour <
+            opt.power_cap_schedule[i - 1].from_hour)
+            fatal("serveTraces: power_cap_schedule not sorted by "
+                  "from_hour (point %zu)",
+                  i);
 
     const size_t S = services.size();
     // Shard instances keep pointers into these: both vectors are sized
@@ -300,19 +319,20 @@ serveTraces(const core::EfficiencyTable& table,
             }
         }
         // Enforce the global power cap across all services: lowest
-        // priority shed first, then least QPS/W.
+        // priority shed first, then least QPS/W. The cap may step over
+        // the horizon (power_cap_schedule, e.g. an evening brownout).
+        const double cap_w = powerCapAt(opt.power_cap_schedule,
+                                        opt.power_cap_w, t_hours);
         double power = 0.0;
-        p.power_capped = shedToPowerCap(problem, counts,
-                                        opt.power_cap_w, &power,
-                                        priorities);
+        p.power_capped =
+            shedToPowerCap(problem, counts, cap_w, &power, priorities);
         for (size_t h = 0; h < fleet.size(); ++h)
             for (size_t s = 0; s < S; ++s)
                 for (int i = 0; i < counts[h][s]; ++i)
                     p.active.push_back(
                         shards_by[h][s][static_cast<size_t>(i)]);
         p.provisioned_power_w = power;
-        p.budget_power_w =
-            std::isfinite(opt.power_cap_w) ? opt.power_cap_w : power;
+        p.budget_power_w = std::isfinite(cap_w) ? cap_w : power;
 
         if (!first_interval && p.active != prev_active)
             ++out.reprovisions;

@@ -36,6 +36,26 @@
 
 namespace hercules::cluster {
 
+/**
+ * One step of a time-varying power-cap schedule: from `from_hour` on
+ * (until the next point's from_hour) the global cap is `cap_w`.
+ */
+struct PowerCapPoint
+{
+    double from_hour = 0.0;  ///< step start (hours into the horizon)
+    double cap_w = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * The effective global power cap at `t_hours`: the cap_w of the last
+ * schedule point with from_hour <= t_hours, combined (min) with the
+ * scalar `cap_w` floor. Before the first point — or with an empty
+ * schedule — only the scalar applies, so legacy single-cap runs are
+ * unchanged. `schedule` must be sorted ascending by from_hour.
+ */
+double powerCapAt(const std::vector<PowerCapPoint>& schedule,
+                  double cap_w, double t_hours);
+
 /** Options of one trace-driven serving run. */
 struct TraceServeOptions
 {
@@ -48,6 +68,12 @@ struct TraceServeOptions
     double overprovision_rate = -1.0;
     /** Global power cap (W); the allocation is trimmed to fit. */
     double power_cap_w = std::numeric_limits<double>::infinity();
+    /**
+     * Time-varying cap schedule (e.g. an evening brownout), applied on
+     * top of power_cap_w via powerCapAt(). Points must be sorted
+     * ascending by from_hour; empty keeps the scalar cap alone.
+     */
+    std::vector<PowerCapPoint> power_cap_schedule;
     sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
     uint64_t router_seed = 1;
     /**

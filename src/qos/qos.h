@@ -106,6 +106,14 @@ struct AdmissionConfig
      * estimator predicts late; > 1 tolerates estimator optimism.
      */
     double deadline_slack = 1.0;
+    /**
+     * Cross-shard retry: when the routed shard's controller refuses a
+     * query, re-offer it to the service's other active shards (best
+     * estimated completion first) and only count it rejected once every
+     * shard refuses. With a single shard — or policy `none`, which
+     * never refuses — behaviour is identical to no retry.
+     */
+    bool cross_shard_retry = true;
 };
 
 /**

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The declarative scenario API: one spec, one entry point for every
+ * serving experiment.
+ *
+ * A ScenarioSpec composes the *whole* experiment the online-serving
+ * stack can express — the heterogeneous shard fleet, N co-served
+ * services (model, diurnal curve incl. unforecast surge windows,
+ * query-size/pooling distributions, SLA, QoS class), the query router
+ * and its feedback knobs, the provisioning policy, admission control,
+ * horizon/interval, and a time-varying power-cap schedule — plus the
+ * offline-profiling knobs that size the efficiency table the run is
+ * built from. Specs serialize to a text (JSON-subset) format with
+ * exact round-trip and line/key-precise parse errors (spec_io.h), so
+ * an experiment is a file in scenarios/, not a new .cpp.
+ *
+ * scenario::run() is the single entry point: it profiles (or loads)
+ * the efficiency table, resolves fraction-of-capacity peak loads and
+ * per-service SLAs, builds the provisioner, and drives
+ * cluster::serveTraces. A spec whose fields mirror a hand-wired
+ * serveTraces call reproduces it bit-identically (golden-pinned in
+ * tests/test_scenario.cc).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/serving.h"
+#include "core/efficiency_table.h"
+#include "core/profiler.h"
+
+namespace hercules::scenario {
+
+/** One server type of the scenario's shard fleet. */
+struct FleetEntry
+{
+    hw::ServerType type = hw::ServerType::T2;
+    /** Simulated shard slots of this type (the availability Nh). */
+    int shard_slots = 1;
+};
+
+/** One co-served service of the scenario. */
+struct ServiceScenario
+{
+    /** Display name; empty = the model's name. */
+    std::string name;
+    /**
+     * Peak load as a fraction of the service's *full-fleet* capacity
+     * (every slot of every feasible type serving only it), resolved
+     * against the profiled efficiency table at run time. > 0 overrides
+     * spec.load.peak_qps — this is how a scenario file stays portable
+     * across profiling configurations.
+     */
+    double peak_qps_frac = 0.0;
+    /** The underlying service spec (model, curve, SLA, QoS, sizes). */
+    cluster::ServiceSpec spec;
+};
+
+/** The cluster provisioning policies a scenario can pick. */
+enum class ProvisionerKind {
+    Hercules,
+    Greedy,
+    PriorityAware,
+    Nh,
+};
+
+/** @return display name ("hercules", "greedy", "priority-aware", "nh"). */
+const char* provisionerKindName(ProvisionerKind k);
+
+/** Parse a name as printed by provisionerKindName(). */
+std::optional<ProvisionerKind> parseProvisionerKind(
+    const std::string& name);
+
+/**
+ * How the efficiency table the run is built from is obtained. Defaults
+ * mirror the library measurement defaults (sim::SimOptions /
+ * sim::MeasureOptions); scenario files meant for CI smoke set smaller
+ * values.
+ */
+struct ProfileSpec
+{
+    /**
+     * Efficiency-table CSV cache: loaded when it exists and parses,
+     * written after a fresh profile. Empty = always profile.
+     */
+    std::string table_cache;
+    /**
+     * EvalEngine memo spill (core::EvalEngine::saveCache format):
+     * loaded before profiling, saved after, so repeated runs (and CI
+     * jobs restoring the file from an actions cache) warm-start the
+     * measurement layer instead of re-simulating. Empty = off.
+     */
+    std::string eval_memo;
+    int num_queries = 600;     ///< queries per measurement probe
+    int warmup_queries = 120;  ///< excluded from probe statistics
+    int bisect_iters = 6;      ///< QPS bisection refinement steps
+    uint64_t seed = 42;        ///< measurement RNG seed
+};
+
+/** The whole experiment, declaratively. */
+struct ScenarioSpec
+{
+    std::string name = "scenario";
+    std::string description;
+    /** The heterogeneous shard fleet; must be non-empty to run. */
+    std::vector<FleetEntry> fleet;
+    /** Co-served services; must be non-empty to run. */
+    std::vector<ServiceScenario> services;
+    ProvisionerKind provisioner = ProvisionerKind::Hercules;
+    /** Seed of the heterogeneity-oblivious NH provisioner. */
+    uint64_t nh_seed = 17;
+    ProfileSpec profile;
+    /**
+     * Everything cluster::serveTraces consumes: horizon/interval,
+     * fallback SLA, over-provision rate, router + feedback, admission,
+     * scalar power cap and the time-varying cap schedule, and the
+     * arrival-trace options (compression, bucket, seed).
+     */
+    cluster::TraceServeOptions serve;
+};
+
+/** Outcome of one scenario run. */
+struct ScenarioResult
+{
+    /**
+     * The spec as executed: peak_qps resolved from peak_qps_frac,
+     * service names filled in. Serializing this spec reproduces the
+     * run without the table (peak_qps_frac is cleared once resolved).
+     */
+    ScenarioSpec resolved;
+    /** The efficiency table the run was built from. */
+    core::EfficiencyTable table;
+    /** The serving outcome (aggregates, per-service, per-interval). */
+    cluster::MultiServeResult serve;
+    double profile_wall_ms = 0.0;  ///< table profile/load wall time
+    double serve_wall_ms = 0.0;    ///< serveTraces wall time
+};
+
+/**
+ * Profile (or load) the efficiency table a spec's run needs: the
+ * (fleet type x service model) grid under the spec's measurement
+ * knobs, with the CSV cache and EvalEngine memo spill of
+ * ScenarioSpec::profile applied.
+ */
+core::EfficiencyTable profileTable(const ScenarioSpec& spec);
+
+/**
+ * Resolve every service's peak_qps_frac against a profiled table, in
+ * place: load.peak_qps = frac * full-fleet capacity, frac cleared.
+ * run() does this internally; callers that derive further knobs from
+ * the resolved loads (e.g. a power-cap sweep) use it up front.
+ */
+void resolvePeaks(ScenarioSpec& spec,
+                  const core::EfficiencyTable& table);
+
+/**
+ * Semantic validation of a parsed spec — the same checks run()
+ * enforces fatally (non-empty fleet/services, positive slots and
+ * horizon/interval, sorted power-cap schedule), non-fatally so lint
+ * paths (--parse-only, CI scenario-smoke) can reject a spec that
+ * parses but cannot run.
+ * @return true when the spec is runnable; else fills *error.
+ */
+bool validateSpec(const ScenarioSpec& spec,
+                  std::string* error = nullptr);
+
+/**
+ * Run one scenario end to end — THE entry point every serving
+ * experiment goes through.
+ *
+ * With `table` null the efficiency table comes from profileTable();
+ * passing one (e.g. shared across a sweep of spec deltas) skips
+ * profiling. Fatals on an invalid spec (empty fleet/services,
+ * non-positive horizon, unsorted cap schedule).
+ */
+ScenarioResult run(const ScenarioSpec& spec,
+                   const core::EfficiencyTable* table = nullptr);
+
+/**
+ * Write a BENCH_scenario.json-style result file: provenance header
+ * (caller-supplied git SHA + ISO timestamp), the resolved spec's
+ * headline knobs, run aggregates, per-service stats and the
+ * per-interval trajectory arrays.
+ * @return true when the file was written.
+ */
+bool writeResultJson(const std::string& path, const ScenarioResult& r,
+                     const char* git_sha = "unknown",
+                     const std::string& generated_at = "");
+
+}  // namespace hercules::scenario

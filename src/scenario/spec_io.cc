@@ -1,0 +1,1030 @@
+#include "scenario/spec_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "model/model_zoo.h"
+
+namespace hercules::scenario {
+
+namespace {
+
+// ---- value tree ----------------------------------------------------------
+
+struct Field;
+
+/** One parsed JSON-subset value, carrying its 1-based source line. */
+struct Value
+{
+    enum class Kind { Object, Array, String, Number, Bool };
+    Kind kind = Kind::Object;
+    int line = 0;
+    double num = 0.0;
+    bool boolean = false;
+    std::string str;
+    std::vector<Field> fields;  ///< Kind::Object, in source order
+    std::vector<Value> items;   ///< Kind::Array
+};
+
+struct Field
+{
+    std::string key;
+    int line = 0;  ///< line of the key token
+    Value value;
+};
+
+const char*
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Object: return "an object";
+      case Value::Kind::Array: return "an array";
+      case Value::Kind::String: return "a string";
+      case Value::Kind::Number: return "a number";
+      case Value::Kind::Bool: return "a boolean";
+    }
+    return "a value";
+}
+
+std::string
+fmt(const char* f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof buf, f, ap);
+    va_end(ap);
+    return buf;
+}
+
+// ---- parser --------------------------------------------------------------
+
+/** Recursive-descent parser over the strict JSON subset. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : t_(text) {}
+
+    bool
+    parse(Value& out)
+    {
+        skipWs();
+        if (pos_ >= t_.size())
+            return fail("empty input");
+        if (t_[pos_] != '{')
+            return fail("top-level value must be an object");
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != t_.size())
+            return fail("trailing content after the top-level object");
+        return true;
+    }
+
+    std::string error;
+
+  private:
+    bool
+    fail(const char* f, ...)
+    {
+        char buf[200];
+        va_list ap;
+        va_start(ap, f);
+        std::vsnprintf(buf, sizeof buf, f, ap);
+        va_end(ap);
+        error = fmt("line %d: %s", line_, buf);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < t_.size()) {
+            char c = t_[pos_];
+            if (c == '\n')
+                ++line_;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    parseValue(Value& out)
+    {
+        skipWs();
+        if (pos_ >= t_.size())
+            return fail("unexpected end of input");
+        out.line = line_;
+        char c = t_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+        }
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        return fail("unexpected character '%c'", c);
+    }
+
+    bool
+    parseObject(Value& out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < t_.size() && t_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= t_.size() || t_[pos_] != '"')
+                return fail("expected a key string");
+            Field f;
+            f.line = line_;
+            if (!parseString(f.key))
+                return false;
+            for (const Field& prev : out.fields)
+                if (prev.key == f.key) {
+                    line_ = f.line;
+                    return fail("duplicate key '%s'", f.key.c_str());
+                }
+            skipWs();
+            if (pos_ >= t_.size() || t_[pos_] != ':')
+                return fail("expected ':' after key '%s'",
+                            f.key.c_str());
+            ++pos_;
+            if (!parseValue(f.value))
+                return false;
+            out.fields.push_back(std::move(f));
+            skipWs();
+            if (pos_ >= t_.size())
+                return fail("unterminated object");
+            if (t_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (t_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Value& out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < t_.size() && t_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos_ >= t_.size())
+                return fail("unterminated array");
+            if (t_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (t_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        ++pos_;  // opening '"'
+        out.clear();
+        while (pos_ < t_.size()) {
+            char c = t_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\n')
+                return fail("unterminated string");
+            if (c == '\\') {
+                if (pos_ + 1 >= t_.size())
+                    return fail("unterminated string");
+                char e = t_[++pos_];
+                switch (e) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'r': out.push_back('\r'); break;
+                  default:
+                      return fail("unsupported escape '\\%c'", e);
+                }
+                ++pos_;
+                continue;
+            }
+            out.push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value& out)
+    {
+        out.kind = Value::Kind::Number;
+        size_t start = pos_;
+        if (t_[pos_] == '-')
+            ++pos_;
+        auto digits = [&]() {
+            size_t n = 0;
+            while (pos_ < t_.size() && t_[pos_] >= '0' &&
+                   t_[pos_] <= '9') {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0)
+            return fail("malformed number");
+        if (pos_ < t_.size() && t_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                return fail("malformed number");
+        }
+        if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < t_.size() &&
+                (t_[pos_] == '+' || t_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                return fail("malformed number");
+        }
+        std::string tok = t_.substr(start, pos_ - start);
+        errno = 0;
+        out.num = std::strtod(tok.c_str(), nullptr);
+        if (errno == ERANGE || !std::isfinite(out.num))
+            return fail("number out of range");
+        return true;
+    }
+
+    bool
+    parseBool(Value& out)
+    {
+        out.kind = Value::Kind::Bool;
+        if (t_.compare(pos_, 4, "true") == 0) {
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (t_.compare(pos_, 5, "false") == 0) {
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        return fail("unexpected token");
+    }
+
+    const std::string& t_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+// ---- binder --------------------------------------------------------------
+
+/**
+ * Reads one object's keys onto spec fields, tracking which keys were
+ * consumed so finish() can reject unknown ones with their line.
+ * Absent keys leave the (default-initialized) target untouched.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const Value& v, std::string ctx, std::string* err)
+        : v_(v), ctx_(std::move(ctx)), err_(err),
+          used_(v.fields.size(), false)
+    {
+    }
+
+    const Value*
+    find(const char* key)
+    {
+        for (size_t i = 0; i < v_.fields.size(); ++i)
+            if (v_.fields[i].key == key) {
+                used_[i] = true;
+                return &v_.fields[i].value;
+            }
+        return nullptr;
+    }
+
+    bool
+    typeError(const Value& v, const char* key, const char* want)
+    {
+        *err_ = fmt("line %d: key '%s' in %s expects %s (got %s)",
+                    v.line, key, ctx_.c_str(), want, kindName(v.kind));
+        return false;
+    }
+
+    bool
+    number(const char* key, double* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::Number)
+            return typeError(*v, key, "a number");
+        *out = v->num;
+        return true;
+    }
+
+    bool
+    integer(const char* key, long long lo, long long hi,
+            long long* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::Number ||
+            v->num != std::floor(v->num))
+            return typeError(*v, key, "an integer");
+        if (v->num < static_cast<double>(lo) ||
+            v->num > static_cast<double>(hi)) {
+            *err_ = fmt("line %d: key '%s' in %s is out of range",
+                        v->line, key, ctx_.c_str());
+            return false;
+        }
+        *out = static_cast<long long>(v->num);
+        return true;
+    }
+
+    bool
+    intField(const char* key, int* out)
+    {
+        long long v = *out;
+        if (!integer(key, -2147483648LL, 2147483647LL, &v))
+            return false;
+        *out = static_cast<int>(v);
+        return true;
+    }
+
+    bool
+    u64Field(const char* key, uint64_t* out)
+    {
+        // Seeds ride through the number grammar: exact up to 2^53.
+        long long v = static_cast<long long>(*out);
+        if (!integer(key, 0, 9007199254740992LL, &v))
+            return false;
+        *out = static_cast<uint64_t>(v);
+        return true;
+    }
+
+    bool
+    sizeField(const char* key, size_t* out)
+    {
+        long long v = static_cast<long long>(*out);
+        if (!integer(key, 0, 9007199254740992LL, &v))
+            return false;
+        *out = static_cast<size_t>(v);
+        return true;
+    }
+
+    bool
+    str(const char* key, std::string* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::String)
+            return typeError(*v, key, "a string");
+        *out = v->str;
+        return true;
+    }
+
+    bool
+    boolean(const char* key, bool* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::Bool)
+            return typeError(*v, key, "a boolean");
+        *out = v->boolean;
+        return true;
+    }
+
+    /**
+     * Look up a string key and map it through `parse` (an enum-name
+     * parser); absent keys keep the default.
+     */
+    template <typename T, typename ParseFn>
+    bool
+    named(const char* key, const char* what, ParseFn parse, T* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::String)
+            return typeError(*v, key, "a string");
+        auto parsed = parse(v->str);
+        if (!parsed.has_value()) {
+            *err_ = fmt("line %d: unknown %s '%s' in %s", v->line,
+                        what, v->str.c_str(), ctx_.c_str());
+            return false;
+        }
+        *out = *parsed;
+        return true;
+    }
+
+    /** Typed sub-value lookup; null when absent, error on wrong kind. */
+    const Value*
+    sub(const char* key, Value::Kind kind, bool* ok)
+    {
+        *ok = true;
+        const Value* v = find(key);
+        if (v == nullptr)
+            return nullptr;
+        if (v->kind != kind) {
+            *ok = typeError(*v, key,
+                            kind == Value::Kind::Object ? "an object"
+                                                        : "an array");
+            return nullptr;
+        }
+        return v;
+    }
+
+    bool
+    finish()
+    {
+        for (size_t i = 0; i < v_.fields.size(); ++i)
+            if (!used_[i]) {
+                *err_ = fmt("line %d: unknown key '%s' in %s",
+                            v_.fields[i].line,
+                            v_.fields[i].key.c_str(), ctx_.c_str());
+                return false;
+            }
+        return true;
+    }
+
+    const std::string& ctx() const { return ctx_; }
+
+  private:
+    const Value& v_;
+    std::string ctx_;
+    std::string* err_;
+    std::vector<bool> used_;
+};
+
+std::optional<hw::ServerType>
+parseServerTypeName(const std::string& s)
+{
+    for (hw::ServerType t : hw::allServerTypes())
+        if (s == hw::serverTypeName(t))
+            return t;
+    return std::nullopt;
+}
+
+std::optional<model::ModelId>
+parseModelName(const std::string& s)
+{
+    for (model::ModelId m : model::allModels())
+        if (s == model::modelName(m))
+            return m;
+    return std::nullopt;
+}
+
+// ---- per-section binders -------------------------------------------------
+
+bool
+bindFleetEntry(const Value& v, const std::string& ctx, FleetEntry* out,
+               std::string* err)
+{
+    if (v.kind != Value::Kind::Object) {
+        *err = fmt("line %d: %s expects an object", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    ObjectReader r(v, ctx, err);
+    if (r.find("type") == nullptr) {
+        *err = fmt("line %d: missing key 'type' in %s", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    // find() only marks the key consumed, so re-reading it below is
+    // harmless.
+    if (!r.named("type", "server type", parseServerTypeName,
+                 &out->type))
+        return false;
+    if (!r.intField("slots", &out->shard_slots))
+        return false;
+    return r.finish();
+}
+
+bool
+bindCapPoint(const Value& v, const std::string& ctx,
+             cluster::PowerCapPoint* out, std::string* err)
+{
+    if (v.kind != Value::Kind::Object) {
+        *err = fmt("line %d: %s expects an object", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    ObjectReader r(v, ctx, err);
+    if (!r.number("from_hour", &out->from_hour))
+        return false;
+    if (!r.number("cap_w", &out->cap_w))
+        return false;
+    return r.finish();
+}
+
+bool
+bindService(const Value& v, const std::string& ctx,
+            ServiceScenario* out, std::string* err)
+{
+    if (v.kind != Value::Kind::Object) {
+        *err = fmt("line %d: %s expects an object", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    ObjectReader r(v, ctx, err);
+    if (r.find("model") == nullptr) {
+        *err = fmt("line %d: missing key 'model' in %s", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    cluster::ServiceSpec& s = out->spec;
+    bool ok = r.str("name", &out->name) &&
+              r.named("model", "model", parseModelName, &s.model) &&
+              r.number("peak_qps_frac", &out->peak_qps_frac) &&
+              r.number("peak_qps", &s.load.peak_qps) &&
+              r.number("trough_frac", &s.load.trough_frac) &&
+              r.number("peak_hour", &s.load.peak_hour) &&
+              r.number("noise_frac", &s.load.noise_frac) &&
+              r.u64Field("load_seed", &s.load.seed) &&
+              r.number("surge_hour", &s.load.surge_hour) &&
+              r.number("surge_hours", &s.load.surge_hours) &&
+              r.number("surge_factor", &s.load.surge_factor) &&
+              r.number("sla_ms", &s.sla_ms) &&
+              r.intField("priority", &s.qos.priority) &&
+              r.named("tier", "tier", qos::parseTier, &s.qos.tier) &&
+              r.number("qos_sla_ms", &s.qos.sla_ms) &&
+              r.number("size_median", &s.sizes.median) &&
+              r.number("size_sigma", &s.sizes.sigma) &&
+              r.intField("size_min", &s.sizes.min_size) &&
+              r.intField("size_max", &s.sizes.max_size) &&
+              r.number("pooling_sigma", &s.pooling.sigma);
+    return ok && r.finish();
+}
+
+bool
+bindSpec(const Value& root, ScenarioSpec* out, std::string* err)
+{
+    ObjectReader r(root, "scenario", err);
+    bool ok;
+
+    if (!r.str("name", &out->name) ||
+        !r.str("description", &out->description))
+        return false;
+
+    if (const Value* fleet = r.sub("fleet", Value::Kind::Array, &ok)) {
+        for (size_t i = 0; i < fleet->items.size(); ++i) {
+            FleetEntry e;
+            if (!bindFleetEntry(fleet->items[i],
+                                fmt("fleet[%zu]", i), &e, err))
+                return false;
+            out->fleet.push_back(e);
+        }
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* svcs =
+            r.sub("services", Value::Kind::Array, &ok)) {
+        for (size_t i = 0; i < svcs->items.size(); ++i) {
+            ServiceScenario s;
+            if (!bindService(svcs->items[i], fmt("services[%zu]", i),
+                             &s, err))
+                return false;
+            out->services.push_back(std::move(s));
+        }
+    } else if (!ok) {
+        return false;
+    }
+
+    if (!r.named("provisioner", "provisioner", parseProvisionerKind,
+                 &out->provisioner) ||
+        !r.u64Field("nh_seed", &out->nh_seed) ||
+        !r.named("router", "router policy", sim::parseRouterPolicy,
+                 &out->serve.router) ||
+        !r.u64Field("router_seed", &out->serve.router_seed) ||
+        !r.number("horizon_hours", &out->serve.horizon_hours) ||
+        !r.number("interval_hours", &out->serve.interval_hours) ||
+        !r.number("sla_ms", &out->serve.sla_ms) ||
+        !r.number("overprovision_rate",
+                  &out->serve.overprovision_rate) ||
+        !r.number("power_cap_w", &out->serve.power_cap_w))
+        return false;
+
+    if (const Value* fb = r.sub("feedback", Value::Kind::Object, &ok)) {
+        ObjectReader fr(*fb, "feedback", err);
+        if (!fr.number("gain", &out->serve.feedback.gain) ||
+            !fr.number("floor_frac", &out->serve.feedback.floor_frac) ||
+            !fr.finish())
+            return false;
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* ad =
+            r.sub("admission", Value::Kind::Object, &ok)) {
+        ObjectReader ar(*ad, "admission", err);
+        qos::AdmissionConfig& a = out->serve.admission;
+        if (!ar.named("policy", "admission policy",
+                      qos::parseAdmissionPolicy, &a.policy) ||
+            !ar.sizeField("queue_cap", &a.queue_cap) ||
+            !ar.number("deadline_slack", &a.deadline_slack) ||
+            !ar.boolean("cross_shard_retry", &a.cross_shard_retry) ||
+            !ar.finish())
+            return false;
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* sched =
+            r.sub("power_cap_schedule", Value::Kind::Array, &ok)) {
+        for (size_t i = 0; i < sched->items.size(); ++i) {
+            cluster::PowerCapPoint p;
+            if (!bindCapPoint(sched->items[i],
+                              fmt("power_cap_schedule[%zu]", i), &p,
+                              err))
+                return false;
+            out->serve.power_cap_schedule.push_back(p);
+        }
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* tr = r.sub("trace", Value::Kind::Object, &ok)) {
+        ObjectReader tro(*tr, "trace", err);
+        workload::TraceOptions& t = out->serve.trace;
+        if (!tro.number("bucket_seconds", &t.bucket_seconds) ||
+            !tro.number("time_compression", &t.time_compression) ||
+            !tro.u64Field("seed", &t.seed) || !tro.finish())
+            return false;
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* pf = r.sub("profile", Value::Kind::Object, &ok)) {
+        ObjectReader pr(*pf, "profile", err);
+        ProfileSpec& p = out->profile;
+        if (!pr.str("table_cache", &p.table_cache) ||
+            !pr.str("eval_memo", &p.eval_memo) ||
+            !pr.intField("num_queries", &p.num_queries) ||
+            !pr.intField("warmup_queries", &p.warmup_queries) ||
+            !pr.intField("bisect_iters", &p.bisect_iters) ||
+            !pr.u64Field("seed", &p.seed) || !pr.finish())
+            return false;
+    } else if (!ok) {
+        return false;
+    }
+
+    return r.finish();
+}
+
+// ---- serializer ----------------------------------------------------------
+
+/** Shortest decimal that round-trips through strtod. */
+std::string
+fmtNumber(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    for (int prec = 1; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return "0";
+}
+
+std::string
+quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** "key": value fragments of one object, joined by the emitters. */
+class Fragments
+{
+  public:
+    void
+    add(const char* key, std::string value)
+    {
+        parts_.push_back(fmt("\"%s\": ", key) + std::move(value));
+    }
+
+    void
+    num(const char* key, double v, double def)
+    {
+        if (v != def)
+            add(key, fmtNumber(v));
+    }
+
+    void
+    str(const char* key, const std::string& v, const std::string& def)
+    {
+        if (v != def)
+            add(key, quote(v));
+    }
+
+    void
+    b(const char* key, bool v, bool def)
+    {
+        if (v != def)
+            add(key, v ? "true" : "false");
+    }
+
+    bool empty() const { return parts_.empty(); }
+
+    /** {"a": 1, "b": 2} */
+    std::string
+    inlineObj() const
+    {
+        std::string out = "{";
+        for (size_t i = 0; i < parts_.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += parts_[i];
+        }
+        return out + "}";
+    }
+
+    /** Multi-line object at `indent` spaces (keys one level deeper). */
+    std::string
+    multiline(int indent) const
+    {
+        std::string pad(static_cast<size_t>(indent), ' ');
+        std::string out = "{\n";
+        for (size_t i = 0; i < parts_.size(); ++i) {
+            out += pad + "  " + parts_[i];
+            out += i + 1 < parts_.size() ? ",\n" : "\n";
+        }
+        return out + pad + "}";
+    }
+
+  private:
+    std::vector<std::string> parts_;
+};
+
+std::string
+serviceText(const ServiceScenario& s)
+{
+    static const ServiceScenario kDef{};
+    const cluster::ServiceSpec& d = kDef.spec;
+    Fragments f;
+    f.str("name", s.name, kDef.name);
+    f.add("model", quote(model::modelName(s.spec.model)));
+    f.num("peak_qps_frac", s.peak_qps_frac, kDef.peak_qps_frac);
+    f.num("peak_qps", s.spec.load.peak_qps, d.load.peak_qps);
+    f.num("trough_frac", s.spec.load.trough_frac, d.load.trough_frac);
+    f.num("peak_hour", s.spec.load.peak_hour, d.load.peak_hour);
+    f.num("noise_frac", s.spec.load.noise_frac, d.load.noise_frac);
+    f.num("load_seed", static_cast<double>(s.spec.load.seed),
+          static_cast<double>(d.load.seed));
+    f.num("surge_hour", s.spec.load.surge_hour, d.load.surge_hour);
+    f.num("surge_hours", s.spec.load.surge_hours, d.load.surge_hours);
+    f.num("surge_factor", s.spec.load.surge_factor,
+          d.load.surge_factor);
+    f.num("sla_ms", s.spec.sla_ms, d.sla_ms);
+    f.num("priority", s.spec.qos.priority, d.qos.priority);
+    if (s.spec.qos.tier != d.qos.tier)
+        f.add("tier", quote(qos::tierName(s.spec.qos.tier)));
+    f.num("qos_sla_ms", s.spec.qos.sla_ms, d.qos.sla_ms);
+    f.num("size_median", s.spec.sizes.median, d.sizes.median);
+    f.num("size_sigma", s.spec.sizes.sigma, d.sizes.sigma);
+    f.num("size_min", s.spec.sizes.min_size, d.sizes.min_size);
+    f.num("size_max", s.spec.sizes.max_size, d.sizes.max_size);
+    f.num("pooling_sigma", s.spec.pooling.sigma, d.pooling.sigma);
+    return f.multiline(4);
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec>
+parseSpec(const std::string& text, std::string* error)
+{
+    Value root;
+    Parser p(text);
+    if (!p.parse(root)) {
+        if (error != nullptr)
+            *error = p.error;
+        return std::nullopt;
+    }
+    ScenarioSpec spec;
+    std::string err;
+    if (!bindSpec(root, &spec, &err)) {
+        if (error != nullptr)
+            *error = err;
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::optional<ScenarioSpec>
+loadSpecFile(const std::string& path, std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = path + ": cannot open";
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto spec = parseSpec(ss.str(), &err);
+    if (!spec.has_value() && error != nullptr)
+        *error = path + ": " + err;
+    return spec;
+}
+
+std::string
+toText(const ScenarioSpec& spec)
+{
+    static const ScenarioSpec kDef{};
+    const cluster::TraceServeOptions& dv = kDef.serve;
+    std::vector<std::string> lines;
+    auto put = [&](const char* key, const std::string& value) {
+        lines.push_back(fmt("  \"%s\": ", key) + value);
+    };
+
+    put("name", quote(spec.name));
+    if (!spec.description.empty())
+        put("description", quote(spec.description));
+
+    if (!spec.fleet.empty()) {
+        std::string out = "[\n";
+        for (size_t i = 0; i < spec.fleet.size(); ++i) {
+            Fragments f;
+            f.add("type",
+                  quote(hw::serverTypeName(spec.fleet[i].type)));
+            f.num("slots", spec.fleet[i].shard_slots,
+                  FleetEntry{}.shard_slots);
+            out += "    " + f.inlineObj();
+            out += i + 1 < spec.fleet.size() ? ",\n" : "\n";
+        }
+        put("fleet", out + "  ]");
+    }
+
+    if (!spec.services.empty()) {
+        std::string out = "[\n";
+        for (size_t i = 0; i < spec.services.size(); ++i) {
+            out += "    " + serviceText(spec.services[i]);
+            out += i + 1 < spec.services.size() ? ",\n" : "\n";
+        }
+        put("services", out + "  ]");
+    }
+
+    if (spec.provisioner != kDef.provisioner)
+        put("provisioner",
+            quote(provisionerKindName(spec.provisioner)));
+    if (spec.nh_seed != kDef.nh_seed)
+        put("nh_seed", fmtNumber(static_cast<double>(spec.nh_seed)));
+    if (spec.serve.router != dv.router)
+        put("router", quote(sim::routerPolicyName(spec.serve.router)));
+    if (spec.serve.router_seed != dv.router_seed)
+        put("router_seed",
+            fmtNumber(static_cast<double>(spec.serve.router_seed)));
+
+    {
+        Fragments f;
+        f.num("gain", spec.serve.feedback.gain, dv.feedback.gain);
+        f.num("floor_frac", spec.serve.feedback.floor_frac,
+              dv.feedback.floor_frac);
+        if (!f.empty())
+            put("feedback", f.inlineObj());
+    }
+    {
+        const qos::AdmissionConfig& a = spec.serve.admission;
+        const qos::AdmissionConfig& d = dv.admission;
+        Fragments f;
+        if (a.policy != d.policy)
+            f.add("policy", quote(qos::admissionPolicyName(a.policy)));
+        f.num("queue_cap", static_cast<double>(a.queue_cap),
+              static_cast<double>(d.queue_cap));
+        f.num("deadline_slack", a.deadline_slack, d.deadline_slack);
+        f.b("cross_shard_retry", a.cross_shard_retry,
+            d.cross_shard_retry);
+        if (!f.empty())
+            put("admission", f.inlineObj());
+    }
+
+    if (spec.serve.horizon_hours != dv.horizon_hours)
+        put("horizon_hours", fmtNumber(spec.serve.horizon_hours));
+    if (spec.serve.interval_hours != dv.interval_hours)
+        put("interval_hours", fmtNumber(spec.serve.interval_hours));
+    if (spec.serve.sla_ms != dv.sla_ms)
+        put("sla_ms", fmtNumber(spec.serve.sla_ms));
+    if (spec.serve.overprovision_rate != dv.overprovision_rate)
+        put("overprovision_rate",
+            fmtNumber(spec.serve.overprovision_rate));
+    if (std::isfinite(spec.serve.power_cap_w))
+        put("power_cap_w", fmtNumber(spec.serve.power_cap_w));
+
+    if (!spec.serve.power_cap_schedule.empty()) {
+        std::string out = "[\n";
+        const auto& sched = spec.serve.power_cap_schedule;
+        for (size_t i = 0; i < sched.size(); ++i) {
+            Fragments f;
+            f.add("from_hour", fmtNumber(sched[i].from_hour));
+            f.add("cap_w", fmtNumber(sched[i].cap_w));
+            out += "    " + f.inlineObj();
+            out += i + 1 < sched.size() ? ",\n" : "\n";
+        }
+        put("power_cap_schedule", out + "  ]");
+    }
+
+    {
+        const workload::TraceOptions& t = spec.serve.trace;
+        const workload::TraceOptions& d = dv.trace;
+        Fragments f;
+        f.num("bucket_seconds", t.bucket_seconds, d.bucket_seconds);
+        f.num("time_compression", t.time_compression,
+              d.time_compression);
+        f.num("seed", static_cast<double>(t.seed),
+              static_cast<double>(d.seed));
+        if (!f.empty())
+            put("trace", f.inlineObj());
+    }
+    {
+        const ProfileSpec& p = spec.profile;
+        const ProfileSpec& d = kDef.profile;
+        Fragments f;
+        f.str("table_cache", p.table_cache, d.table_cache);
+        f.str("eval_memo", p.eval_memo, d.eval_memo);
+        f.num("num_queries", p.num_queries, d.num_queries);
+        f.num("warmup_queries", p.warmup_queries, d.warmup_queries);
+        f.num("bisect_iters", p.bisect_iters, d.bisect_iters);
+        f.num("seed", static_cast<double>(p.seed),
+              static_cast<double>(d.seed));
+        if (!f.empty())
+            put("profile", f.inlineObj());
+    }
+
+    std::string out = "{\n";
+    for (size_t i = 0; i < lines.size(); ++i) {
+        out += lines[i];
+        out += i + 1 < lines.size() ? ",\n" : "\n";
+    }
+    return out + "}\n";
+}
+
+bool
+saveSpecFile(const std::string& path, const ScenarioSpec& spec)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toText(spec);
+    return static_cast<bool>(out);
+}
+
+}  // namespace hercules::scenario

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text serialization of ScenarioSpec: a strict JSON subset (objects,
+ * arrays, strings, numbers, booleans — no null, no comments) with
+ *
+ *  - exact round-trip: toText(parse(toText(s))) == toText(s) for every
+ *    spec, with doubles printed at the shortest precision that
+ *    round-trips through strtod;
+ *  - canonical output: fields appear in schema order and fields equal
+ *    to their default are omitted (which is also how the format
+ *    serializes infinities — an uncapped power_cap_w never appears);
+ *  - line/key-precise errors: duplicate keys are rejected at parse
+ *    time, unknown keys at bind time, both reporting the offending
+ *    key and its 1-based line ("scenario.scn: line 12: unknown key
+ *    'peek_qps' in services[0]").
+ *
+ * The grammar is documented in src/scenario/README.md.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace hercules::scenario {
+
+/**
+ * Parse a scenario spec from text.
+ *
+ * @param text  the spec source.
+ * @param error out (may be null): on failure, a message carrying the
+ *              1-based line and the offending key where applicable.
+ * @return the spec, or nullopt on any syntax/schema error.
+ */
+std::optional<ScenarioSpec> parseSpec(const std::string& text,
+                                      std::string* error = nullptr);
+
+/**
+ * Load + parse a scenario file. Errors are prefixed with the path
+ * ("scenarios/foo.scn: line 12: ...").
+ */
+std::optional<ScenarioSpec> loadSpecFile(const std::string& path,
+                                         std::string* error = nullptr);
+
+/** Serialize to canonical text (ends with a newline). */
+std::string toText(const ScenarioSpec& spec);
+
+/**
+ * Write toText(spec) to `path`.
+ * @return true when the file was written.
+ */
+bool saveSpecFile(const std::string& path, const ScenarioSpec& spec);
+
+}  // namespace hercules::scenario

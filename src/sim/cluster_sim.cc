@@ -136,6 +136,38 @@ Router::pick(const ClusterSim& cluster, const std::vector<int>& active)
     panic("Router::pick: bad policy %d", static_cast<int>(policy_));
 }
 
+// ---- JSON reporting ------------------------------------------------------
+
+void
+writeIntervalArraysJson(std::FILE* f,
+                        const std::vector<IntervalStats>& ivs,
+                        const char* indent)
+{
+    auto arr = [&](const char* key, auto get, int prec, bool last) {
+        std::fprintf(f, "%s\"%s\": [", indent, key);
+        for (size_t k = 0; k < ivs.size(); ++k)
+            std::fprintf(f, "%s%.*f", k ? ", " : "", prec,
+                         get(ivs[k]));
+        std::fprintf(f, "]%s\n", last ? "" : ",");
+    };
+    arr("interval_p99_ms",
+        [](const IntervalStats& iv) { return iv.p99_ms; }, 3, false);
+    arr("interval_sla_violation_rate",
+        [](const IntervalStats& iv) { return iv.sla_violation_rate; },
+        5, false);
+    arr("interval_dropped",
+        [](const IntervalStats& iv) {
+            return static_cast<double>(iv.dropped);
+        },
+        0, false);
+    arr("interval_provisioned_power_w",
+        [](const IntervalStats& iv) { return iv.provisioned_power_w; },
+        1, false);
+    arr("interval_consumed_power_w",
+        [](const IntervalStats& iv) { return iv.consumed_power_w; },
+        1, true);
+}
+
 // ---- cluster -------------------------------------------------------------
 
 ClusterSim::ClusterSim(Options opt)
@@ -314,16 +346,45 @@ ClusterSim::route(const workload::Query& q)
         ++service_state_[static_cast<size_t>(svc)].dropped;
         return -1;
     }
-    Shard& sh = shards_[static_cast<size_t>(s)];
     // Admission control on the picked shard: a refused query is
     // *rejected* (distinct from dropped) and, like a drop, counts as
     // an SLA violation in every rate. Policy `none` admits everything.
-    if (!sh.admit.admit({sh.inst->outstanding(), sh.weight},
-                        slaMs(svc))) {
-        ++rejected_;
-        ++service_state_[static_cast<size_t>(svc)].rejected;
-        return -2;
+    const double sla = slaMs(svc);
+    auto admits = [&](int id) {
+        Shard& sh = shards_[static_cast<size_t>(id)];
+        return sh.admit.admit({sh.inst->outstanding(), sh.weight}, sla);
+    };
+    if (!admits(s)) {
+        // Cross-shard retry: before giving up, re-offer the query to
+        // the service's other active shards in ascending order of
+        // estimated completion time (ties by shard id) — the reject
+        // may be local congestion, not service-wide overload.
+        int retry = -1;
+        if (opt_.admission.cross_shard_retry) {
+            double best_est = 0.0;
+            for (int id :
+                 active_by_service_[static_cast<size_t>(svc)]) {
+                if (id == s || !admits(id))
+                    continue;
+                const Shard& sh = shards_[static_cast<size_t>(id)];
+                double est = qos::AdmissionController::
+                    estimatedCompletionMs(sh.inst->outstanding(),
+                                          sh.weight);
+                if (retry < 0 || est < best_est) {
+                    retry = id;
+                    best_est = est;
+                }
+            }
+        }
+        if (retry < 0) {
+            ++rejected_;
+            ++service_state_[static_cast<size_t>(svc)].rejected;
+            return -2;
+        }
+        s = retry;
+        ++admission_retries_;
     }
+    Shard& sh = shards_[static_cast<size_t>(s)];
     sh.inst->inject(q);
     ++injected_;
     ++service_state_[static_cast<size_t>(svc)].injected;
@@ -514,6 +575,7 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.injected = injected_;
     r.dropped = dropped_;
     r.rejected = rejected_;
+    r.admission_retries = admission_retries_;
     r.completed = all_latency_ms_.count();
     r.mean_ms = all_latency_ms_.mean();
     r.p50_ms = all_latency_ms_.p50();

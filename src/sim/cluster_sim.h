@@ -47,6 +47,7 @@
  */
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -188,6 +189,8 @@ struct ClusterSimResult
     size_t completed = 0;
     size_t dropped = 0;
     size_t rejected = 0;  ///< refused by admission control
+    /** Queries saved from rejection by cross-shard admission retry. */
+    size_t admission_retries = 0;
     double mean_ms = 0.0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
@@ -203,6 +206,17 @@ struct ClusterSimResult
     /** Per-service aggregates (index = service id). */
     std::vector<ServiceRunStats> services;
 };
+
+/**
+ * Emit the per-interval trajectory arrays every serving report's JSON
+ * carries (p99, SLA-violation rate, dropped arrivals, provisioned and
+ * consumed power), each line prefixed with `indent`, comma-terminated
+ * except the last. One emitter keeps the BENCH_*.json schemas (bench
+ * harnesses, scenario::writeResultJson) in lockstep.
+ */
+void writeIntervalArraysJson(std::FILE* f,
+                             const std::vector<IntervalStats>& ivs,
+                             const char* indent);
 
 /** What one provisioning interval activates. */
 struct IntervalPlan
@@ -326,11 +340,14 @@ class ClusterSim
     /**
      * Route one arrival (shards are first advanced to its timestamp)
      * via its service's router to that service's active shards, then
-     * through the picked shard's admission controller.
-     * @return the shard id; -1 when the service has no active shard
-     * (dropped); -2 when the picked shard's admission controller
-     * refused the query (rejected). Panics when no shard was ever
-     * added for the service.
+     * through the picked shard's admission controller. When the picked
+     * shard refuses and admission.cross_shard_retry is set, the query
+     * is re-offered to the service's other active shards (ascending
+     * estimated completion) before it counts as rejected.
+     * @return the shard id the query was injected into; -1 when the
+     * service has no active shard (dropped); -2 when admission control
+     * refused the query on every eligible shard (rejected). Panics
+     * when no shard was ever added for the service.
      */
     int route(const workload::Query& q);
 
@@ -363,6 +380,9 @@ class ClusterSim
     /** Per-shard queries routed (diagnostics / tests). */
     const std::vector<size_t>& injectedPerShard() const
     { return injected_per_shard_; }
+
+    /** Rejects saved so far by cross-shard re-offering. */
+    size_t admissionRetries() const { return admission_retries_; }
 
   private:
     struct Shard
@@ -407,6 +427,7 @@ class ClusterSim
     size_t injected_ = 0;
     size_t dropped_ = 0;
     size_t rejected_ = 0;
+    size_t admission_retries_ = 0;  ///< rejects saved by re-offering
 
     // run() aggregates
     PercentileTracker all_latency_ms_;

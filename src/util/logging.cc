@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace hercules {
 
@@ -68,6 +69,17 @@ panic(const char* fmt, ...)
     vreport("panic", fmt, ap);
     va_end(ap);
     std::abort();
+}
+
+std::string
+isoUtcTimestamp()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
 }
 
 }  // namespace hercules

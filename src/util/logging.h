@@ -38,6 +38,12 @@ void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void panic(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * The current UTC time as ISO-8601 ("2026-01-31T12:34:56Z") — the
+ * provenance stamp every emitted report JSON carries.
+ */
+std::string isoUtcTimestamp();
+
 /** Global verbosity switch for inform(); warnings always print. */
 void setVerbose(bool verbose);
 

@@ -460,5 +460,100 @@ TEST(Feedback, WeightsRecoverAfterLoadSubsides)
     EXPECT_DOUBLE_EQ(cluster.feedbackWeight(0), 1000.0);
 }
 
+// ---- cross-shard admission retry -----------------------------------------
+
+TEST(AdmissionRetry, SingleShardBehaviourUnchanged)
+{
+    // With one shard the retry has nowhere to go: a run with the
+    // retry enabled (the default) is identical to one without it —
+    // the pre-retry pin.
+    sim::PreparedWorkload w = preparedT2();
+    auto runOne = [&](bool retry) {
+        sim::ClusterSim::Options copt;
+        copt.admission.policy = qos::AdmissionPolicy::QueueCap;
+        copt.admission.queue_cap = 5;
+        copt.admission.cross_shard_retry = retry;
+        sim::ClusterSim cluster(copt);
+        cluster.addShard(w, 1000.0);
+        std::vector<workload::Query> burst =
+            uniformTrace(20, 1e-6, 200);
+        return cluster.run(burst, 10.0);
+    };
+    sim::ClusterSimResult with = runOne(true);
+    sim::ClusterSimResult without = runOne(false);
+    EXPECT_EQ(with.injected, without.injected);
+    EXPECT_EQ(with.rejected, without.rejected);
+    EXPECT_EQ(with.completed, without.completed);
+    EXPECT_EQ(with.p99_ms, without.p99_ms);
+    EXPECT_EQ(with.sla_violations, without.sla_violations);
+    EXPECT_EQ(with.admission_retries, 0u);
+    EXPECT_EQ(without.admission_retries, 0u);
+    EXPECT_EQ(with.rejected, 15u);
+}
+
+TEST(AdmissionRetry, RejectReOffersToNextBestShard)
+{
+    // Two shards with very unequal routing weights: the weighted
+    // router sends the burst to shard 0 until its queue cap bites;
+    // the retry then re-offers to shard 1 instead of rejecting.
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.admission.policy = qos::AdmissionPolicy::QueueCap;
+    copt.admission.queue_cap = 4;
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    cluster.addShard(w, 1.0);  // near-zero routing share
+
+    size_t admitted = 0, rejected = 0;
+    for (const auto& q : uniformTrace(8, 1e-6, 200)) {
+        int s = cluster.route(q);
+        if (s >= 0)
+            ++admitted;
+        else if (s == -2)
+            ++rejected;
+    }
+    // Both queues fill before anything rejects: 4 + 4 admitted.
+    EXPECT_EQ(admitted, 8u);
+    EXPECT_EQ(rejected, 0u);
+    EXPECT_EQ(cluster.injectedPerShard()[0], 4u);
+    EXPECT_EQ(cluster.injectedPerShard()[1], 4u);
+    EXPECT_EQ(cluster.admissionRetries(), 4u);
+
+    // Once every shard is at its cap the query is rejected for real.
+    workload::Query q;
+    q.id = 99;
+    q.arrival_s = 1e-5;
+    q.size = 200;
+    q.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(q), -2);
+}
+
+TEST(AdmissionRetry, DisabledRetryRejectsAtThePickedShard)
+{
+    // Same setup with the retry off: the weighted router keeps
+    // picking the heavy shard, so its cap rejects even though the
+    // light shard has room — the legacy single-pick behaviour.
+    sim::PreparedWorkload w = preparedT2();
+    sim::ClusterSim::Options copt;
+    copt.admission.policy = qos::AdmissionPolicy::QueueCap;
+    copt.admission.queue_cap = 4;
+    copt.admission.cross_shard_retry = false;
+    sim::ClusterSim cluster(copt);
+    cluster.addShard(w, 1000.0);
+    cluster.addShard(w, 1.0);
+
+    size_t admitted = 0, rejected = 0;
+    for (const auto& q : uniformTrace(8, 1e-6, 200)) {
+        int s = cluster.route(q);
+        if (s >= 0)
+            ++admitted;
+        else if (s == -2)
+            ++rejected;
+    }
+    EXPECT_LT(admitted, 8u);
+    EXPECT_GT(rejected, 0u);
+    EXPECT_EQ(cluster.injectedPerShard()[1], 0u);
+}
+
 }  // namespace
 }  // namespace hercules

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Tests of the declarative scenario API (src/scenario/): exact text
+ * round-trip on every shipped scenarios/*.scn, duplicate/unknown-key
+ * rejection with 1-based line numbers, default-spec == legacy-defaults
+ * equivalence, the time-varying power-cap schedule, and the golden
+ * pin that scenario::run() on a spec mirroring bench_multiservice's
+ * joint-arm wiring reproduces a hand-wired cluster::serveTraces()
+ * call bit-identically.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/serving.h"
+#include "model/model_zoo.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_io.h"
+
+namespace hercules::scenario {
+namespace {
+
+using hw::ServerType;
+using model::ModelId;
+
+std::string
+scenarioDir()
+{
+#ifdef HERCULES_SCENARIO_DIR
+    return HERCULES_SCENARIO_DIR;
+#else
+    return "../scenarios";
+#endif
+}
+
+std::string
+readFile(const std::filesystem::path& p)
+{
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ---- shipped-library round trip ------------------------------------------
+
+TEST(SpecIo, ShippedScenariosRoundTripExactly)
+{
+    size_t n = 0;
+    for (const auto& ent :
+         std::filesystem::directory_iterator(scenarioDir())) {
+        if (ent.path().extension() != ".scn")
+            continue;
+        ++n;
+        std::string text = readFile(ent.path());
+        std::string err;
+        auto spec = parseSpec(text, &err);
+        ASSERT_TRUE(spec.has_value())
+            << ent.path() << ": " << err;
+        // The shipped files are in canonical form: serializing the
+        // parsed spec reproduces the file byte for byte...
+        EXPECT_EQ(toText(*spec), text) << ent.path();
+        // ...and the round trip is a fixed point.
+        auto again = parseSpec(toText(*spec), &err);
+        ASSERT_TRUE(again.has_value()) << ent.path() << ": " << err;
+        EXPECT_EQ(toText(*again), toText(*spec)) << ent.path();
+    }
+    EXPECT_GE(n, 6u) << "shipped scenario library shrank";
+}
+
+TEST(SpecIo, EveryNonDefaultFieldRoundTrips)
+{
+    ScenarioSpec s;
+    s.name = "all_knobs";
+    s.description = "escapes: \"quote\" \\ tab\t newline\n done";
+    s.fleet = {{ServerType::T2, 2}, {ServerType::T10, 3}};
+    ServiceScenario svc;
+    svc.name = "ranker";
+    svc.spec.model = ModelId::Dien;
+    svc.peak_qps_frac = 0.25;
+    svc.spec.load.peak_qps = 123.5;
+    svc.spec.load.trough_frac = 0.5;
+    svc.spec.load.peak_hour = 7.25;
+    svc.spec.load.noise_frac = 0.01;
+    svc.spec.load.seed = 99;
+    svc.spec.load.surge_hour = 6.0;
+    svc.spec.load.surge_hours = 1.5;
+    svc.spec.load.surge_factor = 2.0;
+    svc.spec.sla_ms = 31.0;
+    svc.spec.qos.priority = 3;
+    svc.spec.qos.tier = qos::Tier::Throughput;
+    svc.spec.qos.sla_ms = 40.0;
+    svc.spec.sizes.median = 70.0;
+    svc.spec.sizes.sigma = 0.9;
+    svc.spec.sizes.min_size = 5;
+    svc.spec.sizes.max_size = 500;
+    svc.spec.pooling.sigma = 0.5;
+    s.services.push_back(svc);
+    s.provisioner = ProvisionerKind::PriorityAware;
+    s.nh_seed = 23;
+    s.serve.router = sim::RouterPolicy::PowerOfTwo;
+    s.serve.router_seed = 9;
+    s.serve.feedback.gain = 0.2;
+    s.serve.feedback.floor_frac = 0.1;
+    s.serve.admission.policy = qos::AdmissionPolicy::QueueCap;
+    s.serve.admission.queue_cap = 17;
+    s.serve.admission.deadline_slack = 1.25;
+    s.serve.admission.cross_shard_retry = false;
+    s.serve.horizon_hours = 6.0;
+    s.serve.interval_hours = 0.25;
+    s.serve.sla_ms = 33.0;
+    s.serve.overprovision_rate = 0.07;
+    s.serve.power_cap_w = 512.125;
+    s.serve.power_cap_schedule = {{3.0, 400.0}, {5.0, 1e9}};
+    s.serve.trace.bucket_seconds = 30.0;
+    s.serve.trace.time_compression = 480.0;
+    s.serve.trace.seed = 1234;
+    s.profile.table_cache = "t.csv";
+    s.profile.eval_memo = "m.tsv";
+    s.profile.num_queries = 111;
+    s.profile.warmup_queries = 22;
+    s.profile.bisect_iters = 3;
+    s.profile.seed = 77;
+
+    std::string text = toText(s);
+    std::string err;
+    auto parsed = parseSpec(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(toText(*parsed), text);
+}
+
+// ---- line/key-precise rejection ------------------------------------------
+
+TEST(SpecIo, DuplicateKeyRejectedWithLine)
+{
+    std::string err;
+    auto s = parseSpec("{\n  \"name\": \"x\",\n  \"name\": \"y\"\n}",
+                       &err);
+    EXPECT_FALSE(s.has_value());
+    EXPECT_EQ(err, "line 3: duplicate key 'name'");
+}
+
+TEST(SpecIo, UnknownKeyRejectedWithLineAndContext)
+{
+    std::string err;
+    auto s = parseSpec("{\n"
+                       "  \"services\": [\n"
+                       "    {\"model\": \"DLRM-RMC1\",\n"
+                       "     \"peek_qps\": 3}\n"
+                       "  ]\n"
+                       "}",
+                       &err);
+    EXPECT_FALSE(s.has_value());
+    EXPECT_EQ(err, "line 4: unknown key 'peek_qps' in services[0]");
+
+    auto t = parseSpec("{\n  \"admission\": {\"polcy\": \"none\"}\n}",
+                       &err);
+    EXPECT_FALSE(t.has_value());
+    EXPECT_EQ(err, "line 2: unknown key 'polcy' in admission");
+
+    auto u = parseSpec("{\n  \"horizont\": 3\n}", &err);
+    EXPECT_FALSE(u.has_value());
+    EXPECT_EQ(err, "line 2: unknown key 'horizont' in scenario");
+}
+
+TEST(SpecIo, UnknownEnumNamesRejected)
+{
+    std::string err;
+    EXPECT_FALSE(parseSpec("{\"fleet\": [{\"type\": \"T99\"}]}", &err)
+                     .has_value());
+    EXPECT_EQ(err, "line 1: unknown server type 'T99' in fleet[0]");
+
+    EXPECT_FALSE(
+        parseSpec("{\"services\": [{\"model\": \"GPT\"}]}", &err)
+            .has_value());
+    EXPECT_EQ(err, "line 1: unknown model 'GPT' in services[0]");
+
+    EXPECT_FALSE(parseSpec("{\"router\": \"random\"}", &err)
+                     .has_value());
+    EXPECT_EQ(err, "line 1: unknown router policy 'random' in scenario");
+
+    EXPECT_FALSE(parseSpec("{\"provisioner\": \"magic\"}", &err)
+                     .has_value());
+    EXPECT_EQ(err, "line 1: unknown provisioner 'magic' in scenario");
+}
+
+TEST(SpecIo, TypeMismatchNamesKeyAndLine)
+{
+    std::string err;
+    EXPECT_FALSE(
+        parseSpec("{\n  \"horizon_hours\": \"six\"\n}", &err)
+            .has_value());
+    EXPECT_EQ(err, "line 2: key 'horizon_hours' in scenario expects a "
+                   "number (got a string)");
+
+    // Integer keys reject fractional values.
+    EXPECT_FALSE(
+        parseSpec("{\"fleet\": [{\"type\": \"T2\", \"slots\": 1.5}]}",
+                  &err)
+            .has_value());
+    EXPECT_EQ(err, "line 1: key 'slots' in fleet[0] expects an "
+                   "integer (got a number)");
+}
+
+TEST(SpecIo, RequiredServiceAndFleetKeys)
+{
+    std::string err;
+    EXPECT_FALSE(parseSpec("{\"services\": [{\"sla_ms\": 5}]}", &err)
+                     .has_value());
+    EXPECT_EQ(err, "line 1: missing key 'model' in services[0]");
+
+    EXPECT_FALSE(
+        parseSpec("{\"fleet\": [{\"slots\": 2}]}", &err).has_value());
+    EXPECT_EQ(err, "line 1: missing key 'type' in fleet[0]");
+}
+
+TEST(SpecIo, SyntaxErrorsCarryLines)
+{
+    std::string err;
+    EXPECT_FALSE(parseSpec("[1, 2]", &err).has_value());
+    EXPECT_EQ(err, "line 1: top-level value must be an object");
+
+    EXPECT_FALSE(parseSpec("{\n  \"name\": \"unterminated\n}", &err)
+                     .has_value());
+    EXPECT_EQ(err, "line 2: unterminated string");
+
+    EXPECT_FALSE(parseSpec("{\"name\": \"x\"} trailing", &err)
+                     .has_value());
+    EXPECT_EQ(err,
+              "line 1: trailing content after the top-level object");
+
+    EXPECT_FALSE(parseSpec("{\"sla_ms\": 3.}", &err).has_value());
+    EXPECT_EQ(err, "line 1: malformed number");
+
+    EXPECT_FALSE(parseSpec("{\"sla_ms\": 1e999}", &err).has_value());
+    EXPECT_EQ(err, "line 1: number out of range");
+}
+
+// ---- defaults mirror the legacy entry points -----------------------------
+
+TEST(SpecDefaults, DefaultSpecMatchesLegacyServeDefaults)
+{
+    // A default ScenarioSpec must drive serveTraces exactly like a
+    // default-constructed TraceServeOptions — the legacy entry
+    // points' behaviour. Pin every field so drift in either struct
+    // breaks this test, not an experiment.
+    ScenarioSpec s;
+    cluster::TraceServeOptions legacy;
+    EXPECT_EQ(s.serve.horizon_hours, legacy.horizon_hours);
+    EXPECT_EQ(s.serve.interval_hours, legacy.interval_hours);
+    EXPECT_EQ(s.serve.sla_ms, legacy.sla_ms);
+    EXPECT_EQ(s.serve.overprovision_rate, legacy.overprovision_rate);
+    EXPECT_EQ(s.serve.power_cap_w, legacy.power_cap_w);
+    EXPECT_TRUE(s.serve.power_cap_schedule.empty());
+    EXPECT_EQ(s.serve.router, legacy.router);
+    EXPECT_EQ(s.serve.router_seed, legacy.router_seed);
+    EXPECT_EQ(s.serve.admission.policy, legacy.admission.policy);
+    EXPECT_EQ(s.serve.admission.queue_cap, legacy.admission.queue_cap);
+    EXPECT_EQ(s.serve.admission.deadline_slack,
+              legacy.admission.deadline_slack);
+    EXPECT_EQ(s.serve.admission.cross_shard_retry,
+              legacy.admission.cross_shard_retry);
+    EXPECT_EQ(s.serve.feedback.gain, legacy.feedback.gain);
+    EXPECT_EQ(s.serve.feedback.floor_frac, legacy.feedback.floor_frac);
+    EXPECT_EQ(s.serve.trace.horizon_hours, legacy.trace.horizon_hours);
+    EXPECT_EQ(s.serve.trace.bucket_seconds,
+              legacy.trace.bucket_seconds);
+    EXPECT_EQ(s.serve.trace.time_compression,
+              legacy.trace.time_compression);
+    EXPECT_EQ(s.serve.trace.seed, legacy.trace.seed);
+    EXPECT_EQ(s.provisioner, ProvisionerKind::Hercules);
+    EXPECT_EQ(s.nh_seed, 17u);
+
+    // Profiling defaults mirror the library measurement defaults.
+    sim::MeasureOptions mo;
+    EXPECT_EQ(s.profile.num_queries, mo.sim.num_queries);
+    EXPECT_EQ(s.profile.warmup_queries, mo.sim.warmup_queries);
+    EXPECT_EQ(s.profile.bisect_iters, mo.bisect_iters);
+    EXPECT_EQ(s.profile.seed, mo.sim.seed);
+    EXPECT_TRUE(s.profile.table_cache.empty());
+    EXPECT_TRUE(s.profile.eval_memo.empty());
+
+    // A default service spec is the legacy ServiceSpec.
+    ServiceScenario svc;
+    cluster::ServiceSpec legacy_svc;
+    EXPECT_EQ(svc.spec.model, legacy_svc.model);
+    EXPECT_EQ(svc.spec.load.peak_qps, legacy_svc.load.peak_qps);
+    EXPECT_EQ(svc.spec.sla_ms, legacy_svc.sla_ms);
+    EXPECT_EQ(svc.spec.qos.priority, legacy_svc.qos.priority);
+    EXPECT_EQ(svc.peak_qps_frac, 0.0);
+
+    // And the default spec's canonical text is the trivial one.
+    EXPECT_EQ(toText(ScenarioSpec{}),
+              "{\n  \"name\": \"scenario\"\n}\n");
+}
+
+// ---- time-varying power cap ----------------------------------------------
+
+TEST(PowerCapSchedule, PowerCapAtSteps)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<cluster::PowerCapPoint> sched;
+    // Empty schedule: the scalar cap alone.
+    EXPECT_EQ(cluster::powerCapAt(sched, inf, 5.0), inf);
+    EXPECT_EQ(cluster::powerCapAt(sched, 700.0, 5.0), 700.0);
+
+    sched = {{18.0, 330.0}, {23.0, 1e9}};
+    // Before the first point only the scalar applies.
+    EXPECT_EQ(cluster::powerCapAt(sched, inf, 0.0), inf);
+    EXPECT_EQ(cluster::powerCapAt(sched, 500.0, 17.99), 500.0);
+    // Inside the brownout the step wins (min with the scalar).
+    EXPECT_EQ(cluster::powerCapAt(sched, inf, 18.0), 330.0);
+    EXPECT_EQ(cluster::powerCapAt(sched, inf, 22.5), 330.0);
+    EXPECT_EQ(cluster::powerCapAt(sched, 200.0, 20.0), 200.0);
+    // After the lift, the huge step leaves the scalar in charge.
+    EXPECT_EQ(cluster::powerCapAt(sched, inf, 23.0), 1e9);
+    EXPECT_EQ(cluster::powerCapAt(sched, 500.0, 23.5), 500.0);
+}
+
+// ---- golden: scenario::run == hand-wired serveTraces ---------------------
+
+/** A valid CPU config for the hand-built efficiency entries. */
+sched::SchedulingConfig
+cpuConfig()
+{
+    sched::SchedulingConfig cfg;
+    cfg.mapping = sched::Mapping::CpuModelBased;
+    cfg.cpu_threads = 4;
+    cfg.cores_per_thread = 1;
+    cfg.batch = 64;
+    return cfg;
+}
+
+/**
+ * Hand-built (T1, T2) x (RMC1, RMC2, RMC3) efficiency table — the
+ * bench_multiservice shape (heterogeneous types, three models)
+ * without the profiling cost.
+ */
+core::EfficiencyTable
+goldenTable()
+{
+    core::EfficiencyTable t;
+    auto add = [&](ServerType st, ModelId m, double qps, double w) {
+        core::EfficiencyEntry e;
+        e.server = st;
+        e.model = m;
+        e.feasible = true;
+        e.qps = qps;
+        e.power_w = w;
+        e.config = cpuConfig();
+        t.set(e);
+    };
+    add(ServerType::T2, ModelId::DlrmRmc1, 2000.0, 100.0);
+    add(ServerType::T2, ModelId::DlrmRmc2, 1000.0, 200.0);
+    add(ServerType::T2, ModelId::DlrmRmc3, 1500.0, 120.0);
+    add(ServerType::T1, ModelId::DlrmRmc1, 1200.0, 90.0);
+    add(ServerType::T1, ModelId::DlrmRmc2, 600.0, 150.0);
+    add(ServerType::T1, ModelId::DlrmRmc3, 900.0, 100.0);
+    return t;
+}
+
+/**
+ * The spec mirrors bench_multiservice's joint arm: three services
+ * with phase-shifted peaks (20h / 12h / 4h, seeds 5/6/7, the small
+ * RMC2 size-shaped) co-served on a shared heterogeneous fleet under
+ * the Hercules provisioner, 0.5h intervals, compressed replay.
+ */
+ScenarioSpec
+goldenSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "golden_multiservice";
+    spec.fleet = {{ServerType::T2, 2}, {ServerType::T1, 1}};
+    const ModelId ids[3] = {ModelId::DlrmRmc1, ModelId::DlrmRmc2,
+                            ModelId::DlrmRmc3};
+    const double peaks[3] = {400.0, 200.0, 300.0};
+    for (int s = 0; s < 3; ++s) {
+        ServiceScenario svc;
+        svc.spec.model = ids[s];
+        svc.spec.load.peak_qps = peaks[s];
+        svc.spec.load.trough_frac = 0.35;
+        svc.spec.load.peak_hour = 20.0 - 8.0 * s;
+        svc.spec.load.seed = 5 + static_cast<uint64_t>(s);
+        if (s == 1) {
+            svc.spec.sizes.sigma = 0.7;
+            svc.spec.sizes.max_size = 300;
+        }
+        spec.services.push_back(svc);
+    }
+    spec.serve.horizon_hours = 3.0;
+    spec.serve.interval_hours = 0.5;
+    spec.serve.trace.time_compression = 480.0;
+    spec.serve.trace.seed = 42;
+    return spec;
+}
+
+void
+expectBitIdentical(const cluster::MultiServeResult& a,
+                   const cluster::MultiServeResult& b)
+{
+    EXPECT_EQ(a.trace_queries, b.trace_queries);
+    EXPECT_EQ(a.reprovisions, b.reprovisions);
+    EXPECT_EQ(a.shard_slots, b.shard_slots);
+    EXPECT_EQ(a.estimated_r, b.estimated_r);
+    ASSERT_EQ(a.service_r.size(), b.service_r.size());
+    for (size_t s = 0; s < a.service_r.size(); ++s) {
+        EXPECT_EQ(a.service_r[s], b.service_r[s]);
+        EXPECT_EQ(a.service_capacity_qps[s], b.service_capacity_qps[s]);
+        EXPECT_EQ(a.service_sla_ms[s], b.service_sla_ms[s]);
+    }
+    EXPECT_EQ(a.sim.injected, b.sim.injected);
+    EXPECT_EQ(a.sim.completed, b.sim.completed);
+    EXPECT_EQ(a.sim.dropped, b.sim.dropped);
+    EXPECT_EQ(a.sim.rejected, b.sim.rejected);
+    EXPECT_EQ(a.sim.mean_ms, b.sim.mean_ms);
+    EXPECT_EQ(a.sim.p50_ms, b.sim.p50_ms);
+    EXPECT_EQ(a.sim.p99_ms, b.sim.p99_ms);
+    EXPECT_EQ(a.sim.max_ms, b.sim.max_ms);
+    EXPECT_EQ(a.sim.sla_violations, b.sim.sla_violations);
+    EXPECT_EQ(a.sim.sla_violation_rate, b.sim.sla_violation_rate);
+    EXPECT_EQ(a.sim.avg_provisioned_power_w,
+              b.sim.avg_provisioned_power_w);
+    EXPECT_EQ(a.sim.avg_consumed_power_w, b.sim.avg_consumed_power_w);
+    ASSERT_EQ(a.sim.intervals.size(), b.sim.intervals.size());
+    for (size_t k = 0; k < a.sim.intervals.size(); ++k) {
+        const sim::IntervalStats& ia = a.sim.intervals[k];
+        const sim::IntervalStats& ib = b.sim.intervals[k];
+        EXPECT_EQ(ia.arrivals, ib.arrivals) << "interval " << k;
+        EXPECT_EQ(ia.completions, ib.completions) << "interval " << k;
+        EXPECT_EQ(ia.dropped, ib.dropped) << "interval " << k;
+        EXPECT_EQ(ia.rejected, ib.rejected) << "interval " << k;
+        EXPECT_EQ(ia.p50_ms, ib.p50_ms) << "interval " << k;
+        EXPECT_EQ(ia.p99_ms, ib.p99_ms) << "interval " << k;
+        EXPECT_EQ(ia.sla_violation_rate, ib.sla_violation_rate)
+            << "interval " << k;
+        EXPECT_EQ(ia.provisioned_power_w, ib.provisioned_power_w)
+            << "interval " << k;
+        EXPECT_EQ(ia.consumed_power_w, ib.consumed_power_w)
+            << "interval " << k;
+        EXPECT_EQ(ia.power_capped, ib.power_capped)
+            << "interval " << k;
+    }
+    ASSERT_EQ(a.sim.services.size(), b.sim.services.size());
+    for (size_t s = 0; s < a.sim.services.size(); ++s) {
+        const sim::ServiceRunStats& sa = a.sim.services[s];
+        const sim::ServiceRunStats& sb = b.sim.services[s];
+        EXPECT_EQ(sa.injected, sb.injected);
+        EXPECT_EQ(sa.completed, sb.completed);
+        EXPECT_EQ(sa.dropped, sb.dropped);
+        EXPECT_EQ(sa.rejected, sb.rejected);
+        EXPECT_EQ(sa.p50_ms, sb.p50_ms);
+        EXPECT_EQ(sa.p99_ms, sb.p99_ms);
+        EXPECT_EQ(sa.sla_violations, sb.sla_violations);
+        EXPECT_EQ(sa.sla_violation_rate, sb.sla_violation_rate);
+    }
+}
+
+TEST(ScenarioRun, GoldenBitIdenticalToServeTraces)
+{
+    core::EfficiencyTable table = goldenTable();
+    ScenarioSpec spec = goldenSpec();
+
+    // The hand-wired legacy call the spec claims to subsume.
+    std::vector<cluster::ServiceSpec> services;
+    for (const ServiceScenario& s : spec.services)
+        services.push_back(s.spec);
+    cluster::HerculesProvisioner provisioner;
+    cluster::MultiServeResult direct = cluster::serveTraces(
+        table, {ServerType::T2, ServerType::T1}, {2, 1}, services,
+        provisioner, spec.serve);
+
+    ScenarioResult via_spec = run(spec, &table);
+    expectBitIdentical(via_spec.serve, direct);
+
+    // The spec survives a text round trip with the run untouched.
+    std::string err;
+    auto reparsed = parseSpec(toText(spec), &err);
+    ASSERT_TRUE(reparsed.has_value()) << err;
+    ScenarioResult via_text = run(*reparsed, &table);
+    expectBitIdentical(via_text.serve, direct);
+}
+
+TEST(ScenarioRun, SingletonScheduleEqualsScalarCap)
+{
+    core::EfficiencyTable table = goldenTable();
+    ScenarioSpec scalar = goldenSpec();
+    scalar.serve.power_cap_w = 450.0;
+
+    ScenarioSpec sched = goldenSpec();
+    sched.serve.power_cap_schedule = {{0.0, 450.0}};
+
+    ScenarioResult a = run(scalar, &table);
+    ScenarioResult b = run(sched, &table);
+    expectBitIdentical(a.serve, b.serve);
+}
+
+TEST(ScenarioRun, ScheduleCapsOnlyInsideWindow)
+{
+    core::EfficiencyTable table = goldenTable();
+    ScenarioSpec spec = goldenSpec();
+    // A one-interval brownout in [1h, 1.5h) far below the plan.
+    spec.serve.power_cap_schedule = {{1.0, 150.0}, {1.5, 1e9}};
+
+    ScenarioResult r = run(spec, &table);
+    ScenarioSpec uncapped = goldenSpec();
+    ScenarioResult base = run(uncapped, &table);
+
+    const auto& ivs = r.serve.sim.intervals;
+    ASSERT_GE(ivs.size(), 4u);
+    EXPECT_FALSE(ivs[0].power_capped);
+    EXPECT_FALSE(ivs[1].power_capped);
+    EXPECT_TRUE(ivs[2].power_capped);  // [1h, 1.5h)
+    EXPECT_LE(ivs[2].provisioned_power_w, 150.0);
+    EXPECT_FALSE(ivs[3].power_capped);
+    // Outside the window the plan matches the uncapped run.
+    EXPECT_EQ(ivs[0].provisioned_power_w,
+              base.serve.sim.intervals[0].provisioned_power_w);
+    EXPECT_EQ(ivs[3].provisioned_power_w,
+              base.serve.sim.intervals[3].provisioned_power_w);
+}
+
+TEST(ScenarioRun, UnsortedScheduleIsFatal)
+{
+    core::EfficiencyTable table = goldenTable();
+    ScenarioSpec spec = goldenSpec();
+    spec.serve.power_cap_schedule = {{2.0, 100.0}, {1.0, 200.0}};
+    EXPECT_DEATH(run(spec, &table), "power_cap_schedule");
+}
+
+TEST(ScenarioRun, PeakFracResolvesAgainstTable)
+{
+    core::EfficiencyTable table = goldenTable();
+    ScenarioSpec spec = goldenSpec();
+    // RMC1 full-fleet capacity on T2 x2 + T1 x1: 2*2000 + 1200.
+    spec.services[0].peak_qps_frac = 0.5;
+    resolvePeaks(spec, table);
+    EXPECT_DOUBLE_EQ(spec.services[0].spec.load.peak_qps,
+                     0.5 * (2 * 2000.0 + 1200.0));
+    EXPECT_EQ(spec.services[0].peak_qps_frac, 0.0);
+    EXPECT_EQ(spec.services[0].name, "DLRM-RMC1");
+    // Services without a frac keep their absolute peak.
+    EXPECT_DOUBLE_EQ(spec.services[1].spec.load.peak_qps, 200.0);
+}
+
+TEST(ScenarioRun, ValidateSpecCatchesUnrunnableSpecs)
+{
+    // The non-fatal twin of run()'s validation: what --parse-only
+    // (and the CI scenario lint) rejects.
+    std::string err;
+    EXPECT_TRUE(validateSpec(goldenSpec(), &err));
+
+    ScenarioSpec unsorted = goldenSpec();
+    unsorted.serve.power_cap_schedule = {{2.0, 100.0}, {1.0, 200.0}};
+    EXPECT_FALSE(validateSpec(unsorted, &err));
+    EXPECT_NE(err.find("power_cap_schedule"), std::string::npos);
+
+    EXPECT_FALSE(validateSpec(ScenarioSpec{}, &err));
+    EXPECT_NE(err.find("empty fleet"), std::string::npos);
+
+    ScenarioSpec no_services = goldenSpec();
+    no_services.services.clear();
+    EXPECT_FALSE(validateSpec(no_services, &err));
+    EXPECT_NE(err.find("no services"), std::string::npos);
+
+    ScenarioSpec bad_interval = goldenSpec();
+    bad_interval.serve.interval_hours = 0.0;
+    EXPECT_FALSE(validateSpec(bad_interval, &err));
+}
+
+TEST(ScenarioRun, ProvisionerNamesRoundTrip)
+{
+    for (ProvisionerKind k :
+         {ProvisionerKind::Hercules, ProvisionerKind::Greedy,
+          ProvisionerKind::PriorityAware, ProvisionerKind::Nh})
+        EXPECT_EQ(parseProvisionerKind(provisionerKindName(k)), k);
+    EXPECT_FALSE(parseProvisionerKind("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace hercules::scenario
