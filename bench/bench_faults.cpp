@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Fault recovery: the shard_crash_recovery scenario (both T3 servers
+ * and the T7 crash at hour 8.25 — mid-interval, at the high-priority
+ * service's peak — killing their in-flight queries; the T7 is
+ * repaired at hour 9, the T3s at 10.25) replayed three ways:
+ *
+ *  - HEALTHY:  the same spec with the faults stripped — the reference
+ *    trajectory the recovered system is measured against;
+ *  - SELFHEAL: the shipped spec — deadline admission, priority
+ *    shedding, latency-feedback routing, and the self-healing serving
+ *    loop (each interval the provisioner sees only surviving capacity
+ *    and activates replacement T3/T7 slots under the power budget);
+ *  - STATIC:   the same faults ridden out the traditional way — a
+ *    static tuple-weighted router and a fleet over-provisioned by an
+ *    extra 50 points of R at all times, no feedback.
+ *
+ * The gate: after the crash, SELFHEAL's high-priority service must
+ * return to the HEALTHY arm's per-interval violation rate (plus a
+ * small tolerance) within kRecoveryIntervals re-provisioning
+ * intervals, at a lower average provisioned power than STATIC. Killed
+ * in-flight queries count as SLA violations in every arm, so the
+ * crash itself is never free — the win must come from how fast the
+ * serving loop rebuilds capacity, not from accounting.
+ *
+ * All three arms replay bitwise-identical merged traces (same specs
+ * and seeds; faults only change shard health). Results land in
+ * BENCH_faults.json.
+ *
+ * Fast mode (HERCULES_BENCH_FAST=1): 12h horizon, 960x compression,
+ * reduced profiling probes.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/cluster_manager.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+/** Intervals the self-healing loop gets to win back the SLA. */
+constexpr int kRecoveryIntervals = 4;
+/** Violation-rate slack over the healthy arm that counts as healed. */
+constexpr double kRecoveryTol = 0.02;
+/** Extra over-provision rate the STATIC arm burns at all times. */
+constexpr double kStaticExtraR = 0.5;
+
+/** One arm's aggregate view. */
+struct ArmResult
+{
+    std::string name;
+    double avg_provisioned_w = 0.0;
+    double avg_consumed_w = 0.0;
+    size_t completed = 0;
+    size_t dropped = 0;
+    size_t rejected = 0;
+    size_t failed_inflight = 0;
+    size_t sla_violations = 0;
+    double sla_violation_rate = 0.0;
+    double p99_ms = 0.0;
+    double wall_ms = 0.0;
+    size_t health_transitions = 0;
+    std::vector<sim::ServiceRunStats> services;
+    std::vector<sim::IntervalStats> intervals;
+};
+
+ArmResult
+runArm(const std::string& name, const scenario::ScenarioSpec& spec,
+       const core::EfficiencyTable& table)
+{
+    scenario::ScenarioResult r = scenario::run(spec, &table);
+    ArmResult out;
+    out.name = name;
+    out.wall_ms = r.serve_wall_ms;
+    out.avg_provisioned_w = r.serve.sim.avg_provisioned_power_w;
+    out.avg_consumed_w = r.serve.sim.avg_consumed_power_w;
+    out.completed = r.serve.sim.completed;
+    out.dropped = r.serve.sim.dropped;
+    out.rejected = r.serve.sim.rejected;
+    out.failed_inflight = r.serve.sim.failed_inflight;
+    out.sla_violations = r.serve.sim.sla_violations;
+    out.sla_violation_rate = r.serve.sim.sla_violation_rate;
+    out.p99_ms = r.serve.sim.p99_ms;
+    out.health_transitions = r.serve.sim.health_transitions.size();
+    out.services = r.serve.sim.services;
+    out.intervals = r.serve.sim.intervals;
+    return out;
+}
+
+void
+printArm(const ArmResult& r, const std::vector<model::ModelId>& models)
+{
+    std::printf("%s:\n", r.name.c_str());
+    TablePrinter t({"Service", "Completed", "Rejected", "Dropped",
+                    "Killed", "p99 (ms)", "Viol rate"});
+    for (size_t s = 0; s < r.services.size(); ++s) {
+        const sim::ServiceRunStats& svc = r.services[s];
+        t.addRow({model::modelName(models[s]),
+                  std::to_string(svc.completed),
+                  std::to_string(svc.rejected),
+                  std::to_string(svc.dropped),
+                  std::to_string(svc.failed_inflight),
+                  fmtDouble(svc.p99_ms, 2),
+                  fmtPercent(svc.sla_violation_rate, 2)});
+    }
+    t.print();
+    std::printf("  avg power %.3f kW provisioned / %.3f kW consumed, "
+                "violation rate %.2f%%, %zu killed in-flight, %zu "
+                "health transitions, wall %.0f ms\n\n",
+                r.avg_provisioned_w / 1e3, r.avg_consumed_w / 1e3,
+                r.sla_violation_rate * 100.0, r.failed_inflight,
+                r.health_transitions, r.wall_ms);
+}
+
+void
+writeArmJson(FILE* f, const ArmResult& r,
+             const std::vector<model::ModelId>& models, bool last)
+{
+    std::fprintf(f, "  \"%s\": {\n", r.name.c_str());
+    std::fprintf(f, "      \"avg_provisioned_power_w\": %.2f,\n",
+                 r.avg_provisioned_w);
+    std::fprintf(f, "      \"avg_consumed_power_w\": %.2f,\n",
+                 r.avg_consumed_w);
+    std::fprintf(f, "      \"completed\": %zu,\n", r.completed);
+    std::fprintf(f, "      \"rejected\": %zu,\n", r.rejected);
+    std::fprintf(f, "      \"dropped\": %zu,\n", r.dropped);
+    std::fprintf(f, "      \"failed_inflight\": %zu,\n",
+                 r.failed_inflight);
+    std::fprintf(f, "      \"sla_violations\": %zu,\n",
+                 r.sla_violations);
+    std::fprintf(f, "      \"sla_violation_rate\": %.6f,\n",
+                 r.sla_violation_rate);
+    std::fprintf(f, "      \"p99_ms\": %.4f,\n", r.p99_ms);
+    std::fprintf(f, "      \"health_transitions\": %zu,\n",
+                 r.health_transitions);
+    std::fprintf(f, "      \"wall_ms\": %.1f,\n", r.wall_ms);
+    std::fprintf(f, "      \"per_service\": [\n");
+    for (size_t s = 0; s < r.services.size(); ++s) {
+        const sim::ServiceRunStats& svc = r.services[s];
+        std::fprintf(
+            f,
+            "        {\"model\": \"%s\", \"completed\": %zu, "
+            "\"rejected\": %zu, \"dropped\": %zu, "
+            "\"failed_inflight\": %zu, \"p99_ms\": %.4f, "
+            "\"sla_violations\": %zu, "
+            "\"sla_violation_rate\": %.6f}%s\n",
+            model::modelName(models[s]), svc.completed, svc.rejected,
+            svc.dropped, svc.failed_inflight, svc.p99_ms,
+            svc.sla_violations, svc.sla_violation_rate,
+            s + 1 < r.services.size() ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    bench::writeIntervalArrays(f, r.intervals);
+    std::fprintf(f, "  }%s\n", last ? "" : ",");
+}
+
+/**
+ * Intervals (from the crash interval on) until the arm's service is
+ * back at the healthy arm's per-interval violation rate + tolerance.
+ * @return -1 when it never recovers inside the horizon.
+ */
+int
+recoveryIntervals(const ArmResult& arm, const ArmResult& healthy,
+                  size_t svc, size_t crash_iv)
+{
+    for (size_t i = crash_iv; i < arm.intervals.size(); ++i) {
+        double ref =
+            healthy.intervals[i].services[svc].sla_violation_rate;
+        if (arm.intervals[i].services[svc].sla_violation_rate <=
+            ref + kRecoveryTol)
+            return static_cast<int>(i - crash_iv);
+    }
+    return -1;
+}
+
+/** Fast-mode deltas, identical per arm: shorter day, fewer probes. */
+void
+applyFastDeltas(scenario::ScenarioSpec& spec)
+{
+    spec.serve.horizon_hours = 12.0;
+    spec.serve.trace.time_compression = 960.0;
+    spec.profile.table_cache =
+        "hercules_efficiency_multiservice_fast.csv";
+    spec.profile.num_queries = 250;
+    spec.profile.warmup_queries = 50;
+    spec.profile.bisect_iters = 4;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fault recovery",
+                  "Shard crashes vs the self-healing serving loop vs "
+                  "static over-provisioning");
+
+    scenario::ScenarioSpec selfheal_spec =
+        bench::loadScenario("shard_crash_recovery.scn");
+    if (bench::fastMode())
+        applyFastDeltas(selfheal_spec);
+
+    scenario::ScenarioSpec healthy_spec = selfheal_spec;
+    healthy_spec.serve.faults = fault::FaultSpec{};
+
+    scenario::ScenarioSpec static_spec = selfheal_spec;
+    static_spec.serve.router = sim::RouterPolicy::HerculesWeighted;
+
+    core::EfficiencyTable table =
+        scenario::profileTable(selfheal_spec);
+    for (scenario::ScenarioSpec* spec :
+         {&selfheal_spec, &healthy_spec, &static_spec})
+        scenario::resolvePeaks(*spec, table);
+
+    const size_t S = selfheal_spec.services.size();
+    std::vector<model::ModelId> model_ids;
+    for (const scenario::ServiceScenario& s : selfheal_spec.services)
+        model_ids.push_back(s.spec.model);
+    for (size_t s = 0; s < S; ++s) {
+        if (selfheal_spec.services[s].spec.load.peak_qps <= 0.0) {
+            std::printf("%s infeasible on this fleet — abort\n",
+                        model::modelName(model_ids[s]));
+            return 1;
+        }
+    }
+
+    // Shared over-provision rate (forecast ramp + tail headroom, as
+    // in bench_qos); the STATIC arm burns an extra kStaticExtraR on
+    // top at every interval — crash or no crash.
+    const double kTailHeadroom = 0.15;
+    double r_est = 0.0;
+    for (size_t s = 0; s < S; ++s)
+        r_est = std::max(
+            r_est, cluster::estimateOverprovisionRate(
+                       workload::DiurnalLoad(
+                           selfheal_spec.services[s].spec.load),
+                       selfheal_spec.serve.interval_hours,
+                       selfheal_spec.serve.horizon_hours));
+    const double r_shared = r_est + kTailHeadroom;
+    selfheal_spec.serve.overprovision_rate = r_shared;
+    healthy_spec.serve.overprovision_rate = r_shared;
+    static_spec.serve.overprovision_rate = r_shared + kStaticExtraR;
+
+    // The crash instant drives the recovery clock.
+    double crash_hour = -1.0, repair_hour = -1.0;
+    for (const fault::FaultEvent& e :
+         selfheal_spec.serve.faults.events) {
+        if (e.state == fault::HealthState::Failed &&
+            (crash_hour < 0.0 || e.t_hours < crash_hour))
+            crash_hour = e.t_hours;
+        if (e.state == fault::HealthState::Healthy &&
+            (repair_hour < 0.0 || e.t_hours < repair_hour))
+            repair_hour = e.t_hours;
+    }
+    const size_t crash_iv = static_cast<size_t>(
+        crash_hour / selfheal_spec.serve.interval_hours);
+
+    std::printf("horizon %.0fh, crash at %.1fh (repair %.1fh), R "
+                "%.1f%% (static arm %.1f%%), recovery budget %d "
+                "intervals\n\n",
+                selfheal_spec.serve.horizon_hours, crash_hour,
+                repair_hour, r_shared * 100.0,
+                (r_shared + kStaticExtraR) * 100.0,
+                kRecoveryIntervals);
+
+    ArmResult healthy = runArm("healthy", healthy_spec, table);
+    printArm(healthy, model_ids);
+    ArmResult selfheal = runArm("selfheal", selfheal_spec, table);
+    printArm(selfheal, model_ids);
+    ArmResult static_op = runArm("static", static_spec, table);
+    printArm(static_op, model_ids);
+
+    // The high-priority service's trajectory through the outage.
+    {
+        TablePrinter t({"Hour", "Healthy viol", "Selfheal viol",
+                        "Static viol", "Selfheal kW", "Static kW"});
+        const double iv_h = selfheal_spec.serve.interval_hours;
+        size_t lo = crash_iv >= 2 ? crash_iv - 2 : 0;
+        size_t hi = std::min(selfheal.intervals.size(),
+                             crash_iv + 2 * static_cast<size_t>(
+                                            kRecoveryIntervals) +
+                                 2);
+        for (size_t i = lo; i < hi; ++i) {
+            t.addRow(
+                {fmtDouble(static_cast<double>(i) * iv_h, 1),
+                 fmtPercent(healthy.intervals[i]
+                                .services[0]
+                                .sla_violation_rate,
+                            1),
+                 fmtPercent(selfheal.intervals[i]
+                                .services[0]
+                                .sla_violation_rate,
+                            1),
+                 fmtPercent(static_op.intervals[i]
+                                .services[0]
+                                .sla_violation_rate,
+                            1),
+                 fmtDouble(
+                     selfheal.intervals[i].provisioned_power_w / 1e3,
+                     3),
+                 fmtDouble(
+                     static_op.intervals[i].provisioned_power_w / 1e3,
+                     3)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // ---- the recovery gate --------------------------------------------
+    const int rec_selfheal =
+        recoveryIntervals(selfheal, healthy, 0, crash_iv);
+    const int rec_static =
+        recoveryIntervals(static_op, healthy, 0, crash_iv);
+    bool recovery_ok =
+        rec_selfheal >= 0 && rec_selfheal <= kRecoveryIntervals;
+    bool power_ok = selfheal.avg_provisioned_w <=
+                    static_op.avg_provisioned_w + 1e-6;
+    bool ok = recovery_ok && power_ok;
+
+    std::printf("self-healing recovery, high-priority %s: %s "
+                "(recovered in %d intervals, budget %d; static arm "
+                "%d)\n",
+                model::modelName(model_ids[0]),
+                recovery_ok ? "PASS" : "FAIL", rec_selfheal,
+                kRecoveryIntervals, rec_static);
+    std::printf("steady-state power, selfheal vs static: %s (%.3f vs "
+                "%.3f kW provisioned)\n",
+                power_ok ? "PASS" : "FAIL",
+                selfheal.avg_provisioned_w / 1e3,
+                static_op.avg_provisioned_w / 1e3);
+
+    // ---- JSON trajectory ----------------------------------------------
+    FILE* f = std::fopen("BENCH_faults.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n");
+        bench::writeJsonProvenance(f);
+        std::fprintf(f, "  \"scenario\": \"%s\",\n",
+                     selfheal_spec.name.c_str());
+        std::fprintf(f, "  \"horizon_hours\": %.2f,\n",
+                     selfheal_spec.serve.horizon_hours);
+        std::fprintf(f, "  \"interval_hours\": %.2f,\n",
+                     selfheal_spec.serve.interval_hours);
+        std::fprintf(f, "  \"time_compression\": %.0f,\n",
+                     selfheal_spec.serve.trace.time_compression);
+        std::fprintf(f, "  \"crash_hour\": %.2f,\n", crash_hour);
+        std::fprintf(f, "  \"repair_hour\": %.2f,\n", repair_hour);
+        std::fprintf(f, "  \"overprovision_rate\": %.4f,\n", r_shared);
+        std::fprintf(f, "  \"static_overprovision_rate\": %.4f,\n",
+                     r_shared + kStaticExtraR);
+        std::fprintf(f, "  \"recovery_budget_intervals\": %d,\n",
+                     kRecoveryIntervals);
+        std::fprintf(f, "  \"recovery_intervals_selfheal\": %d,\n",
+                     rec_selfheal);
+        std::fprintf(f, "  \"recovery_intervals_static\": %d,\n",
+                     rec_static);
+        std::fprintf(f, "  \"recovery_ok\": %s,\n",
+                     recovery_ok ? "true" : "false");
+        std::fprintf(f, "  \"power_ok\": %s,\n",
+                     power_ok ? "true" : "false");
+        std::fprintf(f, "  \"selfheal_beats_static\": %s,\n",
+                     ok ? "true" : "false");
+        writeArmJson(f, healthy, model_ids, false);
+        writeArmJson(f, selfheal, model_ids, false);
+        writeArmJson(f, static_op, model_ids, true);
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("\nwrote BENCH_faults.json\n");
+    }
+
+    return ok ? 0 : 1;
+}

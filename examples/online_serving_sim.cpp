@@ -27,7 +27,14 @@
  *          [--router rr|jsq|p2c|hercules|latency-feedback]
  *          [--services N] [--admission none|queue_cap|deadline]
  *          [--priorities p0,p1,...] [--power-cap W]
- *          [--scenario FILE] [--parse-only]
+ *          [--faults SPEC] [--scenario FILE] [--parse-only]
+ *
+ * Fault injection: --faults takes comma-separated tokens — scripted
+ * events crash@T:h:s, degrade@T:h:s:F, recover@T:h:s (trace hour T,
+ * fleet index h, slot s, slowdown F) and seeded-process knobs seed=N,
+ * crash_mtbf=H, crash_mttr=H, degrade_mtbf=H, degrade_mttr=H,
+ * slowdown=F (src/fault/). Trace runs with faults print the shard
+ * health-transition timeline next to the serving report.
  *
  * With --services N >= 2, trace mode co-serves N services (RMC1,
  * RMC2, RMC3 prefix) with phase-shifted diurnal peaks on the shared
@@ -44,6 +51,7 @@
  * Unknown or malformed flags are named on stderr and exit non-zero.
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +63,7 @@
 #include "bench/bench_common.h"
 #include "cluster/cluster_manager.h"
 #include "core/profiler.h"
+#include "fault/fault.h"
 #include "qos/qos.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_io.h"
@@ -76,9 +85,107 @@ struct Args
     std::vector<int> priorities;  ///< per service; empty = all equal
     /** Global power cap (W); infinity = uncapped. */
     double power_cap_w = std::numeric_limits<double>::infinity();
+    /** --faults: scripted events + seeded-process knobs (trace mode). */
+    fault::FaultSpec faults;
     std::string scenario_file;  ///< --scenario: run this spec file
     bool parse_only = false;    ///< with --scenario: parse, don't run
 };
+
+/**
+ * Parse one --faults token list (see the file header) into `out`.
+ * @return false with `bad` set to the offending token on error.
+ */
+bool
+parseFaultTokens(const std::string& list, fault::FaultSpec& out,
+                 std::string& bad)
+{
+    auto num = [](const std::string& s, double* v) {
+        char* end = nullptr;
+        *v = std::strtod(s.c_str(), &end);
+        return !s.empty() && end == s.c_str() + s.size() &&
+               std::isfinite(*v);
+    };
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string tok = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        bad = tok;
+        size_t at = tok.find('@');
+        size_t eq = tok.find('=');
+        if (at != std::string::npos) {
+            // crash@T:h:s | degrade@T:h:s:F | recover@T:h:s
+            std::string verb = tok.substr(0, at);
+            std::vector<std::string> parts;
+            std::string rest = tok.substr(at + 1);
+            size_t p = 0;
+            while (p <= rest.size()) {
+                size_t colon = rest.find(':', p);
+                if (colon == std::string::npos)
+                    colon = rest.size();
+                parts.push_back(rest.substr(p, colon - p));
+                p = colon + 1;
+            }
+            size_t want = verb == "degrade" ? 4 : 3;
+            if ((verb != "crash" && verb != "degrade" &&
+                 verb != "recover") ||
+                parts.size() != want)
+                return false;
+            fault::FaultEvent e;
+            double fi = 0.0, sl = 0.0;
+            if (!num(parts[0], &e.t_hours) || e.t_hours < 0.0)
+                return false;
+            if (!num(parts[1], &fi) || fi != std::floor(fi) ||
+                fi < 0.0)
+                return false;
+            if (!num(parts[2], &sl) || sl != std::floor(sl) ||
+                sl < 0.0)
+                return false;
+            e.fleet_index = static_cast<int>(fi);
+            e.slot = static_cast<int>(sl);
+            if (verb == "crash") {
+                e.state = fault::HealthState::Failed;
+            } else if (verb == "recover") {
+                e.state = fault::HealthState::Healthy;
+            } else {
+                e.state = fault::HealthState::Degraded;
+                if (!num(parts[3], &e.slowdown) || e.slowdown < 1.0)
+                    return false;
+            }
+            out.events.push_back(e);
+        } else if (eq != std::string::npos) {
+            std::string key = tok.substr(0, eq);
+            double v = 0.0;
+            if (!num(tok.substr(eq + 1), &v) || v < 0.0)
+                return false;
+            if (key == "seed") {
+                if (v != std::floor(v))
+                    return false;
+                out.seed = static_cast<uint64_t>(v);
+            } else if (key == "crash_mtbf") {
+                out.crash_mtbf_hours = v;
+            } else if (key == "crash_mttr") {
+                out.crash_mttr_hours = v;
+            } else if (key == "degrade_mtbf") {
+                out.degrade_mtbf_hours = v;
+            } else if (key == "degrade_mttr") {
+                out.degrade_mttr_hours = v;
+            } else if (key == "slowdown") {
+                if (v < 1.0)
+                    return false;
+                out.degrade_slowdown = v;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    bad.clear();
+    return true;
+}
 
 void
 usage(const char* argv0)
@@ -106,6 +213,12 @@ usage(const char* argv0)
         "  --power-cap W   global power cap in watts: the interval\n"
         "                  allocation is shed (lowest priority, then\n"
         "                  worst QPS/W first) until it fits\n"
+        "  --faults SPEC   trace-mode fault injection, comma-separated\n"
+        "                  tokens: crash@T:h:s, degrade@T:h:s:F,\n"
+        "                  recover@T:h:s (trace hour T, fleet index h,\n"
+        "                  slot s, slowdown F) and seeded-process\n"
+        "                  knobs seed=N, crash_mtbf=H, crash_mttr=H,\n"
+        "                  degrade_mtbf=H, degrade_mttr=H, slowdown=F\n"
         "  --scenario F    run scenario file F end to end (writes\n"
         "                  BENCH_scenario.json); every other\n"
         "                  experiment flag is ignored\n"
@@ -171,6 +284,13 @@ parseArgs(int argc, char** argv, Args& out)
             if (v == nullptr || std::atof(v) <= 0.0)
                 return reject("missing or non-positive value for", a);
             out.power_cap_w = std::atof(v);
+        } else if (a == "--faults") {
+            const char* v = value();
+            if (v == nullptr)
+                return reject("missing value for", a);
+            std::string bad;
+            if (!parseFaultTokens(v, out.faults, bad))
+                return reject("malformed --faults token", bad);
         } else if (a == "--priorities") {
             const char* v = value();
             if (v == nullptr)
@@ -268,6 +388,7 @@ buildTraceSpec(const Args& args)
     // only the simulated span and query count shrink.
     spec.serve.trace.time_compression = 480.0;
     spec.serve.trace.seed = 42;
+    spec.serve.faults = args.faults;
     return spec;
 }
 
@@ -332,6 +453,29 @@ runSpec(scenario::ScenarioSpec spec, bool write_json)
         std::printf("\n");
     }
     printQosLines(sim.services, rs);
+
+    if (!sim.health_transitions.empty()) {
+        std::printf("\nfault timeline (%zu shard transitions, trace "
+                    "hours):\n",
+                    sim.health_transitions.size());
+        for (const sim::HealthTransition& ht :
+             sim.health_transitions) {
+            double hour =
+                ht.t_s * rs.serve.trace.time_compression / 3600.0;
+            std::printf("  h %6.2f  shard %-3d (%s)  %s -> %s", hour,
+                        ht.shard,
+                        rs.services[static_cast<size_t>(ht.service)]
+                            .name.c_str(),
+                        fault::healthStateName(ht.from),
+                        fault::healthStateName(ht.to));
+            if (ht.to == fault::HealthState::Degraded)
+                std::printf(" x%g", ht.slowdown);
+            if (ht.killed_inflight > 0)
+                std::printf("  (killed %zu in-flight)",
+                            ht.killed_inflight);
+            std::printf("\n");
+        }
+    }
 
     std::printf("\n%zu queries served end to end: p50 %.2f ms, p99 "
                 "%.2f ms, max %.1f ms\n",
@@ -467,10 +611,19 @@ main(int argc, char** argv)
         return runScenarioFile(args);
 
     if (args.trace_mode) {
+        scenario::ScenarioSpec spec = buildTraceSpec(args);
+        // Catch --faults events aimed outside the built-in fleet at
+        // the flag layer (exit 2 + usage) instead of a fatal() later.
+        std::string err;
+        if (!scenario::validateSpec(spec, &err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            usage(argv[0]);
+            return 2;
+        }
         std::printf("== %.0fh online serving (%s scheduler, trace "
                     "mode) ==\n\n",
                     args.horizon_hours, args.policy.c_str());
-        return runSpec(buildTraceSpec(args), /*write_json=*/false);
+        return runSpec(std::move(spec), /*write_json=*/false);
     }
 
     std::unique_ptr<cluster::Provisioner> policy =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "cluster/cluster_manager.h"
@@ -143,12 +144,22 @@ serveTraces(const core::EfficiencyTable& table,
         fatal("serveTraces: no services");
     if (opt.horizon_hours <= 0.0 || opt.interval_hours <= 0.0)
         fatal("serveTraces: non-positive horizon/interval");
-    for (size_t i = 1; i < opt.power_cap_schedule.size(); ++i)
-        if (opt.power_cap_schedule[i].from_hour <
-            opt.power_cap_schedule[i - 1].from_hour)
+    for (size_t i = 0; i < opt.power_cap_schedule.size(); ++i) {
+        const PowerCapPoint& pt = opt.power_cap_schedule[i];
+        if (!std::isfinite(pt.from_hour) || pt.from_hour < 0.0)
+            fatal("serveTraces: power_cap_schedule point %zu has "
+                  "non-finite or negative from_hour %f",
+                  i, pt.from_hour);
+        if (!std::isfinite(pt.cap_w) || pt.cap_w < 0.0)
+            fatal("serveTraces: power_cap_schedule point %zu has "
+                  "non-finite or negative cap_w %f",
+                  i, pt.cap_w);
+        if (i > 0 &&
+            pt.from_hour < opt.power_cap_schedule[i - 1].from_hour)
             fatal("serveTraces: power_cap_schedule not sorted by "
                   "from_hour (point %zu)",
                   i);
+    }
 
     const size_t S = services.size();
     // Shard instances keep pointers into these: both vectors are sized
@@ -252,6 +263,34 @@ serveTraces(const core::EfficiencyTable& table,
     const double horizon_s =
         opt.horizon_hours * 3600.0 / topt.time_compression;
 
+    // ---- fault schedule -------------------------------------------------
+    // Expand the spec against the physical fleet, then fan each
+    // physical event out to every service personality hosted by that
+    // (type, slot) server. The same timeline drives a health cursor the
+    // *planner* reads: at each boundary it provisions over surviving
+    // capacity only, which is what makes the loop self-heal.
+    const fault::FaultSchedule fault_sched(opt.faults, shard_slots,
+                                           opt.horizon_hours);
+    std::vector<sim::HealthEvent> health_events;
+    for (const fault::FaultEvent& e : fault_sched.events()) {
+        const double t_s = e.t_hours * 3600.0 / topt.time_compression;
+        for (size_t s = 0; s < S; ++s) {
+            const auto& ids =
+                shards_by[static_cast<size_t>(e.fleet_index)][s];
+            if (static_cast<size_t>(e.slot) < ids.size())
+                health_events.push_back(sim::HealthEvent{
+                    t_s, ids[static_cast<size_t>(e.slot)], e.state,
+                    e.slowdown});
+        }
+    }
+    cluster.scheduleHealth(std::move(health_events));
+    // Physical health per (type, slot), advanced inside plan().
+    std::vector<std::vector<fault::HealthState>> phys(fleet.size());
+    for (size_t h = 0; h < fleet.size(); ++h)
+        phys[h].assign(static_cast<size_t>(std::max(shard_slots[h], 0)),
+                       fault::HealthState::Healthy);
+    size_t fault_cursor = 0;
+
     // ---- per-interval joint provisioning plan --------------------------
     // Per-service shedding priorities (QoS classes) and, for
     // throughput-tier services, the horizon-mean forecast demand they
@@ -277,6 +316,40 @@ serveTraces(const core::EfficiencyTable& table,
     bool first_interval = true;
     auto plan = [&](int k, double) -> sim::IntervalPlan {
         double t_hours = static_cast<double>(k) * opt.interval_hours;
+        // Advance the physical health cursor to this boundary. The
+        // simulator applies the same events (<= t0) before this plan
+        // runs, so planner and fleet agree on who is alive.
+        while (fault_cursor < fault_sched.events().size() &&
+               fault_sched.events()[fault_cursor].t_hours <= t_hours) {
+            const fault::FaultEvent& e =
+                fault_sched.events()[fault_cursor++];
+            phys[static_cast<size_t>(e.fleet_index)]
+                [static_cast<size_t>(e.slot)] = e.state;
+        }
+        // Surviving per-type availability: failed servers are invisible
+        // to the provisioner, so it re-provisions replacements from the
+        // slots (of any type) still alive — the self-healing step. A
+        // *degraded* server still counts as capacity: stragglers are
+        // the feedback router's problem, not the planner's.
+        std::vector<int> surviving(fleet.size(), 0);
+        bool any_failed = false;
+        for (size_t h = 0; h < fleet.size(); ++h) {
+            for (fault::HealthState hs : phys[h])
+                if (hs != fault::HealthState::Failed)
+                    ++surviving[h];
+            any_failed =
+                any_failed ||
+                surviving[h] != static_cast<int>(phys[h].size());
+        }
+        std::optional<ProvisionProblem> degraded_problem;
+        if (any_failed) {
+            degraded_problem.emplace(fleet, surviving, model_ids);
+            for (int h = 0; h < problem.numServers(); ++h)
+                for (int m = 0; m < problem.numModels(); ++m)
+                    degraded_problem->setPerf(h, m, problem.perf(h, m));
+        }
+        const ProvisionProblem& prob =
+            degraded_problem ? *degraded_problem : problem;
         std::vector<double> interval_loads;
         for (size_t s = 0; s < S; ++s) {
             // The provisioner plans on the *forecast* curve (an
@@ -291,27 +364,36 @@ serveTraces(const core::EfficiencyTable& table,
                             : loads[s].forecastAt(t_hours);
             interval_loads.push_back(fl);
         }
-        Allocation alloc = policy.provision(problem, interval_loads, r);
+        Allocation alloc = policy.provision(prob, interval_loads, r);
 
         sim::IntervalPlan p;
+        // Healthy personality count per (type, service): the slots of
+        // the type that are not failed and host that personality.
+        auto healthyCount = [&](size_t h, size_t s) {
+            int n = 0;
+            for (size_t i = 0; i < shards_by[h][s].size(); ++i)
+                if (phys[h][i] != fault::HealthState::Failed)
+                    ++n;
+            return n;
+        };
         std::vector<std::vector<int>> counts(
             fleet.size(), std::vector<int>(S, 0));
         for (size_t h = 0; h < fleet.size(); ++h)
             for (size_t s = 0; s < S; ++s)
-                counts[h][s] = std::min(
-                    alloc.n[h][s],
-                    static_cast<int>(shards_by[h][s].size()));
+                counts[h][s] =
+                    std::min(alloc.n[h][s], healthyCount(h, s));
         // Enforce the physical per-type availability: Provisioner is
         // an open interface, so an over-allocating policy must not
-        // activate more shard personalities than physical servers.
-        // Trim the least energy-efficient pair of the type first.
+        // activate more shard personalities than (surviving) physical
+        // servers. Trim the least energy-efficient pair of the type
+        // first.
         for (size_t h = 0; h < fleet.size(); ++h) {
             int total = 0;
             for (size_t s = 0; s < S; ++s)
                 total += counts[h][s];
-            while (total > shard_slots[h]) {
+            while (total > surviving[h]) {
                 auto [worst_h, worst_m] = worstActivePair(
-                    problem, counts, static_cast<int>(h), priorities);
+                    prob, counts, static_cast<int>(h), priorities);
                 if (worst_h < 0)
                     break;
                 --counts[h][static_cast<size_t>(worst_m)];
@@ -321,16 +403,26 @@ serveTraces(const core::EfficiencyTable& table,
         // Enforce the global power cap across all services: lowest
         // priority shed first, then least QPS/W. The cap may step over
         // the horizon (power_cap_schedule, e.g. an evening brownout).
+        // Replacement shards activated after a crash live under the
+        // same cap as everything else — self-healing cannot overdraw.
         const double cap_w = powerCapAt(opt.power_cap_schedule,
                                         opt.power_cap_w, t_hours);
         double power = 0.0;
         p.power_capped =
-            shedToPowerCap(problem, counts, cap_w, &power, priorities);
+            shedToPowerCap(prob, counts, cap_w, &power, priorities);
+        // Activate the first counts[h][s] *healthy* slots; with no
+        // faults this is slots 0..counts-1, the pre-fault order.
         for (size_t h = 0; h < fleet.size(); ++h)
-            for (size_t s = 0; s < S; ++s)
-                for (int i = 0; i < counts[h][s]; ++i)
-                    p.active.push_back(
-                        shards_by[h][s][static_cast<size_t>(i)]);
+            for (size_t s = 0; s < S; ++s) {
+                int need = counts[h][s];
+                for (size_t i = 0;
+                     i < shards_by[h][s].size() && need > 0; ++i) {
+                    if (phys[h][i] == fault::HealthState::Failed)
+                        continue;
+                    p.active.push_back(shards_by[h][s][i]);
+                    --need;
+                }
+            }
         p.provisioned_power_w = power;
         p.budget_power_w = std::isfinite(cap_w) ? cap_w : power;
 

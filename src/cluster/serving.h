@@ -29,6 +29,7 @@
 
 #include "cluster/provision.h"
 #include "core/efficiency_table.h"
+#include "fault/fault.h"
 #include "qos/qos.h"
 #include "sim/cluster_sim.h"
 #include "workload/diurnal.h"
@@ -71,7 +72,8 @@ struct TraceServeOptions
     /**
      * Time-varying cap schedule (e.g. an evening brownout), applied on
      * top of power_cap_w via powerCapAt(). Points must be sorted
-     * ascending by from_hour; empty keeps the scalar cap alone.
+     * ascending by from_hour with finite, non-negative cap_w;
+     * serveTraces rejects anything else (fatal).
      */
     std::vector<PowerCapPoint> power_cap_schedule;
     sim::RouterPolicy router = sim::RouterPolicy::HerculesWeighted;
@@ -83,6 +85,16 @@ struct TraceServeOptions
     qos::AdmissionConfig admission{};
     /** Weight-update knobs of the latency-feedback router. */
     qos::FeedbackConfig feedback{};
+    /**
+     * Fault injection (src/fault/): scripted and/or seeded crash and
+     * straggler events against physical (fleet index, slot) servers.
+     * Each event hits every service personality hosted by that server;
+     * at every interval boundary the provisioner sees only surviving
+     * capacity, so it activates replacement slots — still under the
+     * power cap — and the run *self-heals*. The default spec injects
+     * nothing and is bit-identical to the pre-fault engine.
+     */
+    fault::FaultSpec faults{};
     /** Arrival-trace options; horizon is overridden by horizon_hours. */
     workload::TraceOptions trace{};
 };

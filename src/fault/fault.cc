@@ -1,0 +1,124 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hercules::fault {
+
+const char* healthStateName(HealthState s)
+{
+    switch (s) {
+        case HealthState::Healthy: return "healthy";
+        case HealthState::Degraded: return "degraded";
+        case HealthState::Failed: return "failed";
+    }
+    return "?";
+}
+
+std::optional<HealthState> parseHealthState(const std::string& name)
+{
+    if (name == "healthy") return HealthState::Healthy;
+    if (name == "degraded") return HealthState::Degraded;
+    if (name == "failed") return HealthState::Failed;
+    return std::nullopt;
+}
+
+namespace {
+
+void checkKnob(const char* what, double v)
+{
+    if (std::isnan(v) || v < 0.0)
+        fatal("FaultSchedule: %s must be finite and non-negative (got %f)",
+              what, v);
+}
+
+/**
+ * Append one server's alternating up/down renewal process: exponential
+ * up-time with mean `mtbf`, then `down` state for an exponential
+ * down-time with mean `mttr`, repeated until the horizon. A zero MTTR
+ * still emits the down event (an instantaneous blip) so the counters
+ * see it; the recovery lands at the same timestamp and insertion order
+ * resolves the tie.
+ */
+void appendProcess(std::vector<FaultEvent>* out, Rng rng, int h, int slot,
+                   HealthState down, double slowdown, double mtbf,
+                   double mttr, double horizon_hours)
+{
+    double t = rng.exponential(1.0 / mtbf);
+    while (t < horizon_hours) {
+        out->push_back({t, h, slot, down, slowdown});
+        t += rng.exponential(mttr > 0.0 ? 1.0 / mttr : 1e12);
+        if (t >= horizon_hours) break;
+        out->push_back({t, h, slot, HealthState::Healthy, 1.0});
+        t += rng.exponential(1.0 / mtbf);
+    }
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultSpec& spec,
+                             const std::vector<int>& slots_per_type,
+                             double horizon_hours)
+{
+    checkKnob("crash_mtbf_hours", spec.crash_mtbf_hours);
+    checkKnob("crash_mttr_hours", spec.crash_mttr_hours);
+    checkKnob("degrade_mtbf_hours", spec.degrade_mtbf_hours);
+    checkKnob("degrade_mttr_hours", spec.degrade_mttr_hours);
+    if (std::isnan(spec.degrade_slowdown) || spec.degrade_slowdown < 1.0)
+        fatal("FaultSchedule: degrade_slowdown must be >= 1 (got %f)",
+              spec.degrade_slowdown);
+
+    for (size_t i = 0; i < spec.events.size(); ++i) {
+        const FaultEvent& e = spec.events[i];
+        if (std::isnan(e.t_hours) || e.t_hours < 0.0)
+            fatal("FaultSchedule: event %zu at negative time %f", i,
+                  e.t_hours);
+        if (e.fleet_index < 0 ||
+            e.fleet_index >= static_cast<int>(slots_per_type.size()))
+            fatal("FaultSchedule: event %zu fleet index %d out of range "
+                  "(fleet has %zu types)",
+                  i, e.fleet_index, slots_per_type.size());
+        if (e.slot < 0 || e.slot >= slots_per_type[e.fleet_index])
+            fatal("FaultSchedule: event %zu slot %d out of range (type %d "
+                  "has %d slots)",
+                  i, e.slot, e.fleet_index, slots_per_type[e.fleet_index]);
+        if (e.state == HealthState::Degraded &&
+            (std::isnan(e.slowdown) || e.slowdown < 1.0))
+            fatal("FaultSchedule: event %zu slowdown must be >= 1 (got %f)",
+                  i, e.slowdown);
+        events_.push_back(e);
+        // Non-degrade events always carry the neutral multiplier so two
+        // specs that differ only in an ignored field expand identically.
+        if (e.state != HealthState::Degraded) events_.back().slowdown = 1.0;
+    }
+
+    // Seeded processes: one independent forked stream per (server,
+    // process), consumed in fixed (fleet index, slot) order.
+    Rng root(spec.seed);
+    for (size_t h = 0; h < slots_per_type.size(); ++h) {
+        for (int slot = 0; slot < slots_per_type[h]; ++slot) {
+            Rng crash_rng = root.fork();
+            Rng degrade_rng = root.fork();
+            if (spec.crash_mtbf_hours > 0.0)
+                appendProcess(&events_, crash_rng, static_cast<int>(h), slot,
+                              HealthState::Failed, 1.0,
+                              spec.crash_mtbf_hours, spec.crash_mttr_hours,
+                              horizon_hours);
+            if (spec.degrade_mtbf_hours > 0.0)
+                appendProcess(&events_, degrade_rng, static_cast<int>(h),
+                              slot, HealthState::Degraded,
+                              spec.degrade_slowdown, spec.degrade_mtbf_hours,
+                              spec.degrade_mttr_hours, horizon_hours);
+        }
+    }
+
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.t_hours < b.t_hours;
+                     });
+}
+
+}  // namespace hercules::fault

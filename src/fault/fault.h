@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fault injection for the online serving stack: per-shard
+ * health states and the schedules that drive them.
+ *
+ * A physical server is always in exactly one of three health states:
+ *
+ *   healthy --------> degraded(slowdown)     (straggler: latencies x F)
+ *      ^  \                 |
+ *      |   \                v
+ *      +----+---------- failed                (crash: in-flight killed)
+ *
+ * Any state can transition to any other; `healthy` is the recovery
+ * target for both pathologies. The *mechanics* of each state live in
+ * the simulator (src/sim/): a failed shard kills its in-flight queries
+ * (counted as `failed_inflight` SLA violations) and is never routed to;
+ * a degraded shard keeps serving with every service latency multiplied
+ * by the slowdown factor, so the latency-feedback router has to learn
+ * to shift weight away. This module only decides *when* transitions
+ * happen.
+ *
+ * Two sources of events compose into one FaultSchedule:
+ *  - scripted events (`FaultSpec::events`) — exact, reproducible
+ *    storylines for tests and shipped scenarios;
+ *  - seeded random processes — per-server alternating renewal processes
+ *    with exponential time-to-failure (MTBF) and time-to-repair (MTTR),
+ *    one independent forked Rng stream per physical server.
+ *
+ * Determinism contract: equal FaultSpec + equal fleet shape + equal
+ * horizon => bit-identical event list. Expansion iterates servers in
+ * (fleet index, slot) order, forks one child Rng per process from a
+ * single root seeded with `FaultSpec::seed`, and breaks time ties by
+ * insertion order (scripted events first), so the schedule never
+ * depends on container iteration order or wall-clock anything.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hercules::fault {
+
+/** Health of one physical server (and every personality shard on it). */
+enum class HealthState {
+    /** Serving normally. */
+    Healthy,
+    /** Straggler: serving, but every service latency is multiplied. */
+    Degraded,
+    /** Crashed: in-flight killed, unroutable until recovery. */
+    Failed,
+};
+
+/** @return display name ("healthy", "degraded", "failed"). */
+const char* healthStateName(HealthState s);
+
+/** Parse a health-state name as printed by healthStateName(). */
+std::optional<HealthState> parseHealthState(const std::string& name);
+
+/**
+ * One health transition of one physical server, in fleet coordinates
+ * (the cluster layer maps these onto every personality shard hosted by
+ * that server).
+ */
+struct FaultEvent
+{
+    /** When the transition happens, in trace hours. */
+    double t_hours = 0.0;
+    /** Index into the fleet vector (server type group). */
+    int fleet_index = 0;
+    /** Physical slot within that type group. */
+    int slot = 0;
+    /** State the server enters at t_hours. */
+    HealthState state = HealthState::Healthy;
+    /** Latency multiplier while Degraded (>= 1); ignored otherwise. */
+    double slowdown = 1.0;
+};
+
+/**
+ * Everything needed to (re)generate a fault timeline: scripted events
+ * plus the knobs of the seeded random processes. Default-constructed
+ * specs inject nothing and leave the engine bit-identical to a run
+ * without fault plumbing.
+ */
+struct FaultSpec
+{
+    /** Scripted transitions (any order; the schedule sorts them). */
+    std::vector<FaultEvent> events;
+    /** Root seed for the per-server random processes. */
+    uint64_t seed = 1;
+    /** Mean time between crashes, hours; 0 disables the process. */
+    double crash_mtbf_hours = 0.0;
+    /** Mean time to repair after a crash, hours. */
+    double crash_mttr_hours = 0.5;
+    /** Mean time between degradations, hours; 0 disables the process. */
+    double degrade_mtbf_hours = 0.0;
+    /** Mean time to recovery from a degradation, hours. */
+    double degrade_mttr_hours = 1.0;
+    /** Latency multiplier applied by the random degrade process. */
+    double degrade_slowdown = 4.0;
+
+    /** @return true when the spec can produce at least one event. */
+    bool enabled() const
+    {
+        return !events.empty() || crash_mtbf_hours > 0.0 ||
+               degrade_mtbf_hours > 0.0;
+    }
+};
+
+/**
+ * A FaultSpec expanded against a concrete fleet and horizon into one
+ * time-sorted event list (the form the serving loop consumes).
+ */
+class FaultSchedule
+{
+  public:
+    /** An empty schedule: no faults ever. */
+    FaultSchedule() = default;
+
+    /**
+     * Expand `spec` over a fleet with `slots_per_type[h]` physical
+     * servers of each type, generating random-process events in
+     * [0, horizon_hours).
+     *
+     * Panics (util::fatal) on invalid knobs: negative MTBF/MTTR,
+     * slowdown < 1, scripted events out of fleet range or at negative
+     * times. Callers that need a recoverable error (spec binding, CLI
+     * parsing) validate first.
+     */
+    FaultSchedule(const FaultSpec& spec,
+                  const std::vector<int>& slots_per_type,
+                  double horizon_hours);
+
+    /** Events sorted ascending by t_hours (ties: insertion order). */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    /** @return true when no event will ever fire. */
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+}  // namespace hercules::fault

@@ -91,9 +91,39 @@ validateSpec(const ScenarioSpec& spec, std::string* error)
         spec.serve.interval_hours <= 0.0)
         return fail("non-positive horizon/interval");
     const auto& sched = spec.serve.power_cap_schedule;
-    for (size_t i = 1; i < sched.size(); ++i)
-        if (sched[i].from_hour < sched[i - 1].from_hour)
+    for (size_t i = 0; i < sched.size(); ++i) {
+        if (!(sched[i].from_hour >= 0.0) ||
+            !std::isfinite(sched[i].from_hour) ||
+            !(sched[i].cap_w >= 0.0))
+            return fail("power_cap_schedule[" + std::to_string(i) +
+                        "]: non-finite or negative point");
+        if (i > 0 && sched[i].from_hour < sched[i - 1].from_hour)
             return fail("power_cap_schedule not sorted by from_hour");
+    }
+    const fault::FaultSpec& fs = spec.serve.faults;
+    if (!(fs.crash_mtbf_hours >= 0.0) ||
+        !(fs.crash_mttr_hours >= 0.0) ||
+        !(fs.degrade_mtbf_hours >= 0.0) ||
+        !(fs.degrade_mttr_hours >= 0.0))
+        return fail("faults: negative (or NaN) MTBF/MTTR");
+    if (!(fs.degrade_slowdown >= 1.0))
+        return fail("faults: degrade_slowdown must be >= 1");
+    for (size_t i = 0; i < fs.events.size(); ++i) {
+        const fault::FaultEvent& e = fs.events[i];
+        const std::string ctx =
+            "faults.events[" + std::to_string(i) + "]: ";
+        if (!(e.t_hours >= 0.0))
+            return fail(ctx + "negative (or NaN) at_hour");
+        if (e.fleet_index < 0 ||
+            e.fleet_index >= static_cast<int>(spec.fleet.size()))
+            return fail(ctx + "fleet index out of range");
+        if (e.slot < 0 ||
+            e.slot >= spec.fleet[e.fleet_index].shard_slots)
+            return fail(ctx + "slot out of range");
+        if (e.state == fault::HealthState::Degraded &&
+            !(e.slowdown >= 1.0))
+            return fail(ctx + "degraded slowdown must be >= 1");
+    }
     return true;
 }
 

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
 #include "model/model_zoo.h"
 
 namespace hercules::scenario {
@@ -358,6 +359,43 @@ class ObjectReader
         return true;
     }
 
+    /**
+     * number() that additionally rejects values below `lo` (strictly
+     * below, or equal when `strict`) with a "must be <desc>" error.
+     * The comparison is written to also reject NaN, which a hand-built
+     * Value could carry even though the grammar cannot produce one.
+     */
+    bool
+    numberMin(const char* key, double lo, bool strict,
+              const char* desc, double* out)
+    {
+        const Value* v = find(key);
+        if (v == nullptr)
+            return true;
+        if (v->kind != Value::Kind::Number)
+            return typeError(*v, key, "a number");
+        bool bad = strict ? !(v->num > lo) : !(v->num >= lo);
+        if (bad) {
+            *err_ = fmt("line %d: key '%s' in %s must be %s (got %g)",
+                        v->line, key, ctx_.c_str(), desc, v->num);
+            return false;
+        }
+        *out = v->num;
+        return true;
+    }
+
+    bool
+    nonNegative(const char* key, double* out)
+    {
+        return numberMin(key, 0.0, false, "non-negative", out);
+    }
+
+    bool
+    positive(const char* key, double* out)
+    {
+        return numberMin(key, 0.0, true, "positive", out);
+    }
+
     bool
     integer(const char* key, long long lo, long long hi,
             long long* out)
@@ -550,9 +588,33 @@ bindCapPoint(const Value& v, const std::string& ctx,
         return false;
     }
     ObjectReader r(v, ctx, err);
-    if (!r.number("from_hour", &out->from_hour))
+    if (!r.nonNegative("from_hour", &out->from_hour))
         return false;
-    if (!r.number("cap_w", &out->cap_w))
+    if (!r.nonNegative("cap_w", &out->cap_w))
+        return false;
+    return r.finish();
+}
+
+bool
+bindFaultEvent(const Value& v, const std::string& ctx,
+               fault::FaultEvent* out, std::string* err)
+{
+    if (v.kind != Value::Kind::Object) {
+        *err = fmt("line %d: %s expects an object", v.line,
+                   ctx.c_str());
+        return false;
+    }
+    ObjectReader r(v, ctx, err);
+    if (!r.nonNegative("at_hour", &out->t_hours))
+        return false;
+    if (!r.intField("fleet", &out->fleet_index))
+        return false;
+    if (!r.intField("slot", &out->slot))
+        return false;
+    if (!r.named("state", "health state", fault::parseHealthState,
+                 &out->state))
+        return false;
+    if (!r.numberMin("slowdown", 1.0, false, ">= 1", &out->slowdown))
         return false;
     return r.finish();
 }
@@ -575,19 +637,19 @@ bindService(const Value& v, const std::string& ctx,
     cluster::ServiceSpec& s = out->spec;
     bool ok = r.str("name", &out->name) &&
               r.named("model", "model", parseModelName, &s.model) &&
-              r.number("peak_qps_frac", &out->peak_qps_frac) &&
-              r.number("peak_qps", &s.load.peak_qps) &&
+              r.nonNegative("peak_qps_frac", &out->peak_qps_frac) &&
+              r.nonNegative("peak_qps", &s.load.peak_qps) &&
               r.number("trough_frac", &s.load.trough_frac) &&
               r.number("peak_hour", &s.load.peak_hour) &&
               r.number("noise_frac", &s.load.noise_frac) &&
               r.u64Field("load_seed", &s.load.seed) &&
               r.number("surge_hour", &s.load.surge_hour) &&
-              r.number("surge_hours", &s.load.surge_hours) &&
-              r.number("surge_factor", &s.load.surge_factor) &&
-              r.number("sla_ms", &s.sla_ms) &&
+              r.nonNegative("surge_hours", &s.load.surge_hours) &&
+              r.nonNegative("surge_factor", &s.load.surge_factor) &&
+              r.nonNegative("sla_ms", &s.sla_ms) &&
               r.intField("priority", &s.qos.priority) &&
               r.named("tier", "tier", qos::parseTier, &s.qos.tier) &&
-              r.number("qos_sla_ms", &s.qos.sla_ms) &&
+              r.nonNegative("qos_sla_ms", &s.qos.sla_ms) &&
               r.number("size_median", &s.sizes.median) &&
               r.number("size_sigma", &s.sizes.sigma) &&
               r.intField("size_min", &s.sizes.min_size) &&
@@ -637,12 +699,14 @@ bindSpec(const Value& root, ScenarioSpec* out, std::string* err)
         !r.named("router", "router policy", sim::parseRouterPolicy,
                  &out->serve.router) ||
         !r.u64Field("router_seed", &out->serve.router_seed) ||
-        !r.number("horizon_hours", &out->serve.horizon_hours) ||
-        !r.number("interval_hours", &out->serve.interval_hours) ||
-        !r.number("sla_ms", &out->serve.sla_ms) ||
+        !r.positive("horizon_hours", &out->serve.horizon_hours) ||
+        !r.positive("interval_hours", &out->serve.interval_hours) ||
+        !r.nonNegative("sla_ms", &out->serve.sla_ms) ||
+        // A negative overprovision_rate means "estimate from the
+        // curve", so it stays a plain number.
         !r.number("overprovision_rate",
                   &out->serve.overprovision_rate) ||
-        !r.number("power_cap_w", &out->serve.power_cap_w))
+        !r.nonNegative("power_cap_w", &out->serve.power_cap_w))
         return false;
 
     if (const Value* fb = r.sub("feedback", Value::Kind::Object, &ok)) {
@@ -680,6 +744,41 @@ bindSpec(const Value& root, ScenarioSpec* out, std::string* err)
                 return false;
             out->serve.power_cap_schedule.push_back(p);
         }
+    } else if (!ok) {
+        return false;
+    }
+
+    if (const Value* fl = r.sub("faults", Value::Kind::Object, &ok)) {
+        ObjectReader fr(*fl, "faults", err);
+        fault::FaultSpec& fs = out->serve.faults;
+        if (!fr.u64Field("seed", &fs.seed) ||
+            !fr.nonNegative("crash_mtbf_hours",
+                            &fs.crash_mtbf_hours) ||
+            !fr.nonNegative("crash_mttr_hours",
+                            &fs.crash_mttr_hours) ||
+            !fr.nonNegative("degrade_mtbf_hours",
+                            &fs.degrade_mtbf_hours) ||
+            !fr.nonNegative("degrade_mttr_hours",
+                            &fs.degrade_mttr_hours) ||
+            !fr.numberMin("degrade_slowdown", 1.0, false, ">= 1",
+                          &fs.degrade_slowdown))
+            return false;
+        bool fok;
+        if (const Value* evs =
+                fr.sub("events", Value::Kind::Array, &fok)) {
+            for (size_t i = 0; i < evs->items.size(); ++i) {
+                fault::FaultEvent e;
+                if (!bindFaultEvent(evs->items[i],
+                                    fmt("faults.events[%zu]", i), &e,
+                                    err))
+                    return false;
+                fs.events.push_back(e);
+            }
+        } else if (!fok) {
+            return false;
+        }
+        if (!fr.finish())
+            return false;
     } else if (!ok) {
         return false;
     }
@@ -980,6 +1079,44 @@ toText(const ScenarioSpec& spec)
             out += i + 1 < sched.size() ? ",\n" : "\n";
         }
         put("power_cap_schedule", out + "  ]");
+    }
+
+    {
+        const fault::FaultSpec& fs = spec.serve.faults;
+        const fault::FaultSpec& d = dv.faults;
+        Fragments f;
+        f.num("seed", static_cast<double>(fs.seed),
+              static_cast<double>(d.seed));
+        f.num("crash_mtbf_hours", fs.crash_mtbf_hours,
+              d.crash_mtbf_hours);
+        f.num("crash_mttr_hours", fs.crash_mttr_hours,
+              d.crash_mttr_hours);
+        f.num("degrade_mtbf_hours", fs.degrade_mtbf_hours,
+              d.degrade_mtbf_hours);
+        f.num("degrade_mttr_hours", fs.degrade_mttr_hours,
+              d.degrade_mttr_hours);
+        f.num("degrade_slowdown", fs.degrade_slowdown,
+              d.degrade_slowdown);
+        if (!fs.events.empty()) {
+            std::string ev = "[\n";
+            for (size_t i = 0; i < fs.events.size(); ++i) {
+                const fault::FaultEvent& e = fs.events[i];
+                Fragments g;
+                g.add("at_hour", fmtNumber(e.t_hours));
+                g.num("fleet", e.fleet_index, 0);
+                g.num("slot", e.slot, 0);
+                // Always emitted: the state IS the event, even when
+                // it is the (default) recovery back to healthy.
+                g.add("state", quote(fault::healthStateName(e.state)));
+                g.num("slowdown", e.slowdown, 1.0);
+                ev += "      " + g.inlineObj();
+                ev += i + 1 < fs.events.size() ? ",\n" : "\n";
+            }
+            f.add("events", ev + "    ]");
+            put("faults", f.multiline(2));
+        } else if (!f.empty()) {
+            put("faults", f.inlineObj());
+        }
     }
 
     {

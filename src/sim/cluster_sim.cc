@@ -230,7 +230,11 @@ ClusterSim::rebuildActive()
     for (auto& per_service : active_by_service_)
         per_service.clear();
     for (size_t i = 0; i < shards_.size(); ++i) {
-        if (!shards_[i].active)
+        // A failed shard stays out of every router's candidate set even
+        // while the plan still wants it active; the plan intent is kept
+        // in Shard::active so recovery restores routability in place.
+        if (!shards_[i].active ||
+            shards_[i].health == fault::HealthState::Failed)
             continue;
         active_.push_back(static_cast<int>(i));
         active_by_service_[static_cast<size_t>(shards_[i].service)]
@@ -258,6 +262,72 @@ bool
 ClusterSim::isActive(int shard) const
 {
     return shards_[static_cast<size_t>(shard)].active;
+}
+
+fault::HealthState
+ClusterSim::shardHealth(int shard) const
+{
+    if (shard < 0 || static_cast<size_t>(shard) >= shards_.size())
+        panic("ClusterSim::shardHealth: bad shard %d", shard);
+    return shards_[static_cast<size_t>(shard)].health;
+}
+
+void
+ClusterSim::scheduleHealth(std::vector<HealthEvent> events)
+{
+    for (size_t i = 0; i < events.size(); ++i) {
+        const HealthEvent& e = events[i];
+        if (e.shard < 0 || static_cast<size_t>(e.shard) >= shards_.size())
+            panic("ClusterSim::scheduleHealth: event %zu names bad shard "
+                  "%d",
+                  i, e.shard);
+        if (i > 0 && e.t_s < events[i - 1].t_s)
+            panic("ClusterSim::scheduleHealth: events not sorted by time "
+                  "(event %zu at %f after %f)",
+                  i, e.t_s, events[i - 1].t_s);
+    }
+    health_events_ = std::move(events);
+    health_cursor_ = 0;
+}
+
+void
+ClusterSim::applyHealthEventsUpTo(double t_s)
+{
+    while (health_cursor_ < health_events_.size() &&
+           health_events_[health_cursor_].t_s <= t_s) {
+        const HealthEvent ev = health_events_[health_cursor_++];
+        Shard& s = shards_[static_cast<size_t>(ev.shard)];
+        const fault::HealthState from = s.health;
+        const double slow =
+            ev.state == fault::HealthState::Degraded ? ev.slowdown : 1.0;
+        if (from == ev.state && slow == s.slowdown)
+            continue;  // no-op transition
+        // The transition takes effect at its own timestamp: everything
+        // that finishes strictly before it retires normally first.
+        advanceTo(ev.t_s);
+        size_t killed = 0;
+        if (ev.state == fault::HealthState::Failed &&
+            from != fault::HealthState::Failed) {
+            killed = s.inst->killInFlight();
+            failed_inflight_ += killed;
+            service_state_[static_cast<size_t>(s.service)]
+                .failed_inflight += killed;
+            s.failed_at = ev.t_s;
+        }
+        s.inst->setSlowdown(slow);
+        s.slowdown = slow;
+        const bool routable_changed =
+            (from == fault::HealthState::Failed) !=
+            (ev.state == fault::HealthState::Failed);
+        s.health = ev.state;
+        if (routable_changed) {
+            rebuildActive();
+            for (Router& r : routers_)
+                r.onTopologyChange(shards_.size());
+        }
+        health_log_.push_back(HealthTransition{
+            ev.t_s, ev.shard, s.service, from, ev.state, slow, killed});
+    }
 }
 
 bool
@@ -333,6 +403,7 @@ ClusterSim::advanceTo(double t_s)
 int
 ClusterSim::route(const workload::Query& q)
 {
+    applyHealthEventsUpTo(q.arrival_s);
     advanceTo(q.arrival_s);
     const int svc = q.service_id;
     if (svc < 0 || svc >= numServices())
@@ -416,10 +487,14 @@ ClusterSim::harvest(double t0_s, double t1_s)
         ss.dropped_harvested = ss.dropped;
         svc.rejected = ss.rejected - ss.rejected_harvested;
         ss.rejected_harvested = ss.rejected;
+        svc.failed_inflight =
+            ss.failed_inflight - ss.failed_inflight_harvested;
+        ss.failed_inflight_harvested = ss.failed_inflight;
         svc.active_shards = static_cast<int>(active_by_service_[v].size());
         st.arrivals += svc.arrivals;
         st.dropped += svc.dropped;
         st.rejected += svc.rejected;
+        st.failed_inflight += svc.failed_inflight;
     }
     // Offered load includes dropped and rejected arrivals: an outage
     // (or admission-throttled) interval must still show the traffic it
@@ -466,7 +541,12 @@ ClusterSim::harvest(double t0_s, double t1_s)
         // with work still in flight is stalled — the most overloaded
         // shard of all — and must be penalized at the full step, not
         // rewarded with recovery.
-        if (opt_.router == RouterPolicy::LatencyFeedback) {
+        // A failed shard's weight is frozen: it is unroutable anyway,
+        // and its post-kill empty window must not read as "drained and
+        // recovering" — recovery restores routing at the frozen weight
+        // and the first real window speaks for itself.
+        if (opt_.router == RouterPolicy::LatencyFeedback &&
+            s.health != fault::HealthState::Failed) {
             double p99;
             if (shard_lat.count() > 0)
                 p99 = shard_lat.p99();
@@ -478,9 +558,15 @@ ClusterSim::harvest(double t0_s, double t1_s)
                 s.fb_weight, s.weight, p99, sla, opt_.feedback);
         }
         // Power: an active shard burns (at least idle) power for the
-        // whole window; a released shard only while it still drains.
+        // whole window; a released shard only while it still drains; a
+        // failed shard only up to the crash instant (an interval where
+        // it recovers mid-window is charged in full — re-boot churn).
         double span_end;
-        if (s.active)
+        if (s.health == fault::HealthState::Failed)
+            span_end = std::clamp(
+                std::max(s.failed_at, last_finish_in_window), t0_s,
+                t1_s);
+        else if (s.active)
             span_end = t1_s;
         else if (s.inst->outstanding() > 0)
             span_end = t1_s;
@@ -501,16 +587,20 @@ ClusterSim::harvest(double t0_s, double t1_s)
         svc.completions = svc_lat[v].count();
         svc.p50_ms = svc_lat[v].p50();
         svc.p99_ms = svc_lat[v].p99();
-        // A dropped or rejected arrival missed its SLA by definition.
-        svc.sla_violations += svc.dropped + svc.rejected;
-        size_t denom = svc.completions + svc.dropped + svc.rejected;
+        // A dropped or rejected arrival — or an in-flight query killed
+        // by a crash — missed its SLA by definition.
+        svc.sla_violations +=
+            svc.dropped + svc.rejected + svc.failed_inflight;
+        size_t denom = svc.completions + svc.dropped + svc.rejected +
+                       svc.failed_inflight;
         svc.sla_violation_rate =
             denom > 0 ? static_cast<double>(svc.sla_violations) /
                             static_cast<double>(denom)
                       : 0.0;
         st.sla_violations += svc.sla_violations;
     }
-    size_t denom = st.completions + st.dropped + st.rejected;
+    size_t denom =
+        st.completions + st.dropped + st.rejected + st.failed_inflight;
     st.sla_violation_rate =
         denom > 0 ? static_cast<double>(st.sla_violations) /
                         static_cast<double>(denom)
@@ -534,6 +624,9 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
            static_cast<double>(k) * interval_s < horizon_s - 1e-9) {
         double t0 = static_cast<double>(k) * interval_s;
         double t1 = t0 + interval_s;
+        // Boundary health transitions apply before the plan: the
+        // planner that produced it already saw the surviving capacity.
+        applyHealthEventsUpTo(t0);
         IntervalPlan p;
         if (plan) {
             p = plan(k, t0);
@@ -548,6 +641,12 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
         }
         while (cursor < trace.size() && trace[cursor].arrival_s < t1)
             route(trace[cursor++]);
+        // Transitions after the window's last arrival but strictly
+        // inside it (a crash at an exact boundary belongs to the next
+        // interval's plan step).
+        while (health_cursor_ < health_events_.size() &&
+               health_events_[health_cursor_].t_s < t1)
+            applyHealthEventsUpTo(health_events_[health_cursor_].t_s);
         advanceTo(t1);
         IntervalStats st = harvest(t0, t1);
         if (plan) {
@@ -575,6 +674,7 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.injected = injected_;
     r.dropped = dropped_;
     r.rejected = rejected_;
+    r.failed_inflight = failed_inflight_;
     r.admission_retries = admission_retries_;
     r.completed = all_latency_ms_.count();
     r.mean_ms = all_latency_ms_.mean();
@@ -582,11 +682,14 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.p95_ms = all_latency_ms_.p95();
     r.p99_ms = all_latency_ms_.p99();
     r.max_ms = all_latency_ms_.max();
-    // Dropped and rejected arrivals are SLA violations: an outage (or
-    // admission throttling) shows up in the run-level rate instead of
-    // silently vanishing from the denominator.
-    r.sla_violations = all_violations_ + dropped_ + rejected_;
-    size_t denom = r.completed + r.dropped + r.rejected;
+    // Dropped and rejected arrivals — and in-flight queries killed by
+    // crashes — are SLA violations: an outage (or admission throttling,
+    // or a crash) shows up in the run-level rate instead of silently
+    // vanishing from the denominator.
+    r.sla_violations =
+        all_violations_ + dropped_ + rejected_ + failed_inflight_;
+    size_t denom =
+        r.completed + r.dropped + r.rejected + r.failed_inflight;
     r.sla_violation_rate =
         denom > 0 ? static_cast<double>(r.sla_violations) /
                         static_cast<double>(denom)
@@ -599,12 +702,15 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
         out.completed = ss.latency_ms.count();
         out.dropped = ss.dropped;
         out.rejected = ss.rejected;
+        out.failed_inflight = ss.failed_inflight;
         out.p50_ms = ss.latency_ms.p50();
         out.p99_ms = ss.latency_ms.p99();
         out.max_ms = ss.latency_ms.max();
         out.sla_ms = slaMs(static_cast<int>(v));
-        out.sla_violations = ss.violations + ss.dropped + ss.rejected;
-        size_t sdenom = out.completed + out.dropped + out.rejected;
+        out.sla_violations = ss.violations + ss.dropped + ss.rejected +
+                             ss.failed_inflight;
+        size_t sdenom = out.completed + out.dropped + out.rejected +
+                        out.failed_inflight;
         out.sla_violation_rate =
             sdenom > 0 ? static_cast<double>(out.sla_violations) /
                              static_cast<double>(sdenom)
@@ -623,6 +729,7 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.avg_provisioned_power_w = provisioned.mean();
     r.peak_provisioned_power_w =
         provisioned.count() ? provisioned.max() : 0.0;
+    r.health_transitions = health_log_;
     return r;
 }
 

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "qos/admission.h"
 #include "qos/qos.h"
 #include "sim/server_instance.h"
@@ -127,9 +128,17 @@ struct ServiceIntervalStats
     size_t rejected = 0;     ///< arrivals refused by admission control
     double p50_ms = 0.0;
     double p99_ms = 0.0;
-    /** SLA-breaching completions plus dropped + rejected arrivals. */
+    /** In-flight queries killed by a shard crash in the window. */
+    size_t failed_inflight = 0;
+    /**
+     * SLA-breaching completions plus dropped + rejected arrivals plus
+     * crash-killed in-flight queries.
+     */
     size_t sla_violations = 0;
-    /** sla_violations / (completions + dropped + rejected). */
+    /**
+     * sla_violations /
+     * (completions + dropped + rejected + failed_inflight).
+     */
     double sla_violation_rate = 0.0;
     int active_shards = 0;  ///< serving this service, at window start
 };
@@ -142,19 +151,25 @@ struct IntervalStats
     size_t completions = 0;         ///< queries retired in the window
     size_t dropped = 0;             ///< arrivals with no active shard
     size_t rejected = 0;  ///< arrivals refused by admission control
+    /** In-flight queries killed by shard crashes in the window. */
+    size_t failed_inflight = 0;
     /** (arrivals + dropped + rejected) / window. */
     double offered_qps = 0.0;
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
     /**
-     * SLA-breaching completions plus dropped and rejected arrivals: a
-     * query shed because no shard was active — or refused by admission
-     * control — missed its SLA by definition, so a fully-dark outage
+     * SLA-breaching completions plus dropped and rejected arrivals
+     * plus crash-killed in-flight queries: a query shed because no
+     * shard was active — or refused by admission control, or killed by
+     * a crash — missed its SLA by definition, so a fully-dark outage
      * interval reports a 100% violation rate instead of a vacuous 0%.
      */
     size_t sla_violations = 0;
-    /** sla_violations / (completions + dropped + rejected). */
+    /**
+     * sla_violations /
+     * (completions + dropped + rejected + failed_inflight).
+     */
     double sla_violation_rate = 0.0;
     int active_shards = 0;          ///< at window start (post-plan)
     double consumed_power_w = 0.0;  ///< mean over active+draining shards
@@ -172,13 +187,41 @@ struct ServiceRunStats
     size_t completed = 0;
     size_t dropped = 0;
     size_t rejected = 0;  ///< refused by admission control
+    size_t failed_inflight = 0;  ///< killed in flight by shard crashes
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
     double sla_ms = 0.0;       ///< the SLA the service was held to
-    size_t sla_violations = 0;  ///< late completions + drops + rejects
-    /** violations / (completed + dropped + rejected). */
+    /** Late completions + drops + rejects + crash-killed in flight. */
+    size_t sla_violations = 0;
+    /** violations / (completed + dropped + rejected + failed_inflight). */
     double sla_violation_rate = 0.0;
+};
+
+/**
+ * One health transition of one shard (fault injection), scheduled via
+ * ClusterSim::scheduleHealth(). Times are simulated seconds on the
+ * cluster clock.
+ */
+struct HealthEvent
+{
+    double t_s = 0.0;
+    int shard = 0;
+    fault::HealthState state = fault::HealthState::Healthy;
+    /** Latency multiplier while Degraded (>= 1); ignored otherwise. */
+    double slowdown = 1.0;
+};
+
+/** One *applied* health transition, for reporting (CLI crash lines). */
+struct HealthTransition
+{
+    double t_s = 0.0;
+    int shard = 0;
+    int service = 0;
+    fault::HealthState from = fault::HealthState::Healthy;
+    fault::HealthState to = fault::HealthState::Healthy;
+    double slowdown = 1.0;       ///< multiplier in force after `to`
+    size_t killed_inflight = 0;  ///< queries a crash killed
 };
 
 /** Whole-run aggregates. */
@@ -189,6 +232,7 @@ struct ClusterSimResult
     size_t completed = 0;
     size_t dropped = 0;
     size_t rejected = 0;  ///< refused by admission control
+    size_t failed_inflight = 0;  ///< killed in flight by shard crashes
     /** Queries saved from rejection by cross-shard admission retry. */
     size_t admission_retries = 0;
     double mean_ms = 0.0;
@@ -196,8 +240,9 @@ struct ClusterSimResult
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
-    size_t sla_violations = 0;  ///< late completions + drops + rejects
-    /** violations / (completed + dropped + rejected). */
+    /** Late completions + drops + rejects + crash-killed in flight. */
+    size_t sla_violations = 0;
+    /** violations / (completed + dropped + rejected + failed_inflight). */
     double sla_violation_rate = 0.0;
     double avg_consumed_power_w = 0.0;   ///< mean over intervals
     double peak_consumed_power_w = 0.0;
@@ -205,6 +250,8 @@ struct ClusterSimResult
     double peak_provisioned_power_w = 0.0;
     /** Per-service aggregates (index = service id). */
     std::vector<ServiceRunStats> services;
+    /** Every applied health transition, in time order (fault runs). */
+    std::vector<HealthTransition> health_transitions;
 };
 
 /**
@@ -307,6 +354,28 @@ class ClusterSim
 
     bool isActive(int shard) const;
 
+    /**
+     * Install the run's fault timeline: health transitions sorted
+     * ascending by t_s (panics otherwise). run() — and route(), for
+     * direct drivers — apply each event at its timestamp, interleaved
+     * deterministically with arrivals: a *failed* shard kills its
+     * in-flight queries (counted in the failed_inflight statistics as
+     * SLA violations) and leaves every router's candidate set until it
+     * recovers; a *degraded* shard keeps serving with its latencies
+     * multiplied by the event's slowdown. Replaces any previously
+     * scheduled timeline.
+     */
+    void scheduleHealth(std::vector<HealthEvent> events);
+
+    /**
+     * Apply every scheduled health event with t_s <= the given time
+     * (idempotent; route() and run() call this as the clock advances).
+     */
+    void applyHealthEventsUpTo(double t_s);
+
+    /** @return the shard's current health state. */
+    fault::HealthState shardHealth(int shard) const;
+
     /** @return true when inactive with no in-flight queries. */
     bool drained(int shard) const;
 
@@ -397,6 +466,10 @@ class ClusterSim
         size_t harvest_cursor = 0;  ///< completions consumed so far
         /** Dispatch-time admission decision (Options::admission). */
         qos::AdmissionController admit;
+        /** Fault-injection health; Failed shards are never routable. */
+        fault::HealthState health = fault::HealthState::Healthy;
+        double slowdown = 1.0;   ///< latency multiplier in force
+        double failed_at = 0.0;  ///< time of the last crash
     };
 
     /** Per-service routing + accounting state. */
@@ -405,9 +478,11 @@ class ClusterSim
         size_t injected = 0;
         size_t dropped = 0;
         size_t rejected = 0;
+        size_t failed_inflight = 0;  ///< crash-killed in-flight queries
         size_t injected_harvested = 0;
         size_t dropped_harvested = 0;
         size_t rejected_harvested = 0;
+        size_t failed_inflight_harvested = 0;
         PercentileTracker latency_ms;  ///< whole-run latencies
         size_t violations = 0;         ///< whole-run late completions
     };
@@ -427,7 +502,13 @@ class ClusterSim
     size_t injected_ = 0;
     size_t dropped_ = 0;
     size_t rejected_ = 0;
+    size_t failed_inflight_ = 0;  ///< crash-killed in-flight queries
     size_t admission_retries_ = 0;  ///< rejects saved by re-offering
+
+    // fault injection
+    std::vector<HealthEvent> health_events_;  ///< sorted by t_s
+    size_t health_cursor_ = 0;                ///< next event to apply
+    std::vector<HealthTransition> health_log_;
 
     // run() aggregates
     PercentileTracker all_latency_ms_;

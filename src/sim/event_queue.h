@@ -69,6 +69,14 @@ class EventQueue
             runNext();
     }
 
+    /**
+     * Discard every pending event without running it (crash semantics:
+     * work in flight simply never finishes). now() and the tie-break
+     * counter are preserved so post-clear scheduling stays ordered
+     * after everything that already ran.
+     */
+    void clear() { heap_ = {}; }
+
   private:
     struct Event
     {

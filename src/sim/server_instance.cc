@@ -78,6 +78,50 @@ ServerInstance::step()
         eq_.runNext();
 }
 
+void
+ServerInstance::setSlowdown(double factor)
+{
+    if (std::isnan(factor) || factor < 1.0)
+        panic("ServerInstance::setSlowdown: factor must be >= 1 (got %f)",
+              factor);
+    slowdown_ = factor;
+}
+
+size_t
+ServerInstance::killInFlight()
+{
+    size_t killed = 0;
+    for (QueryState& q : queries_) {
+        if (q.done)
+            continue;
+        q.pending = 0;
+        q.done = true;
+        ++killed;
+    }
+    done_count_ += killed;
+    // Discard everything scheduled or queued: arrivals not yet fired,
+    // chunks waiting in pools, batches staged in the GPU pipeline.
+    eq_.clear();
+    auto reset = [](Pool& p) {
+        p.queue.clear();
+        p.idle = p.total;
+    };
+    reset(cpu_pool_);
+    reset(dense_pool_);
+    reset(host_pool_);
+    for (GpuThread& th : gpu_threads_) {
+        th.loading = false;
+        th.has_loaded = false;
+        th.executing = false;
+        th.loaded = Batch{};
+    }
+    fusion_queue_.clear();
+    host_stage_queue_.clear();
+    host_stage_idle_ = host_pool_.total;
+    pcie_free_ = eq_.now();
+    return killed;
+}
+
 /**
  * The early-abort predicate: true once the oldest in-flight post-warmup
  * query has been in the system longer than abort_tail_ms. Amortized
@@ -208,7 +252,7 @@ ServerInstance::poolServe(Pool& pool, Chunk c)
 
     ServiceSample s = cpuService(pool_id, c.items, c.ps);
     double start = eq_.now();
-    double end = start + s.latency_us * 1e-6;
+    double end = start + s.latency_us * 1e-6 * slowdown_;
     // Op-workers blocked on the dependency chain do not burn busy
     // cycles (the Fig 4(c)/Fig 5 utilization effect).
     chargeBins(cpu_busy_s_, start, end,
@@ -338,7 +382,7 @@ ServerInstance::tryFormGpuBatch(size_t tid)
             Batch copy = b;
             size_t t = tid;
             ServiceSample s = cpuService(3, b.items, b.ps);
-            double end = eq_.now() + s.latency_us * 1e-6;
+            double end = eq_.now() + s.latency_us * 1e-6 * slowdown_;
             chargeBins(cpu_busy_s_, eq_.now(), end,
                        static_cast<double>(host_pool_.cores_each) *
                            (1.0 - s.idle_frac));
@@ -372,7 +416,7 @@ ServerInstance::gpuHostStageDone(size_t tid, Batch b)
         host_stage_queue_.pop_front();
         size_t t = next_tid;
         ServiceSample s = cpuService(3, next_b.items, next_b.ps);
-        double end = eq_.now() + s.latency_us * 1e-6;
+        double end = eq_.now() + s.latency_us * 1e-6 * slowdown_;
         chargeBins(cpu_busy_s_, eq_.now(), end,
                    static_cast<double>(host_pool_.cores_each) *
                        (1.0 - s.idle_frac));
@@ -404,7 +448,7 @@ ServerInstance::startTransfer(size_t tid, Batch b)
     // The PCIe link is a FIFO DMA engine shared by all loaders.
     double dur_s = (hw::calib::kGpuHostPrepUs +
                     cost_.pcieTransferUs(bytes, cost_.pcieBwGbps())) *
-                   1e-6;
+                   1e-6 * slowdown_;
     double start = std::max(eq_.now(), pcie_free_);
     double end = start + dur_s;
     pcie_free_ = end;
@@ -443,7 +487,7 @@ ServerInstance::startExec(size_t tid, Batch b)
     hw::GpuExecContext cx = w_.gpu_cx;
     cx.pooling_scale = b.ps;
     hw::GraphTiming t = cost_.gpuGraphTiming(g, b.items, cx);
-    double end = eq_.now() + t.latency_us * 1e-6;
+    double end = eq_.now() + t.latency_us * 1e-6 * slowdown_;
     chargeBins(gpu_busy_s_, eq_.now(), end, 1.0);
     for (const Chunk& c : b.chunks)
         if (c.query >= opt_.warmup_queries) {

@@ -107,6 +107,34 @@ class ServerInstance
     void markAborted() { aborted_ = true; }
 
     /**
+     * Straggler knob: multiply every *subsequent* service and transfer
+     * duration by `factor` (>= 1). Applied at the usage sites, never to
+     * the service memos, so setSlowdown(1.0) is bit-identical to a
+     * server that never degraded. Work already scheduled keeps its
+     * original finish time.
+     */
+    void setSlowdown(double factor);
+
+    /** @return the current latency multiplier (1.0 when healthy). */
+    double slowdown() const { return slowdown_; }
+
+    /**
+     * Crash semantics: every in-flight query dies right now. Killed
+     * queries are marked done (they count in completedAll() so
+     * outstanding() drops to zero) but are never appended to the
+     * completion log and never enter the latency statistics — the
+     * caller accounts for them (ClusterSim's `failed_inflight`). All
+     * pending events, queued chunks and pipeline stages are discarded;
+     * pools and GPU threads reset to idle so the instance can serve
+     * again after recovery. Resource bins already charged beyond the
+     * crash instant are deliberately kept (the power model's stand-in
+     * for crash-loop churn).
+     *
+     * @return the number of queries killed.
+     */
+    size_t killInFlight();
+
+    /**
      * Mean server power (W) over [t0_s, t1_s), integrating the binned
      * resource-utilization profile through the power model. Windows the
      * server spent idle contribute idle power.
@@ -243,6 +271,7 @@ class ServerInstance
     std::deque<std::pair<size_t, Batch>> host_stage_queue_;
     int host_stage_idle_ = 0;
     double pcie_free_ = 0.0;
+    double slowdown_ = 1.0;  ///< latency multiplier (fault injection)
 
     // pool_id: 0 = full graph, 1 = sparse, 2 = dense, 3 = cold sparse
     std::unordered_map<int, ServiceMemoEntry> memo_[4];

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/serving.h"
+#include "fault/fault.h"
 #include "model/model_zoo.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_io.h"
@@ -117,6 +118,17 @@ TEST(SpecIo, EveryNonDefaultFieldRoundTrips)
     s.serve.overprovision_rate = 0.07;
     s.serve.power_cap_w = 512.125;
     s.serve.power_cap_schedule = {{3.0, 400.0}, {5.0, 1e9}};
+    s.serve.faults.seed = 11;
+    s.serve.faults.crash_mtbf_hours = 8.0;
+    s.serve.faults.crash_mttr_hours = 0.75;
+    s.serve.faults.degrade_mtbf_hours = 6.0;
+    s.serve.faults.degrade_mttr_hours = 2.0;
+    s.serve.faults.degrade_slowdown = 3.5;
+    s.serve.faults.events = {
+        {1.5, 1, 2, fault::HealthState::Failed, 1.0},
+        {2.25, 1, 2, fault::HealthState::Healthy, 1.0},
+        {4.0, 0, 1, fault::HealthState::Degraded, 2.5},
+    };
     s.serve.trace.bucket_seconds = 30.0;
     s.serve.trace.time_compression = 480.0;
     s.serve.trace.seed = 1234;

@@ -397,6 +397,49 @@ TEST(ClusterSim, ReleasedShardDrainsBeforeGoingDark)
 }
 
 /*
+ * The power side of drain semantics: a released shard keeps burning
+ * power while its in-flight queue drains, and only once drained() does
+ * it go dark. A harvest window entirely after the drain charges it
+ * nothing.
+ */
+TEST(ClusterSim, DrainingShardConsumesPowerUntilDark)
+{
+    model::Model m = model::buildModel(ModelId::DlrmRmc1);
+    PreparedWorkload w = prepare(hw::serverSpec(ServerType::T2), m,
+                                 cpuConfig(1, 1, 64));
+    ClusterSim cluster(ClusterSim::Options{});
+    cluster.addShard(w, 1000.0);
+
+    // Pile up a deep queue on the single-threaded shard, then release
+    // it mid-queue: every in-flight query still retires.
+    for (const auto& q : uniformTrace(30, 0.001, 300))
+        cluster.route(q);
+    cluster.setActive(0, false, 0.05);
+    ASSERT_GT(cluster.outstanding(0), 0u);
+
+    cluster.advanceTo(1.0);
+    EXPECT_TRUE(cluster.drained(0));
+    IntervalStats draining = cluster.harvest(0.0, 1.0);
+    EXPECT_EQ(draining.completions, 30u);
+    EXPECT_EQ(draining.dropped, 0u);
+    // The drain work is charged to the window it happened in.
+    EXPECT_GT(draining.consumed_power_w, 0.0);
+
+    // A later window sees a dark shard: no completions, no power.
+    cluster.advanceTo(2.0);
+    IntervalStats dark = cluster.harvest(1.0, 2.0);
+    EXPECT_EQ(dark.completions, 0u);
+    EXPECT_DOUBLE_EQ(dark.consumed_power_w, 0.0);
+
+    // And the dark shard still refuses new work.
+    workload::Query late;
+    late.arrival_s = 2.001;
+    late.size = 10;
+    late.pooling_scale = 1.0;
+    EXPECT_EQ(cluster.route(late), -1);
+}
+
+/*
  * Bugfix pins: router state must survive topology changes. A
  * re-provision used to zero the round-robin cursor and all smooth-WRR
  * credits, biasing load toward low-index shards across a long replay.
