@@ -55,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -65,6 +66,7 @@
 #include "core/profiler.h"
 #include "fault/fault.h"
 #include "qos/qos.h"
+#include "scenario/lint.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_io.h"
 #include "util/table.h"
@@ -89,6 +91,7 @@ struct Args
     fault::FaultSpec faults;
     std::string scenario_file;  ///< --scenario: run this spec file
     bool parse_only = false;    ///< with --scenario: parse, don't run
+    std::string lint_file;      ///< --lint: statically analyze a spec
 };
 
 /**
@@ -224,6 +227,12 @@ usage(const char* argv0)
         "                  experiment flag is ignored\n"
         "  --parse-only    with --scenario: parse + validate the\n"
         "                  file, print its summary, don't run\n"
+        "  --lint F        statically analyze scenario file F without\n"
+        "                  running it: print every diagnostic (stable\n"
+        "                  E1xx/W2xx codes, src/scenario/README.md)\n"
+        "                  and exit 1 when any error is found; the\n"
+        "                  spec's table_cache, when present on disk,\n"
+        "                  enables the hardware-feasibility checks\n"
         "tip: --trace --horizon 6 finishes in seconds.\n",
         argv0);
 }
@@ -251,6 +260,11 @@ parseArgs(int argc, char** argv, Args& out)
             if (v == nullptr)
                 return reject("missing file after", a);
             out.scenario_file = v;
+        } else if (a == "--lint") {
+            const char* v = value();
+            if (v == nullptr)
+                return reject("missing file after", a);
+            out.lint_file = v;
         } else if (a == "--horizon") {
             const char* v = value();
             if (v == nullptr || std::atof(v) <= 0.0)
@@ -499,6 +513,51 @@ runSpec(scenario::ScenarioSpec spec, bool write_json)
     return 0;
 }
 
+/**
+ * --lint: static semantic analysis of one spec file. Never simulates;
+ * the spec's table_cache (when it exists and parses) additionally
+ * enables the efficiency-table checks. Exit 1 on any E1xx error (or a
+ * file that does not parse), 0 otherwise — warnings are printed but
+ * never block.
+ */
+int
+lintScenarioFile(const std::string& path)
+{
+    std::string err;
+    auto spec = scenario::loadSpecFile(path, &err);
+    if (!spec.has_value()) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    std::optional<core::EfficiencyTable> table;
+    if (!spec->profile.table_cache.empty() &&
+        std::filesystem::exists(spec->profile.table_cache))
+        table =
+            core::EfficiencyTable::tryReadCsv(spec->profile.table_cache);
+
+    std::vector<scenario::Diagnostic> ds =
+        scenario::lint(*spec, table.has_value() ? &*table : nullptr);
+    size_t errors = 0, warnings = 0;
+    for (const scenario::Diagnostic& d : ds) {
+        (d.severity == scenario::Severity::Error ? errors : warnings)++;
+        std::fprintf(d.severity == scenario::Severity::Error ? stderr
+                                                             : stdout,
+                     "%s: %s\n", path.c_str(),
+                     scenario::formatDiagnostic(d).c_str());
+    }
+    if (ds.empty())
+        std::printf("%s: clean — 0 diagnostics (scenario '%s'%s)\n",
+                    path.c_str(), spec->name.c_str(),
+                    table.has_value() ? ", table-aware checks on"
+                                      : "");
+    else
+        std::printf("%s: %zu error%s, %zu warning%s\n", path.c_str(),
+                    errors, errors == 1 ? "" : "s", warnings,
+                    warnings == 1 ? "" : "s");
+    return errors > 0 ? 1 : 0;
+}
+
 int
 runScenarioFile(const Args& args)
 {
@@ -606,6 +665,9 @@ main(int argc, char** argv)
         usage(argv[0]);
         return 2;
     }
+
+    if (!args.lint_file.empty())
+        return lintScenarioFile(args.lint_file);
 
     if (!args.scenario_file.empty())
         return runScenarioFile(args);

@@ -1,5 +1,6 @@
 #include "core/eval_engine.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 
@@ -298,12 +299,19 @@ EvalEngine::saveCache(const std::string& path) const
     {
         std::lock_guard<std::mutex> lock(mu_);
         entries.reserve(cache_.size());
+        // determinism-lint: allow(unordered-iteration)
         for (const auto& [key, cell] : cache_) {
             std::lock_guard<std::mutex> cell_lock(cell->m);
             if (cell->ready)
                 entries.emplace_back(key, cell->result);
         }
     }
+    // The memo file is an artifact (diffed across runs, restored from
+    // CI caches): bucket order must not leak into it.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
 
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

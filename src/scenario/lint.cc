@@ -1,0 +1,472 @@
+#include "scenario/lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hw/power.h"
+#include "hw/server.h"
+#include "model/model_zoo.h"
+
+namespace hercules::scenario {
+
+namespace {
+
+/** Collects diagnostics; every check funnels through error()/warning(). */
+class Linter
+{
+  public:
+    Linter(const ScenarioSpec& spec, const core::EfficiencyTable* table)
+        : spec_(spec), table_(table)
+    {
+    }
+
+    std::vector<Diagnostic>
+    run()
+    {
+        checkFleet();
+        checkHorizon();
+        checkPowerCap();
+        checkServices();
+        checkAdmission();
+        checkFaults();
+        checkPeakDemand();
+        return std::move(out_);
+    }
+
+  private:
+    void
+    emit(const char* code, Severity sev, std::string path,
+         std::string message)
+    {
+        out_.push_back(Diagnostic{code, sev, std::move(message),
+                                  std::move(path)});
+    }
+
+    void
+    error(const char* code, std::string path, std::string message)
+    {
+        emit(code, Severity::Error, std::move(path),
+             std::move(message));
+    }
+
+    void
+    warning(const char* code, std::string path, std::string message)
+    {
+        emit(code, Severity::Warning, std::move(path),
+             std::move(message));
+    }
+
+    static std::string
+    num(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%g", v);
+        return buf;
+    }
+
+    /** Idle draw (W) of the cheapest-to-idle fleet type with slots. */
+    double
+    cheapestIdleW(hw::ServerType* which) const
+    {
+        double best = std::numeric_limits<double>::infinity();
+        for (const FleetEntry& e : spec_.fleet) {
+            if (e.shard_slots <= 0)
+                continue;
+            double idle =
+                hw::PowerModel(hw::serverSpec(e.type)).idlePowerW();
+            if (idle < best) {
+                best = idle;
+                if (which != nullptr)
+                    *which = e.type;
+            }
+        }
+        return best;
+    }
+
+    /** True when the cap schedule parses as a usable timeline. */
+    bool
+    scheduleWellFormed() const
+    {
+        const auto& sched = spec_.serve.power_cap_schedule;
+        for (size_t i = 0; i < sched.size(); ++i) {
+            if (!(sched[i].from_hour >= 0.0) ||
+                !std::isfinite(sched[i].from_hour) ||
+                !(sched[i].cap_w >= 0.0))
+                return false;
+            if (i > 0 && sched[i].from_hour < sched[i - 1].from_hour)
+                return false;
+        }
+        return true;
+    }
+
+    // ---- checks ----------------------------------------------------------
+
+    void
+    checkFleet()
+    {
+        if (spec_.fleet.empty()) {
+            error("E101", "fleet",
+                  "empty fleet: the scenario has no servers to "
+                  "provision");
+        }
+        for (size_t i = 0; i < spec_.fleet.size(); ++i) {
+            const FleetEntry& e = spec_.fleet[i];
+            std::string path =
+                "fleet[" + std::to_string(i) + "].slots";
+            if (e.shard_slots < 0)
+                error("E103", path,
+                      std::string("negative shard slots (") +
+                          std::to_string(e.shard_slots) + ") for " +
+                          hw::serverTypeName(e.type));
+            else if (e.shard_slots == 0)
+                warning("W210", path,
+                        std::string("fleet entry ") +
+                            hw::serverTypeName(e.type) +
+                            " has zero slots: it can never host a "
+                            "shard (dead entry)");
+        }
+        if (spec_.services.empty())
+            error("E102", "services",
+                  "no services: the scenario has nothing to serve");
+    }
+
+    void
+    checkHorizon()
+    {
+        if (!(spec_.serve.horizon_hours > 0.0))
+            error("E104", "horizon_hours",
+                  "horizon_hours must be positive (got " +
+                      num(spec_.serve.horizon_hours) + ")");
+        if (!(spec_.serve.interval_hours > 0.0))
+            error("E104", "interval_hours",
+                  "interval_hours must be positive (got " +
+                      num(spec_.serve.interval_hours) + ")");
+    }
+
+    void
+    checkPowerCap()
+    {
+        const auto& sched = spec_.serve.power_cap_schedule;
+        for (size_t i = 0; i < sched.size(); ++i) {
+            std::string path =
+                "power_cap_schedule[" + std::to_string(i) + "]";
+            if (!(sched[i].from_hour >= 0.0) ||
+                !std::isfinite(sched[i].from_hour) ||
+                !(sched[i].cap_w >= 0.0))
+                error("E105", path,
+                      "non-finite or negative schedule point "
+                      "(from_hour " +
+                          num(sched[i].from_hour) + ", cap_w " +
+                          num(sched[i].cap_w) + ")");
+            else if (i > 0 &&
+                     sched[i].from_hour < sched[i - 1].from_hour)
+                error("E105", path,
+                      "power_cap_schedule not sorted by from_hour (" +
+                          num(sched[i].from_hour) + " after " +
+                          num(sched[i - 1].from_hour) + ")");
+        }
+        if (!scheduleWellFormed())
+            return;  // E105 already reported; derived checks would lie
+
+        hw::ServerType cheapest = hw::ServerType::T1;
+        double idle_w = cheapestIdleW(&cheapest);
+        auto below_idle = [&](double cap_w, const std::string& path) {
+            if (std::isfinite(idle_w) && cap_w < idle_w)
+                error("E106", path,
+                      "power cap " + num(cap_w) +
+                          " W is below the cheapest single-server "
+                          "idle draw (" +
+                          hw::serverTypeName(cheapest) + " idles at " +
+                          num(idle_w) +
+                          " W): every interval under this cap sheds "
+                          "the whole fleet and serves nothing");
+        };
+        double scalar = spec_.serve.power_cap_w;
+        if (std::isfinite(scalar))
+            below_idle(scalar, "power_cap_w");
+        double horizon = spec_.serve.horizon_hours;
+        for (size_t i = 0; i < sched.size(); ++i) {
+            std::string path =
+                "power_cap_schedule[" + std::to_string(i) + "]";
+            if (horizon > 0.0 && sched[i].from_hour >= horizon) {
+                warning("W208", path,
+                        "schedule point at hour " +
+                            num(sched[i].from_hour) +
+                            " starts at/after the " + num(horizon) +
+                            "h horizon: dead segment");
+                continue;
+            }
+            double effective = std::min(sched[i].cap_w, scalar);
+            if (std::isfinite(effective))
+                below_idle(effective, path + ".cap_w");
+        }
+    }
+
+    void
+    checkServices()
+    {
+        double horizon = spec_.serve.horizon_hours;
+        double frac_sum = 0.0;
+        bool any_frac = false;
+        for (size_t i = 0; i < spec_.services.size(); ++i) {
+            const ServiceScenario& s = spec_.services[i];
+            std::string ctx = "services[" + std::to_string(i) + "]";
+            const workload::DiurnalConfig& load = s.spec.load;
+            if (load.surge_hours > 0.0 && load.surge_factor != 1.0 &&
+                horizon > 0.0 && load.surge_hour >= horizon)
+                warning("W201", ctx + ".surge_hour",
+                        "surge window [" + num(load.surge_hour) +
+                            "h, " +
+                            num(load.surge_hour + load.surge_hours) +
+                            "h) lies entirely outside the " +
+                            num(horizon) + "h horizon: dead knob");
+            if (s.peak_qps_frac > 0.0) {
+                any_frac = true;
+                frac_sum += s.peak_qps_frac;
+            }
+            if (table_ != nullptr)
+                checkServiceFeasible(i, ctx);
+        }
+        if (any_frac && frac_sum > 1.0)
+            warning("W206", "services",
+                    "peak_qps_frac values sum to " + num(frac_sum) +
+                        " > 1: at coincident peaks the services "
+                        "demand more than the full fleet's capacity, "
+                        "so provisioning can never fit");
+
+        if (spec_.serve.router == sim::RouterPolicy::LatencyFeedback) {
+            int slots = 0;
+            for (const FleetEntry& e : spec_.fleet)
+                slots += std::max(e.shard_slots, 0);
+            if (slots == 1)
+                warning("W205", "router",
+                        "latency-feedback router over a single-shard "
+                        "fleet is degenerate: with one shard per "
+                        "service there is no alternative to shift "
+                        "weight to");
+        }
+    }
+
+    /** E130: with a table, a model no fleet type can serve is fatal. */
+    void
+    checkServiceFeasible(size_t i, const std::string& ctx)
+    {
+        const ServiceScenario& s = spec_.services[i];
+        bool any_type = false, any_feasible = false;
+        for (const FleetEntry& e : spec_.fleet) {
+            const core::EfficiencyEntry* ent =
+                table_->get(e.type, s.spec.model);
+            if (ent == nullptr)
+                continue;
+            any_type = true;
+            any_feasible = any_feasible || ent->feasible;
+        }
+        if (any_type && !any_feasible)
+            error("E130", ctx + ".model",
+                  std::string("model ") +
+                      model::modelName(s.spec.model) +
+                      " is infeasible on every fleet type in the "
+                      "efficiency table: its SLA is tighter than the "
+                      "hardware's minimum achievable latency, so no "
+                      "shard can ever serve it");
+    }
+
+    void
+    checkAdmission()
+    {
+        const qos::AdmissionConfig& a = spec_.serve.admission;
+        if (a.policy == qos::AdmissionPolicy::Deadline &&
+            a.deadline_slack > 1.0)
+            warning("W207", "admission.deadline_slack",
+                    "deadline_slack " + num(a.deadline_slack) +
+                        " > 1 makes the admission deadline looser "
+                        "than the SLA: queries admitted under it can "
+                        "still violate, so the deadline cannot "
+                        "protect the SLA (dead knob)");
+    }
+
+    void
+    checkFaults()
+    {
+        const fault::FaultSpec& fs = spec_.serve.faults;
+        auto bad_knob = [&](double v, const char* name) {
+            if (!(v >= 0.0))
+                error("E107", std::string("faults.") + name,
+                      std::string(name) +
+                          " must be non-negative (got " + num(v) +
+                          ")");
+        };
+        bad_knob(fs.crash_mtbf_hours, "crash_mtbf_hours");
+        bad_knob(fs.crash_mttr_hours, "crash_mttr_hours");
+        bad_knob(fs.degrade_mtbf_hours, "degrade_mtbf_hours");
+        bad_knob(fs.degrade_mttr_hours, "degrade_mttr_hours");
+        if (!(fs.degrade_slowdown >= 1.0))
+            error("E108", "faults.degrade_slowdown",
+                  "degrade_slowdown must be >= 1 (got " +
+                      num(fs.degrade_slowdown) + ")");
+
+        if (fs.crash_mtbf_hours > 0.0 &&
+            fs.crash_mttr_hours >= fs.crash_mtbf_hours)
+            warning("W203", "faults.crash_mttr_hours",
+                    "crash MTTR (" + num(fs.crash_mttr_hours) +
+                        "h) >= MTBF (" + num(fs.crash_mtbf_hours) +
+                        "h): servers spend more time crashed than "
+                        "serving");
+        if (fs.degrade_mtbf_hours > 0.0 &&
+            fs.degrade_mttr_hours >= fs.degrade_mtbf_hours)
+            warning("W204", "faults.degrade_mttr_hours",
+                    "degrade MTTR (" + num(fs.degrade_mttr_hours) +
+                        "h) >= MTBF (" + num(fs.degrade_mtbf_hours) +
+                        "h): servers spend more time degraded than "
+                        "healthy");
+
+        double horizon = spec_.serve.horizon_hours;
+        for (size_t i = 0; i < fs.events.size(); ++i) {
+            const fault::FaultEvent& e = fs.events[i];
+            std::string ctx =
+                "faults.events[" + std::to_string(i) + "]";
+            if (!(e.t_hours >= 0.0))
+                error("E110", ctx + ".at_hour",
+                      "negative (or NaN) at_hour " + num(e.t_hours));
+            if (e.fleet_index < 0 ||
+                e.fleet_index >= static_cast<int>(spec_.fleet.size())) {
+                error("E111", ctx + ".fleet",
+                      "fleet index " + std::to_string(e.fleet_index) +
+                          " does not exist (fleet has " +
+                          std::to_string(spec_.fleet.size()) +
+                          " entries)");
+            } else if (e.slot < 0 ||
+                       e.slot >=
+                           spec_.fleet[e.fleet_index].shard_slots) {
+                error("E112", ctx + ".slot",
+                      "slot " + std::to_string(e.slot) +
+                          " does not exist (" +
+                          hw::serverTypeName(
+                              spec_.fleet[e.fleet_index].type) +
+                          " has " +
+                          std::to_string(
+                              spec_.fleet[e.fleet_index].shard_slots) +
+                          " slots)");
+            }
+            if (e.state == fault::HealthState::Degraded &&
+                !(e.slowdown >= 1.0))
+                error("E113", ctx + ".slowdown",
+                      "degraded slowdown must be >= 1 (got " +
+                          num(e.slowdown) + ")");
+            if (e.t_hours >= horizon && horizon > 0.0 &&
+                e.t_hours >= 0.0)
+                warning("W202", ctx + ".at_hour",
+                        "event at hour " + num(e.t_hours) +
+                            " fires at/after the " + num(horizon) +
+                            "h horizon: it can never apply");
+        }
+    }
+
+    /**
+     * W209: with a table, warn when the tightest cap anywhere in the
+     * horizon cannot even power the forecast peak demand of the
+     * must-serve priority tier (the services shed last — every
+     * service when priorities are uniform).
+     */
+    void
+    checkPeakDemand()
+    {
+        if (table_ == nullptr || spec_.services.empty() ||
+            !scheduleWellFormed())
+            return;
+
+        double min_cap = spec_.serve.power_cap_w;
+        double horizon = spec_.serve.horizon_hours;
+        for (const cluster::PowerCapPoint& p :
+             spec_.serve.power_cap_schedule)
+            if (horizon <= 0.0 || p.from_hour < horizon)
+                min_cap = std::min(min_cap, p.cap_w);
+        if (!std::isfinite(min_cap))
+            return;
+
+        // Resolve fraction-of-capacity peaks the same way run() does,
+        // on a copy: lint never mutates the spec.
+        ScenarioSpec resolved = spec_;
+        resolvePeaks(resolved, *table_);
+
+        int top = 0;
+        for (const ServiceScenario& s : resolved.services)
+            top = std::max(top, s.spec.qos.priority);
+
+        // Cheapest watts that serve each must-serve service's peak:
+        // its demand divided by the best QPS/W any fleet type offers.
+        double demand_w = 0.0;
+        bool estimable = false;
+        for (const ServiceScenario& s : resolved.services) {
+            if (s.spec.qos.priority != top)
+                continue;
+            double best_qpw = 0.0;
+            for (const FleetEntry& e : spec_.fleet) {
+                const core::EfficiencyEntry* ent =
+                    table_->get(e.type, s.spec.model);
+                if (ent != nullptr && ent->feasible)
+                    best_qpw = std::max(best_qpw, ent->qps_per_watt);
+            }
+            if (best_qpw > 0.0 && s.spec.load.peak_qps > 0.0) {
+                demand_w += s.spec.load.peak_qps / best_qpw;
+                estimable = true;
+            }
+        }
+        if (estimable && min_cap < demand_w)
+            warning("W209", "power_cap_w",
+                    "tightest power cap in the horizon (" +
+                        num(min_cap) +
+                        " W) is below the forecast peak demand of "
+                        "the must-serve priority tier (needs at "
+                        "least " +
+                        num(demand_w) +
+                        " W at the fleet's best efficiency): "
+                        "must-serve services will shed capacity at "
+                        "peak");
+    }
+
+    const ScenarioSpec& spec_;
+    const core::EfficiencyTable* table_;
+    std::vector<Diagnostic> out_;
+};
+
+}  // namespace
+
+const char*
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+std::string
+formatDiagnostic(const Diagnostic& d)
+{
+    std::string out = d.code;
+    out += ' ';
+    out += severityName(d.severity);
+    if (!d.path.empty()) {
+        out += " at ";
+        out += d.path;
+    }
+    out += ": ";
+    out += d.message;
+    return out;
+}
+
+std::vector<Diagnostic>
+lint(const ScenarioSpec& spec, const core::EfficiencyTable* table)
+{
+    return Linter(spec, table).run();
+}
+
+bool
+hasErrors(const std::vector<Diagnostic>& ds)
+{
+    for (const Diagnostic& d : ds)
+        if (d.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+}  // namespace hercules::scenario

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "scenario/lint.h"
 #include "util/logging.h"
 
 namespace hercules::scenario {
@@ -194,6 +195,19 @@ resolvePeaks(ScenarioSpec& spec, const core::EfficiencyTable& table)
 ScenarioResult
 run(const ScenarioSpec& spec, const core::EfficiencyTable* table)
 {
+    // Opt-in lint gate: reject statically-broken specs before any
+    // profiling or trace generation spends time on them.
+    if (spec.lint) {
+        std::vector<Diagnostic> ds = lint(spec, table);
+        std::string errs;
+        for (const Diagnostic& d : ds)
+            if (d.severity == Severity::Error)
+                errs += (errs.empty() ? "" : "; ") +
+                        formatDiagnostic(d);
+        if (!errs.empty())
+            fatal("scenario '%s' rejected by lint gate: %s",
+                  spec.name.c_str(), errs.c_str());
+    }
     validate(spec);
 
     ScenarioResult out;

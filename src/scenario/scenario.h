@@ -112,6 +112,14 @@ struct ScenarioSpec
     ProvisionerKind provisioner = ProvisionerKind::Hercules;
     /** Seed of the heterogeneity-oblivious NH provisioner. */
     uint64_t nh_seed = 17;
+    /**
+     * Opt-in lint gate (spec key "lint"): run() statically analyzes
+     * the spec (scenario/lint.h) and rejects it on any E1xx error
+     * before profiling — a malformed 24h replay fails in microseconds
+     * instead of minutes. Warnings never block. Default off: legacy
+     * specs run exactly as before.
+     */
+    bool lint = false;
     ProfileSpec profile;
     /**
      * Everything cluster::serveTraces consumes: horizon/interval,

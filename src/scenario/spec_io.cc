@@ -696,6 +696,7 @@ bindSpec(const Value& root, ScenarioSpec* out, std::string* err)
     if (!r.named("provisioner", "provisioner", parseProvisionerKind,
                  &out->provisioner) ||
         !r.u64Field("nh_seed", &out->nh_seed) ||
+        !r.boolean("lint", &out->lint) ||
         !r.named("router", "router policy", sim::parseRouterPolicy,
                  &out->serve.router) ||
         !r.u64Field("router_seed", &out->serve.router_seed) ||
@@ -1027,6 +1028,8 @@ toText(const ScenarioSpec& spec)
             quote(provisionerKindName(spec.provisioner)));
     if (spec.nh_seed != kDef.nh_seed)
         put("nh_seed", fmtNumber(static_cast<double>(spec.nh_seed)));
+    if (spec.lint != kDef.lint)
+        put("lint", spec.lint ? "true" : "false");
     if (spec.serve.router != dv.router)
         put("router", quote(sim::routerPolicyName(spec.serve.router)));
     if (spec.serve.router_seed != dv.router_seed)

@@ -74,6 +74,8 @@ panic(const char* fmt, ...)
 std::string
 isoUtcTimestamp()
 {
+    // Provenance only (BENCH_*.json headers), never result-affecting.
+    // determinism-lint: allow(wall-clock)
     std::time_t t = std::time(nullptr);
     std::tm tm{};
     gmtime_r(&t, &tm);

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/eval_engine.h"
 #include "core/profiler.h"
@@ -59,8 +61,9 @@ void
 expectIdentical(const SearchResult& a, const SearchResult& b)
 {
     ASSERT_EQ(a.best.has_value(), b.best.has_value());
-    if (a.best)
+    if (a.best) {
         EXPECT_EQ(a.best->key(), b.best->key());
+    }
     EXPECT_EQ(a.best_qps, b.best_qps);  // bit-identical, no tolerance
     EXPECT_EQ(a.best_point.result.tail_ms, b.best_point.result.tail_ms);
     EXPECT_EQ(a.best_point.result.peak_power_w,
@@ -321,6 +324,67 @@ TEST(EvalEngine, CacheRoundTripsThroughDisk)
     EXPECT_TRUE(bad_replayed.cache_hit);
     EXPECT_FALSE(bad_replayed.valid);
     std::remove(path);
+}
+
+/*
+ * Regression: saveCache must not leak unordered_map bucket order into
+ * the memo file. Two engines loading the same entries in opposite
+ * orders save byte-identical, key-sorted files — memo spills are
+ * diffable artifacts and CI-cache keys, so their bytes are part of the
+ * determinism contract.
+ */
+TEST(EvalEngine, SaveCacheIsKeySortedAndInsertionOrderFree)
+{
+    const char* fwd = "test_eval_cache_fwd.tmp";
+    const char* rev = "test_eval_cache_rev.tmp";
+    const char* out_a = "test_eval_cache_out_a.tmp";
+    const char* out_b = "test_eval_cache_out_b.tmp";
+    std::vector<std::string> keys = {"zeta", "alpha", "mid", "beta"};
+
+    auto write_seed = [&](const char* path, bool reversed) {
+        FILE* f = std::fopen(path, "w");
+        ASSERT_NE(f, nullptr);
+        std::fprintf(f, "HERCULES_EVAL_CACHE v1\n");
+        for (size_t i = 0; i < keys.size(); ++i) {
+            const std::string& k =
+                reversed ? keys[keys.size() - 1 - i] : keys[i];
+            std::fprintf(f, "%s\t0 0\n", k.c_str());
+        }
+        std::fclose(f);
+    };
+    auto read_file = [](const char* path) {
+        FILE* f = std::fopen(path, "r");
+        EXPECT_NE(f, nullptr);
+        std::string s;
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            s.push_back(static_cast<char>(c));
+        std::fclose(f);
+        return s;
+    };
+
+    write_seed(fwd, false);
+    write_seed(rev, true);
+    EvalEngine a(EvalOptions{});
+    EvalEngine b(EvalOptions{});
+    ASSERT_EQ(a.loadCache(fwd), keys.size());
+    ASSERT_EQ(b.loadCache(rev), keys.size());
+    EXPECT_EQ(a.saveCache(out_a), keys.size());
+    EXPECT_EQ(b.saveCache(out_b), keys.size());
+
+    std::string text_a = read_file(out_a);
+    EXPECT_EQ(text_a, read_file(out_b));
+    EXPECT_EQ(text_a,
+              "HERCULES_EVAL_CACHE v1\n"
+              "alpha\t0 0\n"
+              "beta\t0 0\n"
+              "mid\t0 0\n"
+              "zeta\t0 0\n");
+
+    std::remove(fwd);
+    std::remove(rev);
+    std::remove(out_a);
+    std::remove(out_b);
 }
 
 TEST(EvalEngine, LoadCacheRejectsMissingOrForeignFiles)

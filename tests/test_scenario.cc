@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests of the declarative scenario API (src/scenario/): exact text
- * round-trip on every shipped scenarios/*.scn, duplicate/unknown-key
+ * round-trip on every shipped .scn in scenarios/, duplicate/unknown-key
  * rejection with 1-based line numbers, default-spec == legacy-defaults
  * equivalence, the time-varying power-cap schedule, and the golden
  * pin that scenario::run() on a spec mirroring bench_multiservice's

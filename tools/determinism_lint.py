@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Source-level determinism lint for the Hercules tree.
+
+The simulator's contract is bit-identical results for identical specs
+and seeds — across runs, machines, and thread counts (the serial ==
+pooled golden pins in tests/ depend on it). This lint bans the C++
+constructs that silently break that contract. It is registered as the
+`determinism_lint` ctest, so a violation fails tier-1.
+
+Rules (see tools/README.md for the rationale and examples):
+
+  std-rand            std::rand/srand/rand(): ambient global RNG.
+                      Use util::SplitMix64 / seeded std::mt19937_64.
+  random-device       std::random_device: hardware entropy, different
+                      every run. Seeds come from the spec.
+  wall-clock          time(...)/std::time/system_clock::now/
+                      localtime/gmtime in result-affecting code.
+  unordered-iteration Iterating a std::unordered_map/unordered_set
+                      declared in the same file: bucket order is
+                      implementation-defined and seed-dependent, so
+                      anything derived from the traversal (files,
+                      sums, schedules) varies. Iterate a sorted copy
+                      or keep a side vector in insertion order.
+  locale-format       setlocale/std::locale/imbue: "%f" suddenly
+                      prints "0,5" under a European locale, breaking
+                      golden files and CSV round-trips.
+
+Escape hatch — when a use is deliberate and result-neutral (e.g. a
+provenance timestamp in a log header), annotate the offending line or
+the line directly above it:
+
+    // determinism-lint: allow(wall-clock)
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import pathlib
+import re
+import sys
+
+RULES = [
+    ("std-rand", re.compile(r"\bstd::rand\b|\bsrand\s*\(|[^_\w]rand\s*\(")),
+    ("random-device", re.compile(r"\brandom_device\b")),
+    (
+        "wall-clock",
+        re.compile(
+            r"\btime\s*\(|system_clock::now|\blocaltime\b|\bgmtime\b"
+        ),
+    ),
+    (
+        "locale-format",
+        re.compile(r"\bsetlocale\s*\(|std::locale\b|\.imbue\s*\("),
+    ),
+]
+
+ALLOW = re.compile(r"//\s*determinism-lint:\s*allow\(([a-z-]+)\)")
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)"
+)
+SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
+
+
+def allowed(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = ALLOW.search(text)
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def strip_block_comments(lines):
+    """Blank out /* ... */ spans (keeps line count; // handled later)."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start = line.find("/*", i)
+                inline = line.find("//", i)
+                if start == -1 or (inline != -1 and inline < start):
+                    buf.append(line[i:])
+                    break
+                buf.append(line[i:start])
+                in_block = True
+                i = start + 2
+        out.append("".join(buf))
+    return out
+
+
+def unordered_decls(lines):
+    names = set()
+    for line in lines:
+        for m in UNORDERED_DECL.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def lint_file(path):
+    violations = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    code_lines = strip_block_comments(lines)
+
+    # Names declared as unordered containers in this file — plus, for a
+    # .cc, in its companion header: members live in the .h while the
+    # order-sensitive traversal lives in the .cc.
+    unordered_names = unordered_decls(code_lines)
+    if path.suffix in {".cc", ".cpp"}:
+        for header_suffix in (".h", ".hpp"):
+            header = path.with_suffix(header_suffix)
+            if header.is_file():
+                unordered_names |= unordered_decls(
+                    strip_block_comments(
+                        header.read_text(
+                            encoding="utf-8"
+                        ).splitlines()
+                    )
+                )
+    iter_pats = []
+    if unordered_names:
+        names = "|".join(re.escape(n) for n in sorted(unordered_names))
+        iter_pats = [
+            re.compile(r":\s*(?:this->)?(?:" + names + r")\s*\)"),
+            re.compile(r"\b(?:" + names + r")\s*\.\s*(?:c?begin)\s*\("),
+        ]
+
+    prev = ""
+    for lineno, (line, stripped) in enumerate(
+        zip(lines, code_lines), 1
+    ):
+        code = stripped.split("//", 1)[0]  # rules don't fire in comments
+        for rule, pat in RULES:
+            if pat.search(code) and not allowed(rule, line, prev):
+                violations.append((lineno, rule, line.strip()))
+        for pat in iter_pats:
+            if pat.search(code) and not allowed(
+                "unordered-iteration", line, prev
+            ):
+                violations.append(
+                    (lineno, "unordered-iteration", line.strip())
+                )
+        prev = line
+    return violations
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <source-root>", file=sys.stderr)
+        return 2
+    root = pathlib.Path(argv[1])
+    if not root.is_dir():
+        print(f"{root}: not a directory", file=sys.stderr)
+        return 2
+
+    total = 0
+    files = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in SUFFIXES:
+            continue
+        files += 1
+        for lineno, rule, text in lint_file(path):
+            total += 1
+            print(f"{path}:{lineno}: [{rule}] {text}")
+    if total:
+        print(
+            f"determinism-lint: {total} violation(s) in {files} file(s); "
+            "fix or annotate with "
+            "'// determinism-lint: allow(<rule>)'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism-lint: {files} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
