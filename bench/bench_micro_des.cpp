@@ -3,11 +3,16 @@
  * google-benchmark microbenchmarks of the serving simulator: one DES
  * run per mapping, a latency-bounded measurement, one gradient-search
  * step cost, and the NMP LUT pre-simulation — the building blocks whose
- * cost bounds offline-profiling time.
+ * cost bounds offline-profiling time. The custom main additionally runs
+ * a DES self-profiling probe and emits BENCH_micro_des.json with the
+ * raw engine throughput (events executed, events/sec, peak event-queue
+ * depth) so the event-engine trajectory is tracked across PRs.
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "hw/nmp.h"
+#include "obs/self_profile.h"
 #include "sched/gradient_search.h"
 #include "sim/measure.h"
 
@@ -148,6 +153,121 @@ BM_CpuGraphTiming(benchmark::State& state)
 }
 BENCHMARK(BM_CpuGraphTiming);
 
+/**
+ * DES self-profiling probe: one long simulateServer run per mapping,
+ * timed end to end. Events/sec here is raw event-engine throughput —
+ * the number the ROADMAP gates the DES trajectory on.
+ */
+struct DesProbe
+{
+    const char* name;
+    uint64_t events_executed;
+    size_t peak_event_queue_depth;
+    double wall_ms;
+    double events_per_sec;
+};
+
+DesProbe
+runDesProbe(const char* name, sched::Mapping mapping, hw::ServerType st,
+            model::ModelId model, double offered_qps)
+{
+    // The GPU probe mirrors BM_DesGpuFusion's Small-variant setup so it
+    // fits T7 device memory.
+    model::Model m = model::buildModel(
+        model, mapping == sched::Mapping::GpuModelBased
+                   ? model::Variant::Small
+                   : model::Variant::Prod);
+    sched::SchedulingConfig cfg;
+    cfg.mapping = mapping;
+    if (mapping == sched::Mapping::GpuModelBased) {
+        cfg.gpu_threads = 2;
+        cfg.cpu_threads = 2;
+    } else {
+        cfg.cpu_threads = 10;
+        cfg.cores_per_thread = 2;
+        cfg.batch = 128;
+    }
+    sim::PreparedWorkload w = sim::prepare(hw::serverSpec(st), m, cfg);
+    sim::SimOptions opt;
+    opt.num_queries = bench::fastMode() ? 2000 : 20000;
+    opt.warmup_queries = opt.num_queries / 10;
+    opt.offered_qps = offered_qps;
+
+    obs::WallTimer timer;
+    sim::ServerSimResult r = sim::simulateServer(w, opt);
+    double wall_ms = timer.elapsedMs();
+
+    DesProbe p;
+    p.name = name;
+    p.events_executed = r.events_executed;
+    p.peak_event_queue_depth = r.peak_event_queue_depth;
+    p.wall_ms = wall_ms;
+    p.events_per_sec =
+        wall_ms > 0.0 ? static_cast<double>(r.events_executed) /
+                            (wall_ms * 1e-3)
+                      : 0.0;
+    return p;
+}
+
+void
+writeDesProbeJson(const std::vector<DesProbe>& probes)
+{
+    const char* path = "BENCH_micro_des.json";
+    FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot open %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    bench::writeJsonProvenance(f);
+    std::fprintf(f, "  \"experiment\": \"micro_des\",\n");
+    std::fprintf(f, "  \"probes\": [\n");
+    for (size_t i = 0; i < probes.size(); ++i) {
+        const DesProbe& p = probes[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", p.name);
+        std::fprintf(f, "      \"events_executed\": %llu,\n",
+                     static_cast<unsigned long long>(p.events_executed));
+        std::fprintf(f, "      \"peak_event_queue_depth\": %zu,\n",
+                     p.peak_event_queue_depth);
+        std::fprintf(f, "      \"wall_ms\": %.3f,\n", p.wall_ms);
+        std::fprintf(f, "      \"events_per_sec\": %.0f\n",
+                     p.events_per_sec);
+        std::fprintf(f, "    }%s\n", i + 1 < probes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::vector<DesProbe> probes;
+    probes.push_back(runDesProbe("des_cpu_model_based",
+                                 sched::Mapping::CpuModelBased,
+                                 hw::ServerType::T2,
+                                 model::ModelId::DlrmRmc1, 800.0));
+    probes.push_back(runDesProbe("des_gpu_model_based",
+                                 sched::Mapping::GpuModelBased,
+                                 hw::ServerType::T7,
+                                 model::ModelId::DlrmRmc3, 2000.0));
+    for (const DesProbe& p : probes)
+        std::printf("%-22s %10llu events  peak depth %6zu  "
+                    "%8.1f ms  %.0f events/s\n",
+                    p.name,
+                    static_cast<unsigned long long>(p.events_executed),
+                    p.peak_event_queue_depth, p.wall_ms,
+                    p.events_per_sec);
+    writeDesProbeJson(probes);
+    return 0;
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Telemetry overhead: the three_service_phase_shift 24h replay run
+ * three ways over one shared efficiency table —
+ *
+ *  - OFF:     observability disabled (the baseline every other bench
+ *             and test runs at);
+ *  - METRICS: metrics registry sampling + export, no per-query trace;
+ *  - TRACE:   full per-query tracing (sample rate 1.0) + metrics.
+ *
+ * Two gates:
+ *
+ *  1. Determinism — all three arms must report bit-identical simulated
+ *     statistics (completed/dropped/rejected counts, p99, violation
+ *     rate, power). Telemetry observes the DES; it must never perturb
+ *     it. Any mismatch exits non-zero.
+ *  2. Overhead — the TRACE arm's serve wall time must stay within
+ *     kMaxTraceOverhead of OFF. Skipped when the baseline runs too
+ *     fast for a stable ratio (kMinGateWallMs).
+ *
+ * Results land in BENCH_obs.json. Fast mode (HERCULES_BENCH_FAST=1):
+ * 6h horizon, reduced profiling probes.
+ */
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+using namespace hercules;
+
+namespace {
+
+/** TRACE wall budget as a multiple of the OFF arm's wall time. */
+constexpr double kMaxTraceOverhead = 1.15;
+/** Below this OFF wall time the overhead ratio is noise: skip gate. */
+constexpr double kMinGateWallMs = 200.0;
+
+struct ArmResult
+{
+    std::string name;
+    double serve_wall_ms = 0.0;
+    size_t completed = 0;
+    size_t dropped = 0;
+    size_t rejected = 0;
+    size_t sla_violations = 0;
+    double sla_violation_rate = 0.0;
+    double p99_ms = 0.0;
+    double avg_provisioned_w = 0.0;
+    double avg_consumed_w = 0.0;
+    uint64_t des_events = 0;
+    double des_events_per_sec = 0.0;
+    size_t trace_records = 0;
+};
+
+/** Count newline-terminated records of a JSONL file; 0 when absent. */
+size_t
+countLines(const std::string& path)
+{
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return 0;
+    size_t n = 0;
+    int c;
+    while ((c = std::fgetc(f)) != EOF)
+        if (c == '\n')
+            ++n;
+    std::fclose(f);
+    return n;
+}
+
+ArmResult
+runArm(const std::string& name, const scenario::ScenarioSpec& spec,
+       const core::EfficiencyTable& table)
+{
+    scenario::ScenarioResult r = scenario::run(spec, &table);
+    ArmResult out;
+    out.name = name;
+    out.serve_wall_ms = r.serve_wall_ms;
+    out.completed = r.serve.sim.completed;
+    out.dropped = r.serve.sim.dropped;
+    out.rejected = r.serve.sim.rejected;
+    out.sla_violations = r.serve.sim.sla_violations;
+    out.sla_violation_rate = r.serve.sim.sla_violation_rate;
+    out.p99_ms = r.serve.sim.p99_ms;
+    out.avg_provisioned_w = r.serve.sim.avg_provisioned_power_w;
+    out.avg_consumed_w = r.serve.sim.avg_consumed_power_w;
+    out.des_events = r.serve.sim.des.events_executed;
+    out.des_events_per_sec = r.serve.sim.des.events_per_sec;
+    if (!spec.observability.trace_file.empty())
+        out.trace_records = countLines(spec.observability.trace_file);
+    return out;
+}
+
+/** @return mismatch description, empty when the arms agree exactly. */
+std::string
+compareArms(const ArmResult& a, const ArmResult& b)
+{
+    char buf[160];
+    auto fail = [&](const char* what) {
+        std::snprintf(buf, sizeof(buf), "%s differs between %s and %s",
+                      what, a.name.c_str(), b.name.c_str());
+        return std::string(buf);
+    };
+    if (a.completed != b.completed)
+        return fail("completed");
+    if (a.dropped != b.dropped)
+        return fail("dropped");
+    if (a.rejected != b.rejected)
+        return fail("rejected");
+    if (a.sla_violations != b.sla_violations)
+        return fail("sla_violations");
+    if (a.p99_ms != b.p99_ms)
+        return fail("p99_ms");
+    if (a.sla_violation_rate != b.sla_violation_rate)
+        return fail("sla_violation_rate");
+    if (a.avg_provisioned_w != b.avg_provisioned_w)
+        return fail("avg_provisioned_power_w");
+    if (a.avg_consumed_w != b.avg_consumed_w)
+        return fail("avg_consumed_power_w");
+    if (a.des_events != b.des_events)
+        return fail("des_events_executed");
+    return "";
+}
+
+void
+writeJson(const std::vector<ArmResult>& arms, bool gated,
+          double overhead_frac)
+{
+    const char* path = "BENCH_obs.json";
+    FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot open %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    bench::writeJsonProvenance(f);
+    std::fprintf(f, "  \"experiment\": \"obs_overhead\",\n");
+    std::fprintf(f, "  \"scenario\": \"three_service_phase_shift\",\n");
+    std::fprintf(f, "  \"bit_identical\": true,\n");
+    std::fprintf(f, "  \"overhead_gated\": %s,\n",
+                 gated ? "true" : "false");
+    std::fprintf(f, "  \"trace_overhead_frac\": %.4f,\n", overhead_frac);
+    std::fprintf(f, "  \"arms\": [\n");
+    for (size_t i = 0; i < arms.size(); ++i) {
+        const ArmResult& a = arms[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", a.name.c_str());
+        std::fprintf(f, "      \"serve_wall_ms\": %.1f,\n",
+                     a.serve_wall_ms);
+        std::fprintf(f, "      \"completed\": %zu,\n", a.completed);
+        std::fprintf(f, "      \"dropped\": %zu,\n", a.dropped);
+        std::fprintf(f, "      \"rejected\": %zu,\n", a.rejected);
+        std::fprintf(f, "      \"sla_violation_rate\": %.6f,\n",
+                     a.sla_violation_rate);
+        std::fprintf(f, "      \"p99_ms\": %.4f,\n", a.p99_ms);
+        std::fprintf(f, "      \"des_events_executed\": %llu,\n",
+                     static_cast<unsigned long long>(a.des_events));
+        std::fprintf(f, "      \"des_events_per_sec\": %.0f,\n",
+                     a.des_events_per_sec);
+        std::fprintf(f, "      \"trace_records\": %zu\n",
+                     a.trace_records);
+        std::fprintf(f, "    }%s\n", i + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Telemetry overhead",
+                  "three_service_phase_shift replayed off / "
+                  "metrics-only / full-tracing over one shared table");
+
+    scenario::ScenarioSpec base =
+        bench::loadScenario("three_service_phase_shift.scn");
+    if (bench::fastMode()) {
+        base.serve.horizon_hours = 6.0;
+        base.profile.table_cache = "hercules_efficiency_obs_fast.csv";
+        base.profile.num_queries = 250;
+        base.profile.warmup_queries = 50;
+        base.profile.bisect_iters = 4;
+    }
+
+    core::EfficiencyTable table = scenario::profileTable(base);
+
+    scenario::ScenarioSpec off = base;
+
+    scenario::ScenarioSpec metrics = base;
+    metrics.observability.metrics_file = "obs_overhead_metrics.csv";
+
+    scenario::ScenarioSpec trace = base;
+    trace.observability.metrics_file = "obs_overhead_metrics.csv";
+    trace.observability.trace_file = "obs_overhead_trace.jsonl";
+    trace.observability.sample_rate = 1.0;
+
+    std::vector<ArmResult> arms;
+    arms.push_back(runArm("off", off, table));
+    arms.push_back(runArm("metrics", metrics, table));
+    arms.push_back(runArm("trace", trace, table));
+
+    TablePrinter t({"Arm", "Wall (ms)", "Completed", "p99 (ms)",
+                    "Viol rate", "Trace recs"});
+    for (const ArmResult& a : arms)
+        t.addRow({a.name, fmtDouble(a.serve_wall_ms, 1),
+                  std::to_string(a.completed), fmtDouble(a.p99_ms, 2),
+                  fmtPercent(a.sla_violation_rate, 2),
+                  std::to_string(a.trace_records)});
+    t.print();
+
+    // Gate 1: telemetry must not perturb the simulation.
+    for (size_t i = 1; i < arms.size(); ++i) {
+        std::string diff = compareArms(arms[0], arms[i]);
+        if (!diff.empty()) {
+            std::fprintf(stderr,
+                         "FAIL: telemetry perturbed the simulation: "
+                         "%s\n",
+                         diff.c_str());
+            return 1;
+        }
+    }
+    std::printf("\nall arms bit-identical on simulated statistics\n");
+
+    // Gate 2: full tracing stays cheap. The ratio is only meaningful
+    // once the baseline wall time dominates timer noise.
+    double base_wall = arms[0].serve_wall_ms;
+    double trace_wall = arms[2].serve_wall_ms;
+    double overhead =
+        base_wall > 0.0 ? trace_wall / base_wall - 1.0 : 0.0;
+    bool gated = base_wall >= kMinGateWallMs;
+    if (gated) {
+        std::printf("tracing overhead %.1f%% (budget %.0f%%)\n",
+                    overhead * 100.0, (kMaxTraceOverhead - 1.0) * 100.0);
+        if (trace_wall > base_wall * kMaxTraceOverhead) {
+            std::fprintf(stderr,
+                         "FAIL: tracing overhead %.1f%% exceeds "
+                         "%.0f%% budget (off %.1f ms, trace %.1f ms)\n",
+                         overhead * 100.0,
+                         (kMaxTraceOverhead - 1.0) * 100.0, base_wall,
+                         trace_wall);
+            return 1;
+        }
+    } else {
+        std::printf("baseline wall %.1f ms < %.0f ms: overhead gate "
+                    "skipped (ratio would be timer noise)\n",
+                    base_wall, kMinGateWallMs);
+    }
+
+    writeJson(arms, gated, overhead);
+    return 0;
+}

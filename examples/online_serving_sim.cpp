@@ -92,6 +92,8 @@ struct Args
     std::string scenario_file;  ///< --scenario: run this spec file
     bool parse_only = false;    ///< with --scenario: parse, don't run
     std::string lint_file;      ///< --lint: statically analyze a spec
+    std::string trace_out;      ///< --trace-out: per-query JSONL spans
+    std::string metrics_out;    ///< --metrics-out: metrics export
 };
 
 /**
@@ -225,6 +227,13 @@ usage(const char* argv0)
         "  --scenario F    run scenario file F end to end (writes\n"
         "                  BENCH_scenario.json); every other\n"
         "                  experiment flag is ignored\n"
+        "  --trace-out F   with --scenario: write sampled per-query\n"
+        "                  spans as JSONL to F (overrides the spec's\n"
+        "                  observability.trace_file)\n"
+        "  --metrics-out F with --scenario: write the metrics registry\n"
+        "                  to F — .csv / .json by extension, else\n"
+        "                  Prometheus-style text (overrides the\n"
+        "                  spec's observability.metrics_file)\n"
         "  --parse-only    with --scenario: parse + validate the\n"
         "                  file, print its summary, don't run\n"
         "  --lint F        statically analyze scenario file F without\n"
@@ -265,6 +274,16 @@ parseArgs(int argc, char** argv, Args& out)
             if (v == nullptr)
                 return reject("missing file after", a);
             out.lint_file = v;
+        } else if (a == "--trace-out") {
+            const char* v = value();
+            if (v == nullptr)
+                return reject("missing file after", a);
+            out.trace_out = v;
+        } else if (a == "--metrics-out") {
+            const char* v = value();
+            if (v == nullptr)
+                return reject("missing file after", a);
+            out.metrics_out = v;
         } else if (a == "--horizon") {
             const char* v = value();
             if (v == nullptr || std::atof(v) <= 0.0)
@@ -502,6 +521,13 @@ runSpec(scenario::ScenarioSpec spec, bool write_json)
                 r.serve.reprovisions,
                 sim.avg_provisioned_power_w / 1e3,
                 sim.avg_consumed_power_w / 1e3);
+    if (rs.observability.tracing())
+        std::printf("wrote %s (per-query trace, sample rate %g)\n",
+                    rs.observability.trace_file.c_str(),
+                    rs.observability.sample_rate);
+    if (!rs.observability.metrics_file.empty())
+        std::printf("wrote %s (metrics registry)\n",
+                    rs.observability.metrics_file.c_str());
     if (write_json) {
         if (scenario::writeResultJson("BENCH_scenario.json", r,
                                       bench::gitSha()))
@@ -587,6 +613,12 @@ runScenarioFile(const Args& args)
                     spec->serve.horizon_hours);
         return 0;
     }
+    // CLI telemetry overrides beat the spec's observability block, so
+    // any scenario can be traced without editing its file.
+    if (!args.trace_out.empty())
+        spec->observability.trace_file = args.trace_out;
+    if (!args.metrics_out.empty())
+        spec->observability.metrics_file = args.metrics_out;
     return runSpec(std::move(*spec), /*write_json=*/true);
 }
 

@@ -182,6 +182,7 @@ serveTraces(const core::EfficiencyTable& table,
     copt.sla_ms = opt.sla_ms;
     copt.admission = opt.admission;
     copt.feedback = opt.feedback;
+    copt.telemetry = opt.telemetry;
     // SLA resolution: QoS-class override, then the spec, then the
     // model-zoo default.
     for (size_t s = 0; s < S; ++s) {

@@ -97,6 +97,12 @@ struct TraceServeOptions
     fault::FaultSpec faults{};
     /** Arrival-trace options; horizon is overridden by horizon_hours. */
     workload::TraceOptions trace{};
+    /**
+     * Optional telemetry sink (src/obs/), forwarded to ClusterSim. Not
+     * owned; null = telemetry off. Attaching one never changes any
+     * simulated statistic — it only records what happened.
+     */
+    obs::Telemetry* telemetry = nullptr;
 };
 
 /** One co-served service of a multi-service run. */

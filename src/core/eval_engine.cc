@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdio>
 
+#include "obs/self_profile.h"
 #include "sim/prepared.h"
 #include "util/logging.h"
 
@@ -156,7 +157,11 @@ EvalEngine::compute(const EvalRequest& r)
     sim::PreparedWorkload w = sim::prepare(*r.server, *r.model, r.cfg);
     const sim::MeasureHint* hint =
         opt_.warm_start && r.hint.valid ? &r.hint : nullptr;
+    obs::WallTimer measure_timer;
     out.point = sim::measureLatencyBoundedQps(w, r.sla_ms, mo, hint);
+    measure_wall_us_.fetch_add(
+        static_cast<uint64_t>(measure_timer.elapsedMs() * 1e3),
+        std::memory_order_relaxed);
 
     misses_.fetch_add(1, std::memory_order_relaxed);
     // One saturation probe + the bisection probes (a conservative
@@ -218,6 +223,10 @@ EvalEngine::stats() const
     s.misses = misses_.load(std::memory_order_relaxed);
     s.invalid = invalid_.load(std::memory_order_relaxed);
     s.simulations = simulations_.load(std::memory_order_relaxed);
+    s.measure_wall_ms =
+        static_cast<double>(
+            measure_wall_us_.load(std::memory_order_relaxed)) *
+        1e-3;
     return s;
 }
 

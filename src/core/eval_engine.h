@@ -124,6 +124,9 @@ class EvalEngine
         uint64_t misses = 0;      ///< requests that ran the measurement
         uint64_t invalid = 0;     ///< requests rejected by validateConfig
         uint64_t simulations = 0; ///< discrete-event simulator runs
+        /** Wall time spent inside measurements, summed over all pool
+         *  threads (self-profiling only — never fed back into results). */
+        double measure_wall_ms = 0.0;
     };
     Stats stats() const;
 
@@ -174,6 +177,8 @@ class EvalEngine
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> invalid_{0};
     std::atomic<uint64_t> simulations_{0};
+    /** Microseconds, so the accumulator stays a lock-free integer. */
+    std::atomic<uint64_t> measure_wall_us_{0};
 };
 
 }  // namespace hercules::core

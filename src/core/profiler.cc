@@ -76,8 +76,8 @@ offlineProfile(const ProfilerOptions& opt)
         const hw::ServerSpec& server = hw::serverSpec(cells[i].server);
         double sla =
             opt.sla_ms_override > 0.0 ? opt.sla_ms_override : m.sla_ms;
-        inform("profiling %s on %s (SLA %.0f ms)", m.name.c_str(),
-               server.name.c_str(), sla);
+        logInfo("profiler", "profiling %s on %s (SLA %.0f ms)",
+                m.name.c_str(), server.name.c_str(), sla);
         entries[i] = profilePair(server, m, sla, sub);
     });
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic metrics registry: counters, gauges, and fixed
+ * log-bucket histograms keyed by stable dotted names
+ * ("shard.3.queue_depth", "svc.0.queue_wait_ms", ...).
+ *
+ * Counters and gauges are sampled at interval boundaries into aligned
+ * time series (one value per sample() call); histograms accumulate over
+ * the whole run. Everything is stored and exported in registration
+ * order — no unordered containers anywhere — so two identical runs emit
+ * byte-identical files.
+ *
+ * Exporters: Prometheus-style text ("# TYPE name kind" + samples, with
+ * histograms expanded into _bucket{le=...}/_sum/_count), a long-form
+ * CSV of the time series, and a JSON dump. writeFile() picks the format
+ * from the extension (.csv / .json / anything else = Prometheus text).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hercules::obs {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** @return "counter" / "gauge" / "histogram". */
+const char* metricKindName(MetricKind kind);
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * Register a metric (idempotent: an existing name returns its id;
+     * re-declaring under a different kind panics). Returns a dense id
+     * for the O(1) update calls below.
+     */
+    int declareMetric(MetricKind kind, const std::string& name);
+
+    /** Convenience wrappers. */
+    int counter(const std::string& name);
+    int gauge(const std::string& name);
+    int histogram(const std::string& name);
+
+    /** Counter: add `delta` (>= 0). */
+    void add(int id, double delta);
+
+    /** Gauge: overwrite the current value. */
+    void set(int id, double value);
+
+    /** Histogram: record one observation. */
+    void observe(int id, double value);
+
+    /** Current value of a counter or gauge. */
+    double value(int id) const;
+
+    /**
+     * Snapshot every counter and gauge into its time series, stamped
+     * `t_s` (simulated seconds). Call once per interval boundary.
+     */
+    void sample(double t_s);
+
+    size_t numMetrics() const { return metrics_.size(); }
+    size_t numSamples() const { return sample_times_.size(); }
+    const std::vector<double>& sampleTimes() const { return sample_times_; }
+
+    const std::string& name(int id) const;
+    MetricKind kind(int id) const;
+    /** Sampled series of a counter/gauge (aligned with sampleTimes()). */
+    const std::vector<double>& series(int id) const;
+    /** Histogram per-bucket counts (aligned with bucketBounds()). */
+    const std::vector<uint64_t>& bucketCounts(int id) const;
+    uint64_t histogramCount(int id) const;
+    double histogramSum(int id) const;
+
+    /**
+     * The shared upper bucket bounds: 0.01 doubling up to ~1.3e5, with
+     * an implicit +Inf bucket at the end of every histogram.
+     */
+    static const std::vector<double>& bucketBounds();
+
+    void writePrometheus(std::FILE* f) const;
+    void writeCsv(std::FILE* f) const;
+    void writeJson(std::FILE* f) const;
+
+    /**
+     * Write to `path`, format chosen by extension (.csv, .json, else
+     * Prometheus text). @return false when the file cannot be opened.
+     */
+    bool writeFile(const std::string& path) const;
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        double value = 0.0;             ///< counter/gauge current value
+        std::vector<double> series;     ///< one entry per sample()
+        std::vector<uint64_t> buckets;  ///< histogram only
+        uint64_t count = 0;             ///< histogram observations
+        double sum = 0.0;               ///< histogram sum
+        double min = 0.0;               ///< histogram min (count > 0)
+        double max = 0.0;               ///< histogram max (count > 0)
+    };
+
+    const Metric& at(int id) const;
+    Metric& at(int id);
+
+    std::vector<Metric> metrics_;       ///< registration order
+    std::map<std::string, int> index_;  ///< name -> id (ordered map)
+    std::vector<double> sample_times_;
+};
+
+}  // namespace hercules::obs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DES self-profiling primitives: the one sanctioned wall-clock site in
+ * the tree, plus the per-run profile the simulator fills in.
+ *
+ * Wall timings are *provenance*, never result-affecting: they describe
+ * how fast the simulator ran, not what it computed. Every simulated
+ * statistic must be bit-identical whether or not anyone reads a clock.
+ * All wall-clock reads funnel through wallNowMs() so the determinism
+ * lint has exactly one annotated site to audit.
+ */
+#pragma once
+
+// determinism-lint: allow-file(wall-clock)
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace hercules::obs {
+
+/**
+ * Monotonic wall time in milliseconds (arbitrary epoch). Provenance
+ * only — never feed this back into simulated state.
+ */
+inline double
+wallNowMs()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/** Scoped stopwatch accumulating into a caller-owned total. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_ms_(wallNowMs()) {}
+
+    /** Milliseconds since construction (or the last restart()). */
+    double elapsedMs() const { return wallNowMs() - start_ms_; }
+
+    /** Reset the reference point to now. */
+    void restart() { start_ms_ = wallNowMs(); }
+
+  private:
+    double start_ms_;
+};
+
+/**
+ * How hard the discrete-event core worked during one ClusterSim::run:
+ * the baseline the parallel-DES roadmap item is gated on.
+ *
+ * events_executed and peak_event_queue_depth are deterministic
+ * (functions of the simulated schedule); the *_wall_ms fields and
+ * events_per_sec are wall-clock provenance and vary run to run.
+ */
+struct DesProfile
+{
+    uint64_t events_executed = 0;       ///< callbacks popped off EventQueues
+    size_t peak_event_queue_depth = 0;  ///< max pending events, any shard
+    double route_wall_ms = 0.0;    ///< arrival feed + routing + admission
+    double advance_wall_ms = 0.0;  ///< interval-boundary advanceTo/drain
+    double harvest_wall_ms = 0.0;  ///< completion harvest + stats
+    double run_wall_ms = 0.0;      ///< whole run() call
+    double events_per_sec = 0.0;   ///< events_executed / run wall seconds
+};
+
+}  // namespace hercules::obs

@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+namespace hercules::obs {
+
+const char*
+traceOutcomeName(TraceOutcome outcome)
+{
+    switch (outcome) {
+      case TraceOutcome::InFlight:
+        return "in_flight";
+      case TraceOutcome::Completed:
+        return "completed";
+      case TraceOutcome::Dropped:
+        return "dropped";
+      case TraceOutcome::Rejected:
+        return "rejected";
+      case TraceOutcome::Killed:
+        return "killed";
+    }
+    return "?";
+}
+
+bool
+traceSampled(uint64_t id, double sample_rate)
+{
+    if (sample_rate >= 1.0)
+        return true;
+    if (sample_rate <= 0.0)
+        return false;
+    // SplitMix64 finalizer: maps the arrival sequence to a uniform
+    // 64-bit hash, compared against the rate as a fixed threshold.
+    uint64_t z = id + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    // 53-bit mantissa fraction in [0, 1).
+    double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return u < sample_rate;
+}
+
+void
+writeTraceJsonl(std::FILE* f, const std::vector<TraceRecord>& records)
+{
+    for (const TraceRecord& r : records) {
+        std::fprintf(f, "{\"id\": %llu, \"service\": %d, \"outcome\": \"%s\"",
+                     static_cast<unsigned long long>(r.id), r.service,
+                     traceOutcomeName(r.outcome));
+        if (r.shard >= 0)
+            std::fprintf(f, ", \"shard\": %d", r.shard);
+        else
+            std::fprintf(f, ", \"shard\": null");
+        std::fprintf(f, ", \"retry_hops\": %d, \"arrival_s\": %.6f",
+                     r.retry_hops, r.arrival_s);
+        if (r.queue_wait_ms >= 0.0)
+            std::fprintf(f, ", \"queue_wait_ms\": %.6f", r.queue_wait_ms);
+        else
+            std::fprintf(f, ", \"queue_wait_ms\": null");
+        if (r.service_start_s >= 0.0)
+            std::fprintf(f, ", \"service_start_s\": %.6f", r.service_start_s);
+        else
+            std::fprintf(f, ", \"service_start_s\": null");
+        if (r.finish_s >= 0.0)
+            std::fprintf(f, ", \"finish_s\": %.6f, \"latency_ms\": %.6f}\n",
+                         r.finish_s, r.latencyMs());
+        else
+            std::fprintf(f, ", \"finish_s\": null, \"latency_ms\": null}\n");
+    }
+}
+
+}  // namespace hercules::obs

@@ -1,26 +1,17 @@
 #include "scenario/scenario.h"
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 
+#include "obs/self_profile.h"
 #include "scenario/lint.h"
 #include "util/logging.h"
 
 namespace hercules::scenario {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-wallMsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-        .count();
-}
 
 void
 validate(const ScenarioSpec& spec)
@@ -125,6 +116,9 @@ validateSpec(const ScenarioSpec& spec, std::string* error)
             !(e.slowdown >= 1.0))
             return fail(ctx + "degraded slowdown must be >= 1");
     }
+    const obs::ObsSpec& ob = spec.observability;
+    if (!(ob.sample_rate >= 0.0) || !(ob.sample_rate <= 1.0))
+        return fail("observability.sample_rate must be in [0, 1]");
     return true;
 }
 
@@ -211,9 +205,9 @@ run(const ScenarioSpec& spec, const core::EfficiencyTable* table)
     validate(spec);
 
     ScenarioResult out;
-    Clock::time_point t0 = Clock::now();
+    obs::WallTimer profile_timer;
     out.table = table != nullptr ? *table : profileTable(spec);
-    out.profile_wall_ms = wallMsSince(t0);
+    out.profile_wall_ms = profile_timer.elapsedMs();
 
     out.resolved = spec;
     std::vector<hw::ServerType> fleet;
@@ -232,10 +226,24 @@ run(const ScenarioSpec& spec, const core::EfficiencyTable* table)
 
     std::unique_ptr<cluster::Provisioner> policy =
         makeProvisioner(spec);
-    t0 = Clock::now();
+
+    // Telemetry (spec "observability" block): attach a sink for the
+    // serve phase, then emit the configured files. With both files
+    // empty no sink is attached — the pre-telemetry path, bit-exact.
+    obs::Telemetry telemetry(spec.observability);
+    cluster::TraceServeOptions sopt = spec.serve;
+    if (spec.observability.enabled())
+        sopt.telemetry = &telemetry;
+
+    obs::WallTimer serve_timer;
     out.serve = cluster::serveTraces(out.table, fleet, slots, services,
-                                     *policy, spec.serve);
-    out.serve_wall_ms = wallMsSince(t0);
+                                     *policy, sopt);
+    out.serve_wall_ms = serve_timer.elapsedMs();
+
+    if (spec.observability.enabled()) {
+        telemetry.writeTraceFile();
+        telemetry.writeMetricsFile();
+    }
     return out;
 }
 
@@ -327,6 +335,32 @@ writeResultJson(const std::string& path, const ScenarioResult& r,
                  sim.avg_provisioned_power_w);
     std::fprintf(f, "  \"avg_consumed_power_w\": %.2f,\n",
                  sim.avg_consumed_power_w);
+
+    // Fault timeline: every applied health transition. Always emitted
+    // (empty array on fault-free runs) so consumers never key-check.
+    std::fprintf(f, "  \"health_transitions\": [");
+    for (size_t i = 0; i < sim.health_transitions.size(); ++i) {
+        const sim::HealthTransition& ht = sim.health_transitions[i];
+        std::fprintf(f,
+                     "%s\n    {\"t_s\": %.2f, \"shard\": %d, "
+                     "\"service\": %d, \"from\": \"%s\", \"to\": \"%s\", "
+                     "\"slowdown\": %.2f, \"killed_inflight\": %zu}",
+                     i ? "," : "", ht.t_s, ht.shard, ht.service,
+                     fault::healthStateName(ht.from),
+                     fault::healthStateName(ht.to), ht.slowdown,
+                     ht.killed_inflight);
+    }
+    std::fprintf(f, "%s],\n",
+                 sim.health_transitions.empty() ? "" : "\n  ");
+
+    // DES self-profile: event counts are deterministic, wall timings
+    // are provenance (vary run to run).
+    std::fprintf(f, "  \"des_events_executed\": %llu,\n",
+                 static_cast<unsigned long long>(sim.des.events_executed));
+    std::fprintf(f, "  \"des_peak_event_queue_depth\": %zu,\n",
+                 sim.des.peak_event_queue_depth);
+    std::fprintf(f, "  \"des_events_per_sec\": %.0f,\n",
+                 sim.des.events_per_sec);
 
     hercules::sim::writeIntervalArraysJson(f, sim.intervals, "  ");
     std::fprintf(f, "}\n");

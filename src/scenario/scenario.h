@@ -31,6 +31,7 @@
 #include "cluster/serving.h"
 #include "core/efficiency_table.h"
 #include "core/profiler.h"
+#include "obs/telemetry.h"
 
 namespace hercules::scenario {
 
@@ -128,6 +129,14 @@ struct ScenarioSpec
      * arrival-trace options (compression, bucket, seed).
      */
     cluster::TraceServeOptions serve;
+    /**
+     * Telemetry emission (spec block "observability"): per-query JSONL
+     * trace and/or metrics export, with deterministic query-id-hash
+     * sampling. Both files empty (the default) = telemetry off —
+     * bit-identical to a build without the subsystem; non-empty only
+     * *adds* output files, never changes a simulated statistic.
+     */
+    obs::ObsSpec observability;
 };
 
 /** Outcome of one scenario run. */

@@ -809,6 +809,18 @@ bindSpec(const Value& root, ScenarioSpec* out, std::string* err)
         return false;
     }
 
+    if (const Value* ob = r.sub("observability", Value::Kind::Object,
+                                &ok)) {
+        ObjectReader obr(*ob, "observability", err);
+        obs::ObsSpec& o = out->observability;
+        if (!obr.str("trace_file", &o.trace_file) ||
+            !obr.str("metrics_file", &o.metrics_file) ||
+            !obr.number("sample_rate", &o.sample_rate) || !obr.finish())
+            return false;
+    } else if (!ok) {
+        return false;
+    }
+
     return r.finish();
 }
 
@@ -1147,6 +1159,16 @@ toText(const ScenarioSpec& spec)
               static_cast<double>(d.seed));
         if (!f.empty())
             put("profile", f.inlineObj());
+    }
+    {
+        const obs::ObsSpec& o = spec.observability;
+        const obs::ObsSpec& d = kDef.observability;
+        Fragments f;
+        f.str("trace_file", o.trace_file, d.trace_file);
+        f.str("metrics_file", o.metrics_file, d.metrics_file);
+        f.num("sample_rate", o.sample_rate, d.sample_rate);
+        if (!f.empty())
+            put("observability", f.inlineObj());
     }
 
     std::string out = "{\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/telemetry.h"
 #include "qos/feedback.h"
 #include "util/logging.h"
 
@@ -189,6 +190,9 @@ ClusterSim::ensureService(int service)
     while (static_cast<int>(active_by_service_.size()) <= service) {
         uint64_t seed = opt_.router_seed +
                         static_cast<uint64_t>(active_by_service_.size());
+        if (opt_.telemetry)
+            opt_.telemetry->declareService(
+                static_cast<int>(active_by_service_.size()));
         routers_.emplace_back(opt_.router, seed);
         active_by_service_.emplace_back();
         service_state_.emplace_back();
@@ -210,6 +214,9 @@ ClusterSim::addShard(const PreparedWorkload& w, double weight_qps,
     int id = static_cast<int>(shards_.size());
     Shard s;
     s.inst = std::make_unique<ServerInstance>(w, shard_opt_);
+    s.inst->setIdentity(id, service);
+    if (opt_.telemetry)
+        opt_.telemetry->declareShard(id, service);
     s.workload = &w;
     s.weight = weight_qps;
     s.fb_weight = weight_qps;  // feedback starts from the tuple weight
@@ -313,6 +320,9 @@ ClusterSim::applyHealthEventsUpTo(double t_s)
             service_state_[static_cast<size_t>(s.service)]
                 .failed_inflight += killed;
             s.failed_at = ev.t_s;
+            if (opt_.telemetry)
+                opt_.telemetry->onCrash(ev.shard, s.inst->completions(),
+                                        ev.t_s, killed);
         }
         s.inst->setSlowdown(slow);
         s.slowdown = slow;
@@ -415,12 +425,15 @@ ClusterSim::route(const workload::Query& q)
     if (s < 0) {
         ++dropped_;
         ++service_state_[static_cast<size_t>(svc)].dropped;
+        if (opt_.telemetry)
+            opt_.telemetry->onDropped(svc, q.arrival_s);
         return -1;
     }
     // Admission control on the picked shard: a refused query is
     // *rejected* (distinct from dropped) and, like a drop, counts as
     // an SLA violation in every rate. Policy `none` admits everything.
     const double sla = slaMs(svc);
+    int retry_hops = 0;
     auto admits = [&](int id) {
         Shard& sh = shards_[static_cast<size_t>(id)];
         return sh.admit.admit({sh.inst->outstanding(), sh.weight}, sla);
@@ -450,16 +463,22 @@ ClusterSim::route(const workload::Query& q)
         if (retry < 0) {
             ++rejected_;
             ++service_state_[static_cast<size_t>(svc)].rejected;
+            if (opt_.telemetry)
+                opt_.telemetry->onRejected(svc, q.arrival_s);
             return -2;
         }
         s = retry;
         ++admission_retries_;
+        ++retry_hops;
     }
     Shard& sh = shards_[static_cast<size_t>(s)];
-    sh.inst->inject(q);
+    int inject_idx = sh.inst->inject(q);
     ++injected_;
     ++service_state_[static_cast<size_t>(svc)].injected;
     ++injected_per_shard_[static_cast<size_t>(s)];
+    if (opt_.telemetry)
+        opt_.telemetry->onAdmitted(svc, s, retry_hops, inject_idx,
+                                   q.arrival_s);
     return s;
 }
 
@@ -511,6 +530,7 @@ ClusterSim::harvest(double t0_s, double t1_s)
     std::vector<PercentileTracker> svc_lat(num_services);
     double consumed = 0.0;
     for (Shard& s : shards_) {
+        const int sid = static_cast<int>(&s - shards_.data());
         const size_t v = static_cast<size_t>(s.service);
         const double sla = slaMs(s.service);
         const auto& done = s.inst->completions();
@@ -532,7 +552,14 @@ ClusterSim::harvest(double t0_s, double t1_s)
             }
             last_finish_in_window = std::max(last_finish_in_window,
                                              c.finish_s);
+            if (opt_.telemetry) {
+                const double wait_ms = c.queue_wait_s * 1e3;
+                opt_.telemetry->observeCompletion(s.service, wait_ms,
+                                                  ms - wait_ms, ms);
+            }
         }
+        if (opt_.telemetry)
+            opt_.telemetry->drainShardCompletions(sid, done, t1_s);
         // Latency feedback: fold this window's observed p99 into the
         // shard's routing weight (multiplicative, bounded by the tuple
         // weight above and the configured floor below). A window with
@@ -617,6 +644,30 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     if (interval_s <= 0.0)
         fatal("ClusterSim::run: non-positive interval %f", interval_s);
 
+    // Self-profiling wall timers: provenance only (ClusterSimResult::
+    // des), never fed back into simulated state.
+    obs::WallTimer run_timer;
+    double route_wall = 0.0, advance_wall = 0.0, harvest_wall = 0.0;
+
+    // Interval-boundary gauge snapshot (after the plan's provisioned
+    // power is known); null telemetry makes this a no-op.
+    auto sampleTelemetry = [&](const IntervalStats& st) {
+        obs::Telemetry* tel = opt_.telemetry;
+        if (!tel)
+            return;
+        for (size_t i = 0; i < shards_.size(); ++i)
+            tel->setShardWindow(static_cast<int>(i),
+                                shards_[i].inst->outstanding(),
+                                static_cast<int>(shards_[i].health));
+        for (size_t v = 0; v < st.services.size(); ++v)
+            tel->setServiceWindow(static_cast<int>(v), st.services[v].p50_ms,
+                                  st.services[v].p99_ms,
+                                  st.services[v].sla_violation_rate);
+        tel->setClusterWindow(st.active_shards, st.consumed_power_w,
+                              st.provisioned_power_w);
+        tel->commitSample(st.t1_s);
+    };
+
     ClusterSimResult r;
     size_t cursor = 0;
     int k = 0;
@@ -624,6 +675,7 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
            static_cast<double>(k) * interval_s < horizon_s - 1e-9) {
         double t0 = static_cast<double>(k) * interval_s;
         double t1 = t0 + interval_s;
+        obs::WallTimer phase_timer;
         // Boundary health transitions apply before the plan: the
         // planner that produced it already saw the surviving capacity.
         applyHealthEventsUpTo(t0);
@@ -647,28 +699,40 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
         while (health_cursor_ < health_events_.size() &&
                health_events_[health_cursor_].t_s < t1)
             applyHealthEventsUpTo(health_events_[health_cursor_].t_s);
+        route_wall += phase_timer.elapsedMs();
+        phase_timer.restart();
         advanceTo(t1);
+        advance_wall += phase_timer.elapsedMs();
+        phase_timer.restart();
         IntervalStats st = harvest(t0, t1);
+        harvest_wall += phase_timer.elapsedMs();
         if (plan) {
             st.provisioned_power_w = p.provisioned_power_w;
             st.budget_power_w = p.budget_power_w;
             st.power_capped = p.power_capped;
         }
+        sampleTelemetry(st);
         r.intervals.push_back(st);
         ++k;
     }
 
     // Tail: retire whatever is still in flight past the last interval.
     const size_t planned_intervals = r.intervals.size();
+    obs::WallTimer tail_timer;
     drainAll();
+    advance_wall += tail_timer.elapsedMs();
     double tail_start = static_cast<double>(k) * interval_s;
     double tail_end = tail_start;
     for (const Shard& s : shards_)
         tail_end = std::max(tail_end, s.inst->now());
     if (tail_end > tail_start) {
+        tail_timer.restart();
         IntervalStats tail = harvest(tail_start, tail_end);
-        if (tail.completions > 0 || tail.arrivals > 0)
+        harvest_wall += tail_timer.elapsedMs();
+        if (tail.completions > 0 || tail.arrivals > 0) {
+            sampleTelemetry(tail);
             r.intervals.push_back(tail);
+        }
     }
 
     r.injected = injected_;
@@ -730,6 +794,23 @@ ClusterSim::run(const std::vector<workload::Query>& trace,
     r.peak_provisioned_power_w =
         provisioned.count() ? provisioned.max() : 0.0;
     r.health_transitions = health_log_;
+
+    // DES self-profile: event counts are deterministic; wall timings
+    // and events/sec are provenance.
+    for (const Shard& s : shards_) {
+        r.des.events_executed += s.inst->eventsExecuted();
+        r.des.peak_event_queue_depth = std::max(
+            r.des.peak_event_queue_depth, s.inst->peakEventQueueDepth());
+    }
+    r.des.route_wall_ms = route_wall;
+    r.des.advance_wall_ms = advance_wall;
+    r.des.harvest_wall_ms = harvest_wall;
+    r.des.run_wall_ms = run_timer.elapsedMs();
+    r.des.events_per_sec =
+        r.des.run_wall_ms > 0.0
+            ? static_cast<double>(r.des.events_executed) /
+                  (r.des.run_wall_ms * 1e-3)
+            : 0.0;
     return r;
 }
 

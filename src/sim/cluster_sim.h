@@ -56,10 +56,15 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/self_profile.h"
 #include "qos/admission.h"
 #include "qos/qos.h"
 #include "sim/server_instance.h"
 #include "util/rng.h"
+
+namespace hercules::obs {
+class Telemetry;
+}  // namespace hercules::obs
 
 namespace hercules::sim {
 
@@ -252,6 +257,8 @@ struct ClusterSimResult
     std::vector<ServiceRunStats> services;
     /** Every applied health transition, in time order (fault runs). */
     std::vector<HealthTransition> health_transitions;
+    /** DES self-profile of the run (events + wall-time provenance). */
+    obs::DesProfile des;
 };
 
 /**
@@ -319,6 +326,13 @@ class ClusterSim
          * measurement windows.
          */
         SimOptions shard_sim{};
+        /**
+         * Optional telemetry sink (src/obs/). Not owned; may be null
+         * (the default = telemetry off). Every call into it only
+         * *observes* — with or without a sink, all simulated statistics
+         * are bit-identical.
+         */
+        obs::Telemetry* telemetry = nullptr;
     };
 
     explicit ClusterSim(Options opt);

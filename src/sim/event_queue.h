@@ -29,6 +29,8 @@ class EventQueue
             panic("EventQueue: scheduling into the past (%f < %f)", t,
                   now_);
         heap_.push(Event{t, seq_++, std::move(fn)});
+        if (heap_.size() > peak_)
+            peak_ = heap_.size();
     }
 
     /** @return true when no events remain. */
@@ -58,6 +60,7 @@ class EventQueue
         now_ = ev.t;
         Callback fn = std::move(ev.fn);
         heap_.pop();
+        ++executed_;
         fn();
     }
 
@@ -76,6 +79,14 @@ class EventQueue
      * after everything that already ran.
      */
     void clear() { heap_ = {}; }
+
+    /**
+     * Self-profiling counters (survive clear()): total events executed
+     * and the peak number of pending events. Deterministic — pure
+     * functions of the simulated schedule, no wall clock involved.
+     */
+    uint64_t eventsExecuted() const { return executed_; }
+    size_t peakDepth() const { return peak_; }
 
   private:
     struct Event
@@ -96,6 +107,8 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
     uint64_t seq_ = 0;
     double now_ = 0.0;
+    uint64_t executed_ = 0;
+    size_t peak_ = 0;
 };
 
 }  // namespace hercules::sim

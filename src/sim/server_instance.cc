@@ -302,8 +302,16 @@ ServerInstance::queryPartDone(int qidx)
     ++done_count_;
     double now = eq_.now();
     last_finish_ = now;
-    if (opt_.record_completions)
-        completions_.push_back(Completion{qidx, q.arrival, now});
+    if (opt_.record_completions) {
+        Completion c;
+        c.query = qidx;
+        c.shard = shard_id_;
+        c.service = service_id_;
+        c.arrival_s = q.arrival;
+        c.finish_s = now;
+        c.queue_wait_s = q.started ? q.enqueue_done - q.arrival : 0.0;
+        completions_.push_back(c);
+    }
     if (qidx >= opt_.warmup_queries) {
         latency_ms_.add((now - q.arrival) * 1e3);
         completion_times_.push_back(now);
@@ -366,6 +374,7 @@ ServerInstance::tryFormGpuBatch(size_t tid)
         QueryState& q = queries_[static_cast<size_t>(c.query)];
         if (!q.started) {
             q.started = true;
+            q.enqueue_done = eq_.now();
             if (c.query >= opt_.warmup_queries)
                 queue_ms_.add((eq_.now() - q.arrival) * 1e3);
         }
@@ -556,6 +565,8 @@ ServerInstance::finalize() const
 {
     ServerSimResult r;
     r.aborted = aborted_;
+    r.events_executed = eq_.eventsExecuted();
+    r.peak_event_queue_depth = eq_.peakDepth();
     r.offered_qps = opt_.saturate ? 0.0 : opt_.offered_qps;
     r.completed = measured_completed_;
     double t_begin = steady_start_;

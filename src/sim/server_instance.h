@@ -55,12 +55,30 @@ class ServerInstance
     struct Completion
     {
         int query = -1;        ///< injection index
+        int shard = -1;        ///< owning shard id (see setIdentity)
+        int service = 0;       ///< owning service class (see setIdentity)
         double arrival_s = 0.0;
         double finish_s = 0.0;
+        /** Dispatcher/fusion queue wait before first service start. */
+        double queue_wait_s = 0.0;
 
         /** @return end-to-end latency in milliseconds. */
         double latencyMs() const { return (finish_s - arrival_s) * 1e3; }
+
+        /** @return latency minus queue wait, in milliseconds. */
+        double serviceMs() const { return latencyMs() - queue_wait_s * 1e3; }
     };
+
+    /**
+     * Tag this instance with its cluster position; stamped onto every
+     * Completion so latency decomposes per shard/service downstream.
+     * Purely observational — never read by the simulation itself.
+     */
+    void setIdentity(int shard, int service)
+    {
+        shard_id_ = shard;
+        service_id_ = service;
+    }
 
     /**
      * Inject one query; its arrival event fires at q.arrival_s.
@@ -95,6 +113,12 @@ class ServerInstance
     /** @return the completion log (empty unless record_completions). */
     const std::vector<Completion>& completions() const
     { return completions_; }
+
+    /** @return events executed by this instance's queue (lifetime). */
+    uint64_t eventsExecuted() const { return eq_.eventsExecuted(); }
+
+    /** @return peak pending-event depth seen by this instance. */
+    size_t peakEventQueueDepth() const { return eq_.peakDepth(); }
 
     /**
      * The early-abort predicate of SimOptions::abort_tail_ms: true once
@@ -272,6 +296,8 @@ class ServerInstance
     int host_stage_idle_ = 0;
     double pcie_free_ = 0.0;
     double slowdown_ = 1.0;  ///< latency multiplier (fault injection)
+    int shard_id_ = -1;      ///< observational tag (setIdentity)
+    int service_id_ = 0;     ///< observational tag (setIdentity)
 
     // pool_id: 0 = full graph, 1 = sparse, 2 = dense, 3 = cold sparse
     std::unordered_map<int, ServiceMemoEntry> memo_[4];

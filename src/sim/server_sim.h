@@ -82,6 +82,11 @@ struct ServerSimResult
     double duration_s = 0.0;
     /** true when the run stopped early via SimOptions::abort_tail_ms. */
     bool aborted = false;
+
+    /** DES self-profile: events this run executed (deterministic). */
+    uint64_t events_executed = 0;
+    /** DES self-profile: peak pending-event depth (deterministic). */
+    size_t peak_event_queue_depth = 0;
 };
 
 /** Run the simulation for a prepared workload. */

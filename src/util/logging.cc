@@ -8,46 +8,157 @@
 namespace hercules {
 
 namespace {
-std::atomic<bool> g_verbose{false};
+
+/** Level as an int, or -1 while uninitialized (consult HERCULES_LOG). */
+std::atomic<int> g_level{-1};
+
+LogLevel
+effectiveLevel()
+{
+    int lv = g_level.load(std::memory_order_relaxed);
+    if (lv >= 0)
+        return static_cast<LogLevel>(lv);
+    LogLevel resolved = LogLevel::Warn;
+    if (const char* env = std::getenv("HERCULES_LOG")) {
+        auto parsed = parseLogLevel(env);
+        if (parsed.has_value())
+            resolved = *parsed;
+        else
+            std::fprintf(stderr,
+                         "warn: HERCULES_LOG='%s' is not a log level "
+                         "(debug|info|warn|quiet); using warn\n",
+                         env);
+    }
+    g_level.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+}
 
 void
-vreport(const char* tag, const char* fmt, va_list ap)
+vreport(const char* level, const char* tag, const char* fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
+    if (tag != nullptr)
+        std::fprintf(stderr, "%s: [%s] ", level, tag);
+    else
+        std::fprintf(stderr, "%s: ", level);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
+
 }  // namespace
+
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Quiet:
+        return "quiet";
+    }
+    return "?";
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string& name)
+{
+    for (LogLevel lv : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                        LogLevel::Quiet})
+        if (name == logLevelName(lv))
+            return lv;
+    return std::nullopt;
+}
+
+LogLevel
+logLevel()
+{
+    return effectiveLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(effectiveLevel());
+}
+
+void
+logDebug(const char* tag, const char* fmt, ...)
+{
+    if (!logEnabled(LogLevel::Debug))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", tag, fmt, ap);
+    va_end(ap);
+}
+
+void
+logInfo(const char* tag, const char* fmt, ...)
+{
+    if (!logEnabled(LogLevel::Info))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", tag, fmt, ap);
+    va_end(ap);
+}
+
+void
+logWarn(const char* tag, const char* fmt, ...)
+{
+    if (!logEnabled(LogLevel::Warn))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", tag, fmt, ap);
+    va_end(ap);
+}
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose.store(verbose, std::memory_order_relaxed);
+    LogLevel cur = effectiveLevel();
+    if (verbose && static_cast<int>(cur) > static_cast<int>(LogLevel::Info))
+        setLogLevel(LogLevel::Info);
+    else if (!verbose &&
+             static_cast<int>(cur) < static_cast<int>(LogLevel::Warn))
+        setLogLevel(LogLevel::Warn);
 }
 
 bool
 verboseEnabled()
 {
-    return g_verbose.load(std::memory_order_relaxed);
+    return logEnabled(LogLevel::Info);
 }
 
 void
 inform(const char* fmt, ...)
 {
-    if (!verboseEnabled())
+    if (!logEnabled(LogLevel::Info))
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("info", fmt, ap);
+    vreport("info", nullptr, fmt, ap);
     va_end(ap);
 }
 
 void
 warn(const char* fmt, ...)
 {
+    if (!logEnabled(LogLevel::Warn))
+        return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    vreport("warn", nullptr, fmt, ap);
     va_end(ap);
 }
 
@@ -56,7 +167,7 @@ fatal(const char* fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("fatal", fmt, ap);
+    vreport("fatal", nullptr, fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -66,7 +177,7 @@ panic(const char* fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("panic", fmt, ap);
+    vreport("panic", nullptr, fmt, ap);
     va_end(ap);
     std::abort();
 }

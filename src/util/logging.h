@@ -1,24 +1,65 @@
 /**
  * @file
- * Status/error reporting helpers in the gem5 tradition.
+ * Status/error reporting helpers in the gem5 tradition, with leveled,
+ * tagged output.
  *
- * - inform(): normal operating messages.
+ * - logDebug()/logInfo()/logWarn(): leveled messages with a subsystem
+ *   tag ("obs", "scenario", ...), gated on the global log level.
+ * - inform(): normal operating messages (Info level, untagged).
  * - warn():   something questionable happened but execution continues.
  * - fatal():  unrecoverable *user* error (bad configuration / arguments);
  *             exits with status 1.
  * - panic():  unrecoverable *internal* bug (broken invariant); aborts.
+ *
+ * The level defaults to Warn and can be overridden by the HERCULES_LOG
+ * environment variable ("debug", "info", "warn", "quiet") or
+ * programmatically via setLogLevel(). fatal()/panic() always print.
  */
 #pragma once
 
 #include <cstdarg>
+#include <optional>
 #include <string>
 
 namespace hercules {
 
-/** Print an informational message to stderr (printf-style). */
+/** Log verbosity, most to least verbose. Quiet silences even warn(). */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** @return display name ("debug", "info", "warn", "quiet"). */
+const char* logLevelName(LogLevel level);
+
+/** Parse a name as printed by logLevelName(); nullopt when unknown. */
+std::optional<LogLevel> parseLogLevel(const std::string& name);
+
+/**
+ * The effective log level: the last setLogLevel() value, else the
+ * HERCULES_LOG environment variable, else Warn.
+ */
+LogLevel logLevel();
+
+/** Override the log level (beats HERCULES_LOG). */
+void setLogLevel(LogLevel level);
+
+/** @return whether messages at `level` currently print. */
+bool logEnabled(LogLevel level);
+
+/** Print "debug: [tag] ..." to stderr when Debug is enabled. */
+void logDebug(const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Print "info: [tag] ..." to stderr when Info is enabled. */
+void logInfo(const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Print "warn: [tag] ..." to stderr unless Quiet. */
+void logWarn(const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Print an informational message to stderr (printf-style, untagged). */
 void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print a warning message to stderr (printf-style). */
+/** Print a warning message to stderr (printf-style, untagged). */
 void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
@@ -44,10 +85,14 @@ void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
  */
 std::string isoUtcTimestamp();
 
-/** Global verbosity switch for inform(); warnings always print. */
+/**
+ * Legacy verbosity switch: true lowers the level to Info (enabling
+ * inform()), false raises it back to Warn. setLogLevel()/HERCULES_LOG
+ * are the finer-grained interface.
+ */
 void setVerbose(bool verbose);
 
-/** @return whether inform() output is enabled. */
+/** @return whether inform() output is enabled (level <= Info). */
 bool verboseEnabled();
 
 }  // namespace hercules

@@ -14,7 +14,8 @@ Rules (see tools/README.md for the rationale and examples):
   random-device       std::random_device: hardware entropy, different
                       every run. Seeds come from the spec.
   wall-clock          time(...)/std::time/system_clock::now/
-                      localtime/gmtime in result-affecting code.
+                      steady_clock::now/localtime/gmtime in
+                      result-affecting code.
   unordered-iteration Iterating a std::unordered_map/unordered_set
                       declared in the same file: bucket order is
                       implementation-defined and seed-dependent, so
@@ -31,6 +32,12 @@ the line directly above it:
 
     // determinism-lint: allow(wall-clock)
 
+A file whose whole purpose is such a use (e.g. the self-profiling
+wall timer obs/self_profile.h) can waive one rule file-wide with a
+top-of-file directive instead of annotating every line:
+
+    // determinism-lint: allow-file(wall-clock)
+
 Exit status: 0 clean, 1 violations, 2 usage error.
 """
 
@@ -44,7 +51,8 @@ RULES = [
     (
         "wall-clock",
         re.compile(
-            r"\btime\s*\(|system_clock::now|\blocaltime\b|\bgmtime\b"
+            r"\btime\s*\(|system_clock::now|steady_clock::now"
+            r"|\blocaltime\b|\bgmtime\b"
         ),
     ),
     (
@@ -54,6 +62,9 @@ RULES = [
 ]
 
 ALLOW = re.compile(r"//\s*determinism-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE = re.compile(
+    r"//\s*determinism-lint:\s*allow-file\(([a-z-]+)\)"
+)
 UNORDERED_DECL = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)"
 )
@@ -104,10 +115,20 @@ def unordered_decls(lines):
     return names
 
 
+def file_waivers(lines):
+    """Rules waived file-wide by allow-file(...) directives."""
+    waived = set()
+    for line in lines:
+        for m in ALLOW_FILE.finditer(line):
+            waived.add(m.group(1))
+    return waived
+
+
 def lint_file(path):
     violations = []
     lines = path.read_text(encoding="utf-8").splitlines()
     code_lines = strip_block_comments(lines)
+    waived = file_waivers(lines)
 
     # Names declared as unordered containers in this file — plus, for a
     # .cc, in its companion header: members live in the .h while the
@@ -138,9 +159,13 @@ def lint_file(path):
     ):
         code = stripped.split("//", 1)[0]  # rules don't fire in comments
         for rule, pat in RULES:
+            if rule in waived:
+                continue
             if pat.search(code) and not allowed(rule, line, prev):
                 violations.append((lineno, rule, line.strip()))
         for pat in iter_pats:
+            if "unordered-iteration" in waived:
+                continue
             if pat.search(code) and not allowed(
                 "unordered-iteration", line, prev
             ):
