@@ -1,7 +1,6 @@
 #include "core/eval_engine.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdio>
 
 #include "obs/self_profile.h"
@@ -39,28 +38,29 @@ appendInt(std::string& s, const char* label, int64_t v)
  */
 struct EvalEngine::Cell
 {
-    std::mutex m;
-    std::condition_variable cv;
-    bool ready = false;
-    EvalResult result;
+    util::Mutex m;
+    util::CondVar cv;
+    bool ready GUARDED_BY(m) = false;
+    EvalResult result GUARDED_BY(m);
 
     EvalResult
-    wait()
+    wait() EXCLUDES(m)
     {
-        std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return ready; });
+        util::MutexLock lock(m);
+        while (!ready)
+            cv.wait(m);
         return result;
     }
 
     void
-    publish(EvalResult r)
+    publish(EvalResult r) EXCLUDES(m)
     {
         {
-            std::lock_guard<std::mutex> lock(m);
+            util::MutexLock lock(m);
             result = std::move(r);
             ready = true;
         }
-        cv.notify_all();
+        cv.notifyAll();
     }
 };
 
@@ -185,7 +185,7 @@ EvalEngine::evaluate(const EvalRequest& r)
     std::shared_ptr<Cell> cell;
     bool owner = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = cache_.find(key);
         if (it == cache_.end()) {
             cell = std::make_shared<Cell>();
@@ -197,8 +197,9 @@ EvalEngine::evaluate(const EvalRequest& r)
     }
 
     if (owner) {
-        cell->publish(compute(r));
-        return cell->result;
+        EvalResult out = compute(r);
+        cell->publish(out);
+        return out;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
     EvalResult out = cell->wait();
@@ -233,7 +234,7 @@ EvalEngine::stats() const
 void
 EvalEngine::clearCache()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     cache_.clear();
 }
 
@@ -306,11 +307,11 @@ EvalEngine::saveCache(const std::string& path) const
     // Snapshot the ready cells under the lock, write outside it.
     std::vector<std::pair<std::string, EvalResult>> entries;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         entries.reserve(cache_.size());
         // determinism-lint: allow(unordered-iteration)
         for (const auto& [key, cell] : cache_) {
-            std::lock_guard<std::mutex> cell_lock(cell->m);
+            util::MutexLock cell_lock(cell->m);
             if (cell->ready)
                 entries.emplace_back(key, cell->result);
         }
@@ -383,9 +384,14 @@ EvalEngine::loadCache(const std::string& path)
             result.point = p;
         }
         auto cell = std::make_shared<Cell>();
-        cell->result = std::move(result);
-        cell->ready = true;
-        std::lock_guard<std::mutex> lock(mu_);
+        {
+            // The cell is still private to this thread; the lock is
+            // for the analysis, free in practice (uncontended).
+            util::MutexLock cell_lock(cell->m);
+            cell->result = std::move(result);
+            cell->ready = true;
+        }
+        util::MutexLock lock(mu_);
         if (cache_.emplace(std::move(key), std::move(cell)).second)
             ++loaded;
     }

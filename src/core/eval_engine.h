@@ -32,13 +32,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/measure.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hercules::core {
@@ -108,7 +108,7 @@ class EvalEngine
     }
 
     /** Evaluate one request (memoized). */
-    EvalResult evaluate(const EvalRequest& r);
+    EvalResult evaluate(const EvalRequest& r) EXCLUDES(mu_);
 
     /**
      * Evaluate a batch of independent requests on the pool. Results are
@@ -131,7 +131,7 @@ class EvalEngine
     Stats stats() const;
 
     /** Drop every memoized result (counters are kept). */
-    void clearCache();
+    void clearCache() EXCLUDES(mu_);
 
     /**
      * Spill the memo to disk: every *computed* entry (in-flight cells
@@ -140,7 +140,7 @@ class EvalEngine
      * the file to warm-start instead of re-simulating.
      * @return entries written; 0 when the file cannot be opened.
      */
-    size_t saveCache(const std::string& path) const;
+    size_t saveCache(const std::string& path) const EXCLUDES(mu_);
 
     /**
      * Merge a saveCache() file into the memo. Entries whose key is
@@ -149,7 +149,7 @@ class EvalEngine
      * served from loaded entries report cache_hit like any memo hit.
      * @return entries inserted.
      */
-    size_t loadCache(const std::string& path);
+    size_t loadCache(const std::string& path) EXCLUDES(mu_);
 
     /**
      * The canonical cache key: every result-affecting input — server
@@ -170,9 +170,13 @@ class EvalEngine
     EvalOptions opt_;
     util::ThreadPool pool_;
 
-    mutable std::mutex mu_;
-    std::unordered_map<std::string, std::shared_ptr<Cell>> cache_;
+    /** Guards the memo map only; each Cell carries its own lock. */
+    mutable util::Mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<Cell>> cache_
+        GUARDED_BY(mu_);
 
+    // Counters are deliberately lock-free: they are monotone
+    // self-profiling aggregates, never part of a result.
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> invalid_{0};

@@ -59,6 +59,7 @@ MetricsRegistry::bucketBounds()
 int
 MetricsRegistry::declareMetric(MetricKind kind, const std::string& name)
 {
+    util::MutexLock lock(mu_);
     auto it = index_.find(name);
     if (it != index_.end()) {
         if (metrics_[it->second].kind != kind)
@@ -118,6 +119,7 @@ MetricsRegistry::at(int id)
 void
 MetricsRegistry::add(int id, double delta)
 {
+    util::MutexLock lock(mu_);
     Metric& m = at(id);
     if (m.kind != MetricKind::Counter)
         panic("MetricsRegistry: add() on non-counter '%s'", m.name.c_str());
@@ -127,6 +129,7 @@ MetricsRegistry::add(int id, double delta)
 void
 MetricsRegistry::set(int id, double value)
 {
+    util::MutexLock lock(mu_);
     Metric& m = at(id);
     if (m.kind != MetricKind::Gauge)
         panic("MetricsRegistry: set() on non-gauge '%s'", m.name.c_str());
@@ -136,6 +139,7 @@ MetricsRegistry::set(int id, double value)
 void
 MetricsRegistry::observe(int id, double value)
 {
+    util::MutexLock lock(mu_);
     Metric& m = at(id);
     if (m.kind != MetricKind::Histogram)
         panic("MetricsRegistry: observe() on non-histogram '%s'",
@@ -161,12 +165,14 @@ MetricsRegistry::observe(int id, double value)
 double
 MetricsRegistry::value(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).value;
 }
 
 void
 MetricsRegistry::sample(double t_s)
 {
+    util::MutexLock lock(mu_);
     sample_times_.push_back(t_s);
     for (Metric& m : metrics_)
         if (m.kind != MetricKind::Histogram)
@@ -176,41 +182,54 @@ MetricsRegistry::sample(double t_s)
 const std::string&
 MetricsRegistry::name(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).name;
 }
 
 MetricKind
 MetricsRegistry::kind(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).kind;
 }
 
 const std::vector<double>&
 MetricsRegistry::series(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).series;
 }
 
 const std::vector<uint64_t>&
 MetricsRegistry::bucketCounts(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).buckets;
 }
 
 uint64_t
 MetricsRegistry::histogramCount(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).count;
 }
 
 double
 MetricsRegistry::histogramSum(int id) const
 {
+    util::MutexLock lock(mu_);
     return at(id).sum;
 }
 
 void
 MetricsRegistry::writePrometheus(std::FILE* f) const
+{
+    util::MutexLock lock(mu_);
+    writePrometheusLocked(f);
+}
+
+void
+MetricsRegistry::writePrometheusLocked(std::FILE* f) const
 {
     const std::vector<double>& bounds = bucketBounds();
     for (const Metric& m : metrics_) {
@@ -243,6 +262,13 @@ MetricsRegistry::writePrometheus(std::FILE* f) const
 void
 MetricsRegistry::writeCsv(std::FILE* f) const
 {
+    util::MutexLock lock(mu_);
+    writeCsvLocked(f);
+}
+
+void
+MetricsRegistry::writeCsvLocked(std::FILE* f) const
+{
     // Long-form time series: histograms have no series and are omitted
     // (use the Prometheus or JSON export for distribution data).
     std::fprintf(f, "t_s,name,value\n");
@@ -255,6 +281,13 @@ MetricsRegistry::writeCsv(std::FILE* f) const
 
 void
 MetricsRegistry::writeJson(std::FILE* f) const
+{
+    util::MutexLock lock(mu_);
+    writeJsonLocked(f);
+}
+
+void
+MetricsRegistry::writeJsonLocked(std::FILE* f) const
 {
     const std::vector<double>& bounds = bucketBounds();
     std::fprintf(f, "{\n  \"sample_times_s\": [");
@@ -302,12 +335,13 @@ MetricsRegistry::writeFile(const std::string& path) const
     }
     size_t dot = path.rfind('.');
     std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    util::MutexLock lock(mu_);
     if (ext == ".csv")
-        writeCsv(f);
+        writeCsvLocked(f);
     else if (ext == ".json")
-        writeJson(f);
+        writeJsonLocked(f);
     else
-        writePrometheus(f);
+        writePrometheusLocked(f);
     std::fclose(f);
     return true;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace hercules::obs {
 
@@ -77,12 +78,14 @@ Telemetry::serviceIds(int svc)
 void
 Telemetry::declareService(int svc)
 {
+    util::MutexLock lock(mu_);
     serviceIds(svc);
 }
 
 void
 Telemetry::declareShard(int shard, int svc)
 {
+    util::MutexLock lock(mu_);
     shardIds(shard).svc = svc;
     serviceIds(svc);
 }
@@ -105,6 +108,7 @@ Telemetry::newRecord(int svc, double t_s, TraceOutcome outcome)
 void
 Telemetry::onDropped(int svc, double t_s)
 {
+    util::MutexLock lock(mu_);
     metrics_.add(c_arrivals_, 1);
     metrics_.add(c_dropped_, 1);
     ServiceIds& s = serviceIds(svc);
@@ -118,6 +122,7 @@ Telemetry::onDropped(int svc, double t_s)
 void
 Telemetry::onRejected(int svc, double t_s)
 {
+    util::MutexLock lock(mu_);
     metrics_.add(c_arrivals_, 1);
     metrics_.add(c_rejected_, 1);
     ServiceIds& s = serviceIds(svc);
@@ -132,6 +137,7 @@ void
 Telemetry::onAdmitted(int svc, int shard, int retry_hops, int inject_idx,
                       double t_s)
 {
+    util::MutexLock lock(mu_);
     metrics_.add(c_arrivals_, 1);
     if (retry_hops > 0)
         metrics_.add(c_retries_, retry_hops);
@@ -156,6 +162,15 @@ Telemetry::drainShardCompletions(
     int shard, const std::vector<sim::ServerInstance::Completion>& log,
     double up_to_s)
 {
+    util::MutexLock lock(mu_);
+    drainShardCompletionsLocked(shard, log, up_to_s);
+}
+
+void
+Telemetry::drainShardCompletionsLocked(
+    int shard, const std::vector<sim::ServerInstance::Completion>& log,
+    double up_to_s)
+{
     ShardIds& sh = shardIds(shard);
     while (sh.cursor < log.size() && log[sh.cursor].finish_s <= up_to_s) {
         const sim::ServerInstance::Completion& c = log[sh.cursor++];
@@ -177,10 +192,11 @@ Telemetry::onCrash(int shard,
                    double t_s, size_t killed)
 {
     addFailedInflight(killed);
+    util::MutexLock lock(mu_);
     // Completions the harvest loop had not consumed yet still finished
     // *before* the crash — close them normally first, then everything
     // left open on this shard died with it.
-    drainShardCompletions(shard, log, t_s);
+    drainShardCompletionsLocked(shard, log, t_s);
     ShardIds& sh = shardIds(shard);
     for (size_t ri : sh.open) {
         if (ri == SIZE_MAX)
@@ -197,6 +213,7 @@ void
 Telemetry::observeCompletion(int svc, double queue_wait_ms, double service_ms,
                              double latency_ms)
 {
+    util::MutexLock lock(mu_);
     metrics_.add(c_completions_, 1);
     ServiceIds& s = serviceIds(svc);
     metrics_.add(s.completions, 1);
@@ -208,6 +225,7 @@ Telemetry::observeCompletion(int svc, double queue_wait_ms, double service_ms,
 void
 Telemetry::setShardWindow(int shard, size_t queue_depth, int health)
 {
+    util::MutexLock lock(mu_);
     ShardIds& sh = shardIds(shard);
     metrics_.set(sh.queue_depth, static_cast<double>(queue_depth));
     metrics_.set(sh.health, health);
@@ -217,6 +235,7 @@ void
 Telemetry::setServiceWindow(int svc, double p50_ms, double p99_ms,
                             double sla_violation_rate)
 {
+    util::MutexLock lock(mu_);
     ServiceIds& s = serviceIds(svc);
     metrics_.set(s.p50, p50_ms);
     metrics_.set(s.p99, p99_ms);
@@ -256,7 +275,10 @@ Telemetry::writeTraceFile() const
              spec_.trace_file.c_str());
         return false;
     }
-    writeTraceJsonl(f, records_);
+    {
+        util::MutexLock lock(mu_);
+        writeTraceJsonl(f, records_);
+    }
     std::fclose(f);
     return true;
 }

@@ -9,6 +9,14 @@
  * attached produces bit-identical simulated statistics to one without.
  * ClusterSim guards each call site with a null check; a null Telemetry
  * pointer is the (default) off switch.
+ *
+ * Thread-safety: the trace log, shard/service id tables and arrival
+ * sequence are guarded by one facade mutex (annotated for Clang's
+ * -Werror=thread-safety); the owned MetricsRegistry synchronizes
+ * itself. Lock order is Telemetry::mu_ -> MetricsRegistry::mu_ and
+ * the registry never calls back, so the pair cannot deadlock. The
+ * reference-returning traceRecords()/metrics() views are for the
+ * post-run, single-threaded export phase.
  */
 #pragma once
 
@@ -17,7 +25,12 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+// obs sits below sim in layers.json; this one up-edge exists because
+// drainShardCompletions() consumes sim's Completion log type directly
+// instead of copying it into an obs-owned mirror struct per harvest.
+// layer-lint: allow(sim)
 #include "sim/server_instance.h"
+#include "util/thread_annotations.h"
 
 namespace hercules::obs {
 
@@ -46,22 +59,28 @@ class Telemetry
     const ObsSpec& spec() const { return spec_; }
     MetricsRegistry& metrics() { return metrics_; }
     const MetricsRegistry& metrics() const { return metrics_; }
-    const std::vector<TraceRecord>& traceRecords() const { return records_; }
+    /** Trace log view (post-run read phase; see file comment). */
+    const std::vector<TraceRecord>&
+    traceRecords() const EXCLUDES(mu_)
+    {
+        util::MutexLock lock(mu_);
+        return records_;
+    }
 
     /** Topology declarations (called from ClusterSim setup). */
-    void declareService(int svc);
-    void declareShard(int shard, int svc);
+    void declareService(int svc) EXCLUDES(mu_);
+    void declareShard(int shard, int svc) EXCLUDES(mu_);
 
     /** Routing-time verdicts. One of these fires per arrival. */
-    void onDropped(int svc, double t_s);
-    void onRejected(int svc, double t_s);
+    void onDropped(int svc, double t_s) EXCLUDES(mu_);
+    void onRejected(int svc, double t_s) EXCLUDES(mu_);
     /**
      * Query admitted onto `shard` after `retry_hops` cross-shard
      * retries; `inject_idx` is ServerInstance::inject()'s per-shard
      * injection index, the key completions are matched back with.
      */
     void onAdmitted(int svc, int shard, int retry_hops, int inject_idx,
-                    double t_s);
+                    double t_s) EXCLUDES(mu_);
 
     /**
      * Close trace spans for `shard` completions with finish <= up_to_s.
@@ -71,7 +90,7 @@ class Telemetry
      */
     void drainShardCompletions(
         int shard, const std::vector<sim::ServerInstance::Completion>& log,
-        double up_to_s);
+        double up_to_s) EXCLUDES(mu_);
 
     /**
      * Shard crashed at `t_s` with `killed` queries in flight: close
@@ -80,16 +99,17 @@ class Telemetry
      */
     void onCrash(int shard,
                  const std::vector<sim::ServerInstance::Completion>& log,
-                 double t_s, size_t killed);
+                 double t_s, size_t killed) EXCLUDES(mu_);
 
     /** One harvested completion's latency decomposition (histograms). */
     void observeCompletion(int svc, double queue_wait_ms, double service_ms,
-                           double latency_ms);
+                           double latency_ms) EXCLUDES(mu_);
 
     /** Interval-boundary gauge updates, then commitSample() stamps them. */
-    void setShardWindow(int shard, size_t queue_depth, int health);
+    void setShardWindow(int shard, size_t queue_depth, int health)
+        EXCLUDES(mu_);
     void setServiceWindow(int svc, double p50_ms, double p99_ms,
-                          double sla_violation_rate);
+                          double sla_violation_rate) EXCLUDES(mu_);
     void setClusterWindow(int active_shards, double consumed_power_w,
                           double provisioned_power_w);
     void commitSample(double t_s);
@@ -98,7 +118,7 @@ class Telemetry
     void addFailedInflight(size_t killed);
 
     /** Emit the configured files; no-ops when the path is empty. */
-    bool writeTraceFile() const;
+    bool writeTraceFile() const EXCLUDES(mu_);
     bool writeMetricsFile() const;
 
   private:
@@ -127,19 +147,26 @@ class Telemetry
         int h_latency = -1;
     };
 
-    ShardIds& shardIds(int shard);
-    ServiceIds& serviceIds(int svc);
+    ShardIds& shardIds(int shard) REQUIRES(mu_);
+    ServiceIds& serviceIds(int svc) REQUIRES(mu_);
     /** Next arrival sequence number + its sampling verdict. */
-    size_t newRecord(int svc, double t_s, TraceOutcome outcome);
+    size_t newRecord(int svc, double t_s, TraceOutcome outcome)
+        REQUIRES(mu_);
+    /** Body of drainShardCompletions (onCrash calls it under mu_). */
+    void drainShardCompletionsLocked(
+        int shard, const std::vector<sim::ServerInstance::Completion>& log,
+        double up_to_s) REQUIRES(mu_);
 
-    ObsSpec spec_;
-    MetricsRegistry metrics_;
-    std::vector<TraceRecord> records_;
-    std::vector<ShardIds> shards_;
-    std::vector<ServiceIds> services_;
-    uint64_t arrival_seq_ = 0;
+    ObsSpec spec_;  ///< immutable after construction
+    MetricsRegistry metrics_;  ///< internally synchronized (own mutex)
+    mutable util::Mutex mu_;
+    std::vector<TraceRecord> records_ GUARDED_BY(mu_);
+    std::vector<ShardIds> shards_ GUARDED_BY(mu_);
+    std::vector<ServiceIds> services_ GUARDED_BY(mu_);
+    uint64_t arrival_seq_ GUARDED_BY(mu_) = 0;
 
-    // Cluster-wide metric ids.
+    // Cluster-wide metric ids: set once in the constructor, immutable
+    // after, so reads need no lock.
     int c_arrivals_;
     int c_completions_;
     int c_dropped_;

@@ -30,6 +30,7 @@ class Linter
         checkServices();
         checkAdmission();
         checkFaults();
+        checkObservability();
         checkPeakDemand();
         return std::move(out_);
     }
@@ -284,6 +285,28 @@ class Linter
                         "than the SLA: queries admitted under it can "
                         "still violate, so the deadline cannot "
                         "protect the SLA (dead knob)");
+    }
+
+    void
+    checkObservability()
+    {
+        const obs::ObsSpec& o = spec_.observability;
+        // sample_rate only thins the per-query trace; with no
+        // trace_file there is nothing to thin. Rate 1.0 is the
+        // default (indistinguishable from "unset"), so only a
+        // non-default rate is a dead knob.
+        if (!o.tracing() && o.sample_rate != 1.0 && o.sample_rate > 0.0)
+            warning("W211", "observability.sample_rate",
+                    "sample_rate " + num(o.sample_rate) +
+                        " is set but no trace_file is configured: "
+                        "sampling only thins the per-query trace, so "
+                        "the knob does nothing (dead knob)");
+        if (o.tracing() && o.sample_rate == 0.0)
+            warning("W211", "observability.trace_file",
+                    "trace_file '" + o.trace_file +
+                        "' is configured with sample_rate 0: every "
+                        "query is skipped, so the trace will be "
+                        "empty; drop trace_file or raise sample_rate");
     }
 
     void

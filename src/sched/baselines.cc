@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <memory>
 
+// sched sits below core in layers.json; baselines evaluate through
+// the shared EvalEngine so baseline and Hercules searches hit one memo
+// and one pool. Same justified up-edge as sched/gradient_search.h.
+// layer-lint: allow(core)
 #include "core/eval_engine.h"
 #include "sim/prepared.h"
 #include "util/logging.h"

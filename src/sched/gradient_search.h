@@ -17,6 +17,11 @@
 #include <optional>
 #include <vector>
 
+// sched sits below core in layers.json; the search is parameterized on
+// core::EvalEngine (memoization + parallel fan-out) rather than raw
+// sim::measure calls. Inverting this edge would mean core re-exporting
+// an evaluation interface sched defines — tracked as accepted debt.
+// layer-lint: allow(core)
 #include "core/eval_engine.h"
 #include "sched/space.h"
 #include "sim/measure.h"

@@ -14,6 +14,11 @@
 #include "hw/server.h"
 #include "model/model_zoo.h"
 #include "model/partition.h"
+// sim sits below sched in layers.json; PreparedServer is built *from*
+// a sched::SchedulingConfig (the one plain-data type sched exports
+// downward). Moving SchedulingConfig into model/ would fix the edge
+// but orphan it from the search code that owns its semantics.
+// layer-lint: allow(sched)
 #include "sched/config.h"
 
 namespace hercules::sim {

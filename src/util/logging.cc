@@ -5,12 +5,27 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "util/thread_annotations.h"
+
 namespace hercules {
 
 namespace {
 
-/** Level as an int, or -1 while uninitialized (consult HERCULES_LOG). */
+/**
+ * Level as an int, or -1 while uninitialized (consult HERCULES_LOG).
+ * Deliberately lock-free: logEnabled() sits on hot paths and a torn
+ * first read only risks resolving HERCULES_LOG twice, to the same
+ * value.
+ */
 std::atomic<int> g_level{-1};
+
+/**
+ * Serializes whole report lines onto stderr, so messages emitted
+ * concurrently from pool threads (EvalEngine measurements warn; the
+ * parallel DES will log per-shard) never interleave mid-line. Leaf
+ * lock: nothing is acquired while holding it.
+ */
+util::Mutex g_io_mu;
 
 LogLevel
 effectiveLevel()
@@ -35,7 +50,9 @@ effectiveLevel()
 
 void
 vreport(const char* level, const char* tag, const char* fmt, va_list ap)
+    EXCLUDES(g_io_mu)
 {
+    util::MutexLock lock(g_io_mu);
     if (tag != nullptr)
         std::fprintf(stderr, "%s: [%s] ", level, tag);
     else

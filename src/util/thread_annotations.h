@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotations, plus the annotated
+ * locking primitives the concurrent core is written against.
+ *
+ * The macros expand to Clang's `__attribute__((capability(...)))`
+ * family under Clang and to nothing everywhere else, so GCC builds are
+ * untouched while the `clang-analysis` CI job compiles the whole tree
+ * with `-Werror=thread-safety` and rejects any lock-discipline
+ * violation at compile time — which mutex guards which member, which
+ * functions require or exclude it — before TSan would need a test to
+ * race on it.
+ *
+ * Discipline for new code:
+ *  - every mutex-protected member is declared `GUARDED_BY(mu_)`;
+ *  - functions called with the lock held are `REQUIRES(mu_)` (the
+ *    conventional `Locked` suffix marks them);
+ *  - public entry points that take the lock themselves are
+ *    `EXCLUDES(mu_)` so accidental re-entry is a compile error;
+ *  - deliberately lock-free state (atomics, immutable-after-ctor
+ *    members) carries a comment instead of an annotation — the
+ *    analysis has nothing to check, the reader still needs the why.
+ *
+ * std::mutex carries no capability attributes under libstdc++, so the
+ * analysis cannot see through it; util::Mutex / util::MutexLock /
+ * util::CondVar below are the thin annotated equivalents. They add no
+ * state and no behavior — Mutex is exactly a std::mutex the analysis
+ * can track.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define HERCULES_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HERCULES_TS_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/** Marks a class as a lockable capability (mutexes, roles). */
+#define CAPABILITY(x) HERCULES_TS_ATTRIBUTE(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in its dtor. */
+#define SCOPED_CAPABILITY HERCULES_TS_ATTRIBUTE(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define GUARDED_BY(x) HERCULES_TS_ATTRIBUTE(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by `x`. */
+#define PT_GUARDED_BY(x) HERCULES_TS_ATTRIBUTE(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define REQUIRES(...) \
+    HERCULES_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/** Function callable only with at least shared access to the list. */
+#define REQUIRES_SHARED(...) \
+    HERCULES_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities (held on return). */
+#define ACQUIRE(...) \
+    HERCULES_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define RELEASE(...) \
+    HERCULES_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns `cond`. */
+#define TRY_ACQUIRE(...) \
+    HERCULES_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be entered with the listed locks held. */
+#define EXCLUDES(...) HERCULES_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is already held. */
+#define ASSERT_CAPABILITY(x) HERCULES_TS_ATTRIBUTE(assert_capability(x))
+
+/** Function returning a reference to the capability guarding its result. */
+#define RETURN_CAPABILITY(x) HERCULES_TS_ATTRIBUTE(lock_returned(x))
+
+/** Opt a function out of the analysis (justify in a comment). */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    HERCULES_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace hercules::util {
+
+/**
+ * A std::mutex the thread-safety analysis can track. Same cost, same
+ * semantics; only the type is annotated.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /**
+     * The wrapped std::mutex, for interop the analysis cannot model
+     * (CondVar::wait re-locks through it). Holding the native handle
+     * is invisible to the analysis — never lock through it directly.
+     */
+    std::mutex& native() { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII lock for Mutex — an annotated std::lock_guard. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+/**
+ * Condition variable paired with util::Mutex. wait() must be called
+ * with the mutex held (enforced at compile time) and holds it again on
+ * return; use the classic while-loop around the predicate.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /** Atomically release `mu`, sleep, re-acquire before returning. */
+    void
+    wait(Mutex& mu) REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.native(),
+                                            std::adopt_lock);
+        cv_.wait(native);
+        native.release();  // still held: ownership stays with caller
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+}  // namespace hercules::util

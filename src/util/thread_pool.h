@@ -12,17 +12,23 @@
  * evaluations). Nesting cannot deadlock: whoever claims an index runs
  * it to completion, and a nested caller drains its own indices itself
  * when no worker is free.
+ *
+ * Concurrency contract (machine-checked via thread_annotations.h):
+ * the job queue and stop flag are guarded by mu_; per-job index/done
+ * counters are deliberately lock-free atomics (claiming an index must
+ * not serialize the workers), with each job's completion handshake
+ * guarded by the job's own mutex.
  */
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace hercules::util {
 
@@ -44,10 +50,10 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             stop_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         for (auto& w : workers_)
             w.join();
     }
@@ -74,6 +80,7 @@ class ThreadPool
      */
     void
     parallelFor(size_t n, const std::function<void(size_t)>& fn)
+        EXCLUDES(mu_)
     {
         if (n == 0)
             return;
@@ -87,19 +94,18 @@ class ThreadPool
         job->n = n;
         job->fn = &fn;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             jobs_.push_back(job);
         }
-        cv_.notify_all();
+        cv_.notifyAll();
 
         // The caller participates until no index is left to claim...
         while (claimAndRun(*job)) {
         }
         // ...then waits for indices claimed by workers to finish.
-        std::unique_lock<std::mutex> lock(job->m);
-        job->cv.wait(lock, [&] {
-            return job->done.load(std::memory_order_acquire) == job->n;
-        });
+        MutexLock lock(job->m);
+        while (job->done.load(std::memory_order_acquire) != job->n)
+            job->cv.wait(job->m);
     }
 
   private:
@@ -107,10 +113,12 @@ class ThreadPool
     {
         size_t n = 0;
         const std::function<void(size_t)>* fn = nullptr;
+        /** Lock-free by design: index claims must not serialize. */
         std::atomic<size_t> next{0};
         std::atomic<size_t> done{0};
-        std::mutex m;
-        std::condition_variable cv;
+        /** Guards only the completion handshake around `cv`. */
+        Mutex m;
+        CondVar cv;
     };
 
     /** Claim one index of `job` and run it. @return false if drained. */
@@ -123,20 +131,21 @@ class ThreadPool
         (*job.fn)(i);
         if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.n) {
-            std::lock_guard<std::mutex> lock(job.m);
-            job.cv.notify_all();
+            MutexLock lock(job.m);
+            job.cv.notifyAll();
         }
         return true;
     }
 
     void
-    workerLoop()
+    workerLoop() EXCLUDES(mu_)
     {
         for (;;) {
             std::shared_ptr<Job> job;
             {
-                std::unique_lock<std::mutex> lock(mu_);
-                cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+                MutexLock lock(mu_);
+                while (!stop_ && jobs_.empty())
+                    cv_.wait(mu_);
                 if (stop_)
                     return;
                 job = jobs_.front();
@@ -153,10 +162,10 @@ class ThreadPool
     }
 
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::shared_ptr<Job>> jobs_;
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    std::deque<std::shared_ptr<Job>> jobs_ GUARDED_BY(mu_);
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hercules::util

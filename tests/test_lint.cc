@@ -298,6 +298,49 @@ TEST(Lint, W207DeadlineSlackLooserThanSla)
                      "deadline looser than the SLA: queries admitted "
                      "under it can still violate, so the deadline "
                      "cannot protect the SLA (dead knob)");
+}
+
+// ---- observability -------------------------------------------------------
+
+TEST(Lint, W211SampleRateWithoutTraceFile)
+{
+    ScenarioSpec s = cleanSpec();
+    s.observability.metrics_file = "metrics.txt";
+    s.observability.sample_rate = 0.5;
+    expectDiagnostic(s, "W211", Severity::Warning,
+                     "observability.sample_rate",
+                     "sample_rate 0.5 is set but no trace_file is "
+                     "configured: sampling only thins the per-query "
+                     "trace, so the knob does nothing (dead knob)");
+    // With a trace output the knob is live: no warning.
+    s.observability.trace_file = "trace.jsonl";
+    EXPECT_EQ(findCode(lint(s), "W211"), nullptr);
+}
+
+TEST(Lint, W211TraceFileWithZeroSampleRate)
+{
+    ScenarioSpec s = cleanSpec();
+    s.observability.trace_file = "trace.jsonl";
+    s.observability.sample_rate = 0.0;
+    expectDiagnostic(s, "W211", Severity::Warning,
+                     "observability.trace_file",
+                     "trace_file 'trace.jsonl' is configured with "
+                     "sample_rate 0: every query is skipped, so the "
+                     "trace will be empty; drop trace_file or raise "
+                     "sample_rate");
+}
+
+TEST(Lint, W211DefaultObservabilityClean)
+{
+    ScenarioSpec s = cleanSpec();
+    EXPECT_EQ(findCode(lint(s), "W211"), nullptr);
+    // A metrics-only block at the default (trace-everything) rate has
+    // no dead knob; neither does a rate-0 block with no trace_file,
+    // which is just "tracing off" spelled redundantly.
+    s.observability.metrics_file = "metrics.csv";
+    EXPECT_EQ(findCode(lint(s), "W211"), nullptr);
+    s.observability.sample_rate = 0.0;
+    EXPECT_EQ(findCode(lint(s), "W211"), nullptr);
     // Slack > 1 without the Deadline policy is inert, not flagged.
     s.serve.admission.policy = qos::AdmissionPolicy::None;
     EXPECT_EQ(findCode(lint(s), "W207"), nullptr);

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Content-hash cache wrapper around clang-tidy.
+
+run-clang-tidy re-analyzes the whole tree on every CI run even though
+most files (and their include closures) did not change. This wrapper
+keys each translation unit by a digest of everything that can affect
+its diagnostics and replays the stored output on a hit:
+
+  - the clang-tidy version string,
+  - the .clang-tidy configuration,
+  - the TU's compile command from compile_commands.json,
+  - the TU's own bytes,
+  - the bytes of every repo-local header in its quoted-include
+    closure (system headers are assumed fixed within one toolchain
+    version, which the version string already pins).
+
+Cache layout: one <digest>.log file per TU under --cache-dir; the CI
+job persists that directory with actions/cache. Misses run clang-tidy
+with the shared build directory's compile_commands.json, so this job
+and the thread-safety build analyze identical compile commands.
+
+Exit status: 0 when no replayed-or-fresh output line matches
+": error: " (the WarningsAsErrors gate), 1 otherwise, 2 on setup
+errors. Warnings stay advisory, exactly like running clang-tidy raw.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+
+def include_closure(path, include_dirs, seen):
+    """Repo-local quoted-include closure of `path` (best effort: a
+    miss just means the file hashes into the key directly)."""
+    if path in seen:
+        return
+    seen.add(path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return
+    for target in INCLUDE_RE.findall(text):
+        for base in [os.path.dirname(path)] + include_dirs:
+            cand = os.path.normpath(os.path.join(base, target))
+            if os.path.isfile(cand):
+                include_closure(cand, include_dirs, seen)
+                break
+
+
+def file_digest(path):
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as f:
+            h.update(f.read())
+    except OSError:
+        h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def tu_key(entry, tidy_version, config_bytes, include_dirs):
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    h.update(config_bytes)
+    h.update(entry.get("command", " ".join(
+        entry.get("arguments", []))).encode())
+    closure = set()
+    include_closure(entry["abs_file"], include_dirs, closure)
+    for dep in sorted(closure):
+        h.update(dep.encode())
+        h.update(file_digest(dep).encode())
+    return h.hexdigest()
+
+
+def compile_include_dirs(entry):
+    """-I / -isystem directories out of one compile command."""
+    args = entry.get("arguments")
+    if not args:
+        args = entry.get("command", "").split()
+    dirs = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a in ("-I", "-isystem") and i + 1 < len(args):
+            dirs.append(args[i + 1])
+            i += 2
+            continue
+        if a.startswith("-I"):
+            dirs.append(a[2:])
+        i += 1
+    cwd = entry.get("directory", ".")
+    return [d if os.path.isabs(d) else os.path.join(cwd, d)
+            for d in dirs]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True,
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--cache-dir", required=True)
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--source-filter", default=r"/src/|/tests/",
+                    help="regex; only matching TUs are analyzed")
+    args = ap.parse_args()
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("clang-tidy-cache: cannot load %s: %s" % (db_path, e),
+              file=sys.stderr)
+        return 2
+    try:
+        tidy_version = subprocess.run(
+            [args.clang_tidy, "--version"], capture_output=True,
+            text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError) as e:
+        print("clang-tidy-cache: cannot run %s: %s"
+              % (args.clang_tidy, e), file=sys.stderr)
+        return 2
+
+    config_bytes = b""
+    for parent in (os.getcwd(), os.path.dirname(os.getcwd())):
+        cfg = os.path.join(parent, ".clang-tidy")
+        if os.path.isfile(cfg):
+            with open(cfg, "rb") as f:
+                config_bytes = f.read()
+            break
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    source_filter = re.compile(args.source_filter)
+    hits = misses = 0
+    failed = False
+    for entry in db:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.join(entry.get("directory", "."), path)
+        entry["abs_file"] = os.path.normpath(path)
+        if not source_filter.search(entry["abs_file"]):
+            continue
+        key = tu_key(entry, tidy_version, config_bytes,
+                     compile_include_dirs(entry))
+        log = os.path.join(args.cache_dir, key + ".log")
+        if os.path.isfile(log):
+            hits += 1
+            with open(log, encoding="utf-8") as f:
+                output = f.read()
+        else:
+            misses += 1
+            proc = subprocess.run(
+                [args.clang_tidy, "-p", args.build_dir,
+                 entry["abs_file"]],
+                capture_output=True, text=True)
+            output = proc.stdout
+            # Hard tool failures (crash, bad flags) must not be
+            # cached as "clean" — surface and fail the run instead.
+            if proc.returncode != 0 and ": error: " not in output:
+                print(output, end="")
+                print(proc.stderr, file=sys.stderr, end="")
+                print("clang-tidy-cache: %s exited %d on %s"
+                      % (args.clang_tidy, proc.returncode,
+                         entry["abs_file"]), file=sys.stderr)
+                return 2
+            with open(log, "w", encoding="utf-8") as f:
+                f.write(output)
+        if output.strip():
+            print(output, end="")
+        if ": error: " in output:
+            failed = True
+    print("clang-tidy-cache: %d cached, %d analyzed"
+          % (hits, misses), file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,30 +79,92 @@ def allowed(rule, line, prev_line):
     return False
 
 
-def strip_block_comments(lines):
-    """Blank out /* ... */ spans (keeps line count; // handled later)."""
+RAW_START = re.compile(r'(?:u8|u|U|L)?R"([^\s()\\]{0,16})\(')
+
+
+def strip_non_code(lines):
+    """Reduce each line to lintable code: drop comments (// and
+    /*...*/, including multi-line) and the *contents* of string, raw
+    string (R"delim(...)delim", including multi-line) and character
+    literals. Keeps the line count, so a pattern inside a string —
+    `printf("seeded, no time() call")` — or a string containing `//`
+    or `/*` can neither fire a rule nor derail the comment scanner.
+    C++14 digit separators (1'000'000) are not char literals."""
     out = []
-    in_block = False
+    state = "code"  # code | block-comment | raw-string
+    raw_end = ""
     for line in lines:
         buf = []
         i = 0
-        while i < len(line):
-            if in_block:
+        n = len(line)
+        while i < n:
+            if state == "block-comment":
                 end = line.find("*/", i)
                 if end == -1:
-                    i = len(line)
+                    i = n
                 else:
-                    in_block = False
+                    state = "code"
                     i = end + 2
-            else:
-                start = line.find("/*", i)
-                inline = line.find("//", i)
-                if start == -1 or (inline != -1 and inline < start):
-                    buf.append(line[i:])
-                    break
-                buf.append(line[i:start])
-                in_block = True
-                i = start + 2
+                continue
+            if state == "raw-string":
+                end = line.find(raw_end, i)
+                if end == -1:
+                    i = n
+                else:
+                    state = "code"
+                    i = end + len(raw_end)
+                continue
+            c = line[i]
+            if c == "/" and line.startswith("//", i):
+                break
+            if c == "/" and line.startswith("/*", i):
+                state = "block-comment"
+                i += 2
+                continue
+            m = RAW_START.match(line, i)
+            if m and not (i > 0 and (line[i - 1].isalnum()
+                                     or line[i - 1] == "_")):
+                buf.append('""')
+                raw_end = ')' + m.group(1) + '"'
+                end = line.find(raw_end, m.end())
+                if end == -1:
+                    state = "raw-string"
+                    i = n
+                else:
+                    i = end + len(raw_end)
+                continue
+            if c == '"':
+                buf.append('""')
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                    elif line[i] == '"':
+                        i += 1
+                        break
+                    else:
+                        i += 1
+                continue
+            if c == "'":
+                prev_c = line[i - 1] if i > 0 else ""
+                next_c = line[i + 1] if i + 1 < n else ""
+                if prev_c.isalnum() and next_c.isalnum():
+                    buf.append(c)  # digit separator, not a literal
+                    i += 1
+                    continue
+                buf.append("''")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                    elif line[i] == "'":
+                        i += 1
+                        break
+                    else:
+                        i += 1
+                continue
+            buf.append(c)
+            i += 1
         out.append("".join(buf))
     return out
 
@@ -127,7 +189,7 @@ def file_waivers(lines):
 def lint_file(path):
     violations = []
     lines = path.read_text(encoding="utf-8").splitlines()
-    code_lines = strip_block_comments(lines)
+    code_lines = strip_non_code(lines)
     waived = file_waivers(lines)
 
     # Names declared as unordered containers in this file — plus, for a
@@ -139,7 +201,7 @@ def lint_file(path):
             header = path.with_suffix(header_suffix)
             if header.is_file():
                 unordered_names |= unordered_decls(
-                    strip_block_comments(
+                    strip_non_code(
                         header.read_text(
                             encoding="utf-8"
                         ).splitlines()
@@ -157,7 +219,7 @@ def lint_file(path):
     for lineno, (line, stripped) in enumerate(
         zip(lines, code_lines), 1
     ):
-        code = stripped.split("//", 1)[0]  # rules don't fire in comments
+        code = stripped
         for rule, pat in RULES:
             if rule in waived:
                 continue

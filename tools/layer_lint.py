@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Layer lint: enforce the declared module-dependency DAG over src/.
+
+Builds the quoted-#include graph of every .h/.cc under src/ and checks
+it against tools/layers.json, which declares — per module (= first
+directory component under src/) — the set of other modules that module
+may include from. See tools/README.md for the rules and the escape
+hatch.
+
+Checks
+  1. layers.json itself must be a DAG (a cycle in the *declaration* is
+     rejected even before any source file is read).
+  2. Every module directory under src/ must be declared, and every
+     declared module must exist.
+  3. A file may only include (a) its own module, (b) modules listed for
+     its module in layers.json.
+  4. Includes of .cc files are always rejected (no reaching into
+     another translation unit's internals).
+  5. Waivers that no longer suppress anything are themselves errors, so
+     stale escape hatches cannot accumulate.
+
+Escape hatch (mirrors determinism_lint.py):
+  // layer-lint: allow(<module>)       on the include line or the line
+                                       directly above it
+  // layer-lint: allow-file(<module>)  anywhere in the file
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+import json
+import os
+import re
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+ALLOW_RE = re.compile(r"//\s*layer-lint:\s*allow\(([A-Za-z0-9_,\s-]+)\)")
+ALLOW_FILE_RE = re.compile(
+    r"//\s*layer-lint:\s*allow-file\(([A-Za-z0-9_,\s-]+)\)")
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+
+def strip_block_comments(text):
+    """Blank out /* ... */ spans, preserving newlines so line numbers
+    survive. Line comments are kept: waivers live in them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                end = n
+            else:
+                end += 2
+            out.append("".join(c if c == "\n" else " "
+                               for c in text[i:end]))
+            i = end
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def check_dag(modules):
+    """Return a cycle (list of module names) in the declared graph, or
+    None when it is acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in modules}
+    stack = []
+
+    def visit(m):
+        color[m] = GREY
+        stack.append(m)
+        for dep in modules[m]:
+            if dep not in modules:
+                continue  # reported separately
+            if color[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cyc = visit(dep)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[m] = BLACK
+        return None
+
+    for m in modules:
+        if color[m] == WHITE:
+            cyc = visit(m)
+            if cyc:
+                return cyc
+    return None
+
+
+def module_of(relpath):
+    """src-relative path -> module name, or None for files at the
+    src/ root (none exist today; flagged if one appears)."""
+    parts = relpath.replace(os.sep, "/").split("/")
+    return parts[0] if len(parts) > 1 else None
+
+
+def lint_file(path, relpath, modules, violations):
+    mod = module_of(relpath)
+    if mod is None:
+        violations.append((relpath, 0,
+                           "file sits at the src/ root; move it into a "
+                           "module directory"))
+        return
+    if mod not in modules:
+        violations.append((relpath, 0,
+                           "module '%s' is not declared in "
+                           "tools/layers.json" % mod))
+        return
+    allowed = set(modules[mod]) | {mod}
+
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = strip_block_comments(f.read())
+    lines = text.split("\n")
+
+    file_allows = {}  # module -> first declaration line, for staleness
+    used_file_allows = set()
+    for ln, line in enumerate(lines, 1):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            for name in m.group(1).split(","):
+                file_allows.setdefault(name.strip(), ln)
+
+    for ln, line in enumerate(lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            # A line-level waiver with no waivable include on it or
+            # directly below it is stale.
+            a = ALLOW_RE.search(line)
+            if a and not ALLOW_FILE_RE.search(line):
+                below = lines[ln] if ln < len(lines) else ""
+                if not INCLUDE_RE.match(below):
+                    violations.append(
+                        (relpath, ln,
+                         "stale waiver: no #include on this line or "
+                         "the next"))
+            continue
+        target = m.group(1)
+        if target.endswith((".cc", ".cpp")):
+            violations.append(
+                (relpath, ln,
+                 "includes translation-unit internals '%s'" % target))
+            continue
+        tmod = target.replace(os.sep, "/").split("/")[0]
+        if tmod not in modules:
+            # Quoted include that is not one of our modules (e.g. a
+            # vendored header); out of scope for the layer check.
+            continue
+        if tmod in allowed:
+            continue
+        waivers = []
+        a = ALLOW_RE.search(line)
+        if a:
+            waivers += [x.strip() for x in a.group(1).split(",")]
+        if ln >= 2:
+            a = ALLOW_RE.search(lines[ln - 2])
+            if a and not INCLUDE_RE.match(lines[ln - 2]):
+                waivers += [x.strip() for x in a.group(1).split(",")]
+        if tmod in waivers:
+            continue
+        if tmod in file_allows:
+            used_file_allows.add(tmod)
+            continue
+        violations.append(
+            (relpath, ln,
+             "module '%s' may not include from '%s' "
+             "(layers.json deps: %s)" %
+             (mod, tmod, ", ".join(sorted(modules[mod])) or "none")))
+
+    for name, ln in sorted(file_allows.items()):
+        if name not in used_file_allows:
+            violations.append(
+                (relpath, ln,
+                 "stale allow-file(%s): no include from '%s' needs it"
+                 % (name, name)))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: layer_lint.py <src-dir> <layers.json>",
+              file=sys.stderr)
+        return 2
+    src_dir, layers_path = argv[1], argv[2]
+    try:
+        with open(layers_path, encoding="utf-8") as f:
+            modules = json.load(f)["modules"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        print("layer-lint: cannot load %s: %s" % (layers_path, e),
+              file=sys.stderr)
+        return 2
+
+    cycle = check_dag(modules)
+    if cycle:
+        print("layer-lint: layers.json declares a cycle: %s"
+              % " -> ".join(cycle), file=sys.stderr)
+        return 2
+
+    present = set()
+    violations = []
+    for root, dirs, files in os.walk(src_dir):
+        dirs.sort()
+        for name in sorted(files):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(root, name)
+            relpath = os.path.relpath(path, src_dir)
+            mod = module_of(relpath)
+            if mod:
+                present.add(mod)
+            lint_file(path, relpath, modules, violations)
+
+    for mod in sorted(set(modules) - present):
+        violations.append(
+            ("tools/layers.json", 0,
+             "declared module '%s' has no sources under src/" % mod))
+
+    for relpath, ln, msg in violations:
+        where = "%s:%d" % (relpath, ln) if ln else relpath
+        print("%s: %s" % (where, msg))
+    if violations:
+        print("layer-lint: %d violation(s)" % len(violations),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

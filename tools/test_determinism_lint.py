@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/determinism_lint.py (the lint linting itself).
+
+Each case writes a small C++ snippet to a temp tree and asserts which
+rules fire — known-bad snippets must be caught, known-good ones must
+stay silent, and the allow()/allow-file() escape hatches plus the
+string/comment edge cases must behave. Registered as the
+`determinism_lint_selftest` ctest.
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import determinism_lint  # noqa: E402
+
+
+class LintFileTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def lint(self, source, name="snippet.cc"):
+        path = self.root / name
+        path.write_text(source, encoding="utf-8")
+        return determinism_lint.lint_file(path)
+
+    def rules(self, source, name="snippet.cc"):
+        return [rule for _, rule, _ in self.lint(source, name)]
+
+    # ---- known-bad snippets -------------------------------------------
+
+    def test_std_rand_fires(self):
+        self.assertEqual(self.rules("int x = std::rand();"),
+                         ["std-rand"])
+
+    def test_bare_rand_call_fires(self):
+        self.assertEqual(self.rules("int x = rand();"), ["std-rand"])
+
+    def test_random_device_fires(self):
+        self.assertEqual(self.rules("std::random_device rd;"),
+                         ["random-device"])
+
+    def test_wall_clock_fires(self):
+        self.assertEqual(
+            self.rules("auto t = std::chrono::system_clock::now();"),
+            ["wall-clock"])
+        self.assertEqual(self.rules("std::time_t t = time(nullptr);"),
+                         ["wall-clock"])
+
+    def test_locale_fires(self):
+        self.assertEqual(self.rules('setlocale(LC_ALL, "de_DE");'),
+                         ["locale-format"])
+
+    def test_violation_reports_line_number(self):
+        out = self.lint("int a;\nint b;\nint c = std::rand();\n")
+        self.assertEqual([(3, "std-rand")],
+                         [(ln, rule) for ln, rule, _ in out])
+
+    # ---- known-good snippets ------------------------------------------
+
+    def test_seeded_engine_is_clean(self):
+        self.assertEqual(
+            self.rules("std::mt19937_64 rng(seed);\n"
+                       "uint64_t x = rng();\n"), [])
+
+    def test_identifier_containing_rand_is_clean(self):
+        # \b / [^_\w] guards: operand, strand, my_rand are not rand().
+        self.assertEqual(
+            self.rules("int operand(int); int x = my_rand(3);"), [])
+
+    def test_runtime_identifier_is_clean(self):
+        # "runtime(" must not match the time( pattern.
+        self.assertEqual(self.rules("double r = runtime(cfg);"), [])
+
+    # ---- escape hatches -----------------------------------------------
+
+    def test_allow_same_line(self):
+        src = "t = time(nullptr);  // determinism-lint: allow(wall-clock)"
+        self.assertEqual(self.rules(src), [])
+
+    def test_allow_line_above(self):
+        src = ("// determinism-lint: allow(wall-clock)\n"
+               "t = time(nullptr);\n")
+        self.assertEqual(self.rules(src), [])
+
+    def test_allow_wrong_rule_does_not_suppress(self):
+        src = "t = time(nullptr);  // determinism-lint: allow(std-rand)"
+        self.assertEqual(self.rules(src), ["wall-clock"])
+
+    def test_allow_two_lines_above_does_not_suppress(self):
+        src = ("// determinism-lint: allow(wall-clock)\n"
+               "\n"
+               "t = time(nullptr);\n")
+        self.assertEqual(self.rules(src), ["wall-clock"])
+
+    def test_allow_file_waives_rule_everywhere(self):
+        src = ("// determinism-lint: allow-file(wall-clock)\n"
+               "t = time(nullptr);\n"
+               "u = std::chrono::system_clock::now();\n")
+        self.assertEqual(self.rules(src), [])
+
+    def test_allow_file_waives_only_named_rule(self):
+        src = ("// determinism-lint: allow-file(wall-clock)\n"
+               "t = time(nullptr);\n"
+               "int x = std::rand();\n")
+        self.assertEqual(self.rules(src), ["std-rand"])
+
+    # ---- comment and string-literal edge cases ------------------------
+
+    def test_line_comment_does_not_fire(self):
+        self.assertEqual(self.rules("// calls time() eventually"), [])
+
+    def test_block_comment_does_not_fire(self):
+        src = "/* std::rand() is banned\n   time(nullptr) too */\nint x;\n"
+        self.assertEqual(self.rules(src), [])
+
+    def test_string_literal_does_not_fire(self):
+        src = 'const char* m = "do not call std::rand() or time()";'
+        self.assertEqual(self.rules(src), [])
+
+    def test_string_with_comment_opener_does_not_hide_code(self):
+        # The "/*" inside the string must not swallow the next line.
+        src = ('const char* url = "http://x/*y";\n'
+               "int x = std::rand();\n")
+        self.assertEqual([(2, "std-rand")],
+                         [(ln, rule) for ln, rule, _ in self.lint(src)])
+
+    def test_string_with_line_comment_does_not_hide_code(self):
+        src = 'f("//header", std::rand());'
+        self.assertEqual(self.rules(src), ["std-rand"])
+
+    def test_escaped_quote_in_string(self):
+        src = 'const char* m = "quote \\" then std::rand()";'
+        self.assertEqual(self.rules(src), [])
+
+    def test_raw_string_does_not_fire(self):
+        src = 'const char* m = R"(std::rand() time(0))";'
+        self.assertEqual(self.rules(src), [])
+
+    def test_multiline_raw_string(self):
+        # Contents spanning lines are ignored; code after the
+        # terminator is linted again.
+        src = ('const char* m = R"doc(\n'
+               "  std::rand() inside the raw string\n"
+               ')doc";\n'
+               "int x = std::rand();\n")
+        self.assertEqual([(4, "std-rand")],
+                         [(ln, rule) for ln, rule, _ in self.lint(src)])
+
+    def test_digit_separator_is_not_char_literal(self):
+        # The ' in 1'000'000 must not open a literal that would hide
+        # the rest of the line.
+        src = "size_t n = 1'000'000; int x = std::rand();"
+        self.assertEqual(self.rules(src), ["std-rand"])
+
+    def test_char_literal_quote_does_not_hide_code(self):
+        src = "if (c == '\"') x = std::rand();"
+        self.assertEqual(self.rules(src), ["std-rand"])
+
+    # ---- unordered-iteration ------------------------------------------
+
+    def test_unordered_iteration_fires(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "for (auto& kv : m) use(kv);\n")
+        self.assertEqual(self.rules(src), ["unordered-iteration"])
+
+    def test_unordered_begin_fires(self):
+        src = ("std::unordered_set<int> seen;\n"
+               "auto it = seen.begin();\n")
+        self.assertEqual(self.rules(src), ["unordered-iteration"])
+
+    def test_vector_iteration_is_clean(self):
+        src = ("std::vector<int> v;\n"
+               "for (int x : v) use(x);\n")
+        self.assertEqual(self.rules(src), [])
+
+    def test_companion_header_decl_detected(self):
+        (self.root / "thing.h").write_text(
+            "struct T { std::unordered_map<int, int> table_; };\n",
+            encoding="utf-8")
+        src = "for (auto& kv : table_) use(kv);\n"
+        self.assertEqual(self.rules(src, name="thing.cc"),
+                         ["unordered-iteration"])
+
+    def test_unordered_lookup_is_clean(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "auto it = m.find(3);\n"
+               "m[4] = 5;\n")
+        self.assertEqual(self.rules(src), [])
+
+
+class MainTest(unittest.TestCase):
+    def test_exit_codes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "good.cc").write_text("int x = 1;\n",
+                                          encoding="utf-8")
+            self.assertEqual(
+                determinism_lint.main(["determinism_lint.py", tmp]), 0)
+            (root / "bad.cc").write_text("int x = std::rand();\n",
+                                         encoding="utf-8")
+            self.assertEqual(
+                determinism_lint.main(["determinism_lint.py", tmp]), 1)
+        self.assertEqual(
+            determinism_lint.main(["determinism_lint.py"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
